@@ -1,0 +1,37 @@
+"""Benchmark / regeneration of Figure 3: embedding-space projections.
+
+The paper shows UMAP projections of the web-tables embeddings and argues
+that the SBERT space separates the ground-truth classes better than the
+FastText space, while the tabular encoders show no clear cluster structure.
+The bench reproduces the comparison quantitatively with PCA projections and
+separability statistics.
+"""
+
+from conftest import run_once
+
+from repro.experiments import build_dataset, separability_report
+from repro.tasks import embed_tables
+
+
+def test_figure3_webtables_projections(benchmark, bench_scale):
+    dataset = build_dataset("webtables", bench_scale)
+
+    def run():
+        reports = []
+        for method in ("sbert", "fasttext", "tabnet", "tabtransformer"):
+            X = embed_tables(dataset, method)
+            reports.append(separability_report(X, dataset.labels,
+                                               embedding=method))
+        return reports
+
+    reports = run_once(benchmark, run)
+    print("\nFigure 3: 2-D separability of web-table embeddings")
+    for report in reports:
+        print(report.as_row())
+    by_name = {report.embedding: report for report in reports}
+    # SBERT separates the classes better than FastText (Figures 3a vs 3b).
+    assert by_name["sbert"].silhouette_2d > by_name["fasttext"].silhouette_2d
+    # The tabular encoders show weaker structure than schema-level SBERT
+    # (Figures 3c/3d vs 3a).
+    assert by_name["sbert"].silhouette_2d >= by_name["tabnet"].silhouette_2d
+    assert by_name["sbert"].silhouette_2d >= by_name["tabtransformer"].silhouette_2d

@@ -1,0 +1,50 @@
+"""Benchmark / regeneration of Figure 4: runtime scalability.
+
+Figure 4a: runtime vs number of instances (fixed K); Figure 4b: runtime vs
+number of clusters.  The paper's qualitative findings: SC methods are much
+faster than DC methods and scale roughly linearly; DC runtimes grow steeply
+with the number of clusters; SHGP is the slowest DC method at scale.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.config import DeepClusteringConfig
+from repro.experiments import run_scalability_study
+
+_FIG4_CONFIG = DeepClusteringConfig(pretrain_epochs=8, train_epochs=8,
+                                    layer_size=128, latent_dim=32, seed=7)
+
+
+def test_figure4_runtime_scaling(benchmark):
+    def run():
+        return run_scalability_study(
+            instance_grid=(120, 240, 480),
+            cluster_grid=(30, 60, 120),
+            fixed_clusters=40,
+            algorithms=("sdcn", "shgp", "edesc", "kmeans", "dbscan", "birch"),
+            config=_FIG4_CONFIG, seed=7)
+
+    points = run_once(benchmark, run)
+    print("\nFigure 4: runtime (seconds) per algorithm")
+    for point in points:
+        print(point.as_row())
+
+    runtime = defaultdict(dict)
+    for point in points:
+        key = point.n_instances if point.sweep == "instances" else point.n_clusters
+        runtime[(point.sweep, point.algorithm)][key] = point.runtime_seconds
+
+    # SC methods are faster than DC methods at the largest instance count.
+    largest = 480
+    sc_time = max(runtime[("instances", name)][largest]
+                  for name in ("kmeans", "birch", "dbscan"))
+    dc_time = min(runtime[("instances", name)][largest]
+                  for name in ("sdcn", "shgp", "edesc"))
+    assert dc_time > sc_time
+
+    # DC runtime grows with the number of clusters (Figure 4b).
+    for name in ("sdcn", "edesc", "shgp"):
+        series = runtime[("clusters", name)]
+        assert series[120] > series[30]

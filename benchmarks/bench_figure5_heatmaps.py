@@ -1,0 +1,46 @@
+"""Benchmark / regeneration of Figure 5: column-similarity heat maps.
+
+Figure 5 contrasts SBERT schema-level similarities (distinct domains look
+distinct) with EmbDi schema+instance-level similarities (everything looks
+similar, turning true negatives into false positives).  The bench rebuilds
+both heat maps over a sample of Camera columns from different domains and
+checks the aggregate contrast.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import build_dataset, similarity_heatmap
+from repro.tasks import embed_columns
+
+
+def test_figure5_camera_heatmaps(benchmark, bench_scale):
+    dataset = build_dataset("camera", bench_scale)
+    # Pick one column from each of several different domains, mirroring the
+    # figure's hand-picked (sensor size, optical zoom, image format,
+    # dimensions) selection.
+    labels = dataset.labels
+    chosen: list[int] = []
+    for domain in np.unique(labels)[:6]:
+        chosen.append(int(np.flatnonzero(labels == domain)[0]))
+    headers = [dataset.columns[i].header for i in chosen]
+
+    def run():
+        sbert = similarity_heatmap(
+            embed_columns(dataset, "sbert"), [c.header for c in dataset.columns],
+            embedding="sbert", indices=chosen)
+        embdi = similarity_heatmap(
+            embed_columns(dataset, "embdi", seed=7),
+            [c.header for c in dataset.columns],
+            embedding="embdi", indices=chosen)
+        return sbert, embdi
+
+    sbert_report, embdi_report = run_once(benchmark, run)
+    print("\nFigure 5: mean off-diagonal cosine similarity between columns "
+          f"of different domains ({headers})")
+    print(sbert_report.as_row())
+    print(embdi_report.as_row())
+    # Figure 5's contrast: the EmbDi schema+instance space makes unrelated
+    # columns look much more similar than the SBERT schema-level space.
+    assert embdi_report.mean_off_diagonal > sbert_report.mean_off_diagonal

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Table 1: dataset properties."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1_dataset_properties(benchmark, bench_scale):
+    """Regenerate Table 1 (sources, #instances, #GT clusters per dataset)."""
+
+    def build():
+        return run_experiment("table1", scale=bench_scale)
+
+    profiles = run_once(benchmark, build)
+    print("\nTable 1: Dataset properties")
+    for profile in profiles:
+        print(profile.as_row())
+    assert len(profiles) == 6
+    tasks = {profile.task for profile in profiles}
+    assert tasks == {"Schema Inference", "Entity Resolution", "Domain Discovery"}

@@ -1,0 +1,33 @@
+"""Benchmark / regeneration of Table 2: schema inference, schema-level.
+
+DC (SDCN, EDESC, SHGP) vs SC (K-means, DBSCAN, Birch) with SBERT and
+FastText table-header embeddings on the web tables and TUS datasets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_results_table, run_experiment
+
+
+def _run(bench_scale, bench_config, dataset):
+    return run_experiment("table2", scale=bench_scale, config=bench_config,
+                          datasets=(dataset,))
+
+
+def test_table2_webtables(benchmark, bench_scale, bench_config):
+    results = run_once(benchmark, lambda: _run(bench_scale, bench_config,
+                                               "webtables"))
+    print("\n" + format_results_table(results, title="Table 2 — web tables"))
+    by_key = {(r.algorithm, r.embedding): r for r in results}
+    # Paper shape: SBERT beats FastText for the SC baselines.
+    assert by_key[("kmeans", "sbert")].ari > by_key[("kmeans", "fasttext")].ari
+    assert by_key[("birch", "sbert")].ari > by_key[("birch", "fasttext")].ari
+    # DBSCAN collapses to very few clusters on the dense embedding space.
+    assert by_key[("dbscan", "sbert")].n_clusters_predicted <= 5
+
+
+def test_table2_tus(benchmark, bench_scale, bench_config):
+    results = run_once(benchmark, lambda: _run(bench_scale, bench_config, "tus"))
+    print("\n" + format_results_table(results, title="Table 2 — TUS"))
+    by_key = {(r.algorithm, r.embedding): r for r in results}
+    assert by_key[("kmeans", "sbert")].ari >= by_key[("kmeans", "fasttext")].ari

@@ -1,0 +1,37 @@
+"""Benchmark / regeneration of Table 4: entity resolution.
+
+AE, EDESC and SHGP (DC) vs K-means, DBSCAN, Birch (SC) with EmbDi and SBERT
+row embeddings on the MusicBrainz-2K-like and Geographic-Settlements-like
+datasets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_results_table, run_experiment
+
+
+def test_table4_musicbrainz(benchmark, bench_scale, bench_config):
+    def run():
+        return run_experiment("table4", scale=bench_scale, config=bench_config,
+                              datasets=("musicbrainz",))
+
+    results = run_once(benchmark, run)
+    print("\n" + format_results_table(results, title="Table 4 — Music Brainz"))
+    by_key = {(r.algorithm, r.embedding): r for r in results}
+    # The DC representation-learning methods produce usable clusterings with
+    # both row embeddings, and DBSCAN collapses to very few clusters on the
+    # dense row embedding space (Table 4's most robust qualitative findings).
+    assert by_key[("ae", "sbert")].ari > 0.3
+    assert by_key[("dbscan", "sbert")].n_clusters_predicted <= 5
+
+
+def test_table4_geographic(benchmark, bench_scale, bench_config):
+    def run():
+        return run_experiment("table4", scale=bench_scale, config=bench_config,
+                              datasets=("geographic",))
+
+    results = run_once(benchmark, run)
+    print("\n" + format_results_table(
+        results, title="Table 4 — Geographic Settlements"))
+    by_key = {(r.algorithm, r.embedding): r for r in results}
+    assert by_key[("ae", "sbert")].ari > by_key[("dbscan", "sbert")].ari

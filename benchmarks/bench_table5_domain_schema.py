@@ -1,0 +1,33 @@
+"""Benchmark / regeneration of Table 5: domain discovery, schema-level.
+
+SBERT vs FastText header embeddings on the Camera and Monitor datasets; the
+paper's observation is that all clustering algorithms perform similarly here
+and that the SBERT/FastText gap is much smaller than in schema inference.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_results_table, run_experiment
+
+
+def test_table5_camera(benchmark, bench_scale, bench_config):
+    def run():
+        return run_experiment("table5", scale=bench_scale, config=bench_config,
+                              datasets=("camera",))
+
+    results = run_once(benchmark, run)
+    print("\n" + format_results_table(results, title="Table 5 — Camera"))
+    by_key = {(r.algorithm, r.embedding): r for r in results}
+    gap = abs(by_key[("kmeans", "sbert")].ari - by_key[("kmeans", "fasttext")].ari)
+    # The SBERT/FastText gap is small for short header phrases (finding iii).
+    assert gap < 0.5
+
+
+def test_table5_monitor(benchmark, bench_scale, bench_config):
+    def run():
+        return run_experiment("table5", scale=bench_scale, config=bench_config,
+                              datasets=("monitor",))
+
+    results = run_once(benchmark, run)
+    print("\n" + format_results_table(results, title="Table 5 — Monitor"))
+    assert all(-0.5 <= r.ari <= 1.0 for r in results)

@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  To keep a
+full ``pytest benchmarks/ --benchmark-only`` run tractable on a laptop the
+benches use the reduced-but-structurally-faithful scale defined here and a
+shortened deep clustering configuration; pass ``--paper-scale`` to use the
+larger default scale recorded in EXPERIMENTS.md.
+
+Each bench prints the rows/series it reproduces (visible with ``-s`` or in
+the captured output), so the harness doubles as the table generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DeepClusteringConfig, ExperimentScale
+
+#: Scale used by default for the benchmark harness: large enough to show the
+#: paper's trends, small enough to complete in a few minutes per table.
+BENCH_SCALE = ExperimentScale(
+    webtables_tables=80, webtables_clusters=16,
+    tus_tables=80, tus_clusters=16,
+    musicbrainz_records=180, musicbrainz_clusters=60,
+    geographic_records=180, geographic_clusters=60,
+    camera_columns=200, camera_domains=40,
+    monitor_columns=220, monitor_domains=42,
+)
+
+#: Deep clustering configuration for the benches (short but non-trivial).
+BENCH_CONFIG = DeepClusteringConfig(
+    pretrain_epochs=10, train_epochs=10, layer_size=256, latent_dim=48, seed=7)
+
+
+def pytest_addoption(parser):
+    parser.addoption("--paper-scale", action="store_true", default=False,
+                     help="run the benches at the larger EXPERIMENTS.md scale")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> ExperimentScale:
+    if request.config.getoption("--paper-scale"):
+        return ExperimentScale()
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> DeepClusteringConfig:
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-scale pipelines, not micro-benchmarks;
+    a single round keeps the harness usable while still recording wall-clock
+    time per table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,44 @@
+"""Domain discovery over e-commerce columns (paper Section 7, Tables 5-6).
+
+Generates Camera-like specification columns, compares schema-level evidence
+(header-only) with schema+instance-level evidence (header + values) and
+shows the similarity heat-map statistic of Figure 5.
+
+Run with:  python examples/domain_discovery_camera.py
+"""
+
+import numpy as np
+
+from repro import DeepClusteringConfig, DomainDiscoveryTask, generate_camera
+from repro.experiments import similarity_heatmap
+from repro.tasks import embed_columns
+
+
+def main() -> None:
+    dataset = generate_camera(n_columns=220, n_domains=25, seed=3)
+    print(f"dataset: {dataset.n_items} columns, {dataset.n_clusters} domains")
+
+    config = DeepClusteringConfig(pretrain_epochs=10, train_epochs=10,
+                                  layer_size=128, latent_dim=32, seed=3)
+    task = DomainDiscoveryTask(dataset, config=config)
+
+    print("\nschema-level vs schema+instance-level evidence:")
+    for embedding in ("sbert", "sbert_instance", "embdi"):
+        result = task.run(embedding=embedding, algorithm="birch", seed=3)
+        print(f"  {embedding:<15s} ARI={result.ari:.3f} ACC={result.acc:.3f} "
+              f"K={result.n_clusters_predicted}")
+
+    # Figure-5-style analysis: how similar do columns of *different* domains
+    # look under each representation?
+    chosen = [int(np.flatnonzero(dataset.labels == d)[0])
+              for d in np.unique(dataset.labels)[:5]]
+    for embedding in ("sbert", "embdi"):
+        X = embed_columns(dataset, embedding, seed=3)
+        report = similarity_heatmap(X, [c.header for c in dataset.columns],
+                                    embedding=embedding, indices=chosen)
+        print(f"mean cross-domain cosine similarity with {embedding}: "
+              f"{report.mean_off_diagonal:.3f}")
+
+
+if __name__ == "__main__":
+    main()

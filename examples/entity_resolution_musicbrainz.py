@@ -1,0 +1,37 @@
+"""Entity resolution over dirty song records (paper Section 6, Table 4).
+
+Generates a MusicBrainz-2K-like dataset (duplicated song records with
+abbreviations, missing values and format variants), embeds the rows with
+EmbDi and with the SBERT-style encoder, clusters with the auto-encoder
+pipeline and the standard baselines, and prints pairwise precision/recall
+in addition to ARI/ACC.
+
+Run with:  python examples/entity_resolution_musicbrainz.py
+"""
+
+from repro import DeepClusteringConfig, EntityResolutionTask, generate_musicbrainz
+from repro.metrics import pairwise_match_counts
+
+
+def main() -> None:
+    dataset = generate_musicbrainz(n_records=200, n_clusters=70, seed=2)
+    print(f"dataset: {dataset.n_items} records from {dataset.n_sources} sources, "
+          f"{dataset.n_clusters} real-world entities")
+    print("example record:", dataset.records[1].text())
+
+    config = DeepClusteringConfig(pretrain_epochs=12, train_epochs=12,
+                                  layer_size=128, latent_dim=32, seed=2)
+    task = EntityResolutionTask(dataset, config=config)
+
+    for embedding in ("sbert", "embdi"):
+        for algorithm in ("ae", "kmeans", "dbscan"):
+            result = task.run(embedding=embedding, algorithm=algorithm, seed=2)
+            pairs = pairwise_match_counts(dataset.labels,
+                                          result.clustering.labels)
+            print(f"{embedding:>6s} + {algorithm:<7s} ARI={result.ari:.3f} "
+                  f"ACC={result.acc:.3f} K={result.n_clusters_predicted} "
+                  f"pair-P={pairs.precision:.2f} pair-R={pairs.recall:.2f}")
+
+
+if __name__ == "__main__":
+    main()

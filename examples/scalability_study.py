@@ -1,0 +1,48 @@
+"""Runtime scalability of DC vs SC methods (paper Section 6, Figure 4).
+
+Measures clustering wall-clock time while growing (a) the number of
+instances at fixed K and (b) the number of clusters, using the
+MusicBrainz-200K-style scalability generator.
+
+Run with:  python examples/scalability_study.py
+"""
+
+from collections import defaultdict
+
+from repro import DeepClusteringConfig
+from repro.experiments import run_scalability_study
+
+
+def main() -> None:
+    config = DeepClusteringConfig(pretrain_epochs=6, train_epochs=6,
+                                  layer_size=96, latent_dim=24, seed=4)
+    points = run_scalability_study(
+        instance_grid=(100, 200, 400),
+        cluster_grid=(25, 50, 100),
+        fixed_clusters=40,
+        algorithms=("sdcn", "edesc", "kmeans", "birch", "dbscan"),
+        config=config, seed=4)
+
+    series = defaultdict(list)
+    for point in points:
+        series[(point.sweep, point.algorithm)].append(point)
+
+    print("Figure 4a — runtime (s) vs number of instances (fixed K):")
+    for (sweep, algorithm), entries in series.items():
+        if sweep != "instances":
+            continue
+        timings = ", ".join(f"{p.n_instances}:{p.runtime_seconds:.2f}s"
+                            for p in entries)
+        print(f"  {algorithm:<7s} {timings}")
+
+    print("\nFigure 4b — runtime (s) vs number of clusters:")
+    for (sweep, algorithm), entries in series.items():
+        if sweep != "clusters":
+            continue
+        timings = ", ".join(f"K={p.n_clusters}:{p.runtime_seconds:.2f}s"
+                            for p in entries)
+        print(f"  {algorithm:<7s} {timings}")
+
+
+if __name__ == "__main__":
+    main()

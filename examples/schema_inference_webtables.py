@@ -1,0 +1,36 @@
+"""Schema inference over web tables (paper Section 5, Tables 2-3).
+
+Generates a T2D-like web-table corpus, then compares schema-level evidence
+(SBERT and FastText header embeddings) against schema+instance-level
+evidence (TabNet-style tabular embeddings) across a deep clustering method
+and the standard baselines — reproducing, at example scale, the paper's
+finding that schema-level evidence works better for schema inference.
+
+Run with:  python examples/schema_inference_webtables.py
+"""
+
+from repro import DeepClusteringConfig, SchemaInferenceTask, generate_webtables
+from repro.experiments import format_results_table
+
+
+def main() -> None:
+    dataset = generate_webtables(n_tables=80, n_classes=16, seed=1)
+    print(f"dataset: {dataset.n_items} tables, {dataset.n_clusters} classes")
+
+    config = DeepClusteringConfig(pretrain_epochs=10, train_epochs=10,
+                                  layer_size=128, latent_dim=32, seed=1)
+    task = SchemaInferenceTask(dataset, config=config)
+
+    results = task.run_matrix(
+        embeddings=("sbert", "fasttext", "tabnet"),
+        algorithms=("sdcn", "edesc", "kmeans", "birch", "dbscan"),
+        seed=1)
+    print(format_results_table(results, title="Schema inference (example scale)"))
+
+    best = max(results, key=lambda r: r.ari)
+    print(f"\nbest combination: {best.algorithm} with {best.embedding} "
+          f"(ARI {best.ari:.3f})")
+
+
+if __name__ == "__main__":
+    main()

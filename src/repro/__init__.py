@@ -1,0 +1,120 @@
+"""repro — deep clustering for data cleaning and integration.
+
+A from-scratch reproduction of "Deep Clustering for Data Cleaning and
+Integration" (Rauf, Freitas & Paton, EDBT 2024): schema inference, entity
+resolution and domain discovery posed as clustering problems, solved with
+deep clustering algorithms (SDCN, EDESC, SHGP, auto-encoder baselines) and
+standard clustering baselines (K-means, Birch, DBSCAN) over several
+embedding strategies (SBERT- and FastText-style text encoders, EmbDi
+relational embeddings, TabNet/TabTransformer-style tabular encoders).
+
+Quickstart
+----------
+>>> from repro import generate_camera, DomainDiscoveryTask
+>>> dataset = generate_camera(n_columns=200, n_domains=12, seed=0)
+>>> task = DomainDiscoveryTask(dataset)
+>>> result = task.run(embedding="sbert", algorithm="kmeans")
+>>> 0.0 <= result.acc <= 1.0
+True
+"""
+
+from .config import (
+    BENCHMARK_SCALE,
+    DEFAULT_SEED,
+    TEST_SCALE,
+    DeepClusteringConfig,
+    ExperimentScale,
+)
+from .clustering import Birch, DBSCAN, KMeans
+from .dc import EDESC, SDCN, SHGP, Autoencoder, AutoencoderClustering
+from .data import (
+    Column,
+    ColumnClusteringDataset,
+    Record,
+    RecordClusteringDataset,
+    Table,
+    TableClusteringDataset,
+    generate_camera,
+    generate_geographic_settlements,
+    generate_monitor,
+    generate_musicbrainz,
+    generate_musicbrainz_scalability,
+    generate_tus,
+    generate_webtables,
+    profile_datasets,
+)
+from .embeddings import (
+    EmbDiEmbedder,
+    FastTextEncoder,
+    SBERTEncoder,
+    TabNetEncoder,
+    TabTransformerEncoder,
+)
+from .metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    normalized_mutual_information,
+    silhouette_score,
+)
+from .tasks import (
+    DomainDiscoveryTask,
+    EntityResolutionTask,
+    SchemaInferenceTask,
+    TaskResult,
+)
+from .experiments import (
+    EXPERIMENTS,
+    format_results_table,
+    run_experiment,
+    run_scalability_study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_SEED",
+    "DeepClusteringConfig",
+    "ExperimentScale",
+    "BENCHMARK_SCALE",
+    "TEST_SCALE",
+    "KMeans",
+    "Birch",
+    "DBSCAN",
+    "Autoencoder",
+    "AutoencoderClustering",
+    "SDCN",
+    "EDESC",
+    "SHGP",
+    "Table",
+    "Column",
+    "Record",
+    "TableClusteringDataset",
+    "RecordClusteringDataset",
+    "ColumnClusteringDataset",
+    "generate_webtables",
+    "generate_tus",
+    "generate_musicbrainz",
+    "generate_musicbrainz_scalability",
+    "generate_geographic_settlements",
+    "generate_camera",
+    "generate_monitor",
+    "profile_datasets",
+    "SBERTEncoder",
+    "FastTextEncoder",
+    "EmbDiEmbedder",
+    "TabNetEncoder",
+    "TabTransformerEncoder",
+    "adjusted_rand_index",
+    "clustering_accuracy",
+    "normalized_mutual_information",
+    "silhouette_score",
+    "SchemaInferenceTask",
+    "EntityResolutionTask",
+    "DomainDiscoveryTask",
+    "TaskResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_scalability_study",
+    "format_results_table",
+]

@@ -1,0 +1,33 @@
+"""Standard (non-deep) clustering algorithms.
+
+These are the SC baselines of the paper (Section 4): K-means, Birch and
+DBSCAN, plus the elbow-method heuristic the paper uses to choose DBSCAN's
+``eps``.  All clusterers share the :class:`~repro.clustering.base.BaseClusterer`
+interface so tasks and experiments can treat SC and DC methods uniformly.
+"""
+
+from .base import BaseClusterer, ClusteringResult
+from .kmeans import KMeans
+from .birch import Birch
+from .dbscan import DBSCAN
+from .eps_selection import estimate_eps_elbow, kth_nearest_neighbor_distances
+from .labels import (
+    soft_to_hard_assignment,
+    cluster_sizes,
+    relabel_noise_as_singletons,
+    number_of_clusters,
+)
+
+__all__ = [
+    "BaseClusterer",
+    "ClusteringResult",
+    "KMeans",
+    "Birch",
+    "DBSCAN",
+    "estimate_eps_elbow",
+    "kth_nearest_neighbor_distances",
+    "soft_to_hard_assignment",
+    "cluster_sizes",
+    "relabel_noise_as_singletons",
+    "number_of_clusters",
+]

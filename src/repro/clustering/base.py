@@ -1,0 +1,69 @@
+"""Common interface for standard and deep clusterers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+from ..utils.validation import check_matrix
+
+__all__ = ["BaseClusterer", "ClusteringResult"]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of running a clusterer on an embedding matrix.
+
+    Attributes
+    ----------
+    labels:
+        Hard cluster assignment, one integer per input row.  DBSCAN noise
+        points keep the conventional label ``-1``.
+    n_clusters:
+        Number of distinct non-noise clusters actually produced (the ``K``
+        rows of the paper's result tables).
+    embedding:
+        Optional learned representation (DC methods expose the latent space
+        used for the assignment; SC methods return the input unchanged).
+    soft_assignments:
+        Optional soft assignment matrix Q (DC methods only).
+    metadata:
+        Algorithm-specific diagnostics (losses, silhouette trajectory, epochs
+        trained, timings).
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    embedding: np.ndarray | None = None
+    soft_assignments: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+
+
+@runtime_checkable
+class BaseClusterer(Protocol):
+    """Structural interface every clusterer in the library satisfies."""
+
+    def fit_predict(self, X) -> ClusteringResult:
+        """Cluster the rows of ``X`` and return a :class:`ClusteringResult`."""
+        ...
+
+
+class FittableMixin:
+    """Helper mixin giving clusterers a uniform fitted-state guard."""
+
+    _fitted: bool = False
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling this method")
+
+    @staticmethod
+    def _validate(X) -> np.ndarray:
+        return check_matrix(X)

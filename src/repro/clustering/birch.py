@@ -1,0 +1,257 @@
+"""BIRCH clustering (Zhang, Ramakrishnan & Livny, 1996).
+
+BIRCH builds a height-balanced Clustering Feature (CF) tree in a single pass
+over the data; each leaf entry summarises a sub-cluster by its count, linear
+sum and squared sum.  The leaf sub-cluster centroids are then globally
+clustered (here with agglomerative merging, falling back to K-means when a
+fixed ``n_clusters`` is requested), and every input point inherits the label
+of its nearest sub-cluster centroid.
+
+The paper uses Birch both as an SC baseline and as the clustering step
+applied to auto-encoder representations in the entity resolution and domain
+discovery experiments ("AE with Birch").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import ClusteringResult, FittableMixin
+from .kmeans import KMeans
+
+__all__ = ["Birch"]
+
+
+@dataclass
+class _CFEntry:
+    """Clustering feature: (N, linear sum, squared norm sum)."""
+
+    n: int
+    linear_sum: np.ndarray
+    squared_sum: float
+    child: "_CFNode | None" = None
+
+    @classmethod
+    def from_point(cls, x: np.ndarray) -> "_CFEntry":
+        return cls(n=1, linear_sum=x.copy(), squared_sum=float(np.dot(x, x)))
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.linear_sum / self.n
+
+    @property
+    def radius(self) -> float:
+        """RMS distance of points in the entry to its centroid."""
+        centroid = self.centroid
+        mean_sq = self.squared_sum / self.n
+        value = mean_sq - float(np.dot(centroid, centroid))
+        return float(np.sqrt(max(value, 0.0)))
+
+    def merge(self, other: "_CFEntry") -> None:
+        self.n += other.n
+        self.linear_sum = self.linear_sum + other.linear_sum
+        self.squared_sum += other.squared_sum
+
+    def merged_radius(self, other: "_CFEntry") -> float:
+        n = self.n + other.n
+        linear = self.linear_sum + other.linear_sum
+        squared = self.squared_sum + other.squared_sum
+        centroid = linear / n
+        value = squared / n - float(np.dot(centroid, centroid))
+        return float(np.sqrt(max(value, 0.0)))
+
+
+@dataclass
+class _CFNode:
+    """A node of the CF tree holding up to ``branching_factor`` entries."""
+
+    is_leaf: bool
+    entries: list[_CFEntry] = field(default_factory=list)
+
+    def centroids(self) -> np.ndarray:
+        return np.vstack([entry.centroid for entry in self.entries])
+
+
+class Birch(FittableMixin):
+    """CF-tree based BIRCH with a global clustering refinement step."""
+
+    def __init__(self, n_clusters: int | None = None, *,
+                 threshold: float | None = None,
+                 branching_factor: int = 50, seed: int | None = None) -> None:
+        if n_clusters is not None and n_clusters < 1:
+            raise ConfigurationError("n_clusters must be >= 1 or None")
+        if threshold is not None and threshold <= 0:
+            raise ConfigurationError("threshold must be positive (or None to estimate)")
+        if branching_factor < 2:
+            raise ConfigurationError("branching_factor must be >= 2")
+        self.n_clusters = n_clusters
+        # ``None`` estimates the merge threshold from the data at fit time;
+        # embedding scales vary wildly between raw SBERT vectors and learned
+        # AE latent spaces, so a fixed absolute radius is rarely appropriate.
+        self.threshold = None if threshold is None else float(threshold)
+        self.threshold_: float | None = None
+        self.branching_factor = int(branching_factor)
+        self.seed = seed
+        self.subcluster_centers_: np.ndarray | None = None
+        self.subcluster_labels_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self._root: _CFNode | None = None
+
+    # ------------------------------------------------------------------
+    # CF-tree construction
+    # ------------------------------------------------------------------
+    def _insert(self, node: _CFNode, entry: _CFEntry) -> _CFNode | None:
+        """Insert ``entry`` below ``node``; return a new sibling on split."""
+        if node.is_leaf:
+            if node.entries:
+                centroids = node.centroids()
+                distances = np.linalg.norm(centroids - entry.centroid, axis=1)
+                closest = int(np.argmin(distances))
+                candidate = node.entries[closest]
+                if candidate.merged_radius(entry) <= self.threshold_:
+                    candidate.merge(entry)
+                    return None
+            node.entries.append(entry)
+            if len(node.entries) > self.branching_factor:
+                return self._split(node)
+            return None
+
+        # Internal node: descend into the closest child.
+        centroids = node.centroids()
+        distances = np.linalg.norm(centroids - entry.centroid, axis=1)
+        closest = int(np.argmin(distances))
+        chosen = node.entries[closest]
+        sibling = self._insert(chosen.child, entry)
+        chosen.merge(entry)
+        if sibling is not None:
+            node.entries.append(self._summarise(sibling))
+            if len(node.entries) > self.branching_factor:
+                return self._split(node)
+        return None
+
+    @staticmethod
+    def _summarise(node: _CFNode) -> _CFEntry:
+        total = _CFEntry(n=0,
+                         linear_sum=np.zeros_like(node.entries[0].linear_sum),
+                         squared_sum=0.0,
+                         child=node)
+        for entry in node.entries:
+            total.n += entry.n
+            total.linear_sum = total.linear_sum + entry.linear_sum
+            total.squared_sum += entry.squared_sum
+        return total
+
+    def _split(self, node: _CFNode) -> _CFNode:
+        """Split an over-full node in two along its most separated entries."""
+        centroids = node.centroids()
+        d2 = np.sum((centroids[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+        seed_a, seed_b = np.unravel_index(np.argmax(d2), d2.shape)
+        entries = node.entries
+        keep: list[_CFEntry] = []
+        move: list[_CFEntry] = []
+        for index, entry in enumerate(entries):
+            if np.sum((entry.centroid - centroids[seed_a]) ** 2) <= \
+               np.sum((entry.centroid - centroids[seed_b]) ** 2):
+                keep.append(entry)
+            else:
+                move.append(entry)
+        if not keep or not move:  # degenerate: force a balanced split
+            keep, move = entries[::2], entries[1::2]
+        node.entries = keep
+        return _CFNode(is_leaf=node.is_leaf, entries=move)
+
+    def _build_tree(self, X: np.ndarray) -> None:
+        self._root = _CFNode(is_leaf=True)
+        for row in X:
+            sibling = self._insert(self._root, _CFEntry.from_point(row))
+            if sibling is not None:
+                old_root = self._root
+                self._root = _CFNode(is_leaf=False,
+                                     entries=[self._summarise(old_root),
+                                              self._summarise(sibling)])
+
+    def _leaf_entries(self) -> list[_CFEntry]:
+        leaves: list[_CFEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.extend(node.entries)
+            else:
+                stack.extend(entry.child for entry in node.entries
+                             if entry.child is not None)
+        return leaves
+
+    # ------------------------------------------------------------------
+    # Global clustering of leaf sub-clusters
+    # ------------------------------------------------------------------
+    def _global_cluster(self, centers: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        n_sub = centers.shape[0]
+        if self.n_clusters is None or self.n_clusters >= n_sub:
+            return np.arange(n_sub, dtype=np.int64)
+        kmeans = KMeans(self.n_clusters, seed=self.seed, n_init=4)
+        # Weight sub-clusters by repeating centres proportionally to size so
+        # that large sub-clusters dominate the global step, as in BIRCH.
+        repeat = np.clip(np.round(weights / weights.min()).astype(int), 1, 20)
+        expanded = np.repeat(centers, repeat, axis=0)
+        kmeans.fit(expanded)
+        return kmeans.predict(centers)
+
+    # ------------------------------------------------------------------
+    def _estimate_threshold(self, X: np.ndarray) -> float:
+        """Estimate the CF merge radius from the data's local distance scale.
+
+        Half of the mean 2nd-nearest-neighbour distance (on a sample) keeps
+        genuinely close points merging into the same CF entry while leaving
+        well-separated points in distinct sub-clusters, whatever the overall
+        scale of the embedding space.
+        """
+        from .eps_selection import kth_nearest_neighbor_distances
+
+        sample = X if X.shape[0] <= 256 else X[
+            np.linspace(0, X.shape[0] - 1, 256).astype(int)]
+        distances = kth_nearest_neighbor_distances(sample, k=2)
+        estimate = 0.5 * float(np.mean(distances))
+        return estimate if estimate > 0 else 0.5
+
+    def fit(self, X) -> "Birch":
+        X = self._validate(X)
+        if self.n_clusters is not None and X.shape[0] < self.n_clusters:
+            raise ConfigurationError(
+                f"n_clusters={self.n_clusters} exceeds number of samples {X.shape[0]}")
+        self.threshold_ = (self.threshold if self.threshold is not None
+                           else self._estimate_threshold(X))
+        self._build_tree(X)
+        leaves = self._leaf_entries()
+        centers = np.vstack([entry.centroid for entry in leaves])
+        weights = np.array([entry.n for entry in leaves], dtype=np.float64)
+        self.subcluster_centers_ = centers
+        self.subcluster_labels_ = self._global_cluster(centers, weights)
+        self.labels_ = self.predict(X)
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Label points by their nearest sub-cluster centroid."""
+        if self.subcluster_centers_ is None:
+            raise ConfigurationError("Birch.predict called before fit")
+        X = self._validate(X)
+        x_sq = np.sum(X ** 2, axis=1)[:, None]
+        c_sq = np.sum(self.subcluster_centers_ ** 2, axis=1)[None, :]
+        d2 = x_sq + c_sq - 2.0 * (X @ self.subcluster_centers_.T)
+        nearest = np.argmin(d2, axis=1)
+        return self.subcluster_labels_[nearest].astype(np.int64)
+
+    def fit_predict(self, X) -> ClusteringResult:
+        self.fit(X)
+        return ClusteringResult(
+            labels=self.labels_,
+            n_clusters=int(np.unique(self.labels_).size),
+            metadata={
+                "n_subclusters": int(self.subcluster_centers_.shape[0]),
+                "threshold": self.threshold_,
+            },
+        )

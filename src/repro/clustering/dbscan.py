@@ -1,0 +1,112 @@
+"""DBSCAN density-based clustering (Ester et al., 1996).
+
+The paper configures DBSCAN with the elbow-method heuristic for ``eps`` (see
+:mod:`repro.clustering.eps_selection`) and sets ``min_samples`` to the number
+of ground-truth clusters when the ``2 * dim`` rule of thumb is unusable for
+high-dimensional embeddings.  DBSCAN frequently collapses to a single cluster
+on dense embedding spaces, which is one of the paper's reported findings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import ClusteringResult, FittableMixin
+from .eps_selection import estimate_eps_elbow
+
+__all__ = ["DBSCAN"]
+
+NOISE = -1
+_UNVISITED = -2
+
+
+class DBSCAN(FittableMixin):
+    """Classic DBSCAN over Euclidean distances.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.  ``None`` triggers the paper's elbow-method
+        estimate at fit time.
+    min_samples:
+        Minimum neighbourhood size (including the point itself) for a core
+        point.
+    """
+
+    def __init__(self, eps: float | None = None, *, min_samples: int = 5) -> None:
+        if eps is not None and eps <= 0:
+            raise ConfigurationError("eps must be positive (or None to estimate)")
+        if min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        self.eps = eps
+        self.min_samples = int(min_samples)
+        self.eps_: float | None = None
+        self.labels_: np.ndarray | None = None
+        self.core_sample_indices_: np.ndarray | None = None
+
+    @staticmethod
+    def _pairwise_distances(X: np.ndarray) -> np.ndarray:
+        squared = np.sum(X ** 2, axis=1)
+        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2)
+
+    def fit(self, X) -> "DBSCAN":
+        X = self._validate(X)
+        n_samples = X.shape[0]
+        self.eps_ = float(self.eps) if self.eps is not None else \
+            estimate_eps_elbow(X, k=max(self.min_samples, 2))
+        if self.eps_ <= 0:
+            # Degenerate data (all points identical): a single dense cluster.
+            self.labels_ = np.zeros(n_samples, dtype=np.int64)
+            self.core_sample_indices_ = np.arange(n_samples)
+            self._fitted = True
+            return self
+
+        distances = self._pairwise_distances(X)
+        neighborhoods = [np.flatnonzero(distances[i] <= self.eps_)
+                         for i in range(n_samples)]
+        core = np.array([len(neigh) >= self.min_samples for neigh in neighborhoods])
+
+        labels = np.full(n_samples, _UNVISITED, dtype=np.int64)
+        cluster_id = 0
+        for point in range(n_samples):
+            if labels[point] != _UNVISITED or not core[point]:
+                continue
+            # Breadth-first expansion of a new cluster from this core point.
+            labels[point] = cluster_id
+            queue = deque(neighborhoods[point])
+            while queue:
+                neighbor = queue.popleft()
+                if labels[neighbor] == NOISE:
+                    labels[neighbor] = cluster_id
+                if labels[neighbor] != _UNVISITED:
+                    continue
+                labels[neighbor] = cluster_id
+                if core[neighbor]:
+                    queue.extend(neighborhoods[neighbor])
+            cluster_id += 1
+
+        labels[labels == _UNVISITED] = NOISE
+        self.labels_ = labels
+        self.core_sample_indices_ = np.flatnonzero(core)
+        self._fitted = True
+        return self
+
+    def fit_predict(self, X) -> ClusteringResult:
+        self.fit(X)
+        uniques = np.unique(self.labels_)
+        n_clusters = int(np.sum(uniques != NOISE))
+        return ClusteringResult(
+            labels=self.labels_,
+            n_clusters=n_clusters,
+            metadata={
+                "eps": self.eps_,
+                "min_samples": self.min_samples,
+                "n_noise": int(np.sum(self.labels_ == NOISE)),
+                "n_core": int(self.core_sample_indices_.size),
+            },
+        )

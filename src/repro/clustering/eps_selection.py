@@ -1,0 +1,60 @@
+"""Elbow-method selection of DBSCAN's ``eps`` parameter (Section 4).
+
+The paper follows the common heuristic (Schubert et al., 2017): compute each
+point's distance to its k-th nearest neighbour, sort those distances, and
+pick the "elbow" of the resulting curve — the point of maximum curvature,
+located here as the point with the largest distance to the chord joining the
+curve's endpoints (the so-called "kneedle" construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_matrix
+
+__all__ = ["kth_nearest_neighbor_distances", "estimate_eps_elbow"]
+
+
+def kth_nearest_neighbor_distances(X, k: int = 4) -> np.ndarray:
+    """Distance from each point to its k-th nearest neighbour (excluding self)."""
+    X = check_matrix(X)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = X.shape[0]
+    k = min(k, n - 1) if n > 1 else 1
+    squared = np.sum(X ** 2, axis=1)
+    d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, np.inf)
+    if n == 1:
+        return np.zeros(1)
+    # Partial sort: k-th smallest distance per row.
+    kth = np.partition(d2, kth=k - 1, axis=1)[:, k - 1]
+    return np.sqrt(kth)
+
+
+def estimate_eps_elbow(X, k: int = 4) -> float:
+    """Estimate DBSCAN ``eps`` as the elbow of the sorted k-NN distance curve."""
+    distances = np.sort(kth_nearest_neighbor_distances(X, k=k))
+    n = distances.size
+    if n == 0:
+        return 0.0
+    if n == 1 or distances[-1] == distances[0]:
+        # Flat curve: fall back to the (common) distance value, slightly padded
+        # so identical points land in one neighbourhood.
+        return float(distances[-1]) if distances[-1] > 0 else 0.0
+
+    # Kneedle: farthest point from the straight line joining the endpoints.
+    x = np.arange(n, dtype=np.float64)
+    y = distances
+    x_norm = (x - x[0]) / (x[-1] - x[0])
+    y_norm = (y - y[0]) / (y[-1] - y[0])
+    # Distance from each point to the y = x chord.
+    deviation = np.abs(y_norm - x_norm)
+    elbow_index = int(np.argmax(deviation))
+    eps = float(distances[elbow_index])
+    if eps <= 0:
+        positive = distances[distances > 0]
+        eps = float(positive[0]) if positive.size else 0.0
+    return eps

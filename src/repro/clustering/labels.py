@@ -1,0 +1,64 @@
+"""Label-vector utilities shared by clusterers and evaluation code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_labels
+
+__all__ = [
+    "soft_to_hard_assignment",
+    "cluster_sizes",
+    "relabel_noise_as_singletons",
+    "number_of_clusters",
+]
+
+
+def soft_to_hard_assignment(soft: np.ndarray) -> np.ndarray:
+    """Convert a soft assignment matrix (n x K) to hard labels by argmax.
+
+    This is the final step of every DC method: the K-dimensional continuous
+    label-space vector is reduced to a 1-dimensional discrete clustering.
+    """
+    soft = np.asarray(soft, dtype=np.float64)
+    if soft.ndim != 2:
+        raise ValueError("soft assignment matrix must be 2-dimensional")
+    return np.argmax(soft, axis=1).astype(np.int64)
+
+
+def cluster_sizes(labels) -> dict[int, int]:
+    """Return a mapping cluster id -> number of members (noise included)."""
+    labels = check_labels(labels)
+    uniques, counts = np.unique(labels, return_counts=True)
+    return {int(c): int(n) for c, n in zip(uniques, counts)}
+
+
+def relabel_noise_as_singletons(labels) -> np.ndarray:
+    """Give every DBSCAN noise point (-1) its own singleton cluster id.
+
+    Evaluation metrics require every item to belong to some cluster; treating
+    each noise point as a singleton matches how the paper scores DBSCAN runs
+    that mark points as noise.
+    """
+    labels = check_labels(labels).copy()
+    noise = np.flatnonzero(labels == -1)
+    if noise.size == 0:
+        return labels
+    next_label = labels.max() + 1 if labels.size else 0
+    for offset, index in enumerate(noise):
+        labels[index] = next_label + offset
+    return labels
+
+
+def number_of_clusters(labels, *, count_noise: bool = False) -> int:
+    """Number of distinct clusters in a label vector.
+
+    ``-1`` (noise) is excluded unless ``count_noise`` is set; this matches
+    the ``K`` rows reported in the paper's tables, where DBSCAN sometimes
+    produces 0 or 1 clusters.
+    """
+    labels = check_labels(labels)
+    uniques = np.unique(labels)
+    if not count_noise:
+        uniques = uniques[uniques != -1]
+    return int(uniques.size)

@@ -1,0 +1,63 @@
+"""Tabular data model and synthetic benchmark generators.
+
+The paper evaluates on six third-party benchmarks (Table 1): T2D web tables
+and TUS for schema inference, MusicBrainz 2K and Geographic Settlements for
+entity resolution, and the Di2KG Camera and Monitor datasets for domain
+discovery.  Those corpora cannot be redistributed or downloaded in this
+offline environment, so this package provides *generators* that synthesise
+datasets with the same structure and the same heterogeneity phenomena the
+paper analyses (synonym/homonym headers, abbreviations, unit and format
+variants, missing values, imbalanced cluster cardinalities).  Every
+generator takes explicit size parameters and a seed.
+"""
+
+from .table import (
+    Column,
+    Table,
+    Record,
+    TableClusteringDataset,
+    RecordClusteringDataset,
+    ColumnClusteringDataset,
+)
+from .ontology import Concept, Ontology, default_ontology
+from .corruption import (
+    abbreviate,
+    corrupt_year,
+    corrupt_duration,
+    drop_value,
+    introduce_typo,
+    vary_case,
+)
+from .webtables import generate_webtables
+from .tus import generate_tus
+from .musicbrainz import generate_musicbrainz, generate_musicbrainz_scalability
+from .geographic import generate_geographic_settlements
+from .dikg import generate_camera, generate_monitor
+from .profiles import DatasetProfile, profile_datasets
+
+__all__ = [
+    "Column",
+    "Table",
+    "Record",
+    "TableClusteringDataset",
+    "RecordClusteringDataset",
+    "ColumnClusteringDataset",
+    "Concept",
+    "Ontology",
+    "default_ontology",
+    "abbreviate",
+    "corrupt_year",
+    "corrupt_duration",
+    "drop_value",
+    "introduce_typo",
+    "vary_case",
+    "generate_webtables",
+    "generate_tus",
+    "generate_musicbrainz",
+    "generate_musicbrainz_scalability",
+    "generate_geographic_settlements",
+    "generate_camera",
+    "generate_monitor",
+    "DatasetProfile",
+    "profile_datasets",
+]

@@ -1,0 +1,380 @@
+"""Concept ontology backing both the benchmark generators and the SBERT
+substitute.
+
+The original experiments rely on a pre-trained sentence transformer whose
+defining property (for the paper's analyses) is that *semantically*
+equivalent surface forms — synonyms (``lens`` / ``optical zoom``),
+abbreviations (``Eng.`` / ``English``), format variants (``4m 2sec`` /
+``242``) — are mapped to nearby vectors even when they share no characters.
+Offline we cannot load such a model, so the library ships a small concept
+ontology: every concept has a canonical name and a set of surface forms.
+The synthetic benchmark generators draw their headers and values from these
+surface forms, and :class:`repro.embeddings.sbert.SBERTEncoder` uses the
+same ontology to map any surface form of a concept near that concept's
+latent vector.  Text that is not covered by the ontology falls back to
+deterministic hashing, so the encoder also works on arbitrary input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.text import normalize_text
+
+__all__ = ["Concept", "Ontology", "default_ontology"]
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A semantic concept with its known surface forms.
+
+    ``category`` groups concepts (e.g. ``"camera_domain"``,
+    ``"music_value"``) so generators can enumerate the concepts relevant to
+    one benchmark.
+    """
+
+    name: str
+    surface_forms: tuple[str, ...]
+    category: str = "generic"
+
+    def __post_init__(self) -> None:
+        if not self.surface_forms:
+            raise ValueError(f"concept {self.name!r} needs at least one surface form")
+
+
+class Ontology:
+    """A collection of concepts with normalised surface-form lookup."""
+
+    def __init__(self, concepts: list[Concept] | None = None) -> None:
+        self._concepts: dict[str, Concept] = {}
+        self._surface_index: dict[str, str] = {}
+        for concept in concepts or []:
+            self.add(concept)
+
+    # ------------------------------------------------------------------
+    def add(self, concept: Concept) -> None:
+        """Register a concept and index all of its surface forms."""
+        if concept.name in self._concepts:
+            raise ValueError(f"duplicate concept name {concept.name!r}")
+        self._concepts[concept.name] = concept
+        for form in concept.surface_forms:
+            normalised = normalize_text(form)
+            if normalised:
+                # Later concepts never override earlier surface forms; the
+                # first registration wins, mirroring homonyms in real data
+                # (the same header may denote different domains in different
+                # sources — exactly the ambiguity the paper discusses).
+                self._surface_index.setdefault(normalised, concept.name)
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._concepts
+
+    @property
+    def concepts(self) -> list[Concept]:
+        return list(self._concepts.values())
+
+    def concept(self, name: str) -> Concept:
+        return self._concepts[name]
+
+    def by_category(self, category: str) -> list[Concept]:
+        """All concepts in a category (insertion order)."""
+        return [c for c in self._concepts.values() if c.category == category]
+
+    def lookup(self, text: object) -> str | None:
+        """Return the concept name whose surface form matches ``text``."""
+        normalised = normalize_text(text)
+        if not normalised:
+            return None
+        return self._surface_index.get(normalised)
+
+    def surface_forms(self, name: str) -> tuple[str, ...]:
+        return self._concepts[name].surface_forms
+
+    # ------------------------------------------------------------------
+    def concept_vector(self, name: str, dim: int) -> np.ndarray:
+        """Deterministic latent vector for a concept.
+
+        The vector is derived from a hash of the concept name so that it is
+        stable across processes and independent of registration order.
+        """
+        digest = hashlib.sha256(f"concept::{name}".encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=dim)
+        return vector / np.linalg.norm(vector)
+
+
+# ----------------------------------------------------------------------
+# Default ontology construction
+# ----------------------------------------------------------------------
+def _webtable_concepts() -> list[Concept]:
+    """Concepts for the T2D-style web tables benchmark (classes + attributes)."""
+    classes = {
+        "country": ["country", "nation", "state name"],
+        "film": ["film", "movie", "motion picture"],
+        "bird": ["bird", "bird species"],
+        "company": ["company", "corporation", "firm"],
+        "city": ["city", "town", "municipality"],
+        "animal": ["animal", "species"],
+        "book": ["book", "novel", "publication"],
+        "university": ["university", "college", "institution"],
+        "mountain": ["mountain", "peak", "summit"],
+        "lake": ["lake", "reservoir"],
+        "airline": ["airline", "air carrier"],
+        "currency": ["currency", "monetary unit"],
+        "president": ["president", "head of state"],
+        "athlete": ["athlete", "sports person", "player"],
+        "video game": ["video game", "computer game"],
+        "song": ["song", "single", "track"],
+        "newspaper": ["newspaper", "daily", "gazette"],
+        "hospital": ["hospital", "medical center", "clinic"],
+        "museum": ["museum", "gallery"],
+        "bridge": ["bridge", "crossing"],
+        "stadium": ["stadium", "arena", "sports ground"],
+        "language": ["language", "tongue"],
+        "element": ["chemical element", "element"],
+        "planet": ["planet", "celestial body"],
+        "river": ["river", "waterway"],
+        "volcano": ["volcano", "volcanic mountain"],
+    }
+    attributes = {
+        "name": ["name", "title", "label"],
+        "country_attr": ["country", "nation", "country name"],
+        "population": ["population", "total population", "inhabitants",
+                       "population 2004 million"],
+        "population growth": ["annual population growth rate",
+                              "population growth", "growth rate"],
+        "population density": ["population density",
+                               "population density persons per square km",
+                               "density"],
+        "household size": ["average number of persons per household",
+                           "household size"],
+        "rank": ["rank", "overall rank", "position", "fans rank"],
+        "year": ["year", "release year", "date"],
+        "director": ["director", "film director", "directed by"],
+        "film_title": ["title", "film title", "movie title"],
+        "scientific name": ["scientific name", "latin name", "binomial name"],
+        "common name": ["common name", "vernacular name"],
+        "family": ["family", "taxonomic family"],
+        "count": ["total count", "high count", "count"],
+        "day": ["day", "observation day"],
+        "revenue": ["revenue", "turnover", "sales"],
+        "employees": ["employees", "number of employees", "staff"],
+        "headquarters": ["headquarters", "head office", "hq location"],
+        "industry": ["industry", "sector", "business"],
+        "area": ["area", "surface area", "land area"],
+        "capital": ["capital", "capital city"],
+        "mayor": ["mayor", "city mayor"],
+        "elevation": ["elevation", "altitude", "height above sea level"],
+        "length": ["length", "total length"],
+        "height": ["height", "tallness"],
+        "author": ["author", "writer", "written by"],
+        "publisher": ["publisher", "publishing house"],
+        "isbn": ["isbn", "isbn number"],
+        "pages": ["pages", "number of pages", "page count"],
+        "students": ["students", "enrollment", "student body"],
+        "founded": ["founded", "established", "founding year"],
+        "location": ["location", "place", "situated in"],
+        "date of information": ["date of information", "as of date"],
+        "currency_code": ["currency code", "iso code", "code"],
+        "symbol": ["symbol", "ticker", "ticker symbol"],
+        "price": ["price", "cost", "list price"],
+        "artist": ["artist", "performer", "singer"],
+        "album": ["album", "record"],
+        "genre": ["genre", "style", "category"],
+        "coach": ["coach", "head coach", "manager"],
+        "team": ["team", "club", "squad"],
+        "capacity": ["capacity", "seating capacity", "seats"],
+        "depth": ["depth", "maximum depth"],
+        "speed": ["speed", "top speed", "maximum speed"],
+        "weight": ["weight", "mass"],
+    }
+    concepts = [Concept(f"class::{name}", tuple(forms), "webtable_class")
+                for name, forms in classes.items()]
+    concepts.extend(Concept(f"attr::{name}", tuple(forms), "webtable_attribute")
+                    for name, forms in attributes.items())
+    return concepts
+
+
+def _music_concepts() -> list[Concept]:
+    """Concepts for MusicBrainz-style entity resolution data."""
+    attributes = {
+        "music_title": ["title", "song title", "track name"],
+        "music_length": ["length", "duration", "playing time"],
+        "music_artist": ["artist", "performer", "band"],
+        "music_album": ["album", "release", "record"],
+        "music_year": ["year", "release year", "date"],
+        "music_language": ["language", "lang"],
+        "music_number": ["number", "track number", "position"],
+    }
+    languages = {
+        "language_english": ["English", "Eng.", "eng", "en"],
+        "language_french": ["French", "Fre.", "fre", "fr", "francais"],
+        "language_spanish": ["Spanish", "Spa.", "spa", "es", "espanol"],
+        "language_german": ["German", "Ger.", "ger", "de", "deutsch"],
+        "language_italian": ["Italian", "Ita.", "ita", "it", "italiano"],
+        "language_portuguese": ["Portuguese", "Por.", "por", "pt"],
+        "language_dutch": ["Dutch", "Dut.", "dut", "nl"],
+        "language_polish": ["Polish", "Pol.", "pol", "pl"],
+        "language_swedish": ["Swedish", "Swe.", "swe", "sv"],
+        "language_finnish": ["Finnish", "Fin.", "fin", "fi"],
+        "language_hungarian": ["Hungarian", "Hun.", "hun", "hu"],
+        "language_greek": ["Greek", "Gre.", "gre", "el"],
+    }
+    concepts = [Concept(name, tuple(forms), "music_attribute")
+                for name, forms in attributes.items()]
+    concepts.extend(Concept(name, tuple(forms), "music_language")
+                    for name, forms in languages.items())
+    return concepts
+
+
+def _geographic_concepts() -> list[Concept]:
+    attributes = {
+        "geo_name": ["name", "settlement name", "place name", "label"],
+        "geo_country": ["country", "country name", "nation"],
+        "geo_latitude": ["latitude", "lat"],
+        "geo_longitude": ["longitude", "long", "lon"],
+        "geo_population": ["population", "inhabitants", "pop"],
+        "geo_type": ["type", "settlement type", "place type"],
+    }
+    return [Concept(name, tuple(forms), "geographic_attribute")
+            for name, forms in attributes.items()]
+
+
+def _camera_concepts() -> list[Concept]:
+    """Domain concepts for the Di2KG Camera dataset (synonyms across shops)."""
+    domains = {
+        "camera_brand": ["brand", "manufacturer", "brand name", "make"],
+        "camera_model": ["model", "model name", "model number"],
+        "sensor size": ["sensor size", "sensor", "sensor dimensions",
+                        "imaging sensor size"],
+        "sensor type": ["sensor type", "image sensor type", "sensor technology"],
+        "optical zoom": ["optical zoom", "lens", "normalized optical zoom",
+                         "zoom optical"],
+        "digital zoom": ["digital zoom", "zoom digital"],
+        "megapixels": ["megapixels", "effective pixels", "resolution mp",
+                       "image size pixels", "max resolution"],
+        "image format": ["image format", "file format", "image file format",
+                         "picture format"],
+        "iso": ["iso", "iso sensitivity", "light sensitivity", "iso rating"],
+        "shutter speed": ["shutter speed", "shutter", "exposure time"],
+        "aperture": ["aperture", "max aperture", "lens aperture", "f number"],
+        "focal length": ["focal length", "lens focal length", "focal range"],
+        "camera_dimensions": ["dimensions", "size", "physical dimensions",
+                              "dimensions w x h x d"],
+        "camera_weight": ["weight", "item weight", "camera weight"],
+        "screen size": ["screen size", "display size", "lcd size",
+                        "monitor size", "screen type"],
+        "screen resolution": ["screen resolution", "display resolution",
+                              "lcd resolution"],
+        "battery type": ["battery type", "battery", "power source"],
+        "battery life": ["battery life", "shots per charge", "battery shots"],
+        "video resolution": ["video resolution", "movie resolution",
+                             "max video resolution"],
+        "storage type": ["storage type", "memory card type", "media type",
+                         "storage media"],
+        "interface": ["interface", "connectivity", "ports", "connections"],
+        "flash": ["flash", "built in flash", "flash type"],
+        "viewfinder": ["viewfinder", "viewfinder type"],
+        "white balance": ["white balance", "wb settings"],
+        "exposure modes": ["exposure modes", "shooting modes", "scene modes"],
+        "focus type": ["focus type", "autofocus", "af system", "focus system"],
+        "color": ["color", "colour", "body color"],
+        "camera_price": ["price", "list price", "retail price"],
+        "camera_type": ["camera type", "type", "lens type", "style"],
+        "warranty": ["warranty", "warranty period", "guarantee"],
+        "lens mount": ["lens mount", "mount", "mount type"],
+        "continuous shooting": ["continuous shooting", "burst rate",
+                                "frames per second", "fps"],
+        "gps": ["gps", "built in gps", "geotagging"],
+        "wifi": ["wifi", "wi fi", "wireless", "wireless connectivity"],
+        "hdmi": ["hdmi", "hdmi output", "hdmi port"],
+        "touchscreen": ["touchscreen", "touch screen", "touch display"],
+        "stabilization": ["image stabilization", "stabilization",
+                          "anti shake", "vibration reduction"],
+        "self timer": ["self timer", "timer"],
+        "release date": ["release date", "announced", "launch date"],
+        "series": ["series", "product line", "family"],
+    }
+    return [Concept(name, tuple(forms), "camera_domain")
+            for name, forms in domains.items()]
+
+
+def _monitor_concepts() -> list[Concept]:
+    domains = {
+        "monitor_brand": ["brand", "manufacturer", "brand name"],
+        "monitor_model": ["model", "model name", "part number"],
+        "monitor screen size": ["screen size", "display size", "diagonal size",
+                                "screen"],
+        "monitor resolution": ["resolution", "max resolutions", "native resolution",
+                               "supported graphics resolutions"],
+        "aspect ratio": ["aspect ratio", "image aspect ratio"],
+        "panel type": ["panel type", "display technology", "panel technology"],
+        "refresh rate": ["refresh rate", "vertical refresh rate", "frame rate"],
+        "response time": ["response time", "pixel response time", "gtg response"],
+        "brightness": ["brightness", "luminance", "cd m2"],
+        "contrast ratio": ["contrast ratio", "dynamic contrast", "contrast"],
+        "viewing angle": ["viewing angle", "horizontal viewing angle",
+                          "vertical viewing angle"],
+        "color support": ["color support", "display colors", "color depth",
+                          "colors supported"],
+        "hdmi ports": ["hdmi", "hdmi ports", "hdmi inputs"],
+        "vga port": ["vga", "vga port", "d sub"],
+        "dvi port": ["dvi", "dvi port", "dvi d"],
+        "displayport": ["displayport", "display port", "dp"],
+        "usb ports": ["usb", "usb ports", "usb hub"],
+        "speakers": ["speakers", "built in speakers", "audio output"],
+        "headphone output": ["headphone outputs", "headphone out",
+                             "headphone jack", "audio line out"],
+        "vesa mount": ["vesa mount", "vesa", "wall mountable"],
+        "monitor_dimensions": ["dimensions", "dimensions with stand",
+                               "product dimensions"],
+        "monitor_weight": ["weight", "weight with stand", "net weight"],
+        "power consumption": ["power consumption", "power usage",
+                              "energy consumption"],
+        "power supply": ["power supply", "power source", "voltage"],
+        "curved": ["curved", "curved screen", "curvature"],
+        "touchscreen monitor": ["touchscreen", "touch screen", "touch support"],
+        "tilt": ["tilt", "tilt angle", "tilt adjustment"],
+        "swivel": ["swivel", "swivel angle"],
+        "height adjustment": ["height adjustment", "height adjustable"],
+        "pivot": ["pivot", "pivot rotation"],
+        "backlight": ["backlight", "backlight technology", "led backlight"],
+        "monitor_color": ["color", "colour", "cabinet color"],
+        "monitor_price": ["price", "list price", "msrp"],
+        "warranty monitor": ["warranty", "warranty period"],
+        "energy rating": ["energy star", "energy rating", "energy class"],
+        "sync technology": ["freesync", "g sync", "adaptive sync",
+                            "sync technology"],
+        "hdr": ["hdr", "hdr support", "high dynamic range"],
+        "blue light filter": ["blue light filter", "low blue light",
+                              "eye saver mode"],
+        "flicker free": ["flicker free", "anti flicker"],
+        "release year monitor": ["release year", "year", "launch year"],
+        "screen coating": ["screen coating", "anti glare", "matte", "glossy"],
+    }
+    return [Concept(name, tuple(forms), "monitor_domain")
+            for name, forms in domains.items()]
+
+
+_DEFAULT: Ontology | None = None
+
+
+def default_ontology() -> Ontology:
+    """Return the library's built-in ontology (constructed once, cached)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        concepts: list[Concept] = []
+        concepts.extend(_webtable_concepts())
+        concepts.extend(_music_concepts())
+        concepts.extend(_geographic_concepts())
+        concepts.extend(_camera_concepts())
+        concepts.extend(_monitor_concepts())
+        _DEFAULT = Ontology(concepts)
+    return _DEFAULT

@@ -1,0 +1,80 @@
+"""Dataset property profiling (Table 1 of the paper).
+
+Table 1 reports, per benchmark: the number of sources, the number of
+instances and the number of ground-truth clusters.  :func:`profile_datasets`
+computes the same rows for any mixture of the dataset containers defined in
+:mod:`repro.data.table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .table import (
+    ColumnClusteringDataset,
+    RecordClusteringDataset,
+    TableClusteringDataset,
+)
+
+__all__ = ["DatasetProfile", "profile_datasets"]
+
+_Dataset = TableClusteringDataset | RecordClusteringDataset | ColumnClusteringDataset
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """One row of Table 1."""
+
+    name: str
+    task: str
+    sources: int | None
+    n_instances: int
+    n_clusters: int
+    mean_cluster_cardinality: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Dataset": self.name,
+            "Task": self.task,
+            "Sources": "N/A" if self.sources is None else self.sources,
+            "Number of Instances": self.n_instances,
+            "GT clusters": self.n_clusters,
+            "Mean cluster cardinality": round(self.mean_cluster_cardinality, 1),
+        }
+
+
+def _task_of(dataset: _Dataset) -> str:
+    if isinstance(dataset, TableClusteringDataset):
+        return "Schema Inference"
+    if isinstance(dataset, RecordClusteringDataset):
+        return "Entity Resolution"
+    return "Domain Discovery"
+
+
+def _sources_of(dataset: _Dataset) -> int | None:
+    sources = dataset.metadata.get("sources")
+    if sources is not None:
+        return int(sources) if sources else None
+    if isinstance(dataset, (RecordClusteringDataset, ColumnClusteringDataset)):
+        counted = dataset.n_sources
+        return counted if counted else None
+    return None
+
+
+def profile_datasets(datasets: list[_Dataset]) -> list[DatasetProfile]:
+    """Compute Table-1-style properties for each dataset."""
+    profiles: list[DatasetProfile] = []
+    for dataset in datasets:
+        labels = dataset.labels
+        _, counts = np.unique(labels, return_counts=True)
+        profiles.append(DatasetProfile(
+            name=dataset.name,
+            task=_task_of(dataset),
+            sources=_sources_of(dataset),
+            n_instances=dataset.n_items,
+            n_clusters=int(np.unique(labels).size),
+            mean_cluster_cardinality=float(counts.mean()),
+        ))
+    return profiles

@@ -1,0 +1,206 @@
+"""Core tabular data model: tables, columns, records and dataset containers.
+
+The three data-integration tasks cluster different granularities of the same
+underlying model (Section 1): schema inference clusters *tables*, entity
+resolution clusters *rows* (records), and domain discovery clusters
+*columns*.  The containers defined here carry the items to cluster together
+with their ground-truth labels and per-item provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+
+__all__ = [
+    "Table",
+    "Column",
+    "Record",
+    "TableClusteringDataset",
+    "RecordClusteringDataset",
+    "ColumnClusteringDataset",
+]
+
+
+@dataclass
+class Table:
+    """A named table stored column-wise.
+
+    ``columns`` maps a header string to the list of cell values in that
+    column; all columns must have equal length.
+    """
+
+    name: str
+    columns: dict[str, list[object]]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise DataValidationError(
+                f"table {self.name!r} has ragged columns (lengths {sorted(lengths)})")
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns.keys())
+
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    def rows(self) -> list[tuple]:
+        """Return the table contents as a list of row tuples."""
+        names = self.column_names
+        return [tuple(self.columns[name][i] for name in names)
+                for i in range(self.n_rows)]
+
+    def records(self) -> list["Record"]:
+        """Return the rows as :class:`Record` objects."""
+        names = self.column_names
+        return [Record(values={name: self.columns[name][i] for name in names},
+                       source=self.name, identifier=f"{self.name}#{i}")
+                for i in range(self.n_rows)]
+
+    def header_text(self) -> str:
+        """Concatenated attribute names (the paper's schema-level table string)."""
+        return " ".join(str(name) for name in self.column_names)
+
+    def column(self, name: str) -> "Column":
+        """Return a single column as a :class:`Column` object."""
+        if name not in self.columns:
+            raise KeyError(f"table {self.name!r} has no column {name!r}")
+        return Column(header=name, values=list(self.columns[name]),
+                      table_name=self.name)
+
+
+@dataclass
+class Column:
+    """A single table column: header plus cell values."""
+
+    header: str
+    values: list[object]
+    table_name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_values(self) -> int:
+        return len(self.values)
+
+    def text(self, *, max_values: int | None = 20) -> str:
+        """Header and (a sample of) values as one string for sentence encoders."""
+        values = self.values if max_values is None else self.values[:max_values]
+        cells = " ".join("" if value is None else str(value) for value in values)
+        return f"{self.header} {cells}".strip()
+
+
+@dataclass
+class Record:
+    """A single row: attribute -> value mapping plus provenance."""
+
+    values: dict[str, object]
+    source: str = ""
+    identifier: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def text(self) -> str:
+        """Attribute-value rendering used by sentence encoders for rows."""
+        parts = []
+        for attribute, value in self.values.items():
+            if value is None or value == "":
+                continue
+            parts.append(f"{attribute}: {value}")
+        return ", ".join(parts)
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self.values.keys())
+
+
+def _check_labels_match(n_items: int, labels) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.shape[0] != n_items:
+        raise DataValidationError(
+            f"labels must be a 1-D array with {n_items} entries, "
+            f"got shape {labels.shape}")
+    return labels
+
+
+@dataclass
+class TableClusteringDataset:
+    """Schema inference input: a set of tables with class labels."""
+
+    tables: list[Table]
+    labels: np.ndarray
+    name: str = "tables"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = _check_labels_match(len(self.tables), self.labels)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.tables)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+@dataclass
+class RecordClusteringDataset:
+    """Entity resolution input: records with real-world-entity labels."""
+
+    records: list[Record]
+    labels: np.ndarray
+    name: str = "records"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = _check_labels_match(len(self.records), self.labels)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    @property
+    def n_sources(self) -> int:
+        return len({record.source for record in self.records if record.source})
+
+
+@dataclass
+class ColumnClusteringDataset:
+    """Domain discovery input: columns with domain labels."""
+
+    columns: list[Column]
+    labels: np.ndarray
+    name: str = "columns"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = _check_labels_match(len(self.columns), self.labels)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.columns)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    @property
+    def n_sources(self) -> int:
+        return len({column.table_name for column in self.columns
+                    if column.table_name})

@@ -1,0 +1,167 @@
+"""Synthetic T2D-style web tables for schema inference (Section 5).
+
+The real benchmark (T2D Entity-Level Gold standard) contains web tables
+annotated with the DBpedia class they describe; after the paper's filtering
+it has 429 tables over 26 classes with heavily imbalanced class sizes.  The
+generator reproduces that structure:
+
+* every *class* (drawn from the ontology's ``webtable_class`` concepts) has
+  a characteristic schema: a subject attribute plus a class-specific set of
+  attribute concepts;
+* tables of the same class use overlapping but not identical attribute
+  subsets, and pick different surface forms (synonyms) for their headers —
+  the property that separates semantic (SBERT-style) from syntactic
+  (FastText-style) representations;
+* cell values are drawn from class-specific vocabularies so that
+  instance-level overlap between tables of the same class is *low*, which
+  is why adding instance-level evidence hurts schema inference in the paper
+  (Section 5.2);
+* class sizes follow a skewed (roughly geometric) distribution, giving the
+  imbalance the paper highlights (mean cluster cardinality 16.5 with many
+  small clusters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import make_rng
+from ..exceptions import DatasetError
+from .ontology import Ontology, default_ontology
+from .table import Table, TableClusteringDataset
+
+__all__ = ["generate_webtables", "class_schema"]
+
+
+def class_schema(class_concept: str, ontology: Ontology,
+                 rng: np.random.Generator, *, n_attributes: int = 6) -> list[str]:
+    """Pick the attribute concepts that characterise one table class."""
+    attributes = [c.name for c in ontology.by_category("webtable_attribute")]
+    if not attributes:
+        raise DatasetError("ontology has no webtable_attribute concepts")
+    n_attributes = min(n_attributes, len(attributes))
+    chosen = rng.choice(len(attributes), size=n_attributes, replace=False)
+    schema = [attributes[i] for i in sorted(chosen)]
+    # Every class gets a name-like subject attribute first.
+    if "attr::name" in schema:
+        schema.remove("attr::name")
+    return ["attr::name"] + schema
+
+
+def _class_sizes(n_tables: int, n_classes: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Imbalanced class sizes that sum to ``n_tables`` (min 2 per class)."""
+    if n_tables < 2 * n_classes:
+        raise DatasetError(
+            f"need at least {2 * n_classes} tables for {n_classes} classes")
+    weights = np.sort(rng.pareto(1.5, size=n_classes) + 1.0)[::-1]
+    sizes = np.maximum(2, np.round(weights / weights.sum()
+                                   * (n_tables - 2 * n_classes)).astype(int) + 2)
+    # Adjust to hit the exact total.
+    while sizes.sum() > n_tables:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < n_tables:
+        sizes[np.argmin(sizes)] += 1
+    return sizes
+
+
+def _value_for(attribute: str, class_name: str, row: int,
+               rng: np.random.Generator) -> object:
+    """Generate a cell value for an attribute within a class vocabulary."""
+    token = attribute.split("::", 1)[-1].replace(" ", "_")
+    class_token = class_name.split("::", 1)[-1].replace(" ", "_")
+    roll = rng.random()
+    if any(key in token for key in ("population", "rank", "year", "count",
+                                    "revenue", "employees", "area", "pages",
+                                    "students", "capacity", "price", "length",
+                                    "height", "elevation", "depth", "speed",
+                                    "weight", "founded", "density", "isbn")):
+        return int(rng.integers(1, 100000))
+    if roll < 0.15:
+        return None if rng.random() < 0.3 else int(rng.integers(1, 5000))
+    entity = rng.integers(0, 40)
+    return f"{class_token} {token} {entity}"
+
+
+#: Headers real web tables use when the column has no meaningful name; they
+#: collide across classes and keep schema-level clustering from being trivial.
+_NOISY_HEADERS = ["column", "field", "unnamed", "value", "info", "data",
+                  "item", "entry"]
+
+
+def generate_webtables(n_tables: int = 120, n_classes: int = 26, *,
+                       rows_per_table: tuple[int, int] = (5, 20),
+                       header_noise: float = 0.2,
+                       seed: int | None = None,
+                       ontology: Ontology | None = None) -> TableClusteringDataset:
+    """Generate a T2D-like table clustering dataset.
+
+    Parameters
+    ----------
+    n_tables, n_classes:
+        Total number of tables and of ground-truth classes (the paper's
+        filtered T2Dv1 has 429 tables over 26 classes).
+    rows_per_table:
+        Inclusive range of row counts per table.
+    header_noise:
+        Probability that a column header is replaced by a generic,
+        class-agnostic header (web tables are noisy; this keeps the
+        schema-level task realistically hard).
+    """
+    ontology = ontology or default_ontology()
+    rng = make_rng(seed)
+    class_concepts = [c.name for c in ontology.by_category("webtable_class")]
+    if n_classes > len(class_concepts):
+        # Cycle class concepts with a numeric suffix when more classes are
+        # requested than the ontology defines.
+        class_concepts = [f"{class_concepts[i % len(class_concepts)]}#{i}"
+                          for i in range(n_classes)]
+    else:
+        class_concepts = class_concepts[:n_classes]
+
+    sizes = _class_sizes(n_tables, n_classes, rng)
+    schemas = {name: class_schema(name.split("#", 1)[0], ontology,
+                                  make_rng(abs(hash(name)) % (2 ** 31)))
+               for name in class_concepts}
+
+    tables: list[Table] = []
+    labels: list[int] = []
+    for class_index, (class_name, size) in enumerate(zip(class_concepts, sizes)):
+        schema = schemas[class_name]
+        for table_index in range(size):
+            # Each table keeps the subject attribute and a random subset of
+            # the other attributes (at least 60%).
+            others = schema[1:]
+            keep = max(2, int(np.ceil(len(others) * rng.uniform(0.6, 1.0))))
+            chosen = [others[i] for i in
+                      sorted(rng.choice(len(others), size=keep, replace=False))]
+            attributes = [schema[0]] + chosen
+
+            n_rows = int(rng.integers(rows_per_table[0], rows_per_table[1] + 1))
+            columns: dict[str, list[object]] = {}
+            for attribute in attributes:
+                base_name = attribute.split("#", 1)[0]
+                forms = ontology.surface_forms(base_name) \
+                    if base_name in ontology else (attribute,)
+                if rng.random() < header_noise:
+                    header = (f"{_NOISY_HEADERS[int(rng.integers(len(_NOISY_HEADERS)))]}"
+                              f" {int(rng.integers(1, 9))}")
+                else:
+                    header = str(forms[int(rng.integers(len(forms)))])
+                if header in columns:
+                    header = f"{header} {len(columns)}"
+                columns[header] = [
+                    _value_for(attribute, class_name, row, rng)
+                    for row in range(n_rows)
+                ]
+            tables.append(Table(name=f"webtable_{class_index}_{table_index}",
+                                columns=columns,
+                                metadata={"class": class_name}))
+            labels.append(class_index)
+
+    return TableClusteringDataset(
+        tables=tables,
+        labels=np.array(labels, dtype=np.int64),
+        name="web tables",
+        metadata={"n_classes": n_classes, "seed": seed, "sources": None},
+    )

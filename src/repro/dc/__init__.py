@@ -1,0 +1,41 @@
+"""Deep clustering algorithms (the paper's primary contribution area).
+
+Three deep clustering methods are evaluated in the paper:
+
+* :class:`SDCN` — Structural Deep Clustering Network: an auto-encoder and a
+  GCN over a KNN graph trained jointly with a dual self-supervision
+  mechanism (Bo et al., 2020).
+* :class:`EDESC` — Efficient Deep Embedded Subspace Clustering: an
+  auto-encoder whose latent space is organised into per-cluster subspace
+  bases refined iteratively (Cai et al., 2022).
+* :class:`SHGP` — Self-supervised Heterogeneous Graph Pre-training: Att-LPA
+  structural clustering produces pseudo-labels that supervise an attention
+  based HGNN; final clusters come from K-means on the learned embeddings
+  (Yang et al., 2022).
+
+In addition the paper uses a plain pre-trained :class:`Autoencoder` followed
+by K-means or Birch ("AE" rows of Tables 4-6) whenever the silhouette score
+indicates that SDCN's joint fine-tuning does not improve on the pre-trained
+representation (Section 4.2).
+"""
+
+from .base import DeepClusterer
+from .autoencoder import Autoencoder, AutoencoderClustering
+from .sdcn import SDCN
+from .edesc import EDESC
+from .shgp import SHGP
+from .target_distribution import student_t_assignment, target_distribution
+from .stopping import SilhouetteStopper, select_sdcn_or_autoencoder
+
+__all__ = [
+    "DeepClusterer",
+    "Autoencoder",
+    "AutoencoderClustering",
+    "SDCN",
+    "EDESC",
+    "SHGP",
+    "student_t_assignment",
+    "target_distribution",
+    "SilhouetteStopper",
+    "select_sdcn_or_autoencoder",
+]

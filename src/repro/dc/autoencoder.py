@@ -1,0 +1,180 @@
+"""Auto-encoder representation learning and the AE clustering baseline.
+
+The auto-encoder is the representation-learning backbone of SDCN and EDESC
+(both pre-train an AE before their joint phase).  The paper additionally uses
+the pre-trained AE *directly* — clustering its latent representation with
+Birch or K-means — whenever the silhouette score shows that SDCN's joint
+fine-tuning is not improving the representation (Sections 4.2, 6.1 and 7.1).
+Those are the "AE" rows of Tables 4-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.base import ClusteringResult
+from ..clustering.birch import Birch
+from ..clustering.kmeans import KMeans
+from ..config import DeepClusteringConfig, make_rng
+from ..exceptions import ConfigurationError
+from ..nn import Adam, Linear, Module, Sequential, Tensor, mse_loss, relu, no_grad
+from ..utils.validation import check_matrix
+from .base import DeepClusterer
+
+__all__ = ["Autoencoder", "AutoencoderClustering"]
+
+
+class Autoencoder(Module):
+    """Symmetric fully connected auto-encoder (Equations 1-2 and 4).
+
+    The encoder maps the ``d``-dimensional input through ``n_layers`` hidden
+    layers of ``layer_size`` units to a ``latent_dim``-dimensional code; the
+    decoder mirrors the encoder.  ReLU activations everywhere except the two
+    output layers, matching the SDCN/EDESC reference implementations.
+    """
+
+    def __init__(self, input_dim: int, *, latent_dim: int = 100,
+                 layer_size: int = 1000, n_layers: int = 2,
+                 seed: int | None = None) -> None:
+        if input_dim < 1:
+            raise ConfigurationError("input_dim must be >= 1")
+        if latent_dim < 1:
+            raise ConfigurationError("latent_dim must be >= 1")
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.layer_size = layer_size
+        self.n_layers = n_layers
+        rng = make_rng(seed)
+        seeds = rng.integers(0, 2 ** 31 - 1, size=2 * (n_layers + 1))
+
+        encoder_dims = [input_dim] + [layer_size] * n_layers + [latent_dim]
+        decoder_dims = list(reversed(encoder_dims))
+
+        self.encoder_layers = [
+            Linear(encoder_dims[i], encoder_dims[i + 1], seed=int(seeds[i]))
+            for i in range(len(encoder_dims) - 1)
+        ]
+        self.decoder_layers = [
+            Linear(decoder_dims[i], decoder_dims[i + 1],
+                   seed=int(seeds[n_layers + 1 + i]))
+            for i in range(len(decoder_dims) - 1)
+        ]
+
+    # ------------------------------------------------------------------
+    def encode(self, x: Tensor, *, return_hidden: bool = False):
+        """Encode ``x``; optionally return every hidden layer output.
+
+        The per-layer hidden outputs are what SDCN's delivery operator feeds
+        into the corresponding GCN layers.
+        """
+        hidden: list[Tensor] = []
+        out = x
+        for index, layer in enumerate(self.encoder_layers):
+            out = layer(out)
+            if index < len(self.encoder_layers) - 1:
+                out = relu(out)
+            hidden.append(out)
+        if return_hidden:
+            return out, hidden
+        return out
+
+    def decode(self, z: Tensor) -> Tensor:
+        out = z
+        for index, layer in enumerate(self.decoder_layers):
+            out = layer(out)
+            if index < len(self.decoder_layers) - 1:
+                out = relu(out)
+        return out
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Return (reconstruction, latent code)."""
+        latent = self.encode(x)
+        return self.decode(latent), latent
+
+    # ------------------------------------------------------------------
+    def pretrain(self, X: np.ndarray, *, epochs: int = 30, lr: float = 1e-3,
+                 batch_size: int | None = None,
+                 seed: int | None = None) -> list[float]:
+        """Minimise the reconstruction loss (Equation 4); return the loss curve."""
+        X = check_matrix(X)
+        optimizer = Adam(self.parameters(), lr=lr)
+        rng = make_rng(seed)
+        n_samples = X.shape[0]
+        losses: list[float] = []
+        for _ in range(epochs):
+            if batch_size is None or batch_size >= n_samples:
+                batches = [np.arange(n_samples)]
+            else:
+                order = rng.permutation(n_samples)
+                batches = [order[i:i + batch_size]
+                           for i in range(0, n_samples, batch_size)]
+            epoch_loss = 0.0
+            for batch in batches:
+                optimizer.zero_grad()
+                x = Tensor(X[batch])
+                reconstruction, _ = self.forward(x)
+                loss = mse_loss(reconstruction, x)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+            losses.append(epoch_loss / n_samples)
+        return losses
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Encode ``X`` into the latent space without recording gradients."""
+        X = check_matrix(X)
+        with no_grad():
+            latent = self.encode(Tensor(X))
+        return latent.numpy()
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Round-trip ``X`` through the auto-encoder."""
+        X = check_matrix(X)
+        with no_grad():
+            reconstruction, _ = self.forward(Tensor(X))
+        return reconstruction.numpy()
+
+
+class AutoencoderClustering(DeepClusterer):
+    """Pre-trained AE representation clustered with Birch or K-means.
+
+    This is the "AE" method of Tables 4-6: representation learning without a
+    clustering loss, followed by a standard clusterer on the latent codes.
+    """
+
+    def __init__(self, n_clusters: int, *, clusterer: str = "birch",
+                 config: DeepClusteringConfig | None = None) -> None:
+        super().__init__(n_clusters, config)
+        if clusterer not in {"birch", "kmeans"}:
+            raise ConfigurationError("clusterer must be 'birch' or 'kmeans'")
+        self.clusterer = clusterer
+        self.autoencoder_: Autoencoder | None = None
+
+    def _make_clusterer(self):
+        if self.clusterer == "kmeans":
+            return KMeans(self.n_clusters, seed=self.config.seed)
+        # Adaptive threshold: the AE latent space's scale depends on the
+        # input embedding and training length, so Birch estimates its merge
+        # radius from the data.
+        return Birch(self.n_clusters, seed=self.config.seed)
+
+    def fit(self, X) -> "AutoencoderClustering":
+        X = check_matrix(X)
+        config = self.config.scaled_for(X.shape[0])
+        self.autoencoder_ = Autoencoder(
+            X.shape[1], latent_dim=config.latent_dim,
+            layer_size=config.layer_size, n_layers=config.n_layers,
+            seed=config.seed)
+        losses = self.autoencoder_.pretrain(
+            X, epochs=config.pretrain_epochs, lr=config.learning_rate,
+            batch_size=config.batch_size, seed=config.seed)
+        latent = self.autoencoder_.transform(X)
+        result = self._make_clusterer().fit_predict(latent)
+        self.labels_ = result.labels
+        self.embedding_ = latent
+        self.history_ = {"reconstruction_loss": losses}
+        self._fitted = True
+        return self
+
+    def _result_metadata(self) -> dict:
+        return {"clusterer": self.clusterer}

@@ -1,0 +1,52 @@
+"""Shared base class for the deep clustering algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.base import ClusteringResult, FittableMixin
+from ..config import DeepClusteringConfig
+from ..exceptions import ConfigurationError
+
+__all__ = ["DeepClusterer"]
+
+
+class DeepClusterer(FittableMixin):
+    """Base class holding the configuration common to all DC methods.
+
+    Unlike the SC baselines, DC methods use the number of clusters ``K`` only
+    to initialise cluster centres for pre-training; the final number of
+    predicted clusters can differ from ``K`` (SDCN in particular often
+    produces fewer, denser clusters — finding 3 in Section 8.1).
+    """
+
+    def __init__(self, n_clusters: int,
+                 config: DeepClusteringConfig | None = None) -> None:
+        if n_clusters < 2:
+            raise ConfigurationError("n_clusters must be >= 2 for deep clustering")
+        self.n_clusters = int(n_clusters)
+        self.config = config or DeepClusteringConfig()
+        self.labels_: np.ndarray | None = None
+        self.embedding_: np.ndarray | None = None
+        self.history_: dict[str, list[float]] = {}
+
+    # Subclasses implement fit(); fit_predict is shared.
+    def fit(self, X) -> "DeepClusterer":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fit_predict(self, X) -> ClusteringResult:
+        """Fit the model and package the outcome as a :class:`ClusteringResult`."""
+        self.fit(X)
+        labels = self.labels_
+        n_clusters = int(np.unique(labels).size)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=n_clusters,
+            embedding=self.embedding_,
+            soft_assignments=getattr(self, "soft_assignments_", None),
+            metadata={"history": self.history_, **self._result_metadata()},
+        )
+
+    def _result_metadata(self) -> dict:
+        """Extra metadata subclasses may want to surface."""
+        return {}

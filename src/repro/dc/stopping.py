@@ -1,0 +1,83 @@
+"""Silhouette-based training control (Section 4.2 of the paper).
+
+Two decisions in the paper's experimental setup rely on the silhouette
+coefficient of the learned representation with the currently predicted
+clusters:
+
+1. *When to stop training* — the epoch with the best silhouette score is
+   retained.
+2. *Whether to use SDCN at all* — if joint SDCN training does not improve
+   the silhouette over the pre-trained auto-encoder representation, the AE
+   representation (clustered with Birch or K-means) is used instead.  This
+   is how the "AE" rows of Tables 4-6 arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.silhouette import silhouette_score
+
+__all__ = ["SilhouetteStopper", "select_sdcn_or_autoencoder"]
+
+
+@dataclass
+class SilhouetteStopper:
+    """Track the best-silhouette epoch during deep clustering training.
+
+    Parameters
+    ----------
+    patience:
+        Number of evaluations without improvement after which
+        :meth:`should_stop` returns True.  ``None`` disables early stopping
+        and the stopper only records the best state.
+    min_delta:
+        Minimum improvement that counts as progress.
+    """
+
+    patience: int | None = 5
+    min_delta: float = 1e-4
+    best_score: float = -np.inf
+    best_epoch: int = -1
+    best_labels: np.ndarray | None = None
+    best_embedding: np.ndarray | None = None
+    history: list[float] = field(default_factory=list)
+    _stale: int = 0
+
+    def update(self, epoch: int, embedding: np.ndarray,
+               labels: np.ndarray) -> float:
+        """Score the current state; remember it if it is the best so far."""
+        score = silhouette_score(embedding, labels)
+        self.history.append(score)
+        if score > self.best_score + self.min_delta:
+            self.best_score = score
+            self.best_epoch = epoch
+            self.best_labels = np.asarray(labels).copy()
+            self.best_embedding = np.asarray(embedding).copy()
+            self._stale = 0
+        else:
+            self._stale += 1
+        return score
+
+    def should_stop(self) -> bool:
+        """Return True when no improvement has been seen for ``patience`` checks."""
+        if self.patience is None:
+            return False
+        return self._stale >= self.patience
+
+
+def select_sdcn_or_autoencoder(sdcn_silhouette: float,
+                               autoencoder_silhouette: float,
+                               *, tolerance: float = 0.0) -> str:
+    """Return ``"sdcn"`` or ``"autoencoder"`` following the paper's rule.
+
+    The SDCN fine-tuned representation is kept only when its silhouette
+    converges to a value at least as good as the pre-trained AE
+    representation; otherwise the AE representation is retained and
+    clustered with Birch/K-means.
+    """
+    if sdcn_silhouette + tolerance >= autoencoder_silhouette:
+        return "sdcn"
+    return "autoencoder"

@@ -1,0 +1,48 @@
+"""Soft assignments and self-supervision targets shared by the DC models.
+
+DEC-style deep clustering (and SDCN, which inherits the mechanism) measures
+the similarity between a latent point :math:`z_i` and a cluster centre
+:math:`\\mu_j` with a Student's t-kernel, producing a soft assignment matrix
+``Q``.  A sharpened *target distribution* ``P`` is derived from ``Q`` and the
+model is trained to pull ``Q`` towards ``P`` (KL divergence), which
+iteratively strengthens confident assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["student_t_assignment", "target_distribution"]
+
+
+def student_t_assignment(latent: Tensor, centers: Tensor, *,
+                         alpha: float = 1.0) -> Tensor:
+    """Soft assignment Q of latent points to cluster centres.
+
+    ``q_{ij} \\propto (1 + ||z_i - \\mu_j||^2 / \\alpha)^{-(\\alpha+1)/2}``,
+    normalised over clusters.  Both ``latent`` and ``centers`` may require
+    gradients (SDCN and EDESC treat the centres as trainable parameters).
+    """
+    z_sq = (latent * latent).sum(axis=1, keepdims=True)          # (n, 1)
+    c_sq = (centers * centers).sum(axis=1, keepdims=True).T       # (1, K)
+    cross = latent @ centers.T                                    # (n, K)
+    squared_distance = z_sq + c_sq - cross * 2.0
+    squared_distance = squared_distance.clip(0.0, np.inf)
+    power = -(alpha + 1.0) / 2.0
+    kernel = (squared_distance * (1.0 / alpha) + 1.0) ** power
+    normaliser = kernel.sum(axis=1, keepdims=True)
+    return kernel / normaliser
+
+
+def target_distribution(q: np.ndarray | Tensor) -> np.ndarray:
+    """Sharpened target distribution P derived from soft assignments Q.
+
+    ``p_{ij} = (q_{ij}^2 / f_j) / \\sum_{j'} (q_{ij'}^2 / f_{j'})`` with
+    ``f_j = \\sum_i q_{ij}`` the soft cluster frequency.  Returned as a plain
+    numpy array because P is treated as a constant during optimisation.
+    """
+    q_arr = q.data if isinstance(q, Tensor) else np.asarray(q, dtype=np.float64)
+    weight = q_arr ** 2 / np.clip(q_arr.sum(axis=0, keepdims=True), 1e-12, None)
+    return weight / np.clip(weight.sum(axis=1, keepdims=True), 1e-12, None)

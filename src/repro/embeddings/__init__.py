@@ -1,0 +1,38 @@
+"""Embedding models that turn tables, rows and columns into dense vectors.
+
+The paper compares several representation strategies (Figure 2, Sections
+5-7):
+
+* **SBERT** (sentence-based, semantic) — substituted here by
+  :class:`SBERTEncoder`, an ontology-driven semantic sentence encoder.
+* **FastText** (word-based, syntactic) — substituted by
+  :class:`FastTextEncoder`, character n-gram hashing embeddings.
+* **EmbDi** (relational graph embeddings) — :class:`EmbDiEmbedder`, a full
+  reimplementation of the tripartite-graph random-walk + skip-gram method.
+* **TabNet / TabTransformer** (tabular transformers for schema+instance
+  level schema inference) — :class:`TabNetEncoder` and
+  :class:`TabTransformerEncoder`, simplified attentive tabular encoders with
+  the dimension-normalisation scheme of Section 5.1.
+"""
+
+from .base import TextEncoder
+from .sbert import SBERTEncoder
+from .fasttext import FastTextEncoder
+from .skipgram import SkipGramModel, train_skipgram
+from .embdi import EmbDiEmbedder, TripartiteGraph
+from .tabnet import TabNetEncoder
+from .tabtransformer import TabTransformerEncoder
+from .dimension import normalize_dimensions
+
+__all__ = [
+    "TextEncoder",
+    "SBERTEncoder",
+    "FastTextEncoder",
+    "SkipGramModel",
+    "train_skipgram",
+    "EmbDiEmbedder",
+    "TripartiteGraph",
+    "TabNetEncoder",
+    "TabTransformerEncoder",
+    "normalize_dimensions",
+]

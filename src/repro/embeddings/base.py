@@ -1,0 +1,50 @@
+"""Common text-encoder interface and hashing utilities."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import EmbeddingError
+
+__all__ = ["TextEncoder", "hashed_vector"]
+
+
+def hashed_vector(token: str, dim: int, *, salt: str = "") -> np.ndarray:
+    """Deterministic pseudo-random unit vector for a token.
+
+    The vector depends only on the token text (and an optional salt), so the
+    same token maps to the same vector in every process without any trained
+    state — the mechanism behind the library's hashing-based embeddings.
+    """
+    digest = hashlib.sha256(f"{salt}::{token}".encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(size=dim)
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+class TextEncoder:
+    """Base class for sentence-level encoders (SBERT / FastText substitutes)."""
+
+    #: Output dimensionality; subclasses override.
+    dim: int = 0
+
+    def encode(self, text: object) -> np.ndarray:
+        """Encode one text into a vector of length :attr:`dim`."""
+        raise NotImplementedError
+
+    def encode_texts(self, texts: Sequence[object] | Iterable[object]) -> np.ndarray:
+        """Encode a sequence of texts into an ``(n, dim)`` matrix."""
+        vectors = [self.encode(text) for text in texts]
+        if not vectors:
+            raise EmbeddingError("encode_texts received no texts")
+        return np.vstack(vectors)
+
+    @staticmethod
+    def _normalize(vector: np.ndarray) -> np.ndarray:
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector

@@ -1,0 +1,61 @@
+"""Embedding-dimension normalisation for tabular encoders (Section 5.1).
+
+TabNet- and TabTransformer-style encoders produce a different output size
+per table because each table has a different number (and cardinality) of
+categorical and continuous features.  To build one distance matrix the paper
+selects the maximum observed feature size and linearly interpolates every
+shorter vector up to it; for TabTransformer the interpolation of the last
+column needs a preceding value, making the effective dimensionality
+``max(d) - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmbeddingError
+
+__all__ = ["normalize_dimensions", "interpolate_vector"]
+
+
+def interpolate_vector(vector: np.ndarray, target_dim: int) -> np.ndarray:
+    """Linearly interpolate ``vector`` to ``target_dim`` entries."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if vector.size == 0:
+        raise EmbeddingError("cannot interpolate an empty vector")
+    if target_dim < 1:
+        raise EmbeddingError("target_dim must be >= 1")
+    if vector.size == target_dim:
+        return vector.copy()
+    if vector.size == 1:
+        return np.full(target_dim, float(vector[0]))
+    source_positions = np.linspace(0.0, 1.0, num=vector.size)
+    target_positions = np.linspace(0.0, 1.0, num=target_dim)
+    return np.interp(target_positions, source_positions, vector)
+
+
+def normalize_dimensions(vectors: list[np.ndarray], *,
+                         target_dim: int | None = None,
+                         drop_last: bool = False) -> np.ndarray:
+    """Interpolate variable-length vectors into a single matrix.
+
+    Parameters
+    ----------
+    vectors:
+        One embedding per table, possibly of different lengths.
+    target_dim:
+        Output dimensionality; defaults to the maximum observed length.
+    drop_last:
+        Reproduce the TabTransformer quirk of Section 5.1 where the final
+        dimensionality is ``max(d) - 1`` because the last column of the
+        distance matrix needs a preceding value to interpolate.
+    """
+    if not vectors:
+        raise EmbeddingError("normalize_dimensions received no vectors")
+    lengths = [np.asarray(v).ravel().size for v in vectors]
+    if min(lengths) == 0:
+        raise EmbeddingError("normalize_dimensions received an empty vector")
+    dim = target_dim if target_dim is not None else max(lengths)
+    if drop_last:
+        dim = max(1, dim - 1)
+    return np.vstack([interpolate_vector(np.asarray(v), dim) for v in vectors])

@@ -1,0 +1,176 @@
+"""EmbDi: relational embeddings via tripartite graph random walks.
+
+Reimplementation of the embedding method of Cappuzzo, Papotti &
+Thirumuruganathan (SIGMOD 2020) used by the paper for entity resolution and
+(in its schema-matching variant) for domain discovery:
+
+* a **tripartite graph** is built with three node types — *row* nodes
+  (``idx__`` prefix, one per tuple), *column* nodes (``cid__`` prefix, one
+  per attribute) and *value* nodes (``tt__`` prefix, one per distinct cell
+  token);
+* each cell links its row node and its column node to its value nodes, so
+  rows sharing values (and columns sharing value vocabularies) become close
+  in the graph;
+* random walks over the graph produce sentences, and skip-gram with
+  negative sampling learns node embeddings;
+* downstream tasks read off the embeddings of the relevant node type: row
+  nodes (``idx__``) for entity resolution, column nodes (``cid__``) for
+  domain discovery / schema matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+from ..data.table import Column, Record
+from ..exceptions import EmbeddingError
+from ..utils.text import is_numeric_token, tokenize
+from .skipgram import SkipGramModel, train_skipgram
+
+__all__ = ["TripartiteGraph", "EmbDiEmbedder"]
+
+ROW_PREFIX = "idx__"
+COLUMN_PREFIX = "cid__"
+VALUE_PREFIX = "tt__"
+
+
+@dataclass
+class TripartiteGraph:
+    """Adjacency-list tripartite graph over row, column and value nodes."""
+
+    neighbors: dict[str, list[str]] = field(default_factory=dict)
+
+    def add_edge(self, a: str, b: str) -> None:
+        self.neighbors.setdefault(a, []).append(b)
+        self.neighbors.setdefault(b, []).append(a)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.neighbors)
+
+    def degree(self, node: str) -> int:
+        return len(self.neighbors.get(node, []))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _value_tokens(value: object, *, numeric_rounding: int = 0) -> list[str]:
+        """Tokens representing one cell value.
+
+        Numbers are rounded and kept as single tokens so that the same
+        quantity written differently still shares a node (EmbDi's numeric
+        handling); other values are word-tokenised.
+        """
+        tokens = tokenize(value)
+        output: list[str] = []
+        for token in tokens:
+            if is_numeric_token(token):
+                output.append(f"{round(float(token), numeric_rounding):g}")
+            else:
+                output.append(token)
+        return output
+
+    @classmethod
+    def from_records(cls, records: list[Record]) -> "TripartiteGraph":
+        """Build the graph for entity resolution (rows are first-class nodes)."""
+        graph = cls()
+        for row_index, record in enumerate(records):
+            row_node = f"{ROW_PREFIX}{row_index}"
+            graph.neighbors.setdefault(row_node, [])
+            for attribute, value in record.values.items():
+                column_node = f"{COLUMN_PREFIX}{attribute}"
+                graph.neighbors.setdefault(column_node, [])
+                for token in cls._value_tokens(value):
+                    value_node = f"{VALUE_PREFIX}{token}"
+                    graph.add_edge(row_node, value_node)
+                    graph.add_edge(column_node, value_node)
+        return graph
+
+    @classmethod
+    def from_columns(cls, columns: list[Column]) -> "TripartiteGraph":
+        """Build the schema-matching graph (columns are first-class nodes)."""
+        graph = cls()
+        for column_index, column in enumerate(columns):
+            column_node = f"{COLUMN_PREFIX}{column_index}"
+            graph.neighbors.setdefault(column_node, [])
+            header_tokens = cls._value_tokens(column.header)
+            for token in header_tokens:
+                graph.add_edge(column_node, f"{VALUE_PREFIX}{token}")
+            for value in column.values:
+                for token in cls._value_tokens(value):
+                    graph.add_edge(column_node, f"{VALUE_PREFIX}{token}")
+        return graph
+
+    # ------------------------------------------------------------------
+    def random_walks(self, *, walks_per_node: int = 5, walk_length: int = 20,
+                     seed: int | None = None,
+                     start_prefixes: tuple[str, ...] | None = None
+                     ) -> list[list[str]]:
+        """Uniform random walks starting from every (matching) node."""
+        rng = make_rng(seed)
+        sentences: list[list[str]] = []
+        for node in self.nodes:
+            if start_prefixes and not node.startswith(start_prefixes):
+                continue
+            if not self.neighbors.get(node):
+                continue
+            for _ in range(walks_per_node):
+                walk = [node]
+                current = node
+                for _ in range(walk_length - 1):
+                    candidates = self.neighbors.get(current)
+                    if not candidates:
+                        break
+                    current = candidates[int(rng.integers(len(candidates)))]
+                    walk.append(current)
+                sentences.append(walk)
+        if not sentences:
+            raise EmbeddingError("the tripartite graph has no walkable nodes")
+        return sentences
+
+
+class EmbDiEmbedder:
+    """End-to-end EmbDi pipeline producing row or column embeddings."""
+
+    def __init__(self, *, dim: int = 64, walks_per_node: int = 5,
+                 walk_length: int = 20, window: int = 3, epochs: int = 3,
+                 seed: int | None = None) -> None:
+        if dim < 2:
+            raise EmbeddingError("embedding dimension must be >= 2")
+        self.dim = dim
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.epochs = epochs
+        self.seed = seed
+        self.model_: SkipGramModel | None = None
+
+    # ------------------------------------------------------------------
+    def _train(self, graph: TripartiteGraph) -> SkipGramModel:
+        sentences = graph.random_walks(
+            walks_per_node=self.walks_per_node, walk_length=self.walk_length,
+            seed=self.seed)
+        self.model_ = train_skipgram(
+            sentences, dim=self.dim, window=self.window, epochs=self.epochs,
+            seed=self.seed)
+        return self.model_
+
+    def embed_records(self, records: list[Record]) -> np.ndarray:
+        """Row embeddings (``idx__`` nodes) for entity resolution."""
+        if not records:
+            raise EmbeddingError("embed_records received no records")
+        graph = TripartiteGraph.from_records(records)
+        model = self._train(graph)
+        tokens = [f"{ROW_PREFIX}{index}" for index in range(len(records))]
+        return model.vectors_for(tokens)
+
+    def embed_columns(self, columns: list[Column]) -> np.ndarray:
+        """Column embeddings (``cid__`` nodes), the schema-matching variant."""
+        if not columns:
+            raise EmbeddingError("embed_columns received no columns")
+        graph = TripartiteGraph.from_columns(columns)
+        model = self._train(graph)
+        tokens = [f"{COLUMN_PREFIX}{index}" for index in range(len(columns))]
+        return model.vectors_for(tokens)

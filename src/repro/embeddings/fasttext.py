@@ -1,0 +1,55 @@
+"""FastText-substitute: character n-gram (subword) hashing embeddings.
+
+Pre-trained FastText's defining property, from the perspective of the
+paper's analyses, is that similarity follows *surface form*: words that
+share character n-grams are close, regardless of meaning (``headphone out``
+vs ``headphone outputs`` are close, ``lens`` vs ``optical zoom`` are not).
+This encoder reproduces exactly that behaviour: every word is the mean of
+deterministic hashed vectors of its character n-grams (plus the word
+itself), and a sentence is the mean of its word vectors — the aggregation
+scheme used for word-based embeddings in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.text import char_ngrams, tokenize
+from .base import TextEncoder, hashed_vector
+
+__all__ = ["FastTextEncoder"]
+
+
+class FastTextEncoder(TextEncoder):
+    """Subword hashing word embeddings averaged into sentence vectors."""
+
+    dim = 300
+
+    def __init__(self, *, dim: int = 300, n_min: int = 3, n_max: int = 5) -> None:
+        if n_min < 1 or n_max < n_min:
+            raise ValueError("invalid character n-gram range")
+        self.dim = dim
+        self.n_min = n_min
+        self.n_max = n_max
+        self._word_cache: dict[str, np.ndarray] = {}
+
+    def _word_vector(self, word: str) -> np.ndarray:
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return cached
+        grams = char_ngrams(word, self.n_min, self.n_max)
+        if not grams:
+            vector = np.zeros(self.dim)
+        else:
+            vector = np.mean([hashed_vector(gram, self.dim, salt="fasttext")
+                              for gram in grams], axis=0)
+        self._word_cache[word] = vector
+        return vector
+
+    def encode(self, text: object) -> np.ndarray:
+        """Encode one text as the normalised mean of its word vectors."""
+        tokens = tokenize(text)
+        if not tokens:
+            return np.zeros(self.dim)
+        sentence = np.mean([self._word_vector(token) for token in tokens], axis=0)
+        return self._normalize(sentence)

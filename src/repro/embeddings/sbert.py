@@ -1,0 +1,131 @@
+"""SBERT-substitute: an ontology-driven semantic sentence encoder.
+
+The experiments need a sentence encoder with SBERT's *behavioural*
+signature: semantically equivalent surface forms (synonyms, abbreviations,
+format variants) land near each other even when they share no characters,
+while unrelated phrases land far apart.  Offline we cannot load the real
+model, so this encoder derives that behaviour from the concept ontology
+(:mod:`repro.data.ontology`):
+
+* the text is scanned greedily for the longest phrases that match a known
+  concept surface form; each match contributes the *concept's* latent
+  vector (plus a small surface-form-specific perturbation), so ``Eng.`` and
+  ``English`` are nearly identical;
+* remaining tokens contribute deterministic hashed vectors at a lower
+  weight, so out-of-ontology content still differentiates texts;
+* numeric tokens contribute a magnitude-encoded vector (log scale) so that
+  columns or records with similar value ranges look similar, which is the
+  instance-level signal domain discovery benefits from;
+* the mean token vector is projected to the standard SBERT dimensionality
+  (768) with a fixed random projection and L2-normalised.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..data.ontology import Ontology, default_ontology
+from ..utils.text import is_numeric_token, tokenize
+from .base import TextEncoder, hashed_vector
+
+__all__ = ["SBERTEncoder"]
+
+_SEMANTIC_DIM = 96
+
+
+class SBERTEncoder(TextEncoder):
+    """Semantic sentence encoder standing in for Sentence-BERT."""
+
+    dim = 768
+
+    def __init__(self, *, ontology: Ontology | None = None,
+                 dim: int = 768, concept_weight: float = 1.0,
+                 token_weight: float = 0.55, numeric_weight: float = 0.5,
+                 max_phrase_length: int = 4, seed: int = 13) -> None:
+        self.ontology = ontology or default_ontology()
+        self.dim = dim
+        self.concept_weight = concept_weight
+        self.token_weight = token_weight
+        self.numeric_weight = numeric_weight
+        self.max_phrase_length = max_phrase_length
+        rng = np.random.default_rng(seed)
+        # Fixed projection from the internal semantic space to the SBERT
+        # output dimensionality (shared by every encode call).
+        self._projection = rng.normal(size=(_SEMANTIC_DIM, dim)) / math.sqrt(
+            _SEMANTIC_DIM)
+
+    # ------------------------------------------------------------------
+    def _match_phrases(self, tokens: list[str]) -> list[tuple[str | None, str]]:
+        """Greedy longest-match segmentation of the token stream.
+
+        Returns a list of ``(concept_name_or_None, phrase_text)`` segments.
+        """
+        segments: list[tuple[str | None, str]] = []
+        index = 0
+        while index < len(tokens):
+            matched = False
+            for length in range(min(self.max_phrase_length, len(tokens) - index),
+                                0, -1):
+                phrase = " ".join(tokens[index:index + length])
+                concept = self.ontology.lookup(phrase)
+                if concept is not None:
+                    segments.append((concept, phrase))
+                    index += length
+                    matched = True
+                    break
+            if not matched:
+                segments.append((None, tokens[index]))
+                index += 1
+        return segments
+
+    def _numeric_vector(self, token: str) -> np.ndarray:
+        """Magnitude-encoded vector for a numeric token.
+
+        The log10 magnitude is linearly interpolated between hashed anchor
+        vectors at the neighbouring integer magnitudes, so numbers of
+        similar scale (24 vs 27) map close together while numbers of very
+        different scale (24 vs 2.4 million) map far apart — the property the
+        instance-level domain discovery experiments rely on.
+        """
+        value = abs(float(token))
+        magnitude = math.log10(value + 1.0)
+        lower = math.floor(magnitude)
+        fraction = magnitude - lower
+        anchor_low = hashed_vector(f"mag_anchor::{lower}", _SEMANTIC_DIM,
+                                   salt="sbert")
+        anchor_high = hashed_vector(f"mag_anchor::{lower + 1}", _SEMANTIC_DIM,
+                                    salt="sbert")
+        return (1.0 - fraction) * anchor_low + fraction * anchor_high
+
+    def _semantic_vector(self, text: object) -> np.ndarray:
+        tokens = tokenize(text)
+        if not tokens:
+            return np.zeros(_SEMANTIC_DIM)
+        accumulator = np.zeros(_SEMANTIC_DIM)
+        total_weight = 0.0
+        for concept, phrase in self._match_phrases(tokens):
+            if concept is not None:
+                vector = self.ontology.concept_vector(concept, _SEMANTIC_DIM)
+                vector = vector + 0.05 * hashed_vector(phrase, _SEMANTIC_DIM,
+                                                       salt="sbert-surface")
+                weight = self.concept_weight
+            elif is_numeric_token(phrase):
+                vector = self._numeric_vector(phrase)
+                weight = self.numeric_weight
+            else:
+                vector = hashed_vector(phrase, _SEMANTIC_DIM, salt="sbert-token")
+                weight = self.token_weight
+            accumulator += weight * vector
+            total_weight += weight
+        if total_weight > 0:
+            accumulator /= total_weight
+        return accumulator
+
+    # ------------------------------------------------------------------
+    def encode(self, text: object) -> np.ndarray:
+        """Encode one text into a unit vector of length :attr:`dim`."""
+        semantic = self._semantic_vector(text)
+        projected = semantic @ self._projection
+        return self._normalize(projected)

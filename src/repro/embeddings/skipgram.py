@@ -1,0 +1,164 @@
+"""Skip-gram with negative sampling, implemented in numpy.
+
+EmbDi learns node embeddings by running word2vec-style skip-gram over
+sentences of graph random walks.  This is a compact but complete SGNS
+implementation: input and output embedding tables, sliding-window positive
+pairs, frequency^(3/4) negative sampling and vectorised SGD updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import make_rng
+from ..exceptions import EmbeddingError
+
+__all__ = ["SkipGramModel", "train_skipgram"]
+
+
+@dataclass
+class SkipGramModel:
+    """Trained skip-gram embeddings with a token index."""
+
+    vocabulary: list[str]
+    vectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.vocabulary) != self.vectors.shape[0]:
+            raise EmbeddingError("vocabulary and vectors disagree in size")
+        self._index = {token: i for i, token in enumerate(self.vocabulary)}
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def vector(self, token: str) -> np.ndarray:
+        """Return the embedding of ``token`` (raises KeyError if unknown)."""
+        return self.vectors[self._index[token]]
+
+    def vectors_for(self, tokens: list[str]) -> np.ndarray:
+        """Stack embeddings for ``tokens``; unknown tokens map to zeros."""
+        dim = self.vectors.shape[1]
+        out = np.zeros((len(tokens), dim))
+        for row, token in enumerate(tokens):
+            index = self._index.get(token)
+            if index is not None:
+                out[row] = self.vectors[index]
+        return out
+
+
+def _build_vocabulary(sentences: list[list[str]]) -> tuple[list[str], np.ndarray]:
+    counts: dict[str, int] = {}
+    for sentence in sentences:
+        for token in sentence:
+            counts[token] = counts.get(token, 0) + 1
+    vocabulary = sorted(counts)
+    frequencies = np.array([counts[token] for token in vocabulary], dtype=np.float64)
+    return vocabulary, frequencies
+
+
+def _positive_pairs(sentences: list[list[str]], index: dict[str, int],
+                    window: int) -> np.ndarray:
+    pairs: list[tuple[int, int]] = []
+    for sentence in sentences:
+        ids = [index[token] for token in sentence]
+        for position, center in enumerate(ids):
+            start = max(0, position - window)
+            stop = min(len(ids), position + window + 1)
+            for context_position in range(start, stop):
+                if context_position == position:
+                    continue
+                pairs.append((center, ids[context_position]))
+    if not pairs:
+        raise EmbeddingError("random walks produced no skip-gram pairs")
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def _subsample_pairs(pairs: np.ndarray, frequencies: np.ndarray,
+                     rng: np.random.Generator, threshold: float) -> np.ndarray:
+    """Down-sample pairs whose *context* token is very frequent.
+
+    Mirrors word2vec's frequent-word subsampling: hub nodes (common value
+    tokens) would otherwise dominate the updates and wash out the signal of
+    rare, discriminative tokens.
+    """
+    total = frequencies.sum()
+    relative = frequencies / total
+    # For tiny vocabularies every token is "frequent"; scale the threshold so
+    # subsampling only bites when the vocabulary is large enough for hub
+    # nodes to exist.
+    threshold = max(threshold, 2.0 / len(frequencies))
+    keep_probability = np.minimum(
+        1.0, np.sqrt(threshold / np.maximum(relative, 1e-12)))
+    keep = rng.random(len(pairs)) < keep_probability[pairs[:, 1]]
+    kept = pairs[keep]
+    return kept if len(kept) else pairs
+
+
+def train_skipgram(sentences: list[list[str]], *, dim: int = 64,
+                   window: int = 3, epochs: int = 3, negatives: int = 4,
+                   lr: float = 0.025, seed: int | None = None,
+                   batch_size: int = 2048,
+                   subsample_threshold: float = 1e-3,
+                   max_update: float = 1.0) -> SkipGramModel:
+    """Train skip-gram with negative sampling over walk sentences.
+
+    Updates are clipped to ``max_update`` per coordinate and the learning
+    rate decays linearly across epochs, which keeps hub-node vectors from
+    diverging (important because graph walks revisit high-degree nodes far
+    more often than natural-language corpora revisit words).
+    """
+    if not sentences:
+        raise EmbeddingError("train_skipgram received no sentences")
+    rng = make_rng(seed)
+    vocabulary, frequencies = _build_vocabulary(sentences)
+    index = {token: i for i, token in enumerate(vocabulary)}
+    n_tokens = len(vocabulary)
+
+    pairs = _positive_pairs(sentences, index, window)
+    pairs = _subsample_pairs(pairs, frequencies, rng, subsample_threshold)
+    noise = frequencies ** 0.75
+    noise /= noise.sum()
+
+    input_vectors = (rng.random((n_tokens, dim)) - 0.5) / dim
+    output_vectors = np.zeros((n_tokens, dim))
+
+    for epoch in range(epochs):
+        epoch_lr = lr * (1.0 - epoch / max(1, epochs)) + lr * 0.1
+        order = rng.permutation(len(pairs))
+        for start in range(0, len(order), batch_size):
+            batch = pairs[order[start:start + batch_size]]
+            centers, contexts = batch[:, 0], batch[:, 1]
+            negatives_ids = rng.choice(n_tokens, size=(len(batch), negatives),
+                                       p=noise)
+
+            center_vecs = input_vectors[centers]                  # (b, d)
+            context_vecs = output_vectors[contexts]               # (b, d)
+            negative_vecs = output_vectors[negatives_ids]         # (b, neg, d)
+
+            positive_logits = np.clip(
+                np.sum(center_vecs * context_vecs, axis=1), -30.0, 30.0)
+            negative_logits = np.clip(
+                np.einsum("bd,bnd->bn", center_vecs, negative_vecs), -30.0, 30.0)
+            positive_score = 1.0 / (1.0 + np.exp(-positive_logits))  # (b,)
+            negative_score = 1.0 / (1.0 + np.exp(-negative_logits))
+
+            # Gradients of the SGNS objective.
+            positive_grad = (positive_score - 1.0)[:, None]        # (b, 1)
+
+            center_update = positive_grad * context_vecs + \
+                np.einsum("bnd,bn->bd", negative_vecs, negative_score)
+            context_update = positive_grad * center_vecs
+            center_update = np.clip(center_update, -max_update, max_update)
+            context_update = np.clip(context_update, -max_update, max_update)
+            np.add.at(input_vectors, centers, -epoch_lr * center_update)
+            np.add.at(output_vectors, contexts, -epoch_lr * context_update)
+            for negative_column in range(negatives):
+                negative_update = np.clip(
+                    negative_score[:, negative_column, None] * center_vecs,
+                    -max_update, max_update)
+                np.add.at(output_vectors, negatives_ids[:, negative_column],
+                          -epoch_lr * negative_update)
+
+    return SkipGramModel(vocabulary=vocabulary, vectors=input_vectors)

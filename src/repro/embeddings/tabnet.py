@@ -1,0 +1,110 @@
+"""TabNet-style tabular encoder (schema + instance level).
+
+TabNet (Arik & Pfister, 2021) processes tabular rows with *sequential
+attention*: at each decision step a sparse feature mask selects the most
+informative features, and the step outputs are aggregated into the final
+representation.  For the schema-inference experiments the paper uses TabNet
+as an *encoder*: each table becomes one embedding whose size depends on the
+table's features, later normalised with linear interpolation (Section 5.1).
+
+This substitute keeps the two distinguishing mechanisms at table scale:
+
+* per-column feature summaries (hashed categorical distributions, moments
+  for numeric columns) form the feature bank;
+* a small number of decision steps compute softmax feature masks (from
+  deterministic, seed-fixed projections standing in for the trained
+  attentive transformer) and emit mask-weighted combinations of the feature
+  bank;
+* the concatenated step outputs plus the per-column summaries form the
+  table embedding, whose length grows with the number of columns — exactly
+  the property the dimension-normalisation step exists to handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..exceptions import EmbeddingError
+from ..utils.text import is_numeric_token, normalize_text, tokenize
+from .base import hashed_vector
+
+__all__ = ["TabNetEncoder"]
+
+
+def _column_summary(values: list[object], dim: int) -> np.ndarray:
+    """Fixed-length summary of one column's values."""
+    numeric: list[float] = []
+    token_vector = np.zeros(dim)
+    token_count = 0
+    for value in values:
+        text = normalize_text(value)
+        if not text:
+            continue
+        for token in tokenize(text):
+            if is_numeric_token(token):
+                numeric.append(float(token))
+            else:
+                token_vector += hashed_vector(token, dim, salt="tabnet-value")
+                token_count += 1
+    if token_count:
+        token_vector /= token_count
+    if numeric:
+        array = np.asarray(numeric)
+        stats = np.array([array.mean(), array.std(), array.min(), array.max()])
+        stats = np.tanh(stats / (np.abs(stats).max() + 1e-9))
+    else:
+        stats = np.zeros(4)
+    return np.concatenate([token_vector, stats])
+
+
+class TabNetEncoder:
+    """Sequential-attention tabular encoder producing one vector per table."""
+
+    def __init__(self, *, feature_dim: int = 12, n_steps: int = 3,
+                 relaxation: float = 1.5, seed: int = 23) -> None:
+        if feature_dim < 2 or n_steps < 1:
+            raise EmbeddingError("feature_dim must be >= 2 and n_steps >= 1")
+        self.feature_dim = feature_dim
+        self.n_steps = n_steps
+        self.relaxation = relaxation
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _encode_table(self, table: Table) -> np.ndarray:
+        if table.n_columns == 0:
+            raise EmbeddingError(f"table {table.name!r} has no columns")
+        summary_dim = self.feature_dim + 4
+        summaries = []
+        for header in table.column_names:
+            header_vec = hashed_vector(normalize_text(header), self.feature_dim,
+                                       salt="tabnet-header")
+            value_summary = _column_summary(table.columns[header], self.feature_dim)
+            summaries.append(np.concatenate([header_vec, value_summary]))
+        feature_bank = np.vstack(summaries)          # (n_cols, 2*feature_dim + 4)
+
+        rng = np.random.default_rng(self.seed)
+        prior = np.ones(feature_bank.shape[0])
+        step_outputs: list[np.ndarray] = []
+        for step in range(self.n_steps):
+            # Deterministic attentive-transformer stand-in: project the
+            # feature bank onto a per-step direction and sparsify with prior.
+            direction = rng.normal(size=feature_bank.shape[1])
+            scores = feature_bank @ direction
+            scores = scores - scores.max()
+            mask = np.exp(scores) * prior
+            mask_sum = mask.sum()
+            mask = mask / mask_sum if mask_sum > 0 else np.full_like(mask,
+                                                                     1.0 / len(mask))
+            prior = prior * (self.relaxation - mask)
+            step_outputs.append(mask @ feature_bank)   # (2*feature_dim + 4,)
+
+        # Embedding size grows with the number of columns, as in the paper.
+        per_column = feature_bank.reshape(-1)
+        return np.concatenate([np.concatenate(step_outputs), per_column])
+
+    def encode_tables(self, tables: list[Table]) -> list[np.ndarray]:
+        """Encode each table into a variable-length embedding."""
+        if not tables:
+            raise EmbeddingError("encode_tables received no tables")
+        return [self._encode_table(table) for table in tables]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating in this package with a single ``except``
+clause while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class DataValidationError(ReproError):
+    """Raised when input data fails structural validation."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to converge."""
+
+
+class EmbeddingError(ReproError):
+    """Raised when an embedding model cannot encode the given input."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition or run is invalid."""

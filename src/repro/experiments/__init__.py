@@ -1,0 +1,33 @@
+"""Experiment registry and harness reproducing every table and figure.
+
+Every evaluation artefact of the paper has an entry in
+:data:`repro.experiments.registry.EXPERIMENTS`; the runner executes an entry
+at a chosen scale and the reporting helpers render the same row/series
+layout the paper uses.  The benchmark modules under ``benchmarks/`` are thin
+wrappers around these functions.
+"""
+
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from .runner import run_experiment, build_dataset
+from .reporting import format_results_table, results_to_rows, pivot_results
+from .scalability import ScalabilityPoint, run_scalability_study
+from .projections import project_2d, separability_report, ProjectionReport
+from .heatmaps import similarity_heatmap, HeatmapReport
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "run_experiment",
+    "build_dataset",
+    "format_results_table",
+    "results_to_rows",
+    "pivot_results",
+    "ScalabilityPoint",
+    "run_scalability_study",
+    "project_2d",
+    "separability_report",
+    "ProjectionReport",
+    "similarity_heatmap",
+    "HeatmapReport",
+]

@@ -1,0 +1,83 @@
+"""2-D embedding projections and separability statistics (Figure 3).
+
+The paper shows UMAP projections of the web-tables embeddings, arguing that
+SBERT's space separates the ground-truth classes better than FastText's, and
+that the tabular encoders produce no clear cluster structure.  Offline we
+use a PCA projection (deterministic, dependency-free) and, because the
+figure's purpose is the *comparison*, also report quantitative separability:
+the silhouette of the ground-truth labels in the projected space and the
+ratio of between-class to within-class distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.silhouette import silhouette_score
+from ..utils.validation import check_labels, check_matrix, check_same_length
+
+__all__ = ["project_2d", "separability_report", "ProjectionReport"]
+
+
+def project_2d(X, *, center: bool = True) -> np.ndarray:
+    """Project an embedding matrix to 2-D with PCA (top two components)."""
+    X = check_matrix(X)
+    data = X - X.mean(axis=0) if center else X
+    # SVD of the (n, d) matrix; the first two right singular vectors span
+    # the projection plane.
+    _, _, vt = np.linalg.svd(data, full_matrices=False)
+    components = vt[:2] if vt.shape[0] >= 2 else np.vstack(
+        [vt, np.zeros((2 - vt.shape[0], vt.shape[1]))])
+    return data @ components.T
+
+
+@dataclass(frozen=True)
+class ProjectionReport:
+    """Separability summary of one embedding's 2-D projection."""
+
+    embedding: str
+    silhouette_2d: float
+    between_within_ratio: float
+    n_points: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "embedding": self.embedding,
+            "silhouette_2d": round(self.silhouette_2d, 3),
+            "between_within_ratio": round(self.between_within_ratio, 3),
+            "n_points": self.n_points,
+        }
+
+
+def separability_report(X, labels, *, embedding: str = "") -> ProjectionReport:
+    """Quantify how well the ground-truth classes separate in 2-D."""
+    X = check_matrix(X)
+    labels = check_labels(labels)
+    check_same_length(X, labels, names=("X", "labels"))
+    projected = project_2d(X)
+
+    silhouette = silhouette_score(projected, labels)
+
+    # Between-class vs within-class mean distances in the projection.
+    uniques = np.unique(labels)
+    centroids = np.vstack([projected[labels == label].mean(axis=0)
+                           for label in uniques])
+    within_values = []
+    for index, label in enumerate(uniques):
+        members = projected[labels == label]
+        if len(members) > 1:
+            within_values.append(
+                np.linalg.norm(members - centroids[index], axis=1).mean())
+    within = float(np.mean(within_values)) if within_values else 0.0
+    if len(uniques) > 1:
+        diffs = centroids[:, None, :] - centroids[None, :, :]
+        distances = np.linalg.norm(diffs, axis=2)
+        between = float(distances[np.triu_indices(len(uniques), k=1)].mean())
+    else:
+        between = 0.0
+    ratio = between / within if within > 0 else 0.0
+
+    return ProjectionReport(embedding=embedding, silhouette_2d=silhouette,
+                            between_within_ratio=ratio, n_points=X.shape[0])

@@ -1,0 +1,132 @@
+"""Registry of the paper's evaluation artefacts (tables and figures).
+
+Each :class:`ExperimentSpec` names the datasets, embedding methods and
+clustering algorithms of one table (or the data required by one figure), so
+the benchmark harness, the examples and EXPERIMENTS.md all share a single
+source of truth about what "reproducing Table N" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ExperimentError
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+
+#: Clustering algorithms reported in every results table, in paper order.
+_TABLE_ALGORITHMS = ("sdcn", "shgp", "edesc", "kmeans", "dbscan", "birch")
+#: For entity resolution the SDCN column of Table 4 is the AE variant
+#: (Section 6.1 finding i: SDCN never improved on the pre-trained AE).
+_ER_ALGORITHMS = ("ae", "edesc", "shgp", "kmeans", "dbscan", "birch")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one paper artefact and how to regenerate it."""
+
+    experiment_id: str
+    kind: str                      # "table" or "figure"
+    title: str
+    task: str                      # schema_inference / entity_resolution / ...
+    datasets: tuple[str, ...] = ()
+    embeddings: tuple[str, ...] = ()
+    algorithms: tuple[str, ...] = ()
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        experiment_id="table1", kind="table",
+        title="Dataset properties for schema inference, entity resolution "
+              "and domain discovery",
+        task="profiling",
+        datasets=("webtables", "tus", "musicbrainz", "geographic",
+                  "camera", "monitor"),
+    ),
+    "table2": ExperimentSpec(
+        experiment_id="table2", kind="table",
+        title="Schema inference: schema-level clustering results",
+        task="schema_inference",
+        datasets=("webtables", "tus"),
+        embeddings=("sbert", "fasttext"),
+        algorithms=_TABLE_ALGORITHMS,
+    ),
+    "table3": ExperimentSpec(
+        experiment_id="table3", kind="table",
+        title="Schema inference: schema+instance-level clustering results",
+        task="schema_inference",
+        datasets=("webtables", "tus"),
+        embeddings=("tabtransformer", "tabnet"),
+        algorithms=_TABLE_ALGORITHMS,
+    ),
+    "table4": ExperimentSpec(
+        experiment_id="table4", kind="table",
+        title="Entity resolution: clustering results with EmbDi and SBERT",
+        task="entity_resolution",
+        datasets=("musicbrainz", "geographic"),
+        embeddings=("embdi", "sbert"),
+        algorithms=_ER_ALGORITHMS,
+    ),
+    "table5": ExperimentSpec(
+        experiment_id="table5", kind="table",
+        title="Domain discovery: schema-level clustering results",
+        task="domain_discovery",
+        datasets=("camera", "monitor"),
+        embeddings=("sbert", "fasttext"),
+        algorithms=_TABLE_ALGORITHMS,
+    ),
+    "table6": ExperimentSpec(
+        experiment_id="table6", kind="table",
+        title="Domain discovery: schema+instance-level clustering results",
+        task="domain_discovery",
+        datasets=("camera", "monitor"),
+        embeddings=("sbert_instance", "embdi"),
+        algorithms=_TABLE_ALGORITHMS,
+    ),
+    "figure3": ExperimentSpec(
+        experiment_id="figure3", kind="figure",
+        title="2-D projections of table embeddings (separability of SBERT vs "
+              "FastText, TabNet vs TabTransformer)",
+        task="schema_inference",
+        datasets=("webtables",),
+        embeddings=("sbert", "fasttext", "tabnet", "tabtransformer"),
+    ),
+    "figure4": ExperimentSpec(
+        experiment_id="figure4", kind="figure",
+        title="Runtimes for different numbers of instances and clusters",
+        task="entity_resolution",
+        datasets=("musicbrainz_scalability",),
+        embeddings=("sbert",),
+        algorithms=("sdcn", "shgp", "edesc", "kmeans", "dbscan", "birch"),
+        extra={"instance_grid": (200, 400, 800), "cluster_grid": (50, 100, 200),
+               "fixed_clusters": 100, "fixed_instances": 400},
+    ),
+    "figure5": ExperimentSpec(
+        experiment_id="figure5", kind="figure",
+        title="Cosine-similarity heat maps of Camera columns (SBERT "
+              "schema-level vs EmbDi schema+instance-level)",
+        task="domain_discovery",
+        datasets=("camera",),
+        embeddings=("sbert", "embdi"),
+    ),
+    "ks_density": ExperimentSpec(
+        experiment_id="ks_density", kind="analysis",
+        title="Kolmogorov-Smirnov density analysis of SBERT features "
+              "(explains DBSCAN collapse, Section 8.1 finding 5)",
+        task="schema_inference",
+        datasets=("webtables",),
+        embeddings=("sbert",),
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (``table2`` ... ``figure5``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}") from None

@@ -1,0 +1,67 @@
+"""Result formatting: render TaskResults in the paper's table layout."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..tasks.base import TaskResult
+
+__all__ = ["results_to_rows", "pivot_results", "format_results_table"]
+
+
+def results_to_rows(results: list[TaskResult]) -> list[dict[str, object]]:
+    """Flat row dictionaries (one per dataset x embedding x algorithm)."""
+    return [result.as_row() for result in results]
+
+
+def pivot_results(results: list[TaskResult]) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
+    """Nest results as ``dataset -> metric -> algorithm -> embedding -> value``.
+
+    This mirrors the layout of the paper's Tables 2-6, where each dataset
+    block has K / ARI / ACC rows and one column per (algorithm, embedding)
+    pair.
+    """
+    pivot: dict[str, dict[str, dict[str, dict[str, float]]]] = defaultdict(
+        lambda: defaultdict(lambda: defaultdict(dict)))
+    for result in results:
+        cell = pivot[result.dataset]
+        cell["K"][result.algorithm][result.embedding] = result.n_clusters_predicted
+        cell["ARI"][result.algorithm][result.embedding] = round(result.ari, 3)
+        cell["ACC"][result.algorithm][result.embedding] = round(result.acc, 3)
+    return {dataset: {metric: {algo: dict(emb) for algo, emb in algos.items()}
+                      for metric, algos in metrics.items()}
+            for dataset, metrics in pivot.items()}
+
+
+def format_results_table(results: list[TaskResult], *, title: str = "") -> str:
+    """Render results as a fixed-width text table grouped like the paper."""
+    if not results:
+        return "(no results)"
+    algorithms = list(dict.fromkeys(r.algorithm for r in results))
+    embeddings = list(dict.fromkeys(r.embedding for r in results))
+    datasets = list(dict.fromkeys(r.dataset for r in results))
+    pivot = pivot_results(results)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_cells = ["Dataset", "Metric"]
+    for algorithm in algorithms:
+        for embedding in embeddings:
+            header_cells.append(f"{algorithm}/{embedding}")
+    widths = [max(12, len(cell)) for cell in header_cells]
+    lines.append(" | ".join(cell.ljust(width)
+                            for cell, width in zip(header_cells, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+
+    for dataset in datasets:
+        for metric in ("K", "ARI", "ACC"):
+            cells = [dataset, metric]
+            for algorithm in algorithms:
+                for embedding in embeddings:
+                    value = pivot.get(dataset, {}).get(metric, {}) \
+                        .get(algorithm, {}).get(embedding, "")
+                    cells.append(str(value))
+            lines.append(" | ".join(cell.ljust(width)
+                                    for cell, width in zip(cells, widths)))
+    return "\n".join(lines)

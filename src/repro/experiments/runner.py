@@ -1,0 +1,109 @@
+"""Experiment runner: build datasets at a chosen scale and execute a spec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import BENCHMARK_SCALE, DeepClusteringConfig, ExperimentScale
+from ..data import (
+    generate_camera,
+    generate_geographic_settlements,
+    generate_monitor,
+    generate_musicbrainz,
+    generate_tus,
+    generate_webtables,
+    profile_datasets,
+)
+from ..exceptions import ExperimentError
+from ..metrics import ks_density_analysis
+from ..tasks import (
+    DomainDiscoveryTask,
+    EntityResolutionTask,
+    SchemaInferenceTask,
+    TaskResult,
+    embed_tables,
+)
+from .registry import ExperimentSpec, get_experiment
+
+__all__ = ["build_dataset", "run_experiment"]
+
+
+def build_dataset(name: str, scale: ExperimentScale | None = None, *,
+                  seed: int | None = None):
+    """Instantiate one named benchmark dataset at the given scale."""
+    scale = scale or BENCHMARK_SCALE
+    seed = scale.seed if seed is None else seed
+    if name == "webtables":
+        return generate_webtables(scale.webtables_tables,
+                                  scale.webtables_clusters, seed=seed)
+    if name == "tus":
+        return generate_tus(scale.tus_tables, scale.tus_clusters, seed=seed)
+    if name == "musicbrainz":
+        return generate_musicbrainz(scale.musicbrainz_records,
+                                    scale.musicbrainz_clusters, seed=seed)
+    if name == "geographic":
+        return generate_geographic_settlements(
+            scale.geographic_records, scale.geographic_clusters, seed=seed)
+    if name == "camera":
+        return generate_camera(scale.camera_columns, None, seed=seed)
+    if name == "monitor":
+        return generate_monitor(scale.monitor_columns, None, seed=seed)
+    raise ExperimentError(f"unknown dataset name {name!r}")
+
+
+def _task_for(spec: ExperimentSpec, dataset,
+              config: DeepClusteringConfig | None):
+    if spec.task == "schema_inference":
+        return SchemaInferenceTask(dataset, config=config)
+    if spec.task == "entity_resolution":
+        return EntityResolutionTask(dataset, config=config)
+    if spec.task == "domain_discovery":
+        return DomainDiscoveryTask(dataset, config=config)
+    raise ExperimentError(f"experiment task {spec.task!r} has no pipeline")
+
+
+def run_experiment(experiment_id: str, *,
+                   scale: ExperimentScale | None = None,
+                   config: DeepClusteringConfig | None = None,
+                   algorithms: tuple[str, ...] | None = None,
+                   embeddings: tuple[str, ...] | None = None,
+                   datasets: tuple[str, ...] | None = None,
+                   seed: int | None = None):
+    """Run one registered experiment and return its result rows.
+
+    For the table experiments the return value is a list of
+    :class:`repro.tasks.base.TaskResult`; for ``table1`` a list of
+    :class:`repro.data.profiles.DatasetProfile`; for ``ks_density`` a
+    :class:`repro.metrics.ks.KSDensityReport`.  Figure experiments have
+    dedicated entry points (:mod:`repro.experiments.scalability`,
+    :mod:`repro.experiments.projections`,
+    :mod:`repro.experiments.heatmaps`) — calling them here raises, keeping
+    this function's return type predictable.
+    """
+    spec = get_experiment(experiment_id)
+    scale = scale or BENCHMARK_SCALE
+
+    if spec.experiment_id == "table1":
+        names = datasets or spec.datasets
+        return profile_datasets([build_dataset(name, scale, seed=seed)
+                                 for name in names])
+
+    if spec.experiment_id == "ks_density":
+        dataset = build_dataset("webtables", scale, seed=seed)
+        X = embed_tables(dataset, "sbert")
+        return ks_density_analysis(X, seed=seed)
+
+    if spec.kind == "figure":
+        raise ExperimentError(
+            f"experiment {experiment_id!r} is a figure; use the dedicated "
+            "scalability/projections/heatmaps entry points")
+
+    results: list[TaskResult] = []
+    for dataset_name in (datasets or spec.datasets):
+        dataset = build_dataset(dataset_name, scale, seed=seed)
+        task = _task_for(spec, dataset, config)
+        results.extend(task.run_matrix(
+            embeddings=tuple(embeddings or spec.embeddings),
+            algorithms=tuple(algorithms or spec.algorithms),
+            seed=seed))
+    return results

@@ -1,0 +1,93 @@
+"""Runtime scalability study (Figure 4).
+
+The paper measures clustering runtime on subsets of MusicBrainz 200K:
+
+* Figure 4a — runtime vs number of instances at fixed K = 200 (entities are
+  duplicated so K stays constant while the record count grows);
+* Figure 4b — runtime vs number of clusters K (the instance count follows
+  the chosen K).
+
+The study reproduces both sweeps for any subset of the six clustering
+algorithms, returning wall-clock seconds per (algorithm, point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DeepClusteringConfig
+from ..data import generate_musicbrainz_scalability
+from ..tasks.base import evaluate_clustering
+from ..tasks.entity_resolution import embed_records
+
+__all__ = ["ScalabilityPoint", "run_scalability_study"]
+
+_DEFAULT_ALGORITHMS = ("sdcn", "shgp", "edesc", "kmeans", "dbscan", "birch")
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One measured point of Figure 4."""
+
+    sweep: str                # "instances" or "clusters"
+    algorithm: str
+    n_instances: int
+    n_clusters: int
+    runtime_seconds: float
+    ari: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "sweep": self.sweep,
+            "algorithm": self.algorithm,
+            "n_instances": self.n_instances,
+            "n_clusters": self.n_clusters,
+            "runtime_s": round(self.runtime_seconds, 4),
+            "ARI": round(self.ari, 3),
+        }
+
+
+def run_scalability_study(*, instance_grid: tuple[int, ...] = (200, 400, 800),
+                          cluster_grid: tuple[int, ...] = (50, 100, 200),
+                          fixed_clusters: int = 100,
+                          records_per_cluster: int = 4,
+                          algorithms: tuple[str, ...] = _DEFAULT_ALGORITHMS,
+                          config: DeepClusteringConfig | None = None,
+                          embedding: str = "sbert",
+                          seed: int | None = None) -> list[ScalabilityPoint]:
+    """Measure clustering runtimes over instance and cluster sweeps."""
+    config = config or DeepClusteringConfig(pretrain_epochs=10, train_epochs=10)
+    points: list[ScalabilityPoint] = []
+
+    # Sweep 1: vary the number of instances at a fixed number of clusters.
+    for n_instances in instance_grid:
+        dataset = generate_musicbrainz_scalability(
+            n_instances, min(fixed_clusters, n_instances), seed=seed)
+        X = embed_records(dataset, embedding, seed=seed)
+        for algorithm in algorithms:
+            result = evaluate_clustering(
+                X, dataset.labels, algorithm=algorithm, dataset=dataset.name,
+                task="entity_resolution", embedding=embedding, config=config,
+                seed=seed)
+            points.append(ScalabilityPoint(
+                sweep="instances", algorithm=algorithm,
+                n_instances=n_instances,
+                n_clusters=min(fixed_clusters, n_instances),
+                runtime_seconds=result.runtime_seconds, ari=result.ari))
+
+    # Sweep 2: vary the number of clusters (instances follow K).
+    for n_clusters in cluster_grid:
+        n_instances = n_clusters * records_per_cluster
+        dataset = generate_musicbrainz_scalability(
+            n_instances, n_clusters, seed=seed)
+        X = embed_records(dataset, embedding, seed=seed)
+        for algorithm in algorithms:
+            result = evaluate_clustering(
+                X, dataset.labels, algorithm=algorithm, dataset=dataset.name,
+                task="entity_resolution", embedding=embedding, config=config,
+                seed=seed)
+            points.append(ScalabilityPoint(
+                sweep="clusters", algorithm=algorithm,
+                n_instances=n_instances, n_clusters=n_clusters,
+                runtime_seconds=result.runtime_seconds, ari=result.ari))
+    return points

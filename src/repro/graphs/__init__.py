@@ -1,0 +1,31 @@
+"""Graph substrates used by the deep clustering models and benchmarks.
+
+* :mod:`repro.graphs.knn` — K-nearest-neighbour graph construction, the
+  structural input of SDCN.
+* :mod:`repro.graphs.gcn` — graph convolutional layer built on
+  :mod:`repro.nn`, used by SDCN's GCN branch.
+* :mod:`repro.graphs.lpa` — label propagation, the structural clustering at
+  the heart of SHGP's Att-LPA module.
+* :mod:`repro.graphs.louvain` — Louvain community detection, used to derive
+  the TUS benchmark's union-ability ground truth (Section 5).
+* :mod:`repro.graphs.hin` — a small heterogeneous information network model
+  for SHGP.
+"""
+
+from .knn import knn_graph, normalized_adjacency, cosine_similarity_matrix
+from .gcn import GCNLayer
+from .lpa import label_propagation, attention_label_propagation
+from .louvain import louvain_communities
+from .hin import HeterogeneousGraph, NodeType
+
+__all__ = [
+    "knn_graph",
+    "normalized_adjacency",
+    "cosine_similarity_matrix",
+    "GCNLayer",
+    "label_propagation",
+    "attention_label_propagation",
+    "louvain_communities",
+    "HeterogeneousGraph",
+    "NodeType",
+]

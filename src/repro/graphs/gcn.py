@@ -1,0 +1,35 @@
+"""Graph convolutional layer (Kipf & Welling style) on the autograd substrate.
+
+SDCN's structural branch stacks several of these layers; each layer applies
+the fixed, pre-normalised propagation matrix to its input followed by a dense
+transform and non-linearity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["GCNLayer"]
+
+
+class GCNLayer(Module):
+    """Single GCN layer: ``activation(A_hat @ X @ W)``.
+
+    The propagation matrix ``A_hat`` is treated as a constant (no gradient),
+    exactly as in SDCN where the KNN graph is fixed before training.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 activation=None, seed: int | None = None) -> None:
+        self.linear = Linear(in_features, out_features, bias=False, seed=seed)
+        self.activation = activation
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        adjacency_t = Tensor(np.asarray(adjacency, dtype=np.float64))
+        propagated = adjacency_t @ self.linear(x)
+        if self.activation is not None:
+            propagated = self.activation(propagated)
+        return propagated

@@ -1,0 +1,76 @@
+"""K-nearest-neighbour graph construction.
+
+SDCN (Bo et al., 2020) starts by building a KNN graph over the input
+embeddings and feeds the normalised adjacency matrix to its GCN branch.  The
+helpers here produce a symmetric adjacency matrix and the renormalised
+propagation matrix :math:`\\hat{A} = \\tilde{D}^{-1/2}(A + I)\\tilde{D}^{-1/2}`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_matrix
+
+__all__ = ["cosine_similarity_matrix", "knn_graph", "normalized_adjacency"]
+
+
+def cosine_similarity_matrix(X) -> np.ndarray:
+    """Dense cosine similarity between all rows of ``X``."""
+    X = check_matrix(X)
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    unit = X / norms
+    return unit @ unit.T
+
+
+def knn_graph(X, k: int = 10, *, metric: str = "cosine",
+              symmetric: bool = True) -> np.ndarray:
+    """Binary adjacency matrix connecting each point to its ``k`` neighbours.
+
+    Self-loops are excluded here (the renormalisation in
+    :func:`normalized_adjacency` adds them back).  With ``symmetric=True``
+    (the default, and what SDCN uses) the union of the directed KNN relations
+    is taken so the adjacency is symmetric.
+    """
+    X = check_matrix(X)
+    n = X.shape[0]
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, n - 1) if n > 1 else 0
+
+    if metric == "cosine":
+        similarity = cosine_similarity_matrix(X)
+    elif metric == "euclidean":
+        squared = np.sum(X ** 2, axis=1)
+        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        similarity = -d2
+    else:
+        raise ValueError(f"unsupported metric {metric!r}")
+
+    adjacency = np.zeros((n, n), dtype=np.float64)
+    if k == 0:
+        return adjacency
+    np.fill_diagonal(similarity, -np.inf)
+    # Indices of the k most similar neighbours per row.
+    neighbors = np.argpartition(-similarity, kth=k - 1, axis=1)[:, :k]
+    rows = np.repeat(np.arange(n), k)
+    adjacency[rows, neighbors.ravel()] = 1.0
+    if symmetric:
+        adjacency = np.maximum(adjacency, adjacency.T)
+    return adjacency
+
+
+def normalized_adjacency(adjacency: np.ndarray, *, add_self_loops: bool = True
+                         ) -> np.ndarray:
+    """Symmetrically normalised adjacency used by GCN propagation."""
+    A = np.asarray(adjacency, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    if add_self_loops:
+        A = A + np.eye(A.shape[0])
+    degrees = A.sum(axis=1)
+    degrees = np.where(degrees == 0, 1.0, degrees)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    return (A * inv_sqrt[:, None]) * inv_sqrt[None, :]

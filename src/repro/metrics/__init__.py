@@ -1,0 +1,32 @@
+"""Clustering evaluation metrics used throughout the paper's experiments.
+
+The paper reports Adjusted Rand Index (ARI) and Hungarian-mapped clustering
+accuracy (ACC) for every experiment (Section 4.1), uses the silhouette
+coefficient to decide training epochs and AE-vs-SDCN selection (Section 4.2),
+pairwise TP/FP analysis for the entity resolution discussion (Section 6.1),
+and a Kolmogorov–Smirnov density analysis to explain DBSCAN's collapse
+(Section 8.1, finding 5).
+"""
+
+from .contingency import contingency_table, pair_confusion
+from .ari import adjusted_rand_index
+from .acc import clustering_accuracy, best_label_mapping
+from .silhouette import silhouette_score, silhouette_samples
+from .pairs import pairwise_match_counts, pairwise_precision_recall_f1
+from .ks import ks_density_analysis, KSDensityReport
+from .nmi import normalized_mutual_information
+
+__all__ = [
+    "contingency_table",
+    "pair_confusion",
+    "adjusted_rand_index",
+    "clustering_accuracy",
+    "best_label_mapping",
+    "silhouette_score",
+    "silhouette_samples",
+    "pairwise_match_counts",
+    "pairwise_precision_recall_f1",
+    "ks_density_analysis",
+    "KSDensityReport",
+    "normalized_mutual_information",
+]

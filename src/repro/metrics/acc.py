@@ -1,0 +1,50 @@
+"""Hungarian-mapped clustering accuracy (Equations 7-8 of the paper).
+
+Predicted cluster ids are arbitrary, so ACC first finds the permutation
+mapping between predicted and ground-truth labels that maximises agreement
+(via the Hungarian algorithm on the contingency table) and then reports the
+fraction of correctly mapped samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from .contingency import contingency_table, relabel_consecutive
+from ..utils.validation import check_labels, check_same_length
+
+__all__ = ["clustering_accuracy", "best_label_mapping"]
+
+
+def best_label_mapping(labels_true, labels_pred) -> dict[int, int]:
+    """Return the optimal mapping ``predicted label -> true label``.
+
+    The mapping maximises the number of samples whose mapped prediction
+    equals the ground truth.  Predicted clusters that have no matched true
+    cluster (when the prediction has more clusters than the ground truth)
+    are left out of the mapping.
+    """
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred")
+    check_same_length(true, pred, names=("labels_true", "labels_pred"))
+
+    table = contingency_table(true, pred)
+    _, true_uniques = relabel_consecutive(true)
+    _, pred_uniques = relabel_consecutive(pred)
+
+    # Hungarian algorithm maximising agreement == minimising negated counts.
+    row_idx, col_idx = linear_sum_assignment(-table)
+    return {int(pred_uniques[j]): int(true_uniques[i])
+            for i, j in zip(row_idx, col_idx)}
+
+
+def clustering_accuracy(labels_true, labels_pred) -> float:
+    """Clustering accuracy after optimal label permutation (ACC)."""
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred")
+    check_same_length(true, pred, names=("labels_true", "labels_pred"))
+
+    mapping = best_label_mapping(true, pred)
+    mapped = np.array([mapping.get(int(label), -10 ** 9) for label in pred])
+    return float(np.mean(mapped == true))

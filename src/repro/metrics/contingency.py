@@ -1,0 +1,61 @@
+"""Contingency-table utilities shared by ARI, NMI and pairwise metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_labels, check_same_length
+
+__all__ = ["contingency_table", "pair_confusion", "relabel_consecutive"]
+
+
+def relabel_consecutive(labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary integer labels onto 0..K-1, returning (mapped, uniques)."""
+    labels = check_labels(labels)
+    uniques, mapped = np.unique(labels, return_inverse=True)
+    return mapped.astype(np.int64), uniques
+
+
+def contingency_table(labels_true, labels_pred) -> np.ndarray:
+    """Return the r x s contingency table of overlaps between two labelings.
+
+    Entry ``[i, j]`` counts the objects assigned to true cluster ``i`` and
+    predicted cluster ``j`` (the matrix :math:`[t_{ij}]` of Equation 6).
+    """
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred")
+    check_same_length(true, pred, names=("labels_true", "labels_pred"))
+    true_mapped, true_uniques = relabel_consecutive(true)
+    pred_mapped, pred_uniques = relabel_consecutive(pred)
+    table = np.zeros((true_uniques.size, pred_uniques.size), dtype=np.int64)
+    np.add.at(table, (true_mapped, pred_mapped), 1)
+    return table
+
+
+def pair_confusion(labels_true, labels_pred) -> dict[str, int]:
+    """Return the pairwise confusion counts between two clusterings.
+
+    Every unordered pair of objects is classified as:
+
+    * ``tp`` — together in both clusterings,
+    * ``fp`` — together in the prediction but apart in the ground truth,
+    * ``fn`` — apart in the prediction but together in the ground truth,
+    * ``tn`` — apart in both.
+    """
+    table = contingency_table(labels_true, labels_pred)
+    n = int(table.sum())
+    sum_squares = float((table.astype(np.float64) ** 2).sum())
+    row_sums = table.sum(axis=1).astype(np.float64)
+    col_sums = table.sum(axis=0).astype(np.float64)
+
+    same_both = 0.5 * (sum_squares - n)
+    same_true = 0.5 * float((row_sums ** 2).sum() - n)
+    same_pred = 0.5 * float((col_sums ** 2).sum() - n)
+    total_pairs = 0.5 * n * (n - 1)
+
+    tp = same_both
+    fn = same_true - same_both
+    fp = same_pred - same_both
+    tn = total_pairs - tp - fn - fp
+    return {"tp": int(round(tp)), "fp": int(round(fp)),
+            "fn": int(round(fn)), "tn": int(round(tn))}

@@ -1,0 +1,44 @@
+"""Normalized mutual information.
+
+Not reported in the paper's tables but a standard companion metric for deep
+clustering papers; exposed for completeness and used by some ablation
+benches to cross-check ARI/ACC trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contingency import contingency_table
+
+__all__ = ["normalized_mutual_information"]
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1]."""
+    table = contingency_table(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    joint = table / n
+    row = joint.sum(axis=1)
+    col = joint.sum(axis=0)
+    outer = row[:, None] * col[None, :]
+    mask = joint > 0
+    mutual_info = float((joint[mask] * np.log(joint[mask] / outer[mask])).sum())
+    h_true = _entropy(table.sum(axis=1))
+    h_pred = _entropy(table.sum(axis=0))
+    if h_true == 0.0 and h_pred == 0.0:
+        return 1.0
+    denominator = 0.5 * (h_true + h_pred)
+    if denominator == 0.0:
+        return 0.0
+    return float(np.clip(mutual_info / denominator, 0.0, 1.0))

@@ -1,0 +1,53 @@
+"""Pairwise match metrics used in the entity resolution analysis (Section 6.1).
+
+Entity resolution quality is often discussed in terms of record *pairs*: a
+true positive is a pair of records placed in the same cluster by both the
+prediction and the ground truth.  The paper's qualitative analysis counts TP
+pairs gained by one representation over another; these helpers expose those
+counts plus the derived precision / recall / F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .contingency import pair_confusion
+
+__all__ = ["PairwiseCounts", "pairwise_match_counts", "pairwise_precision_recall_f1"]
+
+
+@dataclass(frozen=True)
+class PairwiseCounts:
+    """Unordered-pair confusion counts between prediction and ground truth."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def pairwise_match_counts(labels_true, labels_pred) -> PairwiseCounts:
+    """Return :class:`PairwiseCounts` for two clusterings of the same items."""
+    counts = pair_confusion(labels_true, labels_pred)
+    return PairwiseCounts(**counts)
+
+
+def pairwise_precision_recall_f1(labels_true, labels_pred) -> tuple[float, float, float]:
+    """Convenience wrapper returning (precision, recall, F1) over pairs."""
+    counts = pairwise_match_counts(labels_true, labels_pred)
+    return counts.precision, counts.recall, counts.f1

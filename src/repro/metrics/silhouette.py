@@ -1,0 +1,76 @@
+"""Silhouette coefficient (Rousseeuw 1987).
+
+The paper uses the silhouette score on the learned representation to decide
+(i) how many epochs to train the DC models and (ii) whether to keep the SDCN
+fine-tuning or fall back to the pre-trained AE representation (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_labels, check_matrix, check_same_length
+
+__all__ = ["silhouette_samples", "silhouette_score"]
+
+
+def _pairwise_distances(X: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "euclidean":
+        squared = np.sum(X ** 2, axis=1)
+        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2)
+    if metric == "cosine":
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms = np.where(norms == 0, 1.0, norms)
+        unit = X / norms
+        return 1.0 - unit @ unit.T
+    raise ValueError(f"unsupported metric {metric!r}")
+
+
+def silhouette_samples(X, labels, *, metric: str = "euclidean") -> np.ndarray:
+    """Per-sample silhouette coefficients in [-1, 1]."""
+    X = check_matrix(X)
+    labels = check_labels(labels)
+    check_same_length(X, labels, names=("X", "labels"))
+
+    distances = _pairwise_distances(X, metric)
+    uniques = np.unique(labels)
+    n = X.shape[0]
+    scores = np.zeros(n, dtype=np.float64)
+
+    cluster_masks = {int(c): labels == c for c in uniques}
+    cluster_sizes = {c: int(mask.sum()) for c, mask in cluster_masks.items()}
+
+    for i in range(n):
+        own = int(labels[i])
+        own_mask = cluster_masks[own]
+        own_size = cluster_sizes[own]
+        if own_size <= 1:
+            scores[i] = 0.0
+            continue
+        # Mean intra-cluster distance excluding the point itself.
+        a = distances[i, own_mask].sum() / (own_size - 1)
+        # Smallest mean distance to another cluster.
+        b = np.inf
+        for other, mask in cluster_masks.items():
+            if other == own:
+                continue
+            b = min(b, distances[i, mask].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return scores
+
+
+def silhouette_score(X, labels, *, metric: str = "euclidean") -> float:
+    """Mean silhouette coefficient over all samples.
+
+    Returns 0.0 when the labelling is degenerate (a single cluster or all
+    singleton clusters), which lets training loops treat "no cluster
+    structure" as a neutral score rather than an error.
+    """
+    labels = check_labels(labels)
+    uniques = np.unique(labels)
+    if uniques.size < 2 or uniques.size >= len(labels):
+        return 0.0
+    return float(np.mean(silhouette_samples(X, labels, metric=metric)))

@@ -1,0 +1,43 @@
+"""Minimal neural-network substrate built on numpy.
+
+The deep clustering algorithms in :mod:`repro.dc` (SDCN, EDESC, SHGP and the
+auto-encoder baselines) require joint gradient-based optimisation of
+reconstruction and clustering losses.  The original implementations use
+PyTorch; this package provides the pieces they actually need — a
+reverse-mode autograd :class:`Tensor`, dense layers, standard activations,
+losses and optimisers — as a small, dependency-free substrate.
+"""
+
+from .tensor import Tensor, no_grad
+from .layers import Linear, Sequential, Module, Parameter
+from .activations import relu, sigmoid, tanh, softmax, log_softmax, leaky_relu
+from .losses import mse_loss, kl_divergence, cross_entropy, binary_cross_entropy
+from .optim import SGD, Adam, Optimizer
+from .init import xavier_uniform, xavier_normal, kaiming_uniform, zeros, normal
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Linear",
+    "Sequential",
+    "Module",
+    "Parameter",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "leaky_relu",
+    "mse_loss",
+    "kl_divergence",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "zeros",
+    "normal",
+]

@@ -1,0 +1,68 @@
+"""Functional activation wrappers over :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["relu", "sigmoid", "tanh", "softmax", "log_softmax", "leaky_relu", "identity"]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    return x.softmax(axis=axis).log()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU built from primitive ops (keeps autograd support)."""
+    positive = x.relu()
+    negative = (-x).relu() * (-negative_slope)
+    return positive + negative
+
+
+def identity(x: Tensor) -> Tensor:
+    """No-op activation, useful as a configurable default."""
+    return x
+
+
+#: Mapping from activation names (as used in configuration files and the
+#: paper's hyper-parameter descriptions) to callables.
+ACTIVATIONS = {
+    "relu": relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "leaky_relu": leaky_relu,
+    "identity": identity,
+    "linear": identity,
+}
+
+
+def get_activation(name: str):
+    """Look up an activation function by name."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Loss functions used by the deep clustering models.
+
+* :func:`mse_loss` — reconstruction loss :math:`L_r` (Equation 4).
+* :func:`kl_divergence` — clustering loss :math:`L_c` between the soft
+  assignment distribution Q and the target distribution P (SDCN / DEC-style
+  self-supervision).
+* :func:`cross_entropy` — used by SHGP's Att-HGNN module to fit the
+  pseudo-labels produced by Att-LPA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "kl_divergence", "cross_entropy", "binary_cross_entropy"]
+
+_EPS = 1e-12
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error averaged over all elements."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def kl_divergence(p: Tensor | np.ndarray, q: Tensor) -> Tensor:
+    """KL(P || Q) averaged over samples.
+
+    ``p`` is the (fixed) target distribution and ``q`` the model's soft
+    assignment; only ``q`` receives gradients, matching the DEC/SDCN
+    formulation where P is recomputed periodically and treated as constant.
+    """
+    p_arr = p.data if isinstance(p, Tensor) else np.asarray(p, dtype=np.float64)
+    p_const = Tensor(np.clip(p_arr, _EPS, None))
+    ratio = p_const / q.clip(_EPS, np.inf)
+    per_sample = (p_const * ratio.log()).sum(axis=1)
+    return per_sample.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n_samples = logits.shape[0]
+    log_probs = logits.softmax(axis=1).log()
+    one_hot = np.zeros(logits.shape, dtype=np.float64)
+    one_hot[np.arange(n_samples), labels] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -(picked.sum() * (1.0 / n_samples))
+
+
+def binary_cross_entropy(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Element-wise binary cross entropy (targets in [0, 1])."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    pred = prediction.clip(_EPS, 1.0 - _EPS)
+    loss = -(target_t * pred.log() + (1.0 - target_t) * (1.0 - pred).log())
+    return loss.mean()

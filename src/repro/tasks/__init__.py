@@ -1,0 +1,45 @@
+"""Data-integration tasks expressed as clustering pipelines.
+
+Each task follows the three-phase framework of Figure 2: preprocessing,
+embedding, clustering.  The pipelines accept the dataset containers from
+:mod:`repro.data`, an embedding method name and a clustering algorithm name,
+and return a :class:`repro.tasks.base.TaskResult` with the ARI/ACC metrics
+the paper reports.
+"""
+
+from .base import TaskResult, make_clusterer, evaluate_clustering, CLUSTERER_NAMES
+from .preprocessing import preprocess_tables, preprocess_records, preprocess_columns
+from .schema_inference import (
+    SchemaInferenceTask,
+    embed_tables,
+    SCHEMA_LEVEL_EMBEDDINGS,
+    INSTANCE_LEVEL_EMBEDDINGS,
+)
+from .entity_resolution import EntityResolutionTask, embed_records, ER_EMBEDDINGS
+from .domain_discovery import (
+    DomainDiscoveryTask,
+    embed_columns,
+    DD_SCHEMA_EMBEDDINGS,
+    DD_INSTANCE_EMBEDDINGS,
+)
+
+__all__ = [
+    "TaskResult",
+    "make_clusterer",
+    "evaluate_clustering",
+    "CLUSTERER_NAMES",
+    "preprocess_tables",
+    "preprocess_records",
+    "preprocess_columns",
+    "SchemaInferenceTask",
+    "embed_tables",
+    "SCHEMA_LEVEL_EMBEDDINGS",
+    "INSTANCE_LEVEL_EMBEDDINGS",
+    "EntityResolutionTask",
+    "embed_records",
+    "ER_EMBEDDINGS",
+    "DomainDiscoveryTask",
+    "embed_columns",
+    "DD_SCHEMA_EMBEDDINGS",
+    "DD_INSTANCE_EMBEDDINGS",
+]

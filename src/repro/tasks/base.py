@@ -1,0 +1,122 @@
+"""Shared task plumbing: clusterer factory, evaluation, result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering import DBSCAN, Birch, KMeans, relabel_noise_as_singletons
+from ..clustering.base import ClusteringResult
+from ..config import DeepClusteringConfig
+from ..dc import EDESC, SDCN, SHGP, AutoencoderClustering
+from ..exceptions import ConfigurationError
+from ..metrics import adjusted_rand_index, clustering_accuracy
+from ..utils.timing import Timer
+
+__all__ = ["TaskResult", "make_clusterer", "evaluate_clustering", "CLUSTERER_NAMES"]
+
+#: Algorithm names accepted by :func:`make_clusterer`.  ``"sdcn"``/``"ae"``
+#: correspond to the SDCN/AE rows of the paper's tables; the silhouette rule
+#: inside SDCN decides between the two automatically when ``"sdcn"`` is used.
+CLUSTERER_NAMES = ("sdcn", "ae", "ae_kmeans", "edesc", "shgp",
+                   "kmeans", "birch", "dbscan")
+
+#: The deep clustering methods (for reporting convenience).
+DC_ALGORITHMS = ("sdcn", "ae", "ae_kmeans", "edesc", "shgp")
+#: The standard clustering baselines.
+SC_ALGORITHMS = ("kmeans", "birch", "dbscan")
+
+
+@dataclass
+class TaskResult:
+    """One cell group of a result table: algorithm x embedding x dataset."""
+
+    dataset: str
+    task: str
+    embedding: str
+    algorithm: str
+    n_clusters_true: int
+    n_clusters_predicted: int
+    ari: float
+    acc: float
+    runtime_seconds: float
+    clustering: ClusteringResult | None = field(default=None, repr=False)
+
+    def as_row(self) -> dict[str, object]:
+        """Row dictionary matching the layout of the paper's tables."""
+        return {
+            "Dataset": self.dataset,
+            "Task": self.task,
+            "Embedding": self.embedding,
+            "Algorithm": self.algorithm,
+            "K": self.n_clusters_predicted,
+            "ARI": round(self.ari, 3),
+            "ACC": round(self.acc, 3),
+            "runtime_s": round(self.runtime_seconds, 3),
+        }
+
+
+def make_clusterer(name: str, n_clusters: int, *,
+                   config: DeepClusteringConfig | None = None,
+                   seed: int | None = None):
+    """Instantiate a clusterer by its table name.
+
+    ``n_clusters`` is the ground-truth K.  SC methods receive it directly
+    (the "unfair advantage" the paper notes); DC methods use it only to
+    initialise their centres.
+    """
+    name = name.lower()
+    if name not in CLUSTERER_NAMES:
+        raise ConfigurationError(
+            f"unknown clustering algorithm {name!r}; expected one of {CLUSTERER_NAMES}")
+    config = config or DeepClusteringConfig()
+    if seed is not None:
+        config = config.with_updates(seed=seed)
+    if name == "sdcn":
+        return SDCN(n_clusters, config=config)
+    if name == "ae":
+        return AutoencoderClustering(n_clusters, clusterer="birch", config=config)
+    if name == "ae_kmeans":
+        return AutoencoderClustering(n_clusters, clusterer="kmeans", config=config)
+    if name == "edesc":
+        # Section 4.2: the EDESC latent size is n_clusters * subspace_dim;
+        # keep the product bounded so very large K stays tractable.
+        subspace_dim = 5 if n_clusters <= 100 else 2
+        return EDESC(n_clusters, subspace_dim=subspace_dim, config=config)
+    if name == "shgp":
+        return SHGP(n_clusters, config=config)
+    if name == "kmeans":
+        return KMeans(n_clusters, seed=config.seed)
+    if name == "birch":
+        return Birch(n_clusters, seed=config.seed)
+    return DBSCAN(min_samples=max(2, min(n_clusters, 10)))
+
+
+def evaluate_clustering(X: np.ndarray, labels_true: np.ndarray, *,
+                        algorithm: str, dataset: str, task: str,
+                        embedding: str,
+                        config: DeepClusteringConfig | None = None,
+                        seed: int | None = None) -> TaskResult:
+    """Run one clusterer on an embedding matrix and score it against GT."""
+    labels_true = np.asarray(labels_true, dtype=np.int64)
+    n_clusters = int(np.unique(labels_true).size)
+    clusterer = make_clusterer(algorithm, n_clusters, config=config, seed=seed)
+
+    timer = Timer()
+    with timer:
+        result = clusterer.fit_predict(X)
+    predicted = relabel_noise_as_singletons(result.labels)
+
+    return TaskResult(
+        dataset=dataset,
+        task=task,
+        embedding=embedding,
+        algorithm=algorithm,
+        n_clusters_true=n_clusters,
+        n_clusters_predicted=result.n_clusters,
+        ari=adjusted_rand_index(labels_true, predicted),
+        acc=clustering_accuracy(labels_true, predicted),
+        runtime_seconds=timer.elapsed,
+        clustering=result,
+    )

@@ -1,0 +1,73 @@
+"""Preprocessing phase of the experimental framework (Figure 2, left).
+
+The paper removes "high-level syntactic errors" before embedding: empty or
+constant columns, whitespace/case inconsistencies, placeholder null strings.
+These helpers normalise the dataset containers in place-independent fashion
+(returning new objects) so that every embedding method sees the same cleaned
+input.
+"""
+
+from __future__ import annotations
+
+from ..data.table import Column, Record, Table
+from ..utils.text import normalize_text
+
+__all__ = ["preprocess_tables", "preprocess_records", "preprocess_columns",
+           "clean_value"]
+
+_NULL_STRINGS = {"", "nan", "none", "null", "n/a", "na", "-", "unknown"}
+
+
+def clean_value(value: object) -> object:
+    """Map placeholder null strings to ``None`` and strip whitespace."""
+    if value is None:
+        return None
+    text = str(value).strip()
+    if text.lower() in _NULL_STRINGS:
+        return None
+    return text
+
+
+def preprocess_tables(tables: list[Table]) -> list[Table]:
+    """Clean every table: normalise values, drop fully empty columns."""
+    cleaned: list[Table] = []
+    for table in tables:
+        columns: dict[str, list[object]] = {}
+        for header, values in table.columns.items():
+            cleaned_values = [clean_value(value) for value in values]
+            if all(value is None for value in cleaned_values):
+                continue
+            columns[header] = cleaned_values
+        if not columns:
+            # Keep the table (schema inference needs every input row) but
+            # with a placeholder column so downstream encoders see something.
+            columns = {"empty": [None] * table.n_rows}
+        cleaned.append(Table(name=table.name, columns=columns,
+                             metadata=dict(table.metadata)))
+    return cleaned
+
+
+def preprocess_records(records: list[Record]) -> list[Record]:
+    """Clean every record: normalise values, drop attributes that are null."""
+    cleaned: list[Record] = []
+    for record in records:
+        values = {attribute: clean_value(value)
+                  for attribute, value in record.values.items()}
+        cleaned.append(Record(values=values, source=record.source,
+                              identifier=record.identifier,
+                              metadata=dict(record.metadata)))
+    return cleaned
+
+
+def preprocess_columns(columns: list[Column]) -> list[Column]:
+    """Clean every column: normalise values and drop nulls from the cells."""
+    cleaned: list[Column] = []
+    for column in columns:
+        values = [clean_value(value) for value in column.values]
+        values = [value for value in values if value is not None]
+        if not values:
+            values = [normalize_text(column.header) or "empty"]
+        cleaned.append(Column(header=column.header, values=values,
+                              table_name=column.table_name,
+                              metadata=dict(column.metadata)))
+    return cleaned

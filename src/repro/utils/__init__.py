@@ -1,0 +1,24 @@
+"""Shared utilities: validation, text normalisation, timing and IO."""
+
+from .validation import (
+    check_matrix,
+    check_labels,
+    check_same_length,
+    check_square,
+)
+from .text import normalize_text, tokenize, char_ngrams
+from .timing import Timer
+from .io import read_csv_table, write_csv_table
+
+__all__ = [
+    "check_matrix",
+    "check_labels",
+    "check_same_length",
+    "check_square",
+    "normalize_text",
+    "tokenize",
+    "char_ngrams",
+    "Timer",
+    "read_csv_table",
+    "write_csv_table",
+]

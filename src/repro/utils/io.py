@@ -1,0 +1,50 @@
+"""CSV round-tripping for the tabular data model.
+
+The benchmark generators produce in-memory :class:`repro.data.table.Table`
+objects; these helpers let examples and downstream users persist and reload
+them without requiring pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..exceptions import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..data.table import Table
+
+
+def write_csv_table(table: "Table", path: str | Path) -> Path:
+    """Write ``table`` to ``path`` as a CSV file with a header row."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(["" if value is None else value for value in row])
+    return destination
+
+
+def read_csv_table(path: str | Path, *, name: str | None = None) -> "Table":
+    """Read a CSV file written by :func:`write_csv_table` back into a Table."""
+    from ..data.table import Table
+
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"CSV file not found: {source}")
+    with source.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise DatasetError(f"CSV file is empty: {source}") from exc
+        data_rows = [row for row in reader]
+    columns: dict[str, list[object]] = {column: [] for column in header}
+    for row in data_rows:
+        for column, value in zip(header, row):
+            columns[column].append(value if value != "" else None)
+    return Table(name=name or source.stem, columns=columns)

@@ -1,0 +1,77 @@
+"""Text normalisation and tokenisation used by the embedding models.
+
+The paper's preprocessing phase (Figure 2) removes "high-level syntactic
+errors" before embedding.  The helpers here implement the normalisation used
+throughout: lower-casing, punctuation stripping, camel-case and snake-case
+splitting (column headers such as ``optical_zoom`` or ``opticalZoom`` should
+tokenize identically), and character n-gram extraction for FastText-style
+subword embeddings.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_ALNUM_RE = re.compile(r"[^0-9a-zA-Z]+")
+_MULTI_SPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: object) -> str:
+    """Normalise arbitrary cell/header content into a clean lowercase string.
+
+    ``None`` and NaN-like values normalise to the empty string; everything
+    else is stringified, camel-case split, punctuation collapsed to spaces
+    and lower-cased.
+    """
+    if text is None:
+        return ""
+    if isinstance(text, float) and text != text:  # NaN
+        return ""
+    raw = str(text).strip()
+    if not raw or raw.lower() in {"nan", "none", "null", "n/a"}:
+        return ""
+    raw = _CAMEL_RE.sub(" ", raw)
+    raw = _NON_ALNUM_RE.sub(" ", raw)
+    raw = _MULTI_SPACE_RE.sub(" ", raw)
+    return raw.strip().lower()
+
+
+def tokenize(text: object) -> list[str]:
+    """Split normalised text into word tokens."""
+    normalised = normalize_text(text)
+    if not normalised:
+        return []
+    return normalised.split(" ")
+
+
+@lru_cache(maxsize=65536)
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5) -> tuple[str, ...]:
+    """Return the character n-grams of ``token`` with boundary markers.
+
+    Mirrors FastText's subword scheme: the token is wrapped in ``<`` and
+    ``>`` markers and all n-grams with ``n_min <= n <= n_max`` are produced,
+    plus the full wrapped token itself.
+    """
+    if not token:
+        return ()
+    wrapped = f"<{token}>"
+    grams: list[str] = []
+    for n in range(n_min, n_max + 1):
+        if len(wrapped) < n:
+            continue
+        grams.extend(wrapped[i:i + n] for i in range(len(wrapped) - n + 1))
+    grams.append(wrapped)
+    return tuple(grams)
+
+
+def is_numeric_token(token: str) -> bool:
+    """Return True when ``token`` parses as a number."""
+    if not token:
+        return False
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,71 @@
+"""Input validation helpers shared across clustering and embedding modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DataValidationError
+
+
+def check_matrix(X, *, name: str = "X", allow_empty: bool = False) -> np.ndarray:
+    """Validate a 2-D feature matrix and return it as ``float64``.
+
+    Raises :class:`DataValidationError` when the input is not convertible to
+    a 2-D numeric array, contains NaNs/Infs, or is empty (unless
+    ``allow_empty`` is set).
+    """
+    try:
+        arr = np.asarray(X, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise DataValidationError(f"{name} must be numeric") from exc
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataValidationError(f"{name} must be 2-dimensional, got {arr.ndim}")
+    if not allow_empty and (arr.shape[0] == 0 or arr.shape[1] == 0):
+        raise DataValidationError(f"{name} must not be empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise DataValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_labels(labels, *, name: str = "labels") -> np.ndarray:
+    """Validate a 1-D integer label vector."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise DataValidationError(f"{name} must be 1-dimensional")
+    if arr.shape[0] == 0:
+        raise DataValidationError(f"{name} must not be empty")
+    if arr.dtype.kind not in "iu":
+        if arr.dtype.kind == "f" and np.allclose(arr, np.round(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            try:
+                arr = arr.astype(np.int64)
+            except (TypeError, ValueError) as exc:
+                raise DataValidationError(f"{name} must be integer-valued") from exc
+    return arr.astype(np.int64)
+
+
+def check_same_length(a, b, *, names: tuple[str, str] = ("a", "b")) -> None:
+    """Raise when two sequences differ in length."""
+    if len(a) != len(b):
+        raise DataValidationError(
+            f"{names[0]} and {names[1]} must have the same length "
+            f"({len(a)} != {len(b)})")
+
+
+def check_square(X, *, name: str = "X") -> np.ndarray:
+    """Validate a square 2-D matrix."""
+    arr = check_matrix(X, name=name)
+    if arr.shape[0] != arr.shape[1]:
+        raise DataValidationError(
+            f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def as_float_array(values: Sequence[float]) -> np.ndarray:
+    """Convert a sequence to a contiguous 1-D float array."""
+    return np.ascontiguousarray(np.asarray(values, dtype=np.float64).ravel())

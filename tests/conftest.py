@@ -1,0 +1,68 @@
+"""Shared fixtures: small synthetic datasets and fast DC configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DeepClusteringConfig
+from repro.data import (
+    generate_camera,
+    generate_geographic_settlements,
+    generate_musicbrainz,
+    generate_tus,
+    generate_webtables,
+)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Well-separated Gaussian blobs: (X, labels) with 4 clusters."""
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(4, 12)) * 6.0
+    X = np.vstack([center + rng.normal(size=(25, 12)) for center in centers])
+    labels = np.repeat(np.arange(4), 25)
+    return X, labels
+
+
+@pytest.fixture(scope="session")
+def overlapping_blobs():
+    """Less separated blobs (harder clustering problem)."""
+    rng = np.random.default_rng(3)
+    centers = rng.normal(size=(3, 8)) * 2.0
+    X = np.vstack([center + rng.normal(size=(30, 8)) for center in centers])
+    labels = np.repeat(np.arange(3), 30)
+    return X, labels
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Deep clustering configuration small enough for unit tests."""
+    return DeepClusteringConfig(pretrain_epochs=6, train_epochs=6,
+                                layer_size=64, latent_dim=16,
+                                learning_rate=1e-3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def webtables_small():
+    return generate_webtables(40, 8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tus_small():
+    return generate_tus(40, 8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def musicbrainz_small():
+    return generate_musicbrainz(90, 30, seed=1)
+
+
+@pytest.fixture(scope="session")
+def geographic_small():
+    return generate_geographic_settlements(90, 30, seed=1)
+
+
+@pytest.fixture(scope="session")
+def camera_small():
+    return generate_camera(100, 15, seed=1)

@@ -1,0 +1,207 @@
+"""Tests for the standard clustering algorithms (repro.clustering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import (
+    Birch,
+    DBSCAN,
+    KMeans,
+    cluster_sizes,
+    estimate_eps_elbow,
+    kth_nearest_neighbor_distances,
+    number_of_clusters,
+    relabel_noise_as_singletons,
+    soft_to_hard_assignment,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import adjusted_rand_index
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        X, labels = blobs
+        result = KMeans(4, seed=0).fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.95
+        assert result.n_clusters == 4
+
+    def test_predict_new_points(self, blobs):
+        X, _ = blobs
+        model = KMeans(4, seed=0).fit(X)
+        predictions = model.predict(X[:10])
+        assert predictions.shape == (10,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.ones((3, 2)))
+
+    def test_too_many_clusters_raises(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(10).fit(np.ones((3, 2)))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(0)
+        with pytest.raises(ConfigurationError):
+            KMeans(2, n_init=0)
+
+    def test_deterministic_for_seed(self, blobs):
+        X, _ = blobs
+        a = KMeans(4, seed=7).fit_predict(X).labels
+        b = KMeans(4, seed=7).fit_predict(X).labels
+        assert np.array_equal(a, b)
+
+    def test_k_equal_one(self, blobs):
+        X, _ = blobs
+        result = KMeans(1, seed=0).fit_predict(X)
+        assert result.n_clusters == 1
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((20, 3))
+        result = KMeans(3, seed=0).fit_predict(X)
+        assert len(result.labels) == 20
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        X, _ = blobs
+        inertia_2 = KMeans(2, seed=0).fit(X).inertia_
+        inertia_6 = KMeans(6, seed=0).fit(X).inertia_
+        assert inertia_6 < inertia_2
+
+
+class TestBirch:
+    def test_recovers_blobs(self, blobs):
+        X, labels = blobs
+        result = Birch(4, threshold=1.5, seed=0).fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.9
+
+    def test_without_n_clusters_returns_subclusters(self, blobs):
+        X, _ = blobs
+        result = Birch(None, threshold=2.0).fit_predict(X)
+        assert result.n_clusters >= 1
+
+    def test_subclusters_reported(self, blobs):
+        X, _ = blobs
+        result = Birch(4, threshold=1.0, seed=0).fit_predict(X)
+        assert result.metadata["n_subclusters"] >= 4
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ConfigurationError):
+            Birch(3, threshold=0.0)
+
+    def test_invalid_branching_raises(self):
+        with pytest.raises(ConfigurationError):
+            Birch(3, branching_factor=1)
+
+    def test_too_many_clusters_raises(self):
+        with pytest.raises(ConfigurationError):
+            Birch(10).fit(np.ones((3, 2)))
+
+    def test_small_threshold_many_subclusters(self, blobs):
+        X, _ = blobs
+        few = Birch(None, threshold=5.0).fit_predict(X).metadata["n_subclusters"]
+        many = Birch(None, threshold=0.3).fit_predict(X).metadata["n_subclusters"]
+        assert many >= few
+
+
+class TestDBSCAN:
+    def test_recovers_well_separated_blobs(self, blobs):
+        X, labels = blobs
+        result = DBSCAN(min_samples=4).fit_predict(X)
+        relabeled = relabel_noise_as_singletons(result.labels)
+        assert adjusted_rand_index(labels, relabeled) > 0.8
+
+    def test_eps_estimated_when_not_given(self, blobs):
+        X, _ = blobs
+        model = DBSCAN(min_samples=4)
+        model.fit(X)
+        assert model.eps_ is not None and model.eps_ > 0
+
+    def test_explicit_eps_respected(self, blobs):
+        X, _ = blobs
+        model = DBSCAN(eps=0.5, min_samples=3)
+        model.fit(X)
+        assert model.eps_ == pytest.approx(0.5)
+
+    def test_tiny_eps_marks_noise(self, blobs):
+        X, _ = blobs
+        result = DBSCAN(eps=1e-6, min_samples=3).fit_predict(X)
+        assert result.metadata["n_noise"] == len(X)
+        assert result.n_clusters == 0
+
+    def test_huge_eps_single_cluster(self, blobs):
+        X, _ = blobs
+        result = DBSCAN(eps=1e6, min_samples=3).fit_predict(X)
+        assert result.n_clusters == 1
+
+    def test_identical_points_single_cluster(self):
+        X = np.zeros((15, 4))
+        result = DBSCAN(min_samples=3).fit_predict(X)
+        assert result.n_clusters == 1
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            DBSCAN(eps=-1.0)
+        with pytest.raises(ConfigurationError):
+            DBSCAN(min_samples=0)
+
+
+class TestEpsSelection:
+    def test_knn_distances_shape(self, blobs):
+        X, _ = blobs
+        distances = kth_nearest_neighbor_distances(X, k=4)
+        assert distances.shape == (len(X),)
+        assert np.all(distances >= 0)
+
+    def test_elbow_positive_for_spread_data(self, blobs):
+        X, _ = blobs
+        assert estimate_eps_elbow(X, k=4) > 0
+
+    def test_elbow_zero_for_identical_points(self):
+        assert estimate_eps_elbow(np.zeros((10, 2))) == 0.0
+
+    def test_single_point(self):
+        assert estimate_eps_elbow(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_invalid_k_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValueError):
+            kth_nearest_neighbor_distances(X, k=0)
+
+
+class TestLabelUtilities:
+    def test_soft_to_hard(self):
+        soft = np.array([[0.2, 0.8], [0.7, 0.3]])
+        assert soft_to_hard_assignment(soft).tolist() == [1, 0]
+
+    def test_soft_to_hard_rejects_1d(self):
+        with pytest.raises(ValueError):
+            soft_to_hard_assignment(np.array([0.2, 0.8]))
+
+    def test_cluster_sizes(self):
+        sizes = cluster_sizes([0, 0, 1, 2, 2, 2])
+        assert sizes == {0: 2, 1: 1, 2: 3}
+
+    def test_relabel_noise(self):
+        labels = np.array([0, -1, 1, -1])
+        relabeled = relabel_noise_as_singletons(labels)
+        assert -1 not in relabeled
+        assert len(np.unique(relabeled)) == 4
+
+    def test_relabel_noise_no_noise_unchanged(self):
+        labels = np.array([0, 1, 1])
+        assert np.array_equal(relabel_noise_as_singletons(labels), labels)
+
+    def test_number_of_clusters_excludes_noise(self):
+        assert number_of_clusters([0, 1, -1, 1]) == 2
+        assert number_of_clusters([0, 1, -1, 1], count_noise=True) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=-1, max_value=5), min_size=1,
+                    max_size=30))
+    def test_relabel_noise_preserves_non_noise(self, labels):
+        labels = np.asarray(labels)
+        relabeled = relabel_noise_as_singletons(labels)
+        mask = labels != -1
+        assert np.array_equal(relabeled[mask], labels[mask])
+        assert np.all(relabeled != -1)

@@ -1,0 +1,79 @@
+"""Tests for repro.config."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BENCHMARK_SCALE,
+    TEST_SCALE,
+    DeepClusteringConfig,
+    ExperimentScale,
+    make_rng,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMakeRng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().integers(1000) == make_rng().integers(1000)
+
+    def test_explicit_seed_is_deterministic(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2 ** 31, size=8)
+        b = make_rng(2).integers(0, 2 ** 31, size=8)
+        assert not np.array_equal(a, b)
+
+
+class TestDeepClusteringConfig:
+    def test_defaults_follow_paper(self):
+        config = DeepClusteringConfig()
+        assert config.n_layers == 2
+        assert config.layer_size == 1000
+        assert config.latent_dim == 100
+        assert config.pretrain_epochs == 30
+
+    def test_with_updates_returns_new_object(self):
+        config = DeepClusteringConfig()
+        updated = config.with_updates(latent_dim=50)
+        assert updated.latent_dim == 50
+        assert config.latent_dim == 100
+
+    def test_scaled_for_caps_layer_size(self):
+        config = DeepClusteringConfig()
+        scaled = config.scaled_for(10)
+        assert scaled.layer_size <= 40
+        assert scaled.layer_size >= 16
+
+    def test_scaled_for_keeps_small_configs(self):
+        config = DeepClusteringConfig(layer_size=32, latent_dim=8)
+        scaled = config.scaled_for(1000)
+        assert scaled.layer_size == 32
+        assert scaled.latent_dim == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_layers": 0},
+        {"layer_size": 0},
+        {"latent_dim": 0},
+        {"pretrain_epochs": -1},
+        {"learning_rate": 0.0},
+        {"clustering_weight": -0.1},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeepClusteringConfig(**kwargs)
+
+
+class TestExperimentScale:
+    def test_default_scales_exist(self):
+        assert BENCHMARK_SCALE.webtables_clusters == 26
+        assert TEST_SCALE.webtables_tables < BENCHMARK_SCALE.webtables_tables
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(webtables_tables=5, webtables_clusters=10)
+
+    def test_zero_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(camera_columns=0)

@@ -1,0 +1,308 @@
+"""Tests for the data model, ontology, corruption and benchmark generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Column,
+    Concept,
+    Ontology,
+    Record,
+    Table,
+    abbreviate,
+    corrupt_duration,
+    corrupt_year,
+    default_ontology,
+    drop_value,
+    generate_camera,
+    generate_geographic_settlements,
+    generate_monitor,
+    generate_musicbrainz,
+    generate_musicbrainz_scalability,
+    generate_tus,
+    generate_webtables,
+    introduce_typo,
+    profile_datasets,
+    vary_case,
+)
+from repro.data.table import (
+    ColumnClusteringDataset,
+    RecordClusteringDataset,
+    TableClusteringDataset,
+)
+from repro.data.tus import unionability_ground_truth, unionable_fraction
+from repro.exceptions import DataValidationError, DatasetError
+
+
+class TestTable:
+    def test_basic_properties(self):
+        table = Table(name="t", columns={"a": [1, 2], "b": ["x", "y"]})
+        assert table.n_rows == 2
+        assert table.n_columns == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(DataValidationError):
+            Table(name="t", columns={"a": [1], "b": [1, 2]})
+
+    def test_rows_and_records(self):
+        table = Table(name="t", columns={"a": [1, 2], "b": ["x", "y"]})
+        assert table.rows() == [(1, "x"), (2, "y")]
+        records = table.records()
+        assert records[0].values == {"a": 1, "b": "x"}
+        assert records[0].source == "t"
+
+    def test_header_text(self):
+        table = Table(name="t", columns={"country": [1], "population": [2]})
+        assert table.header_text() == "country population"
+
+    def test_column_accessor(self):
+        table = Table(name="t", columns={"a": [1, 2]})
+        column = table.column("a")
+        assert column.values == [1, 2]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+
+class TestRecordAndColumn:
+    def test_record_text_skips_nulls(self):
+        record = Record(values={"a": "x", "b": None, "c": ""})
+        assert record.text() == "a: x"
+
+    def test_column_text_limits_values(self):
+        column = Column(header="h", values=[str(i) for i in range(100)])
+        text = column.text(max_values=5)
+        assert "4" in text and "99" not in text
+
+    def test_column_n_values(self):
+        assert Column(header="h", values=[1, 2, 3]).n_values == 3
+
+
+class TestDatasetContainers:
+    def test_label_length_mismatch_raises(self):
+        table = Table(name="t", columns={"a": [1]})
+        with pytest.raises(DataValidationError):
+            TableClusteringDataset(tables=[table], labels=np.array([0, 1]))
+
+    def test_n_clusters(self):
+        table = Table(name="t", columns={"a": [1]})
+        dataset = TableClusteringDataset(tables=[table, table, table],
+                                         labels=np.array([0, 1, 1]))
+        assert dataset.n_clusters == 2
+        assert dataset.n_items == 3
+
+    def test_record_dataset_sources(self):
+        records = [Record(values={"a": 1}, source="s1"),
+                   Record(values={"a": 2}, source="s2")]
+        dataset = RecordClusteringDataset(records=records,
+                                          labels=np.array([0, 0]))
+        assert dataset.n_sources == 2
+
+    def test_column_dataset_sources(self):
+        columns = [Column(header="h", values=[1], table_name="a"),
+                   Column(header="h", values=[1], table_name="b")]
+        dataset = ColumnClusteringDataset(columns=columns,
+                                          labels=np.array([0, 1]))
+        assert dataset.n_sources == 2
+
+
+class TestOntology:
+    def test_default_ontology_is_cached(self):
+        assert default_ontology() is default_ontology()
+
+    def test_lookup_surface_forms(self):
+        ontology = default_ontology()
+        assert ontology.lookup("optical zoom") == "optical zoom"
+        assert ontology.lookup("lens") == "optical zoom"
+        assert ontology.lookup("Eng.") == "language_english"
+
+    def test_lookup_unknown_returns_none(self):
+        assert default_ontology().lookup("very unknown phrase xyz") is None
+
+    def test_concept_vector_deterministic_unit_norm(self):
+        ontology = default_ontology()
+        a = ontology.concept_vector("optical zoom", 32)
+        b = ontology.concept_vector("optical zoom", 32)
+        assert np.allclose(a, b)
+        assert np.linalg.norm(a) == pytest.approx(1.0)
+
+    def test_by_category(self):
+        ontology = default_ontology()
+        camera = ontology.by_category("camera_domain")
+        assert len(camera) >= 30
+        assert all(c.category == "camera_domain" for c in camera)
+
+    def test_duplicate_concept_raises(self):
+        ontology = Ontology([Concept("x", ("a",))])
+        with pytest.raises(ValueError):
+            ontology.add(Concept("x", ("b",)))
+
+    def test_concept_without_surface_forms_raises(self):
+        with pytest.raises(ValueError):
+            Concept("x", ())
+
+    def test_contains_and_len(self):
+        ontology = Ontology([Concept("x", ("a",))])
+        assert "x" in ontology
+        assert len(ontology) == 1
+
+
+class TestCorruption:
+    def test_abbreviate_shortens(self):
+        rng = np.random.default_rng(0)
+        assert len(abbreviate("English", rng)) < len("English") + 1
+
+    def test_abbreviate_keeps_short_tokens(self):
+        rng = np.random.default_rng(0)
+        assert abbreviate("en", rng) == "en"
+
+    def test_corrupt_year_formats(self):
+        rng = np.random.default_rng(0)
+        outputs = {corrupt_year(2008, rng) for _ in range(40)}
+        assert len(outputs) > 1
+        assert any("08" in value for value in outputs)
+
+    def test_corrupt_year_non_numeric_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert corrupt_year("unknown", rng) == "unknown"
+
+    def test_corrupt_duration_formats(self):
+        rng = np.random.default_rng(0)
+        outputs = {corrupt_duration(242, rng) for _ in range(40)}
+        assert "242" in outputs
+        assert any("4m 2sec" == value for value in outputs)
+
+    def test_drop_value_probability_bounds(self):
+        rng = np.random.default_rng(0)
+        assert drop_value("x", rng, probability=0.0) == "x"
+        assert drop_value("x", rng, probability=1.0) is None
+
+    def test_introduce_typo_changes_long_strings(self):
+        rng = np.random.default_rng(0)
+        assert introduce_typo("characters", rng) != "characters"
+
+    def test_vary_case_produces_known_styles(self):
+        rng = np.random.default_rng(0)
+        value = vary_case("Mixed Case", rng)
+        assert value in {"MIXED CASE", "mixed case", "Mixed Case"}
+
+
+class TestWebTablesGenerator:
+    def test_counts_match_request(self, webtables_small):
+        assert webtables_small.n_items == 40
+        assert webtables_small.n_clusters == 8
+
+    def test_every_class_has_at_least_two_tables(self, webtables_small):
+        _, counts = np.unique(webtables_small.labels, return_counts=True)
+        assert counts.min() >= 2
+
+    def test_deterministic_for_seed(self):
+        a = generate_webtables(30, 6, seed=5)
+        b = generate_webtables(30, 6, seed=5)
+        assert [t.header_text() for t in a.tables] == \
+            [t.header_text() for t in b.tables]
+
+    def test_same_class_tables_share_header_concepts(self, webtables_small):
+        labels = webtables_small.labels
+        tables = webtables_small.tables
+        same_class = [i for i in range(len(labels)) if labels[i] == labels[0]]
+        headers_a = set(tables[same_class[0]].header_text().split())
+        headers_b = set(tables[same_class[1]].header_text().split())
+        assert headers_a or headers_b  # non-empty schema text
+
+    def test_too_few_tables_raise(self):
+        with pytest.raises(DatasetError):
+            generate_webtables(5, 10)
+
+
+class TestTUSGenerator:
+    def test_singleton_communities_excluded(self, tus_small):
+        _, counts = np.unique(tus_small.labels, return_counts=True)
+        assert counts.min() >= 2
+
+    def test_unionable_fraction_bounds(self, tus_small):
+        tables = tus_small.tables
+        fraction = unionable_fraction(tables[0], tables[1], default_ontology())
+        assert 0.0 <= fraction <= 1.0
+
+    def test_ground_truth_construction_keeps_mask_shape(self, tus_small):
+        labels, keep = unionability_ground_truth(tus_small.tables[:10], seed=0)
+        assert labels.shape == (10,)
+        assert keep.shape == (10,)
+
+
+class TestEntityResolutionGenerators:
+    def test_musicbrainz_counts(self, musicbrainz_small):
+        assert musicbrainz_small.n_items == 90
+        assert musicbrainz_small.n_clusters == 30
+        assert musicbrainz_small.n_sources == 5
+
+    def test_musicbrainz_every_cluster_at_least_two(self, musicbrainz_small):
+        _, counts = np.unique(musicbrainz_small.labels, return_counts=True)
+        assert counts.min() >= 2
+
+    def test_musicbrainz_records_share_attributes(self, musicbrainz_small):
+        attributes = {tuple(sorted(r.values)) for r in musicbrainz_small.records}
+        assert len(attributes) == 1  # same schema, different descriptions
+
+    def test_musicbrainz_too_few_records_raise(self):
+        with pytest.raises(DatasetError):
+            generate_musicbrainz(10, 10)
+
+    def test_scalability_generator_sizes(self):
+        dataset = generate_musicbrainz_scalability(100, 25, seed=0)
+        assert dataset.n_items == 100
+        assert dataset.n_clusters == 25
+
+    def test_scalability_generator_invalid(self):
+        with pytest.raises(DatasetError):
+            generate_musicbrainz_scalability(10, 20)
+
+    def test_geographic_counts(self, geographic_small):
+        assert geographic_small.n_items == 90
+        assert geographic_small.n_clusters == 30
+        assert geographic_small.n_sources == 4
+
+
+class TestDomainDiscoveryGenerators:
+    def test_camera_counts(self, camera_small):
+        assert camera_small.n_items == 100
+        assert camera_small.n_clusters == 15
+
+    def test_monitor_uses_monitor_domains(self):
+        dataset = generate_monitor(80, 10, seed=0)
+        domains = {column.metadata["domain"] for column in dataset.columns}
+        assert all(domain in default_ontology()._concepts for domain in domains)
+
+    def test_every_domain_has_at_least_two_columns(self, camera_small):
+        _, counts = np.unique(camera_small.labels, return_counts=True)
+        assert counts.min() >= 2
+
+    def test_requesting_too_many_domains_raises(self):
+        with pytest.raises(DatasetError):
+            generate_camera(100, 500)
+
+    def test_columns_fewer_than_domains_raises(self):
+        with pytest.raises(DatasetError):
+            generate_camera(5, 20)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=40, max_value=80))
+    def test_column_count_respected(self, n_columns):
+        dataset = generate_camera(n_columns, 10, seed=0)
+        assert dataset.n_items == n_columns
+
+
+class TestProfiles:
+    def test_profile_rows_match_table1_layout(self, webtables_small,
+                                              musicbrainz_small, camera_small):
+        profiles = profile_datasets([webtables_small, musicbrainz_small,
+                                     camera_small])
+        tasks = [profile.task for profile in profiles]
+        assert tasks == ["Schema Inference", "Entity Resolution",
+                         "Domain Discovery"]
+        row = profiles[1].as_row()
+        assert row["Sources"] == 5
+        assert row["Number of Instances"] == 90
+        assert row["GT clusters"] == 30

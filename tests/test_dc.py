@@ -1,0 +1,260 @@
+"""Tests for the deep clustering algorithms (repro.dc)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.config import DeepClusteringConfig
+from repro.dc import (
+    EDESC,
+    SDCN,
+    SHGP,
+    Autoencoder,
+    AutoencoderClustering,
+    SilhouetteStopper,
+    select_sdcn_or_autoencoder,
+    student_t_assignment,
+    target_distribution,
+)
+from repro.exceptions import ConfigurationError
+from repro.metrics import adjusted_rand_index
+from repro.nn import Tensor
+
+
+class TestTargetDistribution:
+    def test_student_t_rows_sum_to_one(self):
+        latent = Tensor(np.random.default_rng(0).normal(size=(10, 4)))
+        centers = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        q = student_t_assignment(latent, centers)
+        assert np.allclose(q.numpy().sum(axis=1), 1.0)
+        assert np.all(q.numpy() > 0)
+
+    def test_closer_center_gets_higher_probability(self):
+        latent = Tensor(np.array([[0.0, 0.0]]))
+        centers = Tensor(np.array([[0.1, 0.0], [5.0, 5.0]]))
+        q = student_t_assignment(latent, centers).numpy()
+        assert q[0, 0] > q[0, 1]
+
+    def test_gradients_flow_to_centers(self):
+        latent = Tensor(np.random.default_rng(0).normal(size=(6, 3)))
+        centers = Tensor(np.random.default_rng(1).normal(size=(2, 3)),
+                         requires_grad=True)
+        q = student_t_assignment(latent, centers)
+        q.sum().backward()
+        assert centers.grad is not None
+
+    def test_target_distribution_sharpens(self):
+        # Balanced cluster frequencies: P should sharpen each row's dominant
+        # assignment (the f_j normalisation cancels out).
+        q = np.array([[0.6, 0.4], [0.4, 0.6]])
+        p = target_distribution(q)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p[0, 0] > q[0, 0]
+        assert p[1, 1] > q[1, 1]
+
+    def test_target_distribution_balances_cluster_frequencies(self):
+        # With unbalanced soft frequencies the f_j division pushes mass
+        # towards the under-used cluster (DEC's class-balancing effect).
+        q = np.array([[0.9, 0.1], [0.9, 0.1]])
+        p = target_distribution(q)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p[0, 1] > q[0, 1]
+
+
+class TestStopping:
+    def test_tracks_best_epoch(self, blobs):
+        X, labels = blobs
+        stopper = SilhouetteStopper(patience=None)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 4, size=len(labels))
+        stopper.update(0, X, random_labels)
+        stopper.update(1, X, labels)
+        assert stopper.best_epoch == 1
+        assert np.array_equal(stopper.best_labels, labels)
+
+    def test_early_stop_after_patience(self, blobs):
+        X, labels = blobs
+        stopper = SilhouetteStopper(patience=2)
+        stopper.update(0, X, labels)
+        rng = np.random.default_rng(0)
+        worse = rng.integers(0, 4, size=len(labels))
+        stopper.update(1, X, worse)
+        assert not stopper.should_stop()
+        stopper.update(2, X, worse)
+        assert stopper.should_stop()
+
+    def test_selection_rule(self):
+        assert select_sdcn_or_autoencoder(0.5, 0.4) == "sdcn"
+        assert select_sdcn_or_autoencoder(0.3, 0.4) == "autoencoder"
+        assert select_sdcn_or_autoencoder(0.4, 0.4) == "sdcn"
+
+
+class TestAutoencoder:
+    def test_reconstruction_improves_with_training(self, blobs):
+        X, _ = blobs
+        ae = Autoencoder(X.shape[1], latent_dim=8, layer_size=32, seed=0)
+        losses = ae.pretrain(X, epochs=20, lr=1e-3, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_transform_shape(self, blobs):
+        X, _ = blobs
+        ae = Autoencoder(X.shape[1], latent_dim=8, layer_size=32, seed=0)
+        ae.pretrain(X, epochs=3, seed=0)
+        latent = ae.transform(X)
+        assert latent.shape == (len(X), 8)
+
+    def test_reconstruct_shape(self, blobs):
+        X, _ = blobs
+        ae = Autoencoder(X.shape[1], latent_dim=8, layer_size=32, seed=0)
+        assert ae.reconstruct(X).shape == X.shape
+
+    def test_encode_returns_hidden_states(self, blobs):
+        X, _ = blobs
+        ae = Autoencoder(X.shape[1], latent_dim=8, layer_size=16, n_layers=2,
+                         seed=0)
+        _, hidden = ae.encode(Tensor(X), return_hidden=True)
+        assert len(hidden) == 3  # two hidden layers plus the latent layer
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ConfigurationError):
+            Autoencoder(0)
+
+    def test_minibatch_training(self, blobs):
+        X, _ = blobs
+        ae = Autoencoder(X.shape[1], latent_dim=8, layer_size=32, seed=0)
+        losses = ae.pretrain(X, epochs=5, batch_size=16, seed=0)
+        assert len(losses) == 5
+
+
+class TestAutoencoderClustering:
+    def test_clusters_blobs(self, blobs, fast_config):
+        X, labels = blobs
+        model = AutoencoderClustering(4, clusterer="kmeans", config=fast_config)
+        result = model.fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.8
+        assert result.embedding is not None
+
+    def test_birch_variant(self, blobs, fast_config):
+        X, labels = blobs
+        model = AutoencoderClustering(4, clusterer="birch", config=fast_config)
+        result = model.fit_predict(X)
+        assert result.labels.shape == (len(X),)
+
+    def test_invalid_clusterer_raises(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            AutoencoderClustering(4, clusterer="spectral", config=fast_config)
+
+    def test_history_recorded(self, blobs, fast_config):
+        X, _ = blobs
+        model = AutoencoderClustering(4, config=fast_config)
+        model.fit(X)
+        assert "reconstruction_loss" in model.history_
+
+
+class TestSDCN:
+    def test_clusters_blobs(self, blobs, fast_config):
+        X, labels = blobs
+        model = SDCN(4, knn_k=8, config=fast_config)
+        result = model.fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.7
+        assert result.soft_assignments is not None
+
+    def test_fallback_branch_recorded(self, blobs, fast_config):
+        X, _ = blobs
+        model = SDCN(4, knn_k=8, config=fast_config)
+        result = model.fit_predict(X)
+        assert result.metadata["selected_branch"] in {"sdcn", "autoencoder"}
+
+    def test_no_fallback_keeps_sdcn(self, blobs, fast_config):
+        X, _ = blobs
+        model = SDCN(4, knn_k=8, auto_fallback=False, config=fast_config)
+        model.fit(X)
+        assert model.selected_branch_ == "sdcn"
+
+    def test_invalid_params_raise(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            SDCN(1, config=fast_config)
+        with pytest.raises(ConfigurationError):
+            SDCN(3, knn_k=0, config=fast_config)
+        with pytest.raises(ConfigurationError):
+            SDCN(3, delivery_weight=1.5, config=fast_config)
+
+    def test_too_few_samples_raise(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            SDCN(5, config=fast_config).fit(np.ones((3, 4)))
+
+
+class TestEDESC:
+    def test_clusters_blobs(self, blobs, fast_config):
+        X, labels = blobs
+        model = EDESC(4, subspace_dim=3, config=fast_config)
+        result = model.fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.6
+
+    def test_latent_dim_is_clusters_times_subspace(self, fast_config):
+        model = EDESC(4, subspace_dim=3, config=fast_config)
+        assert model.latent_dim == 12
+
+    def test_subspace_bases_shape(self, blobs, fast_config):
+        X, _ = blobs
+        model = EDESC(4, subspace_dim=3, config=fast_config)
+        model.fit(X)
+        assert model.subspace_bases_.shape == (12, 12)
+
+    def test_soft_assignments_valid(self, blobs, fast_config):
+        X, _ = blobs
+        model = EDESC(4, subspace_dim=2, config=fast_config)
+        model.fit(X)
+        assert np.allclose(model.soft_assignments_.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_invalid_params_raise(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            EDESC(3, subspace_dim=0, config=fast_config)
+        with pytest.raises(ConfigurationError):
+            EDESC(3, eta=0.0, config=fast_config)
+
+
+class TestSHGP:
+    def test_clusters_blobs(self, blobs, fast_config):
+        X, labels = blobs
+        model = SHGP(4, n_anchors=8, n_rounds=2, epochs_per_round=5,
+                     config=fast_config)
+        result = model.fit_predict(X)
+        assert adjusted_rand_index(labels, result.labels) > 0.6
+        assert model.pseudo_labels_ is not None
+
+    def test_attention_weights_in_unit_interval(self, blobs, fast_config):
+        X, _ = blobs
+        model = SHGP(4, n_anchors=8, n_rounds=1, epochs_per_round=3,
+                     config=fast_config)
+        model.fit(X)
+        assert np.all(model.attention_ > 0) and np.all(model.attention_ < 1)
+
+    def test_pseudo_labels_capped_at_n_clusters(self, blobs, fast_config):
+        X, _ = blobs
+        model = SHGP(4, n_anchors=8, n_rounds=1, epochs_per_round=3,
+                     config=fast_config)
+        model.fit(X)
+        assert len(np.unique(model.pseudo_labels_)) <= 4
+
+    def test_invalid_params_raise(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            SHGP(3, hidden_dim=0, config=fast_config)
+        with pytest.raises(ConfigurationError):
+            SHGP(3, n_rounds=0, config=fast_config)
+
+
+class TestDeepVsShallowRepresentation:
+    def test_dc_latent_space_is_lower_dimensional(self, blobs, fast_config):
+        X, _ = blobs
+        model = AutoencoderClustering(4, config=fast_config)
+        result = model.fit_predict(X)
+        assert result.embedding.shape[1] <= fast_config.latent_dim
+
+    def test_kmeans_on_latent_matches_original_quality(self, blobs, fast_config):
+        """The AE latent space preserves the blob structure."""
+        X, labels = blobs
+        model = AutoencoderClustering(4, clusterer="kmeans", config=fast_config)
+        model.fit(X)
+        latent_result = KMeans(4, seed=0).fit_predict(model.embedding_)
+        assert adjusted_rand_index(labels, latent_result.labels) > 0.8

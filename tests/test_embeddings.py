@@ -1,0 +1,314 @@
+"""Tests for the embedding models (repro.embeddings)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import generate_musicbrainz
+from repro.data.table import Column, Record, Table
+from repro.embeddings import (
+    EmbDiEmbedder,
+    FastTextEncoder,
+    SBERTEncoder,
+    TabNetEncoder,
+    TabTransformerEncoder,
+    TripartiteGraph,
+    normalize_dimensions,
+    train_skipgram,
+)
+from repro.embeddings.base import hashed_vector
+from repro.embeddings.dimension import interpolate_vector
+from repro.exceptions import EmbeddingError
+
+
+def cosine(a, b):
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+
+class TestHashedVector:
+    def test_deterministic(self):
+        assert np.allclose(hashed_vector("abc", 32), hashed_vector("abc", 32))
+
+    def test_different_tokens_differ(self):
+        assert not np.allclose(hashed_vector("abc", 32), hashed_vector("abd", 32))
+
+    def test_salt_changes_vector(self):
+        assert not np.allclose(hashed_vector("abc", 32, salt="x"),
+                               hashed_vector("abc", 32, salt="y"))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(hashed_vector("token", 64)) == pytest.approx(1.0)
+
+
+class TestSBERTEncoder:
+    def test_output_dimension(self):
+        encoder = SBERTEncoder()
+        assert encoder.encode("sensor size").shape == (768,)
+
+    def test_synonyms_are_close(self):
+        encoder = SBERTEncoder()
+        assert cosine(encoder.encode("optical zoom"), encoder.encode("lens")) > 0.8
+
+    def test_abbreviations_are_close(self):
+        encoder = SBERTEncoder()
+        assert cosine(encoder.encode("English"), encoder.encode("Eng.")) > 0.8
+
+    def test_unrelated_concepts_are_far(self):
+        encoder = SBERTEncoder()
+        assert cosine(encoder.encode("optical zoom"),
+                      encoder.encode("battery life")) < 0.5
+
+    def test_empty_text_is_zero_vector(self):
+        encoder = SBERTEncoder()
+        assert not encoder.encode("").any()
+
+    def test_numeric_magnitudes_similar_when_close(self):
+        encoder = SBERTEncoder()
+        near = cosine(encoder.encode("24"), encoder.encode("27"))
+        far = cosine(encoder.encode("24"), encoder.encode("2400000"))
+        assert near > far
+
+    def test_encode_texts_stacks(self):
+        encoder = SBERTEncoder()
+        matrix = encoder.encode_texts(["a b", "c d", "e"])
+        assert matrix.shape == (3, 768)
+
+    def test_encode_texts_empty_raises(self):
+        with pytest.raises(EmbeddingError):
+            SBERTEncoder().encode_texts([])
+
+    def test_deterministic(self):
+        a = SBERTEncoder().encode("screen size 24 inch")
+        b = SBERTEncoder().encode("screen size 24 inch")
+        assert np.allclose(a, b)
+
+
+class TestFastTextEncoder:
+    def test_output_dimension(self):
+        assert FastTextEncoder().encode("zoom").shape == (300,)
+
+    def test_shared_subwords_are_close(self):
+        encoder = FastTextEncoder()
+        assert cosine(encoder.encode("headphone outputs"),
+                      encoder.encode("headphone out")) > 0.4
+
+    def test_synonyms_without_shared_subwords_are_far(self):
+        encoder = FastTextEncoder()
+        assert cosine(encoder.encode("lens"),
+                      encoder.encode("optical zoom")) < 0.3
+
+    def test_empty_text_is_zero_vector(self):
+        assert not FastTextEncoder().encode("").any()
+
+    def test_invalid_ngram_range_raises(self):
+        with pytest.raises(ValueError):
+            FastTextEncoder(n_min=4, n_max=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="abcdefgh ", min_size=1, max_size=20))
+    def test_unit_or_zero_norm(self, text):
+        vector = FastTextEncoder().encode(text)
+        norm = np.linalg.norm(vector)
+        assert norm == pytest.approx(1.0) or norm == pytest.approx(0.0)
+
+
+class TestDimensionNormalization:
+    def test_interpolate_preserves_length_when_equal(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(interpolate_vector(v, 3), v)
+
+    def test_interpolate_upsamples(self):
+        out = interpolate_vector(np.array([0.0, 1.0]), 5)
+        assert out.shape == (5,)
+        assert out[0] == 0.0 and out[-1] == 1.0
+        assert np.all(np.diff(out) > 0)
+
+    def test_interpolate_downsamples(self):
+        out = interpolate_vector(np.linspace(0, 1, 10), 4)
+        assert out.shape == (4,)
+
+    def test_interpolate_single_value(self):
+        assert np.allclose(interpolate_vector(np.array([2.5]), 3), 2.5)
+
+    def test_normalize_uses_max_length(self):
+        matrix = normalize_dimensions([np.ones(3), np.ones(7)])
+        assert matrix.shape == (2, 7)
+
+    def test_normalize_drop_last(self):
+        matrix = normalize_dimensions([np.ones(3), np.ones(7)], drop_last=True)
+        assert matrix.shape == (2, 6)
+
+    def test_normalize_explicit_target(self):
+        matrix = normalize_dimensions([np.ones(3), np.ones(7)], target_dim=5)
+        assert matrix.shape == (2, 5)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmbeddingError):
+            normalize_dimensions([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2,
+                    max_size=12),
+           st.integers(min_value=2, max_value=20))
+    def test_interpolation_stays_within_range(self, values, target):
+        out = interpolate_vector(np.asarray(values), target)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+
+class TestSkipGram:
+    def test_tokens_sharing_contexts_are_closer(self):
+        # Skip-gram makes tokens with *similar contexts* similar: "a" and "b"
+        # both co-occur with "ctx1"; "c" and "d" both co-occur with "ctx2".
+        # Filler sentences enlarge the vocabulary so negative sampling has
+        # somewhere to push unrelated vectors.
+        sentences = ([["a", "ctx1"], ["b", "ctx1"], ["c", "ctx2"], ["d", "ctx2"]]
+                     * 60)
+        sentences += [[f"w{i}", f"w{i + 1}"] for i in range(40)] * 2
+        model = train_skipgram(sentences, dim=16, epochs=10, seed=0)
+        ab = cosine(model.vector("a"), model.vector("b"))
+        ac = cosine(model.vector("a"), model.vector("c"))
+        assert ab > ac
+
+    def test_unknown_token_is_zero(self):
+        model = train_skipgram([["a", "b"]], dim=8, epochs=1, seed=0)
+        assert not model.vectors_for(["zzz"]).any()
+
+    def test_empty_sentences_raise(self):
+        with pytest.raises(EmbeddingError):
+            train_skipgram([], dim=8)
+
+    def test_vectors_are_finite(self):
+        sentences = [["x", "y", "z"]] * 30
+        model = train_skipgram(sentences, dim=8, epochs=4, seed=0)
+        assert np.all(np.isfinite(model.vectors))
+
+
+class TestTripartiteGraph:
+    def _records(self):
+        return [
+            Record(values={"title": "blue moon", "year": "1999"}, identifier="r0"),
+            Record(values={"title": "blue moon", "year": "1999"}, identifier="r1"),
+            Record(values={"title": "red sun", "year": "2005"}, identifier="r2"),
+        ]
+
+    def test_from_records_has_all_node_types(self):
+        graph = TripartiteGraph.from_records(self._records())
+        nodes = graph.nodes
+        assert any(node.startswith("idx__") for node in nodes)
+        assert any(node.startswith("cid__") for node in nodes)
+        assert any(node.startswith("tt__") for node in nodes)
+
+    def test_duplicate_rows_share_value_nodes(self):
+        graph = TripartiteGraph.from_records(self._records())
+        n0 = set(graph.neighbors["idx__0"])
+        n1 = set(graph.neighbors["idx__1"])
+        assert n0 & n1  # shared value nodes
+
+    def test_from_columns_builds_column_nodes(self):
+        columns = [Column(header="size", values=["1", "2"]),
+                   Column(header="size", values=["2", "3"])]
+        graph = TripartiteGraph.from_columns(columns)
+        assert "cid__0" in graph.neighbors and "cid__1" in graph.neighbors
+
+    def test_random_walks_start_nodes(self):
+        graph = TripartiteGraph.from_records(self._records())
+        walks = graph.random_walks(walks_per_node=2, walk_length=5, seed=0)
+        assert all(len(walk) <= 5 for walk in walks)
+        assert len(walks) > 0
+
+    def test_numeric_values_are_rounded_to_shared_nodes(self):
+        records = [Record(values={"length": "242"}, identifier="a"),
+                   Record(values={"length": 242.0}, identifier="b")]
+        graph = TripartiteGraph.from_records(records)
+        assert set(graph.neighbors["idx__0"]) & set(graph.neighbors["idx__1"])
+
+
+class TestEmbDiEmbedder:
+    def test_row_embeddings_shape(self, musicbrainz_small):
+        embedder = EmbDiEmbedder(dim=16, walks_per_node=2, walk_length=8,
+                                 epochs=1, seed=0)
+        X = embedder.embed_records(musicbrainz_small.records[:40])
+        assert X.shape == (40, 16)
+        assert np.all(np.isfinite(X))
+
+    def test_column_embeddings_shape(self, camera_small):
+        embedder = EmbDiEmbedder(dim=16, walks_per_node=2, walk_length=8,
+                                 epochs=1, seed=0)
+        X = embedder.embed_columns(camera_small.columns[:30])
+        assert X.shape == (30, 16)
+
+    def test_duplicate_records_more_similar_than_random(self):
+        dataset = generate_musicbrainz(60, 20, seed=3)
+        embedder = EmbDiEmbedder(dim=32, walks_per_node=4, walk_length=12,
+                                 epochs=2, seed=0)
+        X = embedder.embed_records(dataset.records)
+        labels = dataset.labels
+        same, diff = [], []
+        for i in range(len(labels)):
+            for j in range(i + 1, len(labels)):
+                (same if labels[i] == labels[j] else diff).append(
+                    cosine(X[i], X[j]))
+        assert np.mean(same) > np.mean(diff)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmbeddingError):
+            EmbDiEmbedder().embed_records([])
+        with pytest.raises(EmbeddingError):
+            EmbDiEmbedder().embed_columns([])
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(EmbeddingError):
+            EmbDiEmbedder(dim=1)
+
+
+class TestTabularEncoders:
+    def _tables(self):
+        t1 = Table(name="t1", columns={"country": ["france", "spain"],
+                                       "population": [100, 200]})
+        t2 = Table(name="t2", columns={"country": ["italy", "greece"],
+                                       "population": [300, 400],
+                                       "area": [10, 20]})
+        return [t1, t2]
+
+    def test_tabnet_variable_output_sizes(self):
+        encoder = TabNetEncoder()
+        vectors = encoder.encode_tables(self._tables())
+        assert len(vectors) == 2
+        assert vectors[0].shape != vectors[1].shape  # depends on column count
+
+    def test_tabtransformer_variable_output_sizes(self):
+        encoder = TabTransformerEncoder()
+        vectors = encoder.encode_tables(self._tables())
+        assert vectors[0].size != vectors[1].size
+
+    def test_normalized_matrix_from_tabnet(self):
+        encoder = TabNetEncoder()
+        matrix = normalize_dimensions(encoder.encode_tables(self._tables()))
+        assert matrix.shape[0] == 2
+        assert np.all(np.isfinite(matrix))
+
+    def test_same_schema_tables_are_similar(self):
+        t1 = Table(name="a", columns={"country": ["x"], "population": [1]})
+        t2 = Table(name="b", columns={"country": ["y"], "population": [2]})
+        t3 = Table(name="c", columns={"director": ["z"], "title": ["w"],
+                                      "year": [1990]})
+        encoder = TabTransformerEncoder()
+        matrix = normalize_dimensions(encoder.encode_tables([t1, t2, t3]))
+        assert cosine(matrix[0], matrix[1]) > cosine(matrix[0], matrix[2])
+
+    def test_empty_table_list_raises(self):
+        with pytest.raises(EmbeddingError):
+            TabNetEncoder().encode_tables([])
+        with pytest.raises(EmbeddingError):
+            TabTransformerEncoder().encode_tables([])
+
+    def test_empty_table_raises(self):
+        with pytest.raises(EmbeddingError):
+            TabNetEncoder().encode_tables([Table(name="x", columns={})])
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(EmbeddingError):
+            TabNetEncoder(feature_dim=1)
+        with pytest.raises(EmbeddingError):
+            TabTransformerEncoder(column_dim=5, n_heads=2)

@@ -1,0 +1,189 @@
+"""Tests for the experiment registry, runner, reporting and figure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeepClusteringConfig, TEST_SCALE
+from repro.data.profiles import DatasetProfile
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    build_dataset,
+    format_results_table,
+    get_experiment,
+    pivot_results,
+    project_2d,
+    results_to_rows,
+    run_experiment,
+    run_scalability_study,
+    separability_report,
+    similarity_heatmap,
+)
+from repro.metrics.ks import KSDensityReport
+from repro.tasks import SchemaInferenceTask, embed_tables
+
+FAST = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3, layer_size=32,
+                            latent_dim=8, seed=0)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "table2", "table3", "table4", "table5", "table6",
+                    "figure3", "figure4", "figure5", "ks_density"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_get_experiment_known(self):
+        spec = get_experiment("table2")
+        assert spec.task == "schema_inference"
+        assert "sbert" in spec.embeddings
+
+    def test_get_experiment_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table99")
+
+    def test_every_table_spec_has_algorithms(self):
+        for spec in EXPERIMENTS.values():
+            if spec.kind == "table" and spec.experiment_id != "table1":
+                assert len(spec.algorithms) == 6
+
+
+class TestBuildDataset:
+    @pytest.mark.parametrize("name", ["webtables", "tus", "musicbrainz",
+                                      "geographic", "camera", "monitor"])
+    def test_known_datasets_build(self, name):
+        dataset = build_dataset(name, TEST_SCALE)
+        assert dataset.n_items > 0
+        assert dataset.n_clusters > 1
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ExperimentError):
+            build_dataset("imagenet", TEST_SCALE)
+
+
+class TestRunExperiment:
+    def test_table1_returns_profiles(self):
+        profiles = run_experiment("table1", scale=TEST_SCALE,
+                                  datasets=("webtables", "musicbrainz"))
+        assert all(isinstance(profile, DatasetProfile) for profile in profiles)
+        assert len(profiles) == 2
+
+    def test_table2_subset_runs(self):
+        results = run_experiment("table2", scale=TEST_SCALE, config=FAST,
+                                 datasets=("webtables",),
+                                 embeddings=("sbert",),
+                                 algorithms=("kmeans", "birch"))
+        assert len(results) == 2
+        assert all(r.task == "schema_inference" for r in results)
+
+    def test_table5_subset_runs(self):
+        results = run_experiment("table5", scale=TEST_SCALE, config=FAST,
+                                 datasets=("camera",),
+                                 embeddings=("sbert",),
+                                 algorithms=("kmeans",))
+        assert len(results) == 1
+        assert results[0].task == "domain_discovery"
+
+    def test_ks_density_returns_report(self):
+        report = run_experiment("ks_density", scale=TEST_SCALE)
+        assert isinstance(report, KSDensityReport)
+        assert report.n_pairs > 0
+
+    def test_figure_experiments_redirect(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure4", scale=TEST_SCALE)
+
+
+class TestReporting:
+    def _results(self):
+        return run_experiment("table2", scale=TEST_SCALE, config=FAST,
+                              datasets=("webtables",),
+                              embeddings=("sbert", "fasttext"),
+                              algorithms=("kmeans",))
+
+    def test_rows_and_pivot(self):
+        results = self._results()
+        rows = results_to_rows(results)
+        assert len(rows) == 2
+        pivot = pivot_results(results)
+        assert "web tables" in pivot
+        assert "ARI" in pivot["web tables"]
+
+    def test_format_results_table_contains_metrics(self):
+        text = format_results_table(self._results(), title="Table 2")
+        assert "Table 2" in text
+        assert "ARI" in text and "ACC" in text and "K" in text
+
+    def test_format_empty_results(self):
+        assert format_results_table([]) == "(no results)"
+
+
+class TestScalability:
+    def test_study_produces_both_sweeps(self):
+        points = run_scalability_study(
+            instance_grid=(60, 90), cluster_grid=(10, 20),
+            fixed_clusters=15, algorithms=("kmeans", "birch"),
+            config=FAST, seed=0)
+        sweeps = {point.sweep for point in points}
+        assert sweeps == {"instances", "clusters"}
+        assert len(points) == 2 * 2 + 2 * 2
+        assert all(point.runtime_seconds >= 0 for point in points)
+
+    def test_rows_have_expected_fields(self):
+        points = run_scalability_study(instance_grid=(60,), cluster_grid=(10,),
+                                       fixed_clusters=10,
+                                       algorithms=("kmeans",), config=FAST,
+                                       seed=0)
+        row = points[0].as_row()
+        assert {"sweep", "algorithm", "n_instances", "n_clusters",
+                "runtime_s", "ARI"} == set(row)
+
+
+class TestProjections:
+    def test_project_2d_shape(self, blobs):
+        X, _ = blobs
+        assert project_2d(X).shape == (len(X), 2)
+
+    def test_separability_ranks_sbert_above_fasttext(self, webtables_small):
+        sbert = separability_report(embed_tables(webtables_small, "sbert"),
+                                    webtables_small.labels, embedding="sbert")
+        fasttext = separability_report(embed_tables(webtables_small, "fasttext"),
+                                       webtables_small.labels,
+                                       embedding="fasttext")
+        assert sbert.silhouette_2d > fasttext.silhouette_2d
+
+    def test_report_row_fields(self, blobs):
+        X, labels = blobs
+        row = separability_report(X, labels, embedding="raw").as_row()
+        assert set(row) == {"embedding", "silhouette_2d",
+                            "between_within_ratio", "n_points"}
+
+    def test_single_cluster_ratio_zero(self, blobs):
+        X, _ = blobs
+        report = separability_report(X, np.zeros(len(X), dtype=int))
+        assert report.between_within_ratio == 0.0
+
+
+class TestHeatmaps:
+    def test_matrix_is_symmetric_with_unit_diagonal(self, blobs):
+        X, _ = blobs
+        report = similarity_heatmap(X[:6], [f"c{i}" for i in range(6)],
+                                    embedding="raw")
+        assert np.allclose(report.matrix, report.matrix.T)
+        assert np.allclose(np.diag(report.matrix), 1.0)
+
+    def test_subset_selection(self, blobs):
+        X, _ = blobs
+        report = similarity_heatmap(X, [f"c{i}" for i in range(len(X))],
+                                    indices=[0, 1, 2, 3])
+        assert report.matrix.shape == (4, 4)
+        assert len(report.labels) == 4
+
+    def test_label_mismatch_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValueError):
+            similarity_heatmap(X, ["only one label"])
+
+    def test_mean_off_diagonal_bounds(self, blobs):
+        X, _ = blobs
+        report = similarity_heatmap(X[:5], [f"c{i}" for i in range(5)])
+        assert -1.0 <= report.mean_off_diagonal <= 1.0

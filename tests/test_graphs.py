@@ -1,0 +1,187 @@
+"""Tests for the graph substrate (repro.graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GCNLayer,
+    HeterogeneousGraph,
+    NodeType,
+    attention_label_propagation,
+    cosine_similarity_matrix,
+    knn_graph,
+    label_propagation,
+    louvain_communities,
+    normalized_adjacency,
+)
+from repro.nn import Tensor, relu
+
+
+class TestKnnGraph:
+    def test_cosine_similarity_diagonal_is_one(self, blobs):
+        X, _ = blobs
+        sim = cosine_similarity_matrix(X)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_knn_graph_is_symmetric(self, blobs):
+        X, _ = blobs
+        A = knn_graph(X, k=5)
+        assert np.array_equal(A, A.T)
+
+    def test_knn_graph_no_self_loops(self, blobs):
+        X, _ = blobs
+        A = knn_graph(X, k=5)
+        assert not np.diag(A).any()
+
+    def test_knn_graph_min_degree(self, blobs):
+        X, _ = blobs
+        A = knn_graph(X, k=5)
+        assert np.all(A.sum(axis=1) >= 5)
+
+    def test_knn_euclidean_metric(self, blobs):
+        X, _ = blobs
+        A = knn_graph(X, k=3, metric="euclidean")
+        assert A.shape == (len(X), len(X))
+
+    def test_invalid_metric_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValueError):
+            knn_graph(X, k=3, metric="hamming")
+
+    def test_invalid_k_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValueError):
+            knn_graph(X, k=0)
+
+    def test_single_point_graph(self):
+        A = knn_graph(np.array([[1.0, 2.0]]), k=3)
+        assert A.shape == (1, 1)
+        assert A[0, 0] == 0
+
+    def test_normalized_adjacency_rows_bounded(self, blobs):
+        X, _ = blobs
+        A_hat = normalized_adjacency(knn_graph(X, k=5))
+        assert np.all(A_hat >= 0)
+        # Symmetric normalisation keeps the spectral radius at 1.
+        eigenvalues = np.linalg.eigvalsh(A_hat)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_normalized_adjacency_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+
+class TestGCNLayer:
+    def test_output_shape(self, blobs):
+        X, _ = blobs
+        A_hat = normalized_adjacency(knn_graph(X, k=5))
+        layer = GCNLayer(X.shape[1], 8, activation=relu, seed=0)
+        out = layer(Tensor(X), A_hat)
+        assert out.shape == (len(X), 8)
+
+    def test_gradients_flow(self, blobs):
+        X, _ = blobs
+        A_hat = normalized_adjacency(knn_graph(X, k=5))
+        layer = GCNLayer(X.shape[1], 4, seed=0)
+        out = layer(Tensor(X), A_hat).sum()
+        out.backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+
+class TestLabelPropagation:
+    def _two_cliques(self):
+        A = np.zeros((8, 8))
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    A[i, j] = 1
+                    A[i + 4, j + 4] = 1
+        A[0, 4] = A[4, 0] = 0.1  # weak bridge
+        return A
+
+    def test_finds_two_communities(self):
+        labels = label_propagation(self._two_cliques(), seed=0)
+        assert len(np.unique(labels)) == 2
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+
+    def test_respects_initial_labels_shape(self):
+        A = self._two_cliques()
+        with pytest.raises(ValueError):
+            label_propagation(A, initial_labels=np.zeros(3, dtype=int))
+
+    def test_isolated_nodes_keep_own_label(self):
+        A = np.zeros((3, 3))
+        labels = label_propagation(A, seed=0)
+        assert len(np.unique(labels)) == 3
+
+    def test_attention_weighting_changes_result(self):
+        A = self._two_cliques()
+        attention = np.ones_like(A)
+        labels = attention_label_propagation(A, attention, seed=0)
+        assert len(np.unique(labels)) == 2
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            label_propagation(np.zeros((2, 3)))
+
+
+class TestLouvain:
+    def test_finds_planted_communities(self):
+        rng = np.random.default_rng(0)
+        A = np.zeros((30, 30))
+        for block in range(3):
+            idx = np.arange(block * 10, (block + 1) * 10)
+            for i in idx:
+                for j in idx:
+                    if i != j and rng.random() < 0.8:
+                        A[i, j] = A[j, i] = 1.0
+        labels = louvain_communities(A, seed=0)
+        # Members of the same planted block should share a label.
+        for block in range(3):
+            block_labels = labels[block * 10:(block + 1) * 10]
+            assert len(np.unique(block_labels)) == 1
+
+    def test_isolated_nodes_get_own_community(self):
+        labels = louvain_communities(np.zeros((4, 4)))
+        assert len(np.unique(labels)) == 4
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            louvain_communities(np.zeros((2, 3)))
+
+
+class TestHeterogeneousGraph:
+    def test_from_embeddings_structure(self, blobs):
+        X, _ = blobs
+        graph = HeterogeneousGraph.from_embeddings(X, n_anchors=8, knn_k=5, seed=0)
+        assert graph.node_counts[NodeType.TARGET] == len(X)
+        assert graph.node_counts[NodeType.ANCHOR] >= 2
+        ta = graph.adjacency(NodeType.TARGET, NodeType.ANCHOR)
+        assert np.allclose(ta.sum(axis=1), 1.0)  # each target has one anchor
+
+    def test_target_projection_symmetric_zero_diagonal(self, blobs):
+        X, _ = blobs
+        graph = HeterogeneousGraph.from_embeddings(X, n_anchors=8, seed=0)
+        projection = graph.target_projection()
+        assert projection.shape == (len(X), len(X))
+        assert not np.diag(projection).any()
+
+    def test_add_edges_shape_check(self):
+        graph = HeterogeneousGraph(node_counts={NodeType.TARGET: 3,
+                                                NodeType.ANCHOR: 2})
+        with pytest.raises(ValueError):
+            graph.add_edges(NodeType.TARGET, NodeType.ANCHOR, np.zeros((2, 2)))
+
+    def test_missing_adjacency_is_zero(self):
+        graph = HeterogeneousGraph(node_counts={NodeType.TARGET: 3,
+                                                NodeType.ANCHOR: 2})
+        assert not graph.adjacency(NodeType.TARGET, NodeType.ANCHOR).any()
+
+    def test_reverse_adjacency_transposed(self):
+        graph = HeterogeneousGraph(node_counts={NodeType.TARGET: 3,
+                                                NodeType.ANCHOR: 2})
+        matrix = np.array([[1.0, 0], [0, 1.0], [1.0, 0]])
+        graph.add_edges(NodeType.TARGET, NodeType.ANCHOR, matrix)
+        assert np.array_equal(graph.adjacency(NodeType.ANCHOR, NodeType.TARGET),
+                              matrix.T)

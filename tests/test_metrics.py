@@ -1,0 +1,199 @@
+"""Tests for repro.metrics (ARI, ACC, silhouette, pairs, KS, NMI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DataValidationError
+from repro.metrics import (
+    adjusted_rand_index,
+    best_label_mapping,
+    clustering_accuracy,
+    contingency_table,
+    ks_density_analysis,
+    normalized_mutual_information,
+    pairwise_match_counts,
+    pairwise_precision_recall_f1,
+    silhouette_samples,
+    silhouette_score,
+)
+
+labels_strategy = st.lists(st.integers(min_value=0, max_value=4),
+                           min_size=4, max_size=40)
+
+
+class TestContingency:
+    def test_counts_overlaps(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        assert table.sum() == 4
+        assert table.shape == (2, 2)
+        assert table[0, 0] == 1 and table[1, 1] == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            contingency_table([0, 1], [0, 1, 2])
+
+    def test_arbitrary_label_values(self):
+        table = contingency_table([10, 10, 99], [5, 5, 7])
+        assert table.shape == (2, 2)
+
+
+class TestARI:
+    def test_perfect_match_is_one(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 3, 3]) == pytest.approx(1.0)
+
+    def test_single_cluster_prediction_is_zero(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 0, 0]) == pytest.approx(0.0)
+
+    def test_disagreement_can_be_negative(self):
+        value = adjusted_rand_index([0, 1, 0, 1], [0, 0, 1, 1])
+        assert value <= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_symmetric(self, labels):
+        other = list(reversed(labels))
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels))
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_self_match_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+
+class TestACC:
+    def test_perfect_match(self):
+        assert clustering_accuracy([0, 1, 2], [2, 0, 1]) == pytest.approx(1.0)
+
+    def test_partial_match(self):
+        acc = clustering_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert acc == pytest.approx(0.75)
+
+    def test_more_predicted_clusters_than_true(self):
+        acc = clustering_accuracy([0, 0, 0, 1], [0, 1, 2, 3])
+        assert 0.0 < acc <= 1.0
+
+    def test_best_label_mapping_is_injective(self):
+        mapping = best_label_mapping([0, 0, 1, 1, 2, 2], [4, 4, 5, 5, 6, 6])
+        assert len(set(mapping.values())) == len(mapping)
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy)
+    def test_acc_bounded(self, labels):
+        predicted = labels[::-1]
+        acc = clustering_accuracy(labels, predicted)
+        assert 0.0 <= acc <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(labels_strategy, st.permutations(range(5)))
+    def test_acc_invariant_to_label_permutation(self, labels, permutation):
+        permuted = [permutation[label] for label in labels]
+        assert clustering_accuracy(labels, permuted) == pytest.approx(1.0)
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self, blobs):
+        X, labels = blobs
+        assert silhouette_score(X, labels) > 0.3
+
+    def test_random_labels_score_low(self, blobs):
+        X, labels = blobs
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 4, size=len(labels))
+        assert silhouette_score(X, random_labels) < silhouette_score(X, labels)
+
+    def test_single_cluster_returns_zero(self, blobs):
+        X, _ = blobs
+        assert silhouette_score(X, np.zeros(len(X), dtype=int)) == 0.0
+
+    def test_all_singletons_returns_zero(self, blobs):
+        X, _ = blobs
+        assert silhouette_score(X, np.arange(len(X))) == 0.0
+
+    def test_samples_in_range(self, blobs):
+        X, labels = blobs
+        samples = silhouette_samples(X, labels)
+        assert samples.shape == (len(labels),)
+        assert np.all(samples >= -1.0) and np.all(samples <= 1.0)
+
+    def test_cosine_metric_supported(self, blobs):
+        X, labels = blobs
+        assert -1.0 <= silhouette_score(X, labels, metric="cosine") <= 1.0
+
+    def test_unknown_metric_raises(self, blobs):
+        X, labels = blobs
+        with pytest.raises(ValueError):
+            silhouette_samples(X, labels, metric="manhattan")
+
+
+class TestPairwise:
+    def test_counts_sum_to_total_pairs(self):
+        true = [0, 0, 1, 1, 2]
+        pred = [0, 1, 1, 1, 2]
+        counts = pairwise_match_counts(true, pred)
+        n = len(true)
+        assert counts.tp + counts.fp + counts.fn + counts.tn == n * (n - 1) // 2
+
+    def test_perfect_prediction(self):
+        counts = pairwise_match_counts([0, 0, 1], [0, 0, 1])
+        assert counts.fp == 0 and counts.fn == 0
+        assert counts.precision == 1.0 and counts.recall == 1.0
+
+    def test_f1_between_zero_and_one(self):
+        precision, recall, f1 = pairwise_precision_recall_f1(
+            [0, 0, 1, 1], [0, 1, 0, 1])
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= f1 <= 1.0
+
+    def test_empty_prediction_precision_zero(self):
+        counts = pairwise_match_counts([0, 0, 1], [0, 1, 2])
+        assert counts.precision == 0.0 and counts.recall == 0.0
+
+
+class TestNMI:
+    def test_perfect_match_is_one(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0]) == \
+            pytest.approx(1.0)
+
+    def test_independent_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, size=2000)
+        b = rng.integers(0, 2, size=2000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_bounded(self):
+        value = normalized_mutual_information([0, 1, 2, 0], [0, 0, 1, 1])
+        assert 0.0 <= value <= 1.0
+
+
+class TestKSDensity:
+    def test_same_distribution_features(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 10))
+        report = ks_density_analysis(X, seed=0)
+        assert report.mean_statistic < 0.2
+        assert report.same_distribution
+
+    def test_different_distribution_features(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(loc=i * 3, size=300) for i in range(6)])
+        report = ks_density_analysis(X, seed=0)
+        assert report.mean_statistic > 0.5
+        assert not report.same_distribution
+
+    def test_feature_subsampling(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 100))
+        report = ks_density_analysis(X, max_features=8, seed=0)
+        assert report.n_pairs == 8 * 7 // 2
+
+    def test_single_feature_no_pairs(self):
+        report = ks_density_analysis(np.random.default_rng(0).normal(size=(30, 1)))
+        assert report.n_pairs == 0
+        assert report.mean_p_value == 1.0

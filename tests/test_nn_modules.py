@@ -1,0 +1,195 @@
+"""Tests for layers, losses, optimisers and initialisers (repro.nn)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    SGD,
+    Sequential,
+    Tensor,
+    binary_cross_entropy,
+    cross_entropy,
+    kl_divergence,
+    mse_loss,
+    relu,
+)
+from repro.nn.activations import get_activation, leaky_relu
+from repro.nn.init import kaiming_uniform, normal, xavier_normal, xavier_uniform, zeros
+from repro.nn.layers import Parameter
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, seed=0)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_parameters_discovered(self):
+        layer = Linear(4, 2, seed=0)
+        assert len(layer.parameters()) == 2
+
+    def test_deterministic_for_seed(self):
+        a = Linear(4, 2, seed=11).weight.numpy()
+        b = Linear(4, 2, seed=11).weight.numpy()
+        assert np.array_equal(a, b)
+
+
+class TestSequentialAndModule:
+    def test_forward_chains_stages(self):
+        model = Sequential(Linear(4, 8, seed=0), relu, Linear(8, 2, seed=1))
+        out = model(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_parameter_count(self):
+        model = Sequential(Linear(4, 8, seed=0), relu, Linear(8, 2, seed=1))
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_zero_grad_clears(self):
+        model = Sequential(Linear(2, 2, seed=0))
+        loss = model(Tensor(np.ones((1, 2)))).sum()
+        loss.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_round_trip(self):
+        model = Sequential(Linear(3, 3, seed=0))
+        state = model.state_dict()
+        other = Sequential(Linear(3, 3, seed=99))
+        other.load_state_dict(state)
+        assert np.allclose(other.stages[0].weight.numpy(),
+                           model.stages[0].weight.numpy())
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = Sequential(Linear(3, 3, seed=0))
+        other = Sequential(Linear(3, 4, seed=0))
+        with pytest.raises(ValueError):
+            other.load_state_dict(model.state_dict())
+
+    def test_append(self):
+        model = Sequential(Linear(2, 2, seed=0))
+        model.append(relu)
+        assert len(model) == 2
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.ones((3, 2)))
+        assert mse_loss(x, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_mse_positive(self):
+        pred = Tensor(np.zeros((2, 2)), requires_grad=True)
+        loss = mse_loss(pred, np.ones((2, 2)))
+        assert loss.item() == pytest.approx(1.0)
+        loss.backward()
+        assert pred.grad is not None
+
+    def test_kl_zero_when_equal(self):
+        q = Tensor(np.array([[0.5, 0.5], [0.2, 0.8]]), requires_grad=True)
+        assert kl_divergence(q.numpy(), q).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_positive_when_different(self):
+        q = Tensor(np.array([[0.5, 0.5]]), requires_grad=True)
+        p = np.array([[0.9, 0.1]])
+        loss = kl_divergence(p, q)
+        assert loss.item() > 0
+        loss.backward()
+        assert q.grad is not None
+
+    def test_cross_entropy_prefers_correct_class(self):
+        good = Tensor(np.array([[5.0, -5.0], [-5.0, 5.0]]))
+        bad = Tensor(np.array([[-5.0, 5.0], [5.0, -5.0]]))
+        labels = np.array([0, 1])
+        assert cross_entropy(good, labels).item() < cross_entropy(bad, labels).item()
+
+    def test_binary_cross_entropy_bounds(self):
+        pred = Tensor(np.array([[0.9, 0.1]]), requires_grad=True)
+        target = np.array([[1.0, 0.0]])
+        loss = binary_cross_entropy(pred, target)
+        assert 0 < loss.item() < 1
+        loss.backward()
+        assert pred.grad is not None
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+        return param, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.numpy(), target, atol=1e-3)
+
+    def test_sgd_with_momentum_converges(self):
+        param, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        assert np.allclose(param.numpy(), target, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        assert np.allclose(param.numpy(), target, atol=1e-2)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+class TestInitializersAndActivations:
+    @pytest.mark.parametrize("init", [xavier_uniform, xavier_normal,
+                                      kaiming_uniform, normal])
+    def test_initializers_shape_and_scale(self, init):
+        rng = np.random.default_rng(0)
+        weights = init((64, 32), rng)
+        assert weights.shape == (64, 32)
+        assert np.abs(weights).max() < 5.0
+
+    def test_zeros_initializer(self):
+        assert not zeros((3, 3)).any()
+
+    def test_get_activation_known(self):
+        assert get_activation("relu") is not None
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("swishish")
+
+    def test_leaky_relu_negative_slope(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        out = leaky_relu(x, negative_slope=0.1).numpy()
+        assert out[0] == pytest.approx(-0.1)
+        assert out[1] == pytest.approx(2.0)

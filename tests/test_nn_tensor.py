@@ -1,0 +1,191 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        plus = x.copy()
+        plus[index] += eps
+        minus = x.copy()
+        minus[index] -= eps
+        grad[index] = (fn(plus) - fn(minus)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestBasicOps:
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones((1, 2)), requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert np.allclose(a.grad, np.ones((3, 2)))
+        assert np.allclose(b.grad, np.full((1, 2), 3.0))
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_matmul_backward_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(4, 3))
+        b_val = rng.normal(size=(3, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numerical_gradient(lambda x: (x @ b_val).sum(), a_val)
+        num_b = numerical_gradient(lambda x: (a_val @ x).sum(), b_val)
+        assert np.allclose(a.grad, num_a, atol=1e-5)
+        assert np.allclose(b.grad, num_b, atol=1e-5)
+
+    def test_division_backward(self):
+        a = Tensor(np.array([4.0, 9.0]), requires_grad=True)
+        (1.0 / a).sum().backward()
+        assert np.allclose(a.grad, [-1 / 16.0, -1 / 81.0])
+
+    def test_pow_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (a ** 3).sum().backward()
+        assert np.allclose(a.grad, [12.0, 27.0])
+
+    def test_neg_and_sub(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 5.0]), requires_grad=True)
+        (b - a).sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["relu", "sigmoid", "tanh", "exp"])
+    def test_elementwise_backward_matches_numerical(self, op):
+        rng = np.random.default_rng(1)
+        x_val = rng.normal(size=(3, 3))
+        x = Tensor(x_val, requires_grad=True)
+        getattr(x, op)().sum().backward()
+
+        def scalar_fn(arr):
+            if op == "relu":
+                return np.maximum(arr, 0).sum()
+            if op == "sigmoid":
+                return (1 / (1 + np.exp(-arr))).sum()
+            if op == "tanh":
+                return np.tanh(arr).sum()
+            return np.exp(arr).sum()
+
+        assert np.allclose(x.grad, numerical_gradient(scalar_fn, x_val), atol=1e-4)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 4)))
+        probs = x.softmax(axis=1).numpy()
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_backward_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        x_val = rng.normal(size=(3, 4))
+        weights = rng.normal(size=(3, 4))
+        x = Tensor(x_val, requires_grad=True)
+        (x.softmax(axis=1) * Tensor(weights)).sum().backward()
+
+        def scalar_fn(arr):
+            e = np.exp(arr - arr.max(axis=1, keepdims=True))
+            return ((e / e.sum(axis=1, keepdims=True)) * weights).sum()
+
+        assert np.allclose(x.grad, numerical_gradient(scalar_fn, x_val), atol=1e-5)
+
+    def test_log_clips_small_values(self):
+        x = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        out = x.log()
+        assert np.isfinite(out.numpy()).all()
+
+    def test_clip_backward_masks_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_backward(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_backward(self):
+        x = Tensor(np.ones((4, 2)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, np.full((4, 2), 1 / 8))
+
+    def test_transpose_backward(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)), requires_grad=True)
+        (x.T * 2.0).sum().backward()
+        assert np.allclose(x.grad, np.full((2, 3), 2.0))
+
+    def test_reshape_backward(self):
+        x = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_take_rows_backward_accumulates(self):
+        x = Tensor(np.ones((4, 2)), requires_grad=True)
+        x.take_rows(np.array([0, 0, 2])).sum().backward()
+        assert np.allclose(x.grad, [[2, 2], [0, 0], [1, 1], [0, 0]])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x.detach()
+        assert not y.requires_grad
+
+    def test_no_grad_context_disables_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = (x*2) + (x*3): gradient should be 5 for each entry.
+        x = Tensor(np.ones(3), requires_grad=True)
+        ((x * 2) + (x * 3)).sum().backward()
+        assert np.allclose(x.grad, np.full(3, 5.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=6))
+    def test_chain_rule_property(self, values):
+        """d/dx sum(sigmoid(x)^2) matches the numerical gradient."""
+        x_val = np.asarray(values, dtype=np.float64)
+        x = Tensor(x_val, requires_grad=True)
+        (x.sigmoid() ** 2).sum().backward()
+
+        def scalar_fn(arr):
+            return ((1 / (1 + np.exp(-arr))) ** 2).sum()
+
+        assert np.allclose(x.grad, numerical_gradient(scalar_fn, x_val), atol=1e-4)

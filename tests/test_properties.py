@@ -1,0 +1,138 @@
+"""Additional property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import KMeans
+from repro.graphs import knn_graph, normalized_adjacency
+from repro.metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    normalized_mutual_information,
+    pairwise_match_counts,
+)
+from repro.metrics.contingency import contingency_table
+from repro.nn.tensor import Tensor
+
+matrices = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.integers(min_value=2, max_value=5).flatmap(
+        lambda d: st.lists(
+            st.lists(st.floats(min_value=-10, max_value=10,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=d, max_size=d),
+            min_size=n, max_size=n)))
+
+label_pairs = st.integers(min_value=4, max_value=30).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n)))
+
+
+class TestMetricInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_ari_bounded_above_by_one(self, pair):
+        true, pred = pair
+        assert adjusted_rand_index(true, pred) <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_acc_at_least_largest_cluster_fraction(self, pair):
+        """ACC can never be below the share of the majority true cluster when
+        the prediction is a single cluster (mapping everything to it)."""
+        true, _ = pair
+        single = [0] * len(true)
+        _, counts = np.unique(true, return_counts=True)
+        assert clustering_accuracy(true, single) == pytest.approx(
+            counts.max() / len(true))
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_contingency_marginals(self, pair):
+        true, pred = pair
+        table = contingency_table(true, pred)
+        assert table.sum() == len(true)
+        _, true_counts = np.unique(true, return_counts=True)
+        assert np.array_equal(np.sort(table.sum(axis=1)), np.sort(true_counts))
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_pair_counts_are_non_negative(self, pair):
+        true, pred = pair
+        counts = pairwise_match_counts(true, pred)
+        assert min(counts.tp, counts.fp, counts.fn, counts.tn) >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_nmi_symmetric(self, pair):
+        true, pred = pair
+        assert normalized_mutual_information(true, pred) == pytest.approx(
+            normalized_mutual_information(pred, true), abs=1e-9)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(matrices, st.integers(min_value=1, max_value=4))
+    def test_knn_graph_symmetric_binary(self, rows, k):
+        X = np.asarray(rows)
+        A = knn_graph(X, k=k)
+        assert np.array_equal(A, A.T)
+        assert set(np.unique(A)).issubset({0.0, 1.0})
+        assert not np.diag(A).any()
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices)
+    def test_normalized_adjacency_spectrum_bounded(self, rows):
+        X = np.asarray(rows)
+        A_hat = normalized_adjacency(knn_graph(X, k=2))
+        eigenvalues = np.linalg.eigvalsh(A_hat)
+        assert eigenvalues.max() <= 1.0 + 1e-6
+        assert eigenvalues.min() >= -1.0 - 1e-6
+
+
+class TestClusteringInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(matrices, st.integers(min_value=1, max_value=3))
+    def test_kmeans_labels_within_range(self, rows, k):
+        X = np.asarray(rows, dtype=float)
+        k = min(k, len(X))
+        result = KMeans(k, seed=0, n_init=1, max_iter=20).fit_predict(X)
+        assert result.labels.shape == (len(X),)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+
+    @settings(max_examples=15, deadline=None)
+    @given(matrices)
+    def test_kmeans_inertia_non_negative(self, rows):
+        X = np.asarray(rows, dtype=float)
+        model = KMeans(min(2, len(X)), seed=0, n_init=1).fit(X)
+        assert model.inertia_ >= 0
+
+
+class TestAutogradInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-3, max_value=3), min_size=2,
+                    max_size=8))
+    def test_softmax_gradient_rows_sum_to_zero(self, values):
+        """Softmax outputs sum to 1 per row, so gradients of any loss w.r.t.
+        the logits must sum to (approximately) zero per row when the loss
+        depends only on the softmax output linearly."""
+        x = Tensor(np.asarray(values).reshape(1, -1), requires_grad=True)
+        weights = np.arange(len(values), dtype=float).reshape(1, -1)
+        (x.softmax(axis=1) * Tensor(weights)).sum().backward()
+        assert abs(x.grad.sum()) < 1e-8
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-3, max_value=3), min_size=1,
+                    max_size=8))
+    def test_sigmoid_output_in_unit_interval(self, values):
+        out = Tensor(np.asarray(values)).sigmoid().numpy()
+        assert np.all(out > 0) and np.all(out < 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2,
+                    max_size=10))
+    def test_mean_equals_sum_divided_by_count(self, values):
+        x = Tensor(np.asarray(values))
+        assert x.mean().item() == pytest.approx(x.sum().item() / len(values))

@@ -1,0 +1,199 @@
+"""Tests for the task pipelines (repro.tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeepClusteringConfig
+from repro.data.table import Column, Record, Table
+from repro.exceptions import ConfigurationError
+from repro.tasks import (
+    CLUSTERER_NAMES,
+    DomainDiscoveryTask,
+    EntityResolutionTask,
+    SchemaInferenceTask,
+    embed_columns,
+    embed_records,
+    embed_tables,
+    evaluate_clustering,
+    make_clusterer,
+    preprocess_columns,
+    preprocess_records,
+    preprocess_tables,
+)
+
+FAST = DeepClusteringConfig(pretrain_epochs=4, train_epochs=4, layer_size=48,
+                            latent_dim=12, seed=0)
+
+
+class TestPreprocessing:
+    def test_tables_drop_empty_columns(self):
+        table = Table(name="t", columns={"a": [None, "nan"], "b": ["x", "y"]})
+        cleaned = preprocess_tables([table])[0]
+        assert cleaned.column_names == ["b"]
+
+    def test_tables_keep_placeholder_when_all_empty(self):
+        table = Table(name="t", columns={"a": [None, None]})
+        cleaned = preprocess_tables([table])[0]
+        assert cleaned.n_columns == 1
+
+    def test_records_null_strings_become_none(self):
+        record = Record(values={"a": "N/A", "b": " x "})
+        cleaned = preprocess_records([record])[0]
+        assert cleaned.values["a"] is None
+        assert cleaned.values["b"] == "x"
+
+    def test_columns_drop_null_values(self):
+        column = Column(header="h", values=["x", None, "nan", "y"])
+        cleaned = preprocess_columns([column])[0]
+        assert cleaned.values == ["x", "y"]
+
+    def test_columns_all_null_fall_back_to_header(self):
+        column = Column(header="height", values=[None, "nan"])
+        cleaned = preprocess_columns([column])[0]
+        assert cleaned.values == ["height"]
+
+
+class TestClustererFactory:
+    @pytest.mark.parametrize("name", CLUSTERER_NAMES)
+    def test_all_names_instantiate(self, name):
+        assert make_clusterer(name, 5, config=FAST) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_clusterer("spectral", 5)
+
+    def test_seed_override(self):
+        clusterer = make_clusterer("kmeans", 3, config=FAST, seed=99)
+        assert clusterer.seed == 99
+
+
+class TestEvaluateClustering:
+    def test_returns_metrics_in_range(self, blobs):
+        X, labels = blobs
+        result = evaluate_clustering(X, labels, algorithm="kmeans",
+                                     dataset="blobs", task="test",
+                                     embedding="raw", config=FAST)
+        assert 0.0 <= result.acc <= 1.0
+        assert -0.5 <= result.ari <= 1.0
+        assert result.runtime_seconds > 0
+        assert result.n_clusters_true == 4
+
+    def test_dbscan_noise_scored_as_singletons(self, blobs):
+        X, labels = blobs
+        result = evaluate_clustering(X, labels, algorithm="dbscan",
+                                     dataset="blobs", task="test",
+                                     embedding="raw", config=FAST)
+        assert result.n_clusters_predicted >= 0
+
+    def test_as_row_layout(self, blobs):
+        X, labels = blobs
+        result = evaluate_clustering(X, labels, algorithm="kmeans",
+                                     dataset="blobs", task="test",
+                                     embedding="raw", config=FAST)
+        row = result.as_row()
+        assert set(row) == {"Dataset", "Task", "Embedding", "Algorithm", "K",
+                            "ARI", "ACC", "runtime_s"}
+
+
+class TestSchemaInference:
+    def test_embed_tables_sbert_shape(self, webtables_small):
+        X = embed_tables(webtables_small, "sbert")
+        assert X.shape == (webtables_small.n_items, 768)
+
+    def test_embed_tables_fasttext_shape(self, webtables_small):
+        X = embed_tables(webtables_small, "fasttext")
+        assert X.shape == (webtables_small.n_items, 300)
+
+    def test_embed_tables_tabular_shapes(self, webtables_small):
+        tabnet = embed_tables(webtables_small, "tabnet")
+        tabtr = embed_tables(webtables_small, "tabtransformer")
+        assert tabnet.shape[0] == webtables_small.n_items
+        assert tabtr.shape[0] == webtables_small.n_items
+
+    def test_unknown_embedding_raises(self, webtables_small):
+        with pytest.raises(ConfigurationError):
+            embed_tables(webtables_small, "bert-large")
+
+    def test_run_single_combination(self, webtables_small):
+        task = SchemaInferenceTask(webtables_small, config=FAST)
+        result = task.run(embedding="sbert", algorithm="kmeans", seed=0)
+        assert result.task == "schema_inference"
+        assert result.ari > 0.2  # semantic headers separate classes
+
+    def test_sbert_beats_fasttext_with_kmeans(self, webtables_small):
+        task = SchemaInferenceTask(webtables_small, config=FAST)
+        sbert = task.run(embedding="sbert", algorithm="kmeans", seed=0)
+        fasttext = task.run(embedding="fasttext", algorithm="kmeans", seed=0)
+        assert sbert.ari > fasttext.ari
+
+    def test_run_matrix_covers_all_combinations(self, webtables_small):
+        task = SchemaInferenceTask(webtables_small, config=FAST)
+        results = task.run_matrix(embeddings=("sbert",),
+                                  algorithms=("kmeans", "birch"), seed=0)
+        assert len(results) == 2
+        assert {r.algorithm for r in results} == {"kmeans", "birch"}
+
+
+class TestEntityResolution:
+    def test_embed_records_sbert_shape(self, musicbrainz_small):
+        X = embed_records(musicbrainz_small, "sbert")
+        assert X.shape == (musicbrainz_small.n_items, 768)
+
+    def test_embed_records_embdi_shape(self, musicbrainz_small):
+        X = embed_records(musicbrainz_small, "embdi", embdi_dim=16, seed=0)
+        assert X.shape == (musicbrainz_small.n_items, 16)
+
+    def test_unknown_embedding_raises(self, musicbrainz_small):
+        with pytest.raises(ConfigurationError):
+            embed_records(musicbrainz_small, "word2vec")
+
+    def test_run_with_sbert_and_kmeans(self, musicbrainz_small):
+        task = EntityResolutionTask(musicbrainz_small, config=FAST)
+        result = task.run(embedding="sbert", algorithm="kmeans", seed=0)
+        assert result.task == "entity_resolution"
+        assert result.ari > 0.2
+
+    def test_default_config_extends_pretraining(self, musicbrainz_small):
+        task = EntityResolutionTask(musicbrainz_small)
+        assert task._config_for_er().pretrain_epochs >= 100
+
+    def test_explicit_config_not_overridden(self, musicbrainz_small):
+        task = EntityResolutionTask(musicbrainz_small, config=FAST)
+        assert task._config_for_er().pretrain_epochs == FAST.pretrain_epochs
+
+
+class TestDomainDiscovery:
+    def test_embed_columns_all_methods(self, camera_small):
+        for method, dim in [("sbert", 768), ("fasttext", 300),
+                            ("sbert_instance", 768)]:
+            X = embed_columns(camera_small, method)
+            assert X.shape == (camera_small.n_items, dim)
+
+    def test_embed_columns_embdi(self, camera_small):
+        X = embed_columns(camera_small, "embdi", embdi_dim=16, seed=0)
+        assert X.shape == (camera_small.n_items, 16)
+
+    def test_unknown_embedding_raises(self, camera_small):
+        with pytest.raises(ConfigurationError):
+            embed_columns(camera_small, "glove")
+
+    def test_run_with_sbert(self, camera_small):
+        task = DomainDiscoveryTask(camera_small, config=FAST)
+        result = task.run(embedding="sbert", algorithm="birch", seed=0)
+        assert result.task == "domain_discovery"
+        assert result.ari > 0.2
+
+    def test_instance_evidence_not_worse_than_schema_only(self, camera_small):
+        """Finding (ii) of Section 7.1: instance-level data helps domain
+        discovery (at minimum it should not collapse performance)."""
+        task = DomainDiscoveryTask(camera_small, config=FAST)
+        schema_only = task.run(embedding="sbert", algorithm="kmeans", seed=0)
+        with_instances = task.run(embedding="sbert_instance",
+                                  algorithm="kmeans", seed=0)
+        assert with_instances.ari >= schema_only.ari - 0.1
+
+    def test_run_matrix(self, camera_small):
+        task = DomainDiscoveryTask(camera_small, config=FAST)
+        results = task.run_matrix(embeddings=("sbert",),
+                                  algorithms=("kmeans",), seed=0)
+        assert len(results) == 1

@@ -1,0 +1,164 @@
+"""Tests for repro.utils (validation, text, timing, io)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.table import Table
+from repro.exceptions import DataValidationError, DatasetError
+from repro.utils.io import read_csv_table, write_csv_table
+from repro.utils.text import char_ngrams, is_numeric_token, normalize_text, tokenize
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_labels,
+    check_matrix,
+    check_same_length,
+    check_square,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_list_of_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        assert check_matrix([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            check_matrix([[1.0, float("nan")]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            check_matrix(np.empty((0, 3)))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(DataValidationError):
+            check_matrix([["a", "b"]])
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataValidationError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+
+class TestCheckLabels:
+    def test_accepts_integers(self):
+        assert check_labels([0, 1, 2]).dtype == np.int64
+
+    def test_accepts_integer_valued_floats(self):
+        out = check_labels(np.array([0.0, 1.0, 2.0]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError):
+            check_labels([[0, 1]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            check_labels([])
+
+
+class TestOtherChecks:
+    def test_check_same_length_passes(self):
+        check_same_length([1, 2], [3, 4])
+
+    def test_check_same_length_raises(self):
+        with pytest.raises(DataValidationError):
+            check_same_length([1], [1, 2])
+
+    def test_check_square_accepts_square(self):
+        assert check_square(np.eye(3)).shape == (3, 3)
+
+    def test_check_square_rejects_rectangular(self):
+        with pytest.raises(DataValidationError):
+            check_square(np.zeros((2, 3)))
+
+
+class TestNormalizeText:
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize_text("Optical-Zoom!") == "optical zoom"
+
+    def test_splits_camel_case(self):
+        assert normalize_text("opticalZoom") == "optical zoom"
+
+    def test_none_is_empty(self):
+        assert normalize_text(None) == ""
+
+    def test_nan_is_empty(self):
+        assert normalize_text(float("nan")) == ""
+
+    def test_null_strings_are_empty(self):
+        assert normalize_text("N/A") == ""
+
+    def test_numbers_are_preserved(self):
+        assert normalize_text(2008) == "2008"
+
+
+class TestTokenize:
+    def test_splits_words(self):
+        assert tokenize("sensor size") == ["sensor", "size"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_underscores_split(self):
+        assert tokenize("image_format") == ["image", "format"]
+
+
+class TestCharNgrams:
+    def test_includes_boundaries(self):
+        grams = char_ngrams("cat", 3, 3)
+        assert "<ca" in grams and "at>" in grams
+
+    def test_includes_full_token(self):
+        assert "<cat>" in char_ngrams("cat")
+
+    def test_empty_token(self):
+        assert char_ngrams("") == ()
+
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=12))
+    def test_all_grams_within_length_bounds(self, token):
+        grams = char_ngrams(token, 3, 5)
+        wrapped_len = len(token) + 2
+        for gram in grams:
+            assert 3 <= len(gram) <= max(5, wrapped_len)
+
+
+class TestIsNumericToken:
+    @pytest.mark.parametrize("token,expected", [
+        ("123", True), ("1.5", True), ("-2", True),
+        ("abc", False), ("", False), ("12a", False),
+    ])
+    def test_cases(self, token, expected):
+        assert is_numeric_token(token) is expected
+
+
+class TestTimer:
+    def test_accumulates_time(self):
+        timer = Timer()
+        with timer:
+            sum(range(10000))
+        assert timer.elapsed > 0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        table = Table(name="t", columns={"a": [1, 2, None], "b": ["x", "y", "z"]})
+        path = write_csv_table(table, tmp_path / "t.csv")
+        loaded = read_csv_table(path)
+        assert loaded.column_names == ["a", "b"]
+        assert loaded.n_rows == 3
+        assert loaded.columns["a"][2] is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_csv_table(tmp_path / "missing.csv")
