@@ -3,6 +3,10 @@
 The paper argues the original z=10 of SDCN/EDESC is too small for data
 integration embeddings and fixes z=100.  This ablation compares a small and
 a large latent space for the AE-based pipeline on web-table embeddings.
+
+Ablations have no ``repro run`` entry; the web-table embedding is
+shared with the other benches through the repro.cache artifact
+cache.
 """
 
 from conftest import run_once

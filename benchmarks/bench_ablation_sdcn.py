@@ -4,6 +4,10 @@ SDCN injects AE hidden states into the GCN branch through a delivery
 operator with weight epsilon = 0.5.  This ablation varies the weight
 (0 = GCN ignores the AE states, 0.5 = reference setting) on web-table
 embeddings, exercising the design choice called out in DESIGN.md.
+
+Ablations have no ``repro run`` entry; the web-table embedding is
+shared with the other benches through the repro.cache artifact
+cache.
 """
 
 from conftest import run_once

@@ -4,6 +4,10 @@ The paper keeps SDCN's joint fine-tuning only when it improves the
 silhouette over the pre-trained AE representation.  This ablation runs SDCN
 with and without the fallback rule on entity-resolution-style data, where
 the paper found the AE representation to be the better choice.
+
+Ablations have no ``repro run`` entry; the record embedding is
+shared with the other benches through the repro.cache artifact
+cache.
 """
 
 from conftest import run_once

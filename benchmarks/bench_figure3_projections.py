@@ -5,6 +5,10 @@ that the SBERT space separates the ground-truth classes better than the
 FastText space, while the tabular encoders show no clear cluster structure.
 The bench reproduces the comparison quantitatively with PCA projections and
 separability statistics.
+
+Figures have no ``repro run`` entry (see ``python -m repro list``);
+the four web-table embeddings come from the repro.cache artifact
+cache when other benches already computed them.
 """
 
 from conftest import run_once

@@ -4,6 +4,9 @@ Figure 4a: runtime vs number of instances (fixed K); Figure 4b: runtime vs
 number of clusters.  The paper's qualitative findings: SC methods are much
 faster than DC methods and scale roughly linearly; DC runtimes grow steeply
 with the number of clusters; SHGP is the slowest DC method at scale.
+
+Figures have no ``repro run`` entry (see ``python -m repro list``);
+this bench sweeps dataset sizes, so each size embeds fresh.
 """
 
 from collections import defaultdict

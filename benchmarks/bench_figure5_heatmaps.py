@@ -5,6 +5,10 @@ distinct) with EmbDi schema+instance-level similarities (everything looks
 similar, turning true negatives into false positives).  The bench rebuilds
 both heat maps over a sample of Camera columns from different domains and
 checks the aggregate contrast.
+
+Figures have no ``repro run`` entry (see ``python -m repro list``);
+the Camera column embeddings are shared with the table5/table6
+benches through the repro.cache artifact cache.
 """
 
 import numpy as np

@@ -5,6 +5,10 @@ web-tables data share near-identical density distributions (mean KS
 statistic 0.06, mean p-value 0.65).  The bench reruns the pairwise KS
 analysis on our SBERT embeddings and checks the companion observation: with
 such homogeneous densities DBSCAN finds very few clusters.
+
+CLI equivalent: ``python -m repro run ks_density``; the SBERT
+matrix is reused from the repro.cache artifact cache when another
+web-tables bench already computed it in this process.
 """
 
 from conftest import run_once

@@ -1,4 +1,7 @@
-"""Benchmark / regeneration of Table 1: dataset properties."""
+"""Benchmark / regeneration of Table 1: dataset properties.
+
+CLI equivalent: ``python -m repro run table1`` (or ``repro profile``).
+"""
 
 from conftest import run_once
 

@@ -2,6 +2,10 @@
 
 DC (SDCN, EDESC, SHGP) vs SC (K-means, DBSCAN, Birch) with SBERT and
 FastText table-header embeddings on the web tables and TUS datasets.
+
+CLI equivalent: ``python -m repro run table2 [--workers N]``; the
+SBERT/FastText matrices are computed once per dataset and shared
+across the six algorithms via the repro.cache artifact cache.
 """
 
 from conftest import run_once

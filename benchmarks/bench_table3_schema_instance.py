@@ -3,6 +3,10 @@
 Tabular encoders (TabTransformer, TabNet) replace the sentence encoders; the
 paper's key observation is that adding instance-level evidence *lowers*
 schema inference quality compared to Table 2's schema-level SBERT results.
+
+CLI equivalent: ``python -m repro run table3 [--workers N]``; the
+TabNet/TabTransformer matrices are cached (repro.cache) across the
+six algorithms.
 """
 
 from conftest import run_once

@@ -3,6 +3,10 @@
 AE, EDESC and SHGP (DC) vs K-means, DBSCAN, Birch (SC) with EmbDi and SBERT
 row embeddings on the MusicBrainz-2K-like and Geographic-Settlements-like
 datasets.
+
+CLI equivalent: ``python -m repro run table4 [--workers N]``; the
+EmbDi/SBERT row embeddings are cached (repro.cache) across the six
+algorithms.
 """
 
 from conftest import run_once

@@ -3,6 +3,10 @@
 SBERT vs FastText header embeddings on the Camera and Monitor datasets; the
 paper's observation is that all clustering algorithms perform similarly here
 and that the SBERT/FastText gap is much smaller than in schema inference.
+
+CLI equivalent: ``python -m repro run table5 [--workers N]``; the
+header embeddings are cached (repro.cache) across the six
+algorithms.
 """
 
 from conftest import run_once

@@ -4,6 +4,10 @@ SBERT (header+value mean) vs EmbDi column embeddings; the paper's key
 observations are that every clusterer does much better with SBERT than with
 EmbDi, and that instance-level evidence helps domain discovery (contrast
 with Table 3, where it hurts schema inference).
+
+CLI equivalent: ``python -m repro run table6 [--workers N]``; the
+header+value embeddings are cached (repro.cache) across the six
+algorithms.
 """
 
 from conftest import run_once

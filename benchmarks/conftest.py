@@ -7,7 +7,11 @@ shortened deep clustering configuration; pass ``--paper-scale`` to use the
 larger default scale recorded in EXPERIMENTS.md.
 
 Each bench prints the rows/series it reproduces (visible with ``-s`` or in
-the captured output), so the harness doubles as the table generator.
+the captured output), so the harness doubles as the table generator.  For
+untimed runs the same tables are available from the CLI
+(``python -m repro run <id> --workers N``), and within one pytest process
+the benches share embedding matrices through the repro.cache artifact
+cache.
 """
 
 from __future__ import annotations

@@ -4,7 +4,13 @@ Measures clustering wall-clock time while growing (a) the number of
 instances at fixed K and (b) the number of clusters, using the
 MusicBrainz-200K-style scalability generator.
 
+Reproduces (at example scale) the paper's Figure 4.  Figures are not
+runnable through ``python -m repro run`` (they have dedicated entry
+points); ``python -m repro list`` shows the registry entry and
+``benchmarks/bench_figure4_scalability.py`` is the timed version.
+
 Run with:  python examples/scalability_study.py
+           (~9 s; at TEST_SCALE-like grids roughly 5 s)
 """
 
 from collections import defaultdict

@@ -6,7 +6,13 @@ evidence (TabNet-style tabular embeddings) across a deep clustering method
 and the standard baselines — reproducing, at example scale, the paper's
 finding that schema-level evidence works better for schema inference.
 
+Reproduces (at example scale) the paper's Tables 2-3; the CLI equivalents
+are ``python -m repro run table2`` and ``... run table3``, which plan the
+full matrix and can fan it out with ``--workers``.  Repeated runs in one
+process reuse the cached embeddings (:mod:`repro.cache`).
+
 Run with:  python examples/schema_inference_webtables.py
+           (~3 s; at TEST_SCALE roughly 2 s)
 """
 
 from repro import DeepClusteringConfig, SchemaInferenceTask, generate_webtables

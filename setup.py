@@ -1,10 +1,47 @@
-"""Setuptools shim.
+"""Setuptools packaging for the ``repro`` library.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works in offline environments whose pip
-cannot build PEP 660 editable wheels (no ``wheel`` package available).
+Kept as a plain ``setup.py`` (rather than pyproject-only metadata) so that
+``pip install -e .`` works in offline environments whose pip cannot build
+PEP 660 editable wheels (no ``wheel`` package available).
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).resolve().parent
+_README = _HERE / "README.md"
+
+setup(
+    name="repro",
+    version="1.1.0",
+    description="Reproduction of 'Deep Clustering for Data Cleaning and "
+                "Integration' (Rauf, Freitas & Paton, EDBT 2024)",
+    long_description=_README.read_text(encoding="utf-8")
+    if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3 :: Only",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

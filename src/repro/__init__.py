@@ -16,8 +16,20 @@ Quickstart
 >>> result = task.run(embedding="sbert", algorithm="kmeans")
 >>> 0.0 <= result.acc <= 1.0
 True
+
+The paper's full evaluation matrix is scriptable from the command line —
+``python -m repro list`` shows every registered table/figure and
+``python -m repro run table2 --scale test --workers 4`` reproduces one with
+the independent cells fanned out on a worker pool; embedding matrices are
+deduplicated by the content-addressed cache in :mod:`repro.cache`.
 """
 
+from .cache import (
+    ArtifactCache,
+    configure_cache,
+    get_cache,
+    reset_cache,
+)
 from .config import (
     BENCHMARK_SCALE,
     DEFAULT_SEED,
@@ -64,12 +76,18 @@ from .tasks import (
 )
 from .experiments import (
     EXPERIMENTS,
+    Cell,
+    ExperimentPlan,
+    ParallelRunner,
     format_results_table,
+    plan_experiment,
+    render_rows,
     run_experiment,
+    run_plan,
     run_scalability_study,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -114,7 +132,17 @@ __all__ = [
     "DomainDiscoveryTask",
     "TaskResult",
     "EXPERIMENTS",
+    "Cell",
+    "ExperimentPlan",
+    "ParallelRunner",
+    "plan_experiment",
     "run_experiment",
+    "run_plan",
     "run_scalability_study",
     "format_results_table",
+    "render_rows",
+    "ArtifactCache",
+    "configure_cache",
+    "get_cache",
+    "reset_cache",
 ]

@@ -1,0 +1,30 @@
+"""Artifact caching for the experiment harness.
+
+See :mod:`repro.cache.artifact` for the cache implementation.  The default
+process-wide cache makes every (dataset, embedding) matrix compute exactly
+once per process; point it at a directory (``configure_cache(cache_dir=...)``
+or ``python -m repro run ... --cache-dir ...``) to persist artifacts as NPZ
+files shared across processes and runs.
+"""
+
+from .artifact import (
+    ArtifactCache,
+    CacheStats,
+    configure_cache,
+    dataset_fingerprint,
+    embedding_cache_key,
+    get_cache,
+    reset_cache,
+    set_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "configure_cache",
+    "dataset_fingerprint",
+    "embedding_cache_key",
+    "get_cache",
+    "reset_cache",
+    "set_cache",
+]

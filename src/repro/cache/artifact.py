@@ -1,0 +1,325 @@
+"""Content-addressed caching of expensive experiment artifacts.
+
+The paper's evaluation is a large cross-product (tasks x datasets x
+embedding methods x clustering algorithms) in which the embedding step is by
+far the most expensive repeated computation: every clustering algorithm of a
+table re-uses the same (dataset, embedding) matrix.  :class:`ArtifactCache`
+stores those matrices under a content-addressed key so that each matrix is
+computed exactly once per process — and, with a cache directory configured,
+exactly once per machine.
+
+Keys are derived from the *content* of the dataset (name, labels, cell
+values) plus the embedding method, seed and encoder parameters, so two
+datasets generated at different scales or seeds never collide even though
+they share a name.  The cache has two layers:
+
+* an in-memory LRU layer (bounded by ``max_entries``), and
+* an optional NPZ disk layer (``cache_dir``), written atomically so that
+  concurrent worker processes can share one directory.
+
+A process-wide default cache is used by the task embedding helpers
+(:func:`repro.tasks.embed_tables` and friends); tests and the CLI can swap
+it via :func:`set_cache` / :func:`configure_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "configure_cache",
+    "dataset_fingerprint",
+    "embedding_cache_key",
+    "get_cache",
+    "reset_cache",
+    "set_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache instance has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    computes: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "computes": self.computes,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "evictions": self.evictions,
+        }
+
+
+def _update_hash(digest, *parts: object) -> None:
+    for part in parts:
+        digest.update(repr(part).encode("utf-8", errors="replace"))
+        digest.update(b"\x1f")
+
+
+#: Metadata slot caching a container's content fingerprint between calls.
+_FINGERPRINT_KEY = "_repro_content_fingerprint"
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Hash the content of a clustering dataset container.
+
+    Accepts any of the containers from :mod:`repro.data.table`
+    (tables/records/columns).  The fingerprint covers the dataset name, the
+    ground-truth labels and every item's identifying content, so datasets
+    generated at different scales or seeds hash differently even when they
+    share a name.
+
+    The result is memoised in ``dataset.metadata`` — every cell of an
+    experiment keys its embedding lookup off this value, and re-hashing the
+    full corpus per cell would dominate the cost of a cache hit.  Callers
+    that mutate a dataset's items after the first fingerprint call must
+    drop the ``_repro_content_fingerprint`` metadata entry themselves.
+    """
+    if not any(hasattr(dataset, attr)
+               for attr in ("tables", "records", "columns")):
+        raise ReproError(
+            f"cannot fingerprint object of type {type(dataset).__name__}")
+    metadata = getattr(dataset, "metadata", None)
+    if isinstance(metadata, dict):
+        cached = metadata.get(_FINGERPRINT_KEY)
+        if cached is not None:
+            return cached
+    digest = hashlib.sha256()
+    _update_hash(digest, type(dataset).__name__, dataset.name)
+    labels = np.ascontiguousarray(np.asarray(dataset.labels, dtype=np.int64))
+    digest.update(labels.tobytes())
+    if hasattr(dataset, "tables"):
+        for table in dataset.tables:
+            _update_hash(digest, table.name, tuple(table.column_names))
+            for values in table.columns.values():
+                _update_hash(digest, tuple(values))
+    elif hasattr(dataset, "records"):
+        for record in dataset.records:
+            _update_hash(digest, record.source, record.identifier,
+                         tuple(record.values.items()))
+    elif hasattr(dataset, "columns"):
+        for column in dataset.columns:
+            _update_hash(digest, column.header, column.table_name,
+                         tuple(column.values))
+    fingerprint = digest.hexdigest()
+    if isinstance(metadata, dict):
+        metadata[_FINGERPRINT_KEY] = fingerprint
+    return fingerprint
+
+
+def embedding_cache_key(kind: str, dataset, method: str,
+                        seed: int | None = None, **params: object) -> str:
+    """Build the cache key for one (dataset, embedding method) artifact."""
+    extras = "&".join(f"{name}={value!r}"
+                      for name, value in sorted(params.items()))
+    return (f"{kind}/{dataset.name}/{method}/seed={seed}/{extras}/"
+            f"{dataset_fingerprint(dataset)}")
+
+
+class ArtifactCache:
+    """Two-layer (memory LRU + optional NPZ disk) array cache.
+
+    Thread-safe: concurrent :meth:`get_or_compute` calls for the *same* key
+    serialise on a per-key lock so the compute callback runs exactly once
+    per process, while different keys compute concurrently.
+    """
+
+    def __init__(self, *, max_entries: int = 64,
+                 cache_dir: str | Path | None = None) -> None:
+        if max_entries < 1:
+            raise ReproError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    def get(self, key: str) -> np.ndarray | None:
+        """Return the cached array for ``key`` or ``None`` (counts stats)."""
+        with self._lock:
+            value = self._memory_lookup(key)
+        if value is not None:
+            return value
+        return self._promote_from_disk(key)
+
+    def put(self, key: str, value: np.ndarray) -> np.ndarray:
+        """Store ``value`` under ``key`` in memory (and on disk if enabled)."""
+        value = self._freeze(value)
+        with self._lock:
+            self._store_memory(key, value)
+        self._write_to_disk(key, value)
+        return value
+
+    def get_or_compute(self, key: str,
+                       compute: Callable[[], np.ndarray]) -> np.ndarray:
+        """Return the artifact for ``key``, computing it at most once.
+
+        Concurrent callers with the same key block until the first caller's
+        ``compute()`` finishes and then share its result.  Disk I/O and the
+        compute callback run outside the cache-wide lock, so workers on
+        different keys never serialise on each other's NPZ traffic.
+        """
+        with self._lock:
+            value = self._memory_lookup(key)
+            if value is not None:
+                return value
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        try:
+            with key_lock:
+                with self._lock:
+                    value = self._memory_lookup(key)
+                if value is None:
+                    value = self._promote_from_disk(key)
+                if value is None:
+                    value = self._freeze(compute())
+                    with self._lock:
+                        self.stats.misses += 1
+                        self.stats.computes += 1
+                        self._store_memory(key, value)
+                    self._write_to_disk(key, value)
+        finally:
+            with self._lock:
+                self._key_locks.pop(key, None)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk files are left in place)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # internals
+    @staticmethod
+    def _freeze(value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value)
+        value.setflags(write=False)
+        return value
+
+    def _memory_lookup(self, key: str) -> np.ndarray | None:
+        """LRU lookup; call with ``self._lock`` held."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        return None
+
+    def _promote_from_disk(self, key: str) -> np.ndarray | None:
+        """Load ``key`` from the disk layer into memory (lock-free I/O)."""
+        value = self._load_from_disk(key)
+        if value is None:
+            return None
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._store_memory(key, value)
+        return value
+
+    def _store_memory(self, key: str, value: np.ndarray) -> None:
+        """Insert into the LRU layer; call with ``self._lock`` held."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.cache_dir / f"{name}.npz"
+
+    def _load_from_disk(self, key: str) -> np.ndarray | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if str(payload["key"]) != key:  # collision or foreign file
+                    return None
+                return self._freeze(payload["value"])
+        except Exception:
+            # A truncated, corrupt or foreign file is a cache miss, not a
+            # reason to fail the run; the entry will be rewritten.
+            return None
+
+    def _write_to_disk(self, key: str, value: np.ndarray) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write to a temporary file and rename so concurrent processes
+        # sharing one cache directory never observe a partial NPZ.
+        handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                np.savez_compressed(tmp, key=np.asarray(key), value=value)
+            os.replace(tmp_name, path)
+            with self._lock:
+                self.stats.disk_writes += 1
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+
+# ----------------------------------------------------------------------
+# process-wide default cache
+_default_cache = ArtifactCache()
+_default_lock = threading.Lock()
+
+
+def get_cache() -> ArtifactCache:
+    """Return the process-wide default :class:`ArtifactCache`."""
+    return _default_cache
+
+
+def set_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Replace the process-wide default cache and return the new one."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = cache
+    return cache
+
+
+def configure_cache(*, max_entries: int = 64,
+                    cache_dir: str | Path | None = None) -> ArtifactCache:
+    """Install a fresh default cache with the given settings."""
+    return set_cache(ArtifactCache(max_entries=max_entries,
+                                   cache_dir=cache_dir))
+
+
+def reset_cache() -> ArtifactCache:
+    """Restore a pristine default cache (used by tests and the CLI)."""
+    return set_cache(ArtifactCache())

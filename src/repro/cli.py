@@ -1,0 +1,254 @@
+"""Unified command-line interface for the experiment harness.
+
+``python -m repro`` (or the ``repro`` console script) exposes the paper's
+evaluation matrix without writing any Python:
+
+``repro list``
+    Show every registered experiment (id, kind, title, matrix size).
+``repro run <experiment_id>``
+    Execute one experiment — tables, ``table1`` profiling or the
+    ``ks_density`` analysis — at a chosen ``--scale``, optionally fanning
+    the independent cells out over ``--workers`` threads or processes, and
+    render the results as ``--format {table,json,csv}``.
+``repro profile``
+    Reproduce the Table 1 dataset-property rows for any dataset subset.
+``repro docs``
+    Regenerate ``EXPERIMENTS.md`` from the experiment registry (``--check``
+    verifies it is in sync without writing).
+
+Embedding matrices are cached in-process by :mod:`repro.cache`; pass
+``--cache-dir`` to also persist them as NPZ files shared across runs and
+worker processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from .cache import configure_cache, get_cache
+from .config import (
+    BENCHMARK_SCALE,
+    TEST_SCALE,
+    DeepClusteringConfig,
+    ExperimentScale,
+)
+from .data.profiles import DatasetProfile
+from .exceptions import ReproError
+from .experiments import (
+    EXPERIMENTS,
+    RESULT_FORMATS,
+    format_results_table,
+    get_experiment,
+    render_experiments_md,
+    render_rows,
+    results_to_rows,
+    run_experiment,
+    write_experiments_md,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: dict[str, ExperimentScale] = {
+    "test": TEST_SCALE,
+    "benchmark": BENCHMARK_SCALE,
+}
+
+#: All dataset names ``build_dataset`` understands (profile subcommand).
+_DATASET_NAMES = ("webtables", "tus", "musicbrainz", "geographic",
+                  "camera", "monitor")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and analyses of 'Deep Clustering "
+                    "for Data Cleaning and Integration' (EDBT 2024).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser(
+        "list", help="list the registered experiments")
+    list_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                          default="table", help="output format")
+
+    run_cmd = sub.add_parser(
+        "run", help="run one experiment (tables, table1, ks_density)")
+    run_cmd.add_argument("experiment_id",
+                         help="registry id, e.g. table2 (see 'repro list')")
+    run_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                         default="benchmark",
+                         help="dataset scale (default: benchmark)")
+    run_cmd.add_argument("--workers", type=int, default=1,
+                         help="worker pool size; 0 means one per CPU core "
+                              "(default: 1, serial)")
+    run_cmd.add_argument("--executor", choices=("thread", "process"),
+                         default="thread",
+                         help="pool flavour for --workers > 1")
+    run_cmd.add_argument("--cache-dir", type=Path, default=None,
+                         help="persist embedding artifacts as NPZ files "
+                              "in this directory")
+    run_cmd.add_argument("--format", choices=RESULT_FORMATS, default="table",
+                         help="output format (default: table)")
+    run_cmd.add_argument("--datasets", nargs="+", default=None,
+                         metavar="NAME", help="restrict to these datasets")
+    run_cmd.add_argument("--embeddings", nargs="+", default=None,
+                         metavar="NAME", help="restrict to these embeddings")
+    run_cmd.add_argument("--algorithms", nargs="+", default=None,
+                         metavar="NAME", help="restrict to these algorithms")
+    run_cmd.add_argument("--seed", type=int, default=None,
+                         help="seed override for datasets and clusterers")
+    run_cmd.add_argument("--epochs", type=int, default=None,
+                         help="cap the deep clustering (pre-)training "
+                              "epochs, for quick smoke runs")
+    run_cmd.add_argument("--pivot", action="store_true",
+                         help="with --format table, render the paper's "
+                              "pivoted table layout instead of flat rows")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="dataset properties (Table 1)")
+    profile_cmd.add_argument("--datasets", nargs="+", default=None,
+                             metavar="NAME", choices=_DATASET_NAMES,
+                             help=f"subset of {', '.join(_DATASET_NAMES)}")
+    profile_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                             default="benchmark")
+    profile_cmd.add_argument("--seed", type=int, default=None)
+    profile_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                             default="table")
+
+    docs_cmd = sub.add_parser(
+        "docs", help="regenerate EXPERIMENTS.md from the registry")
+    docs_cmd.add_argument("--output", type=Path,
+                          default=Path("EXPERIMENTS.md"),
+                          help="destination path (default: ./EXPERIMENTS.md)")
+    docs_cmd.add_argument("--check", action="store_true",
+                          help="exit non-zero if the file is out of sync "
+                               "instead of writing it")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in EXPERIMENTS.values():
+        plan_size = (len(spec.datasets) * len(spec.embeddings)
+                     * len(spec.algorithms))
+        rows.append({
+            "id": spec.experiment_id,
+            "kind": spec.kind,
+            "cells": plan_size or "-",
+            "title": spec.title,
+        })
+    print(render_rows(rows, args.format))
+    return 0
+
+
+def _run_config(args: argparse.Namespace) -> DeepClusteringConfig | None:
+    if args.epochs is None:
+        return None
+    config = DeepClusteringConfig()
+    return config.with_updates(
+        pretrain_epochs=min(config.pretrain_epochs, args.epochs),
+        train_epochs=min(config.train_epochs, args.epochs))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.cache_dir is not None:
+        configure_cache(cache_dir=args.cache_dir)
+    spec = get_experiment(args.experiment_id)
+    if spec.kind == "figure":
+        raise ReproError(
+            f"{args.experiment_id!r} is a figure experiment; use the "
+            "benchmarks harness (pytest benchmarks/ --benchmark-only) or "
+            "the repro.experiments figure helpers")
+    scale = _SCALES[args.scale]
+    overrides = {name: tuple(value) if value else None
+                 for name, value in (("datasets", args.datasets),
+                                     ("embeddings", args.embeddings),
+                                     ("algorithms", args.algorithms))}
+    workers = None if args.workers == 0 else args.workers
+    result = run_experiment(
+        args.experiment_id, scale=scale, config=_run_config(args),
+        seed=args.seed, workers=workers, executor=args.executor,
+        **overrides)
+
+    if spec.experiment_id == "table1":
+        rows = [profile.as_row() for profile in result]
+        print(render_rows(rows, args.format, title=spec.title))
+    elif spec.experiment_id == "ks_density":
+        row = {
+            "mean_KS_statistic": round(result.mean_statistic, 4),
+            "mean_p_value": round(result.mean_p_value, 4),
+            "n_features": result.n_features,
+            "n_pairs": result.n_pairs,
+            "same_distribution": result.same_distribution,
+        }
+        print(render_rows([row], args.format, title=spec.title))
+    elif args.pivot and args.format == "table":
+        print(format_results_table(result, title=spec.title))
+    else:
+        print(render_rows(results_to_rows(result), args.format,
+                          title=spec.title))
+
+    stats = get_cache().stats
+    if args.format == "table" and (stats.hits or stats.computes):
+        print(f"\n[cache] computes={stats.computes} hits={stats.hits} "
+              f"disk_hits={stats.disk_hits}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profiles: list[DatasetProfile] = run_experiment(
+        "table1", scale=_SCALES[args.scale],
+        datasets=tuple(args.datasets) if args.datasets else None,
+        seed=args.seed)
+    print(render_rows([profile.as_row() for profile in profiles],
+                      args.format, title=get_experiment("table1").title))
+    return 0
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    if args.check:
+        expected = render_experiments_md()
+        actual = (args.output.read_text(encoding="utf-8")
+                  if args.output.exists() else None)
+        if actual != expected:
+            print(f"{args.output} is out of sync with the experiment "
+                  f"registry; run 'python -m repro docs' to regenerate it",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.output} is in sync")
+        return 0
+    path = write_experiments_md(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "profile": _cmd_profile,
+    "docs": _cmd_docs,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro run ... | head`); exit
+        # quietly like a well-behaved Unix tool.  Redirect stdout to
+        # devnull so the interpreter's final flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

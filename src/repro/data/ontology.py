@@ -18,7 +18,7 @@ deterministic hashing, so the encoder also works on arbitrary input.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -23,6 +23,8 @@ generator reproduces that structure:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..config import make_rng
@@ -31,6 +33,12 @@ from .ontology import Ontology, default_ontology
 from .table import Table, TableClusteringDataset
 
 __all__ = ["generate_webtables", "class_schema"]
+
+
+def _stable_seed(name: str) -> int:
+    """Process-independent RNG seed derived from a string."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
 
 
 def class_schema(class_concept: str, ontology: Ontology,
@@ -120,8 +128,12 @@ def generate_webtables(n_tables: int = 120, n_classes: int = 26, *,
         class_concepts = class_concepts[:n_classes]
 
     sizes = _class_sizes(n_tables, n_classes, rng)
+    # Seed each class schema from a *stable* digest of the class name:
+    # the builtin hash() is randomised per process (PYTHONHASHSEED), which
+    # would make the generated corpus — and every embedding derived from
+    # it — differ between runs and defeat the cross-process artifact cache.
     schemas = {name: class_schema(name.split("#", 1)[0], ontology,
-                                  make_rng(abs(hash(name)) % (2 ** 31)))
+                                  make_rng(_stable_seed(name)))
                for name in class_concepts}
 
     tables: list[Table] = []

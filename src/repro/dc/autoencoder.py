@@ -12,12 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..clustering.base import ClusteringResult
 from ..clustering.birch import Birch
 from ..clustering.kmeans import KMeans
 from ..config import DeepClusteringConfig, make_rng
 from ..exceptions import ConfigurationError
-from ..nn import Adam, Linear, Module, Sequential, Tensor, mse_loss, relu, no_grad
+from ..nn import Adam, Linear, Module, Tensor, mse_loss, relu, no_grad
 from ..utils.validation import check_matrix
 from .base import DeepClusterer
 

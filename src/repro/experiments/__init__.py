@@ -1,15 +1,31 @@
 """Experiment registry and harness reproducing every table and figure.
 
 Every evaluation artefact of the paper has an entry in
-:data:`repro.experiments.registry.EXPERIMENTS`; the runner executes an entry
-at a chosen scale and the reporting helpers render the same row/series
-layout the paper uses.  The benchmark modules under ``benchmarks/`` are thin
-wrappers around these functions.
+:data:`repro.experiments.registry.EXPERIMENTS`.  Running one is a
+plan/execute split: :func:`plan_experiment` expands a spec into independent
+:class:`Cell` jobs and :class:`ParallelRunner` executes them (serially or on
+a thread/process pool) with deterministic results; :func:`run_experiment`
+wires the two together at a chosen scale, and the reporting helpers render
+the same row/series layout the paper uses (text, JSON or CSV).  The
+``python -m repro`` CLI and the benchmark modules under ``benchmarks/`` are
+thin wrappers around these functions, and ``EXPERIMENTS.md`` is generated
+from the registry by :mod:`repro.experiments.docs`.
 """
 
 from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
-from .runner import run_experiment, build_dataset
-from .reporting import format_results_table, results_to_rows, pivot_results
+from .plan import Cell, ExperimentPlan, plan_experiment
+from .parallel import ParallelRunner
+from .runner import run_experiment, run_plan, build_dataset
+from .reporting import (
+    RESULT_FORMATS,
+    format_results_table,
+    render_rows,
+    results_to_rows,
+    pivot_results,
+    rows_to_csv,
+    rows_to_json,
+)
+from .docs import render_experiments_md, write_experiments_md
 from .scalability import ScalabilityPoint, run_scalability_study
 from .projections import project_2d, separability_report, ProjectionReport
 from .heatmaps import similarity_heatmap, HeatmapReport
@@ -18,11 +34,22 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "get_experiment",
+    "Cell",
+    "ExperimentPlan",
+    "plan_experiment",
+    "ParallelRunner",
     "run_experiment",
+    "run_plan",
     "build_dataset",
+    "RESULT_FORMATS",
     "format_results_table",
+    "render_rows",
     "results_to_rows",
     "pivot_results",
+    "rows_to_csv",
+    "rows_to_json",
+    "render_experiments_md",
+    "write_experiments_md",
     "ScalabilityPoint",
     "run_scalability_study",
     "project_2d",

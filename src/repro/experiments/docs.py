@@ -1,0 +1,120 @@
+"""Generate ``EXPERIMENTS.md`` from the experiment registry.
+
+The registry (:data:`repro.experiments.registry.EXPERIMENTS`) is the single
+source of truth about what "reproducing Table N" means; this module renders
+it as the human-readable ``EXPERIMENTS.md`` at the repository root.  The
+file is *generated* — edit the registry (or this renderer) and run
+``python -m repro docs`` to refresh it; ``tests/test_cli.py`` asserts the
+committed file is in sync.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..config import BENCHMARK_SCALE, TEST_SCALE
+from .registry import EXPERIMENTS, ExperimentSpec
+
+__all__ = ["render_experiments_md", "write_experiments_md"]
+
+_HEADER = """\
+# EXPERIMENTS
+
+<!-- GENERATED FILE — do not edit by hand.
+     This file is rendered from `repro.experiments.registry.EXPERIMENTS`
+     by `python -m repro docs`; `tests/test_cli.py` checks it is in sync. -->
+
+Every evaluation artefact of *Deep Clustering for Data Cleaning and
+Integration* (Rauf, Freitas & Paton, EDBT 2024) is described by one
+`ExperimentSpec` in `repro.experiments.registry`.  Tables and the KS
+analysis run through one entry point:
+
+```bash
+python -m repro run <experiment_id> [--scale test] [--workers N] \\
+    [--format table|json|csv]
+```
+
+Figures use the dedicated helpers named in their section below (the
+`benchmarks/` harness wraps them; `pytest benchmarks/ --benchmark-only`
+regenerates everything).  Embedding matrices are cached per
+(dataset content, method, seed) by `repro.cache`, so re-running a table —
+or running its cells in parallel — computes each embedding exactly once.
+"""
+
+_FIGURE_ENTRY_POINTS = {
+    "figure3": "`repro.experiments.projections.separability_report` "
+               "(bench: `benchmarks/bench_figure3_projections.py`)",
+    "figure4": "`repro.experiments.scalability.run_scalability_study` "
+               "(bench: `benchmarks/bench_figure4_scalability.py`)",
+    "figure5": "`repro.experiments.heatmaps.similarity_heatmap` "
+               "(bench: `benchmarks/bench_figure5_heatmaps.py`)",
+}
+
+
+def _spec_section(spec: ExperimentSpec) -> str:
+    lines = [f"## `{spec.experiment_id}` — {spec.title}", ""]
+    lines.append(f"- **Kind:** {spec.kind}")
+    lines.append(f"- **Task:** {spec.task}")
+    if spec.datasets:
+        lines.append("- **Datasets:** "
+                     + ", ".join(f"`{name}`" for name in spec.datasets))
+    if spec.embeddings:
+        lines.append("- **Embeddings:** "
+                     + ", ".join(f"`{name}`" for name in spec.embeddings))
+    if spec.algorithms:
+        lines.append("- **Algorithms:** "
+                     + ", ".join(f"`{name}`" for name in spec.algorithms))
+    if spec.extra:
+        rendered = ", ".join(f"{key}={value!r}"
+                             for key, value in sorted(spec.extra.items()))
+        lines.append(f"- **Parameters:** {rendered}")
+    if spec.kind == "figure":
+        entry = _FIGURE_ENTRY_POINTS.get(
+            spec.experiment_id, "see `repro.experiments`")
+        lines.append(f"- **Entry point:** {entry}")
+    else:
+        lines.append(f"- **Entry point:** `python -m repro run "
+                     f"{spec.experiment_id}` / "
+                     f"`repro.run_experiment({spec.experiment_id!r})`")
+    if spec.notes:
+        lines.append(f"- **Notes:** {spec.notes}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _scale_section() -> str:
+    fields = [name for name in BENCHMARK_SCALE.__dataclass_fields__
+              if name != "seed"]
+    lines = [
+        "## Scales",
+        "",
+        "The synthetic benchmark generators accept explicit sizes; two named",
+        "scales are defined in `repro.config`.  `--scale test` is what the",
+        "unit tests and CLI smoke runs use; `--scale benchmark` is the",
+        "default recorded throughout this file.",
+        "",
+        "| Parameter | `test` | `benchmark` |",
+        "| --- | --- | --- |",
+    ]
+    for name in fields:
+        lines.append(f"| `{name}` | {getattr(TEST_SCALE, name)} "
+                     f"| {getattr(BENCHMARK_SCALE, name)} |")
+    lines.append(f"\nBoth scales default to seed {BENCHMARK_SCALE.seed}.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_experiments_md() -> str:
+    """Render the full EXPERIMENTS.md content (deterministic)."""
+    sections = [_HEADER]
+    for experiment_id in EXPERIMENTS:
+        sections.append(_spec_section(EXPERIMENTS[experiment_id]))
+    sections.append(_scale_section())
+    return "\n".join(sections)
+
+
+def write_experiments_md(path: str | Path) -> Path:
+    """Write the rendered document to ``path`` and return it."""
+    destination = Path(path)
+    destination.write_text(render_experiments_md(), encoding="utf-8")
+    return destination

@@ -1,0 +1,120 @@
+"""Execute phase of the experiment harness: run cells on a worker pool.
+
+:class:`ParallelRunner` consumes the :class:`~repro.experiments.plan.Cell`
+jobs produced by :func:`~repro.experiments.plan.plan_experiment` and runs
+them on a ``concurrent.futures`` pool.  Because every cell is independent
+and carries its own seed, results are *deterministic*: the runner returns
+``TaskResult`` rows in plan order, and the ARI/ACC/K values are identical to
+a serial run regardless of the worker count or scheduling.
+
+Two executors are supported:
+
+* ``"thread"`` (default) — shares the process-wide embedding cache, so each
+  (dataset, embedding) matrix is computed exactly once no matter how many
+  algorithm cells consume it.  The numeric kernels are numpy-bound and
+  release the GIL for large operations.
+* ``"process"`` — full CPython parallelism.  Each worker process owns a
+  private in-memory cache; configure a shared ``cache_dir``
+  (:func:`repro.cache.configure_cache`) to deduplicate embedding work
+  across processes via the NPZ disk layer.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from pathlib import Path
+
+from ..cache import configure_cache, get_cache
+from ..exceptions import ExperimentError
+from ..tasks.base import TaskResult
+from .plan import Cell
+
+__all__ = ["ParallelRunner", "execute_cell"]
+
+_EXECUTORS = ("thread", "process")
+
+
+def execute_cell(task, cell: Cell) -> TaskResult:
+    """Run one cell on an already-constructed task pipeline.
+
+    Module-level (rather than a bound method) so the process executor can
+    pickle it.
+    """
+    return task.run(embedding=cell.embedding, algorithm=cell.algorithm,
+                    seed=cell.seed)
+
+
+#: Per-worker-process task table, installed once by the pool initializer so
+#: each dataset is pickled to a worker once instead of once per cell.
+_WORKER_TASKS: dict[str, object] = {}
+
+
+def _init_process_worker(tasks: dict[str, object], max_entries: int,
+                         cache_dir: Path | None) -> None:
+    global _WORKER_TASKS
+    _WORKER_TASKS = tasks
+    # Re-establish the parent's cache configuration: with the
+    # spawn/forkserver start methods the worker re-imports repro and would
+    # otherwise fall back to a memory-only default cache, silently losing
+    # the cross-process NPZ dedup (and any max_entries sizing).  Under fork
+    # the inherited cache already matches, and is kept warm.
+    cache = get_cache()
+    if cache.max_entries != max_entries or cache.cache_dir != cache_dir:
+        configure_cache(max_entries=max_entries, cache_dir=cache_dir)
+
+
+def _execute_cell_in_worker(cell: Cell) -> TaskResult:
+    return execute_cell(_WORKER_TASKS[cell.dataset], cell)
+
+
+class ParallelRunner:
+    """Run independent experiment cells on a thread or process pool."""
+
+    def __init__(self, *, workers: int | None = 1,
+                 executor: str = "thread") -> None:
+        if executor not in _EXECUTORS:
+            raise ExperimentError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}")
+        if workers is not None and workers < 1:
+            raise ExperimentError("workers must be >= 1 (or None for one "
+                                  "worker per core)")
+        self.workers = workers
+        self.executor = executor
+
+    def resolved_workers(self, n_cells: int) -> int:
+        """The pool size actually used for ``n_cells`` jobs."""
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, min(workers, n_cells)) if n_cells else 1
+
+    def execute(self, bound_cells) -> list[TaskResult]:
+        """Run ``(task, cell)`` pairs and return results in cell order.
+
+        ``bound_cells`` is an iterable of ``(task, cell)`` tuples, where the
+        task is one of the pipelines from :mod:`repro.tasks` built over the
+        cell's dataset.  With ``workers == 1`` the pool is skipped entirely
+        and the cells run inline (the historical serial path).
+        """
+        bound = list(bound_cells)
+        workers = self.resolved_workers(len(bound))
+        if workers == 1:
+            return [execute_cell(task, cell) for task, cell in bound]
+
+        if self.executor == "thread":
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers) as pool:
+                futures = [pool.submit(execute_cell, task, cell)
+                           for task, cell in bound]
+                # Collect in submission (= plan) order; exceptions propagate
+                # with the cell that caused them.
+                return [future.result() for future in futures]
+
+        tasks = {cell.dataset: task for task, cell in bound}
+        cache = get_cache()
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(tasks, cache.max_entries, cache.cache_dir)) as pool:
+            futures = [pool.submit(_execute_cell_in_worker, cell)
+                       for _, cell in bound]
+            return [future.result() for future in futures]

@@ -1,0 +1,174 @@
+"""Plan phase of the experiment harness: expand a spec into independent jobs.
+
+``plan_experiment`` turns one registered :class:`ExperimentSpec` (plus any
+dataset/embedding/algorithm overrides) into an :class:`ExperimentPlan` — an
+ordered tuple of :class:`Cell` jobs, one per (dataset, embedding, algorithm)
+combination.  Each cell is self-describing and independent of every other
+cell, which is what lets :class:`repro.experiments.parallel.ParallelRunner`
+execute them on a thread or process pool while the embedding cache
+(:mod:`repro.cache`) deduplicates the shared embedding work.
+
+Validation happens here, at plan time: overrides that the experiment cannot
+honour (clustering algorithms for the ``table1`` profiling run, embeddings
+for ``ks_density``, unknown algorithm names, datasets outside the spec)
+raise :class:`~repro.exceptions.ExperimentError` instead of being silently
+ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BENCHMARK_SCALE, ExperimentScale
+from ..exceptions import ExperimentError
+from ..tasks import (
+    DD_INSTANCE_EMBEDDINGS,
+    DD_SCHEMA_EMBEDDINGS,
+    ER_EMBEDDINGS,
+    INSTANCE_LEVEL_EMBEDDINGS,
+    SCHEMA_LEVEL_EMBEDDINGS,
+)
+from ..tasks.base import CLUSTERER_NAMES
+from .registry import ExperimentSpec, get_experiment
+
+__all__ = ["Cell", "ExperimentPlan", "plan_experiment"]
+
+#: Embedding methods each task pipeline can actually execute.
+_TASK_EMBEDDINGS = {
+    "schema_inference": SCHEMA_LEVEL_EMBEDDINGS + INSTANCE_LEVEL_EMBEDDINGS,
+    "entity_resolution": ER_EMBEDDINGS,
+    "domain_discovery": DD_SCHEMA_EMBEDDINGS + DD_INSTANCE_EMBEDDINGS,
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent job of an experiment: cluster one embedding matrix.
+
+    ``seed`` is fixed at plan time (``None`` defers to the deep clustering
+    config's own seed, exactly like the serial code path), so a cell's
+    result is fully determined by its fields regardless of which worker
+    executes it or in which order.
+    """
+
+    experiment_id: str
+    task: str
+    dataset: str
+    embedding: str
+    algorithm: str
+    seed: int | None
+    index: int
+
+    def label(self) -> str:
+        return (f"{self.experiment_id}[{self.index}] "
+                f"{self.dataset}/{self.embedding}/{self.algorithm}")
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """The expanded job list for one experiment run."""
+
+    spec: ExperimentSpec
+    scale: ExperimentScale
+    datasets: tuple[str, ...]
+    embeddings: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    seed: int | None
+    cells: tuple[Cell, ...]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def unique_embeddings(self) -> int:
+        """Number of distinct (dataset, embedding) artifacts the plan needs."""
+        return len({(cell.dataset, cell.embedding) for cell in self.cells})
+
+
+def _check_overrides(spec: ExperimentSpec,
+                     datasets: tuple[str, ...] | None,
+                     embeddings: tuple[str, ...] | None,
+                     algorithms: tuple[str, ...] | None) -> None:
+    if datasets:
+        unknown = sorted(set(datasets) - set(spec.datasets))
+        if unknown:
+            raise ExperimentError(
+                f"dataset override {unknown!r} not part of experiment "
+                f"{spec.experiment_id!r} (expected a subset of "
+                f"{spec.datasets!r})")
+    if spec.experiment_id in ("table1", "ks_density"):
+        # These runs have no embedding x algorithm matrix: table1 profiles
+        # raw datasets, ks_density analyses one fixed embedding.  Accepting
+        # overrides here and ignoring them would misreport what ran.
+        if algorithms:
+            raise ExperimentError(
+                f"experiment {spec.experiment_id!r} does not cluster, so "
+                f"'algorithms' overrides have no effect; drop them")
+        if embeddings and tuple(embeddings) != tuple(spec.embeddings):
+            raise ExperimentError(
+                f"experiment {spec.experiment_id!r} uses the fixed embedding "
+                f"set {spec.embeddings!r}; 'embeddings' overrides have no "
+                f"effect")
+        return
+    if embeddings:
+        supported = _TASK_EMBEDDINGS.get(spec.task, ())
+        unknown = sorted(set(e.lower() for e in embeddings) - set(supported))
+        if unknown:
+            raise ExperimentError(
+                f"embedding override {unknown!r} not supported by task "
+                f"{spec.task!r} (expected names from {supported!r})")
+    if algorithms:
+        unknown = sorted(set(algorithms) - set(CLUSTERER_NAMES))
+        if unknown:
+            raise ExperimentError(
+                f"unknown clustering algorithm override {unknown!r}; "
+                f"expected names from {CLUSTERER_NAMES!r}")
+
+
+def plan_experiment(experiment_id: str, *,
+                    scale: ExperimentScale | None = None,
+                    datasets: tuple[str, ...] | None = None,
+                    embeddings: tuple[str, ...] | None = None,
+                    algorithms: tuple[str, ...] | None = None,
+                    seed: int | None = None) -> ExperimentPlan:
+    """Expand one experiment into an ordered list of independent cells.
+
+    The cell order matches the historical serial execution order (datasets
+    outermost, then embeddings, then algorithms), so result lists are
+    comparable across runner implementations.
+    """
+    spec = get_experiment(experiment_id)
+    scale = scale or BENCHMARK_SCALE
+    _check_overrides(spec, datasets, embeddings, algorithms)
+    if spec.kind == "figure":
+        raise ExperimentError(
+            f"experiment {experiment_id!r} is a figure; use the dedicated "
+            "scalability/projections/heatmaps entry points")
+
+    chosen_datasets = tuple(datasets or spec.datasets)
+    chosen_embeddings = tuple(embeddings or spec.embeddings)
+    chosen_algorithms = tuple(algorithms or spec.algorithms)
+
+    cells: list[Cell] = []
+    for dataset in chosen_datasets:
+        for embedding in chosen_embeddings:
+            for algorithm in chosen_algorithms:
+                cells.append(Cell(
+                    experiment_id=spec.experiment_id,
+                    task=spec.task,
+                    dataset=dataset,
+                    embedding=embedding,
+                    algorithm=algorithm,
+                    seed=seed,
+                    index=len(cells),
+                ))
+    return ExperimentPlan(
+        spec=spec,
+        scale=scale,
+        datasets=chosen_datasets,
+        embeddings=chosen_embeddings,
+        algorithms=chosen_algorithms,
+        seed=seed,
+        cells=tuple(cells),
+    )

@@ -2,8 +2,10 @@
 
 Each :class:`ExperimentSpec` names the datasets, embedding methods and
 clustering algorithms of one table (or the data required by one figure), so
-the benchmark harness, the examples and EXPERIMENTS.md all share a single
-source of truth about what "reproducing Table N" means.
+the benchmark harness, the examples, the ``python -m repro`` CLI and the
+generated ``EXPERIMENTS.md`` (rendered from this registry by
+:mod:`repro.experiments.docs` via ``python -m repro docs``) all share a
+single source of truth about what "reproducing Table N" means.
 """
 
 from __future__ import annotations

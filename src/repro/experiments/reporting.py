@@ -1,12 +1,34 @@
-"""Result formatting: render TaskResults in the paper's table layout."""
+"""Result formatting: render experiment results as text, JSON or CSV.
+
+``format_results_table`` renders :class:`TaskResult` lists in the paper's
+table layout; ``rows_to_json`` / ``rows_to_csv`` serialise any list of row
+dictionaries (task results, Table 1 dataset profiles, scalability points)
+for machine consumption — they back the ``--format {table,json,csv}`` flag
+of the ``python -m repro`` CLI.
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from collections import defaultdict
 
+from ..exceptions import ExperimentError
 from ..tasks.base import TaskResult
 
-__all__ = ["results_to_rows", "pivot_results", "format_results_table"]
+__all__ = [
+    "results_to_rows",
+    "pivot_results",
+    "format_results_table",
+    "rows_to_json",
+    "rows_to_csv",
+    "render_rows",
+    "RESULT_FORMATS",
+]
+
+#: Output formats understood by :func:`render_rows` and the CLI.
+RESULT_FORMATS = ("table", "json", "csv")
 
 
 def results_to_rows(results: list[TaskResult]) -> list[dict[str, object]]:
@@ -65,3 +87,56 @@ def format_results_table(results: list[TaskResult], *, title: str = "") -> str:
             lines.append(" | ".join(cell.ljust(width)
                                     for cell, width in zip(cells, widths)))
     return "\n".join(lines)
+
+
+def rows_to_json(rows: list[dict[str, object]], *, indent: int = 2) -> str:
+    """Serialise row dictionaries as a JSON array (stable key order)."""
+    return json.dumps(rows, indent=indent, default=str)
+
+
+def rows_to_csv(rows: list[dict[str, object]]) -> str:
+    """Serialise row dictionaries as CSV with a header row.
+
+    The header is the union of the keys across all rows, in first-seen
+    order; rows missing a key emit an empty cell.
+    """
+    if not rows:
+        return ""
+    fieldnames = list(dict.fromkeys(key for row in rows for key in row))
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _rows_to_text(rows: list[dict[str, object]]) -> str:
+    """Render generic row dictionaries as a fixed-width text table."""
+    if not rows:
+        return "(no results)"
+    fieldnames = list(dict.fromkeys(key for row in rows for key in row))
+    table = [[str(row.get(name, "")) for name in fieldnames] for row in rows]
+    widths = [max(len(name), *(len(line[i]) for line in table))
+              for i, name in enumerate(fieldnames)]
+    lines = [" | ".join(name.ljust(width)
+                        for name, width in zip(fieldnames, widths))]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(" | ".join(cell.ljust(width)
+                            for cell, width in zip(line, widths))
+                 for line in table)
+    return "\n".join(lines)
+
+
+def render_rows(rows: list[dict[str, object]], fmt: str = "table", *,
+                title: str = "") -> str:
+    """Render row dictionaries in one of :data:`RESULT_FORMATS`."""
+    if fmt not in RESULT_FORMATS:
+        raise ExperimentError(
+            f"unknown result format {fmt!r}; expected one of {RESULT_FORMATS}")
+    if fmt == "json":
+        return rows_to_json(rows)
+    if fmt == "csv":
+        return rows_to_csv(rows)
+    text = _rows_to_text(rows)
+    return f"{title}\n{text}" if title else text

@@ -1,8 +1,15 @@
-"""Experiment runner: build datasets at a chosen scale and execute a spec."""
+"""Experiment runner: plan a spec, build datasets, execute the cells.
+
+``run_experiment`` is the single entry point behind the benchmarks, the
+examples and the ``python -m repro`` CLI.  It delegates the expansion of a
+spec into independent jobs to :func:`repro.experiments.plan.plan_experiment`
+and the (optionally parallel) execution of those jobs to
+:class:`repro.experiments.parallel.ParallelRunner`; dataset construction and
+the special non-matrix experiments (``table1`` profiling, ``ks_density``)
+live here.
+"""
 
 from __future__ import annotations
-
-import numpy as np
 
 from ..config import BENCHMARK_SCALE, DeepClusteringConfig, ExperimentScale
 from ..data import (
@@ -23,9 +30,11 @@ from ..tasks import (
     TaskResult,
     embed_tables,
 )
-from .registry import ExperimentSpec, get_experiment
+from .parallel import ParallelRunner
+from .plan import ExperimentPlan, plan_experiment
+from .registry import ExperimentSpec
 
-__all__ = ["build_dataset", "run_experiment"]
+__all__ = ["build_dataset", "run_experiment", "run_plan"]
 
 
 def build_dataset(name: str, scale: ExperimentScale | None = None, *,
@@ -62,13 +71,34 @@ def _task_for(spec: ExperimentSpec, dataset,
     raise ExperimentError(f"experiment task {spec.task!r} has no pipeline")
 
 
+def run_plan(plan: ExperimentPlan, *,
+             config: DeepClusteringConfig | None = None,
+             workers: int | None = 1,
+             executor: str = "thread") -> list[TaskResult]:
+    """Execute a planned experiment matrix and return ordered results.
+
+    Each dataset is built once and shared by all of its cells; the embedding
+    cache (:mod:`repro.cache`) then deduplicates the embedding step across
+    the algorithm cells, so the expensive work of a table is
+    ``O(datasets x embeddings)`` regardless of the algorithm count.
+    """
+    tasks = {name: _task_for(plan.spec,
+                             build_dataset(name, plan.scale, seed=plan.seed),
+                             config)
+             for name in plan.datasets}
+    runner = ParallelRunner(workers=workers, executor=executor)
+    return runner.execute((tasks[cell.dataset], cell) for cell in plan.cells)
+
+
 def run_experiment(experiment_id: str, *,
                    scale: ExperimentScale | None = None,
                    config: DeepClusteringConfig | None = None,
                    algorithms: tuple[str, ...] | None = None,
                    embeddings: tuple[str, ...] | None = None,
                    datasets: tuple[str, ...] | None = None,
-                   seed: int | None = None):
+                   seed: int | None = None,
+                   workers: int | None = 1,
+                   executor: str = "thread"):
     """Run one registered experiment and return its result rows.
 
     For the table experiments the return value is a list of
@@ -79,31 +109,24 @@ def run_experiment(experiment_id: str, *,
     :mod:`repro.experiments.projections`,
     :mod:`repro.experiments.heatmaps`) — calling them here raises, keeping
     this function's return type predictable.
+
+    ``workers`` > 1 (or ``None`` for one worker per core) fans the
+    independent cells out on a pool; see
+    :class:`~repro.experiments.parallel.ParallelRunner` for the ``executor``
+    choices and determinism guarantees.  Overrides that an experiment cannot
+    honour raise :class:`~repro.exceptions.ExperimentError` at plan time.
     """
-    spec = get_experiment(experiment_id)
-    scale = scale or BENCHMARK_SCALE
+    plan = plan_experiment(experiment_id, scale=scale, datasets=datasets,
+                           embeddings=embeddings, algorithms=algorithms,
+                           seed=seed)
 
-    if spec.experiment_id == "table1":
-        names = datasets or spec.datasets
-        return profile_datasets([build_dataset(name, scale, seed=seed)
-                                 for name in names])
+    if plan.spec.experiment_id == "table1":
+        return profile_datasets([build_dataset(name, plan.scale, seed=seed)
+                                 for name in plan.datasets])
 
-    if spec.experiment_id == "ks_density":
-        dataset = build_dataset("webtables", scale, seed=seed)
-        X = embed_tables(dataset, "sbert")
+    if plan.spec.experiment_id == "ks_density":
+        dataset = build_dataset("webtables", plan.scale, seed=seed)
+        X = embed_tables(dataset, "sbert", seed=seed)
         return ks_density_analysis(X, seed=seed)
 
-    if spec.kind == "figure":
-        raise ExperimentError(
-            f"experiment {experiment_id!r} is a figure; use the dedicated "
-            "scalability/projections/heatmaps entry points")
-
-    results: list[TaskResult] = []
-    for dataset_name in (datasets or spec.datasets):
-        dataset = build_dataset(dataset_name, scale, seed=seed)
-        task = _task_for(spec, dataset, config)
-        results.extend(task.run_matrix(
-            embeddings=tuple(embeddings or spec.embeddings),
-            algorithms=tuple(algorithms or spec.algorithms),
-            seed=seed))
-    return results
+    return run_plan(plan, config=config, workers=workers, executor=executor)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from .tensor import Tensor
 
 __all__ = ["relu", "sigmoid", "tanh", "softmax", "log_softmax", "leaky_relu", "identity"]

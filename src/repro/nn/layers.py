@@ -7,7 +7,7 @@ Only the pieces the deep clustering models need are provided: trainable
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 

@@ -14,25 +14,37 @@ summed back to the operand's original shape (see :func:`_unbroadcast`).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad"]
 
-_GRAD_ENABLED = True
+# Graph recording is toggled per *thread*: the experiment harness trains
+# independent models on a thread pool, and a process-wide flag would let one
+# worker's no_grad() inference silently disable another worker's training
+# graph mid-construction.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph recording (cheaper inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph recording (cheaper inference).
+
+    The toggle is thread-local, so concurrent training in other threads is
+    unaffected.
+    """
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -64,11 +76,12 @@ class Tensor:
                  parents: Iterable["Tensor"] = (),
                  backward: Callable[[np.ndarray], None] | None = None,
                  name: str | None = None) -> None:
+        grad_enabled = _grad_enabled()
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and grad_enabled
         self.grad: np.ndarray | None = None
-        self._parents: tuple[Tensor, ...] = tuple(parents) if _GRAD_ENABLED else ()
-        self._backward = backward if _GRAD_ENABLED else None
+        self._parents: tuple[Tensor, ...] = tuple(parents) if grad_enabled else ()
+        self._backward = backward if grad_enabled else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -116,14 +129,14 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _needs_graph(self, *others: "Tensor") -> bool:
-        if not _GRAD_ENABLED:
+        if not _grad_enabled():
             return False
         return self.requires_grad or any(o.requires_grad for o in others)
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         requires = any(p.requires_grad for p in parents)
-        if not (_GRAD_ENABLED and requires):
+        if not (_grad_enabled() and requires):
             return Tensor(data)
         out = Tensor(data, requires_grad=True, parents=parents, backward=backward)
         return out

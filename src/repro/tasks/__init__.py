@@ -7,7 +7,13 @@ and return a :class:`repro.tasks.base.TaskResult` with the ARI/ACC metrics
 the paper reports.
 """
 
-from .base import TaskResult, make_clusterer, evaluate_clustering, CLUSTERER_NAMES
+from .base import (
+    TaskResult,
+    ClusteringTask,
+    make_clusterer,
+    evaluate_clustering,
+    CLUSTERER_NAMES,
+)
 from .preprocessing import preprocess_tables, preprocess_records, preprocess_columns
 from .schema_inference import (
     SchemaInferenceTask,
@@ -25,6 +31,7 @@ from .domain_discovery import (
 
 __all__ = [
     "TaskResult",
+    "ClusteringTask",
     "make_clusterer",
     "evaluate_clustering",
     "CLUSTERER_NAMES",

@@ -14,7 +14,8 @@ from ..exceptions import ConfigurationError
 from ..metrics import adjusted_rand_index, clustering_accuracy
 from ..utils.timing import Timer
 
-__all__ = ["TaskResult", "make_clusterer", "evaluate_clustering", "CLUSTERER_NAMES"]
+__all__ = ["TaskResult", "ClusteringTask", "make_clusterer",
+           "evaluate_clustering", "CLUSTERER_NAMES"]
 
 #: Algorithm names accepted by :func:`make_clusterer`.  ``"sdcn"``/``"ae"``
 #: correspond to the SDCN/AE rows of the paper's tables; the silhouette rule
@@ -55,6 +56,46 @@ class TaskResult:
             "ACC": round(self.acc, 3),
             "runtime_s": round(self.runtime_seconds, 3),
         }
+
+
+class ClusteringTask:
+    """Shared plan/execute plumbing for the three task pipelines.
+
+    Subclasses are dataclasses with ``dataset`` and ``config`` fields plus a
+    ``task_name`` class attribute, and implement :meth:`embed`.  ``run``
+    executes one cell (embed + cluster + score) and ``run_matrix`` executes
+    a whole embedding x algorithm matrix serially.  Because the embedding
+    step goes through the process-wide :mod:`repro.cache`, running the
+    matrix cell-by-cell costs each embedding exactly once — which is what
+    lets :class:`repro.experiments.parallel.ParallelRunner` schedule the
+    same cells concurrently without duplicated work.
+    """
+
+    task_name = ""
+
+    def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
+        """Return the embedding matrix for ``method`` (cached)."""
+        raise NotImplementedError
+
+    def task_config(self) -> DeepClusteringConfig | None:
+        """The deep clustering config used for this task's cells."""
+        return self.config
+
+    def run(self, *, embedding: str, algorithm: str,
+            seed: int | None = None) -> TaskResult:
+        """Execute one cell: embed the dataset and cluster it once."""
+        X = self.embed(embedding, seed=seed)
+        return evaluate_clustering(
+            X, self.dataset.labels, algorithm=algorithm,
+            dataset=self.dataset.name, task=self.task_name,
+            embedding=embedding, config=self.task_config(), seed=seed)
+
+    def run_matrix(self, *, embeddings: tuple[str, ...],
+                   algorithms: tuple[str, ...],
+                   seed: int | None = None) -> list[TaskResult]:
+        """Run every embedding x algorithm combination (one paper table)."""
+        return [self.run(embedding=embedding, algorithm=algorithm, seed=seed)
+                for embedding in embeddings for algorithm in algorithms]
 
 
 def make_clusterer(name: str, n_clusters: int, *,

@@ -14,11 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cache import embedding_cache_key, get_cache
 from ..config import DeepClusteringConfig
 from ..data.table import ColumnClusteringDataset
 from ..embeddings import EmbDiEmbedder, FastTextEncoder, SBERTEncoder
 from ..exceptions import ConfigurationError
-from .base import TaskResult, evaluate_clustering
+from .base import ClusteringTask
 from .preprocessing import preprocess_columns
 
 __all__ = ["DomainDiscoveryTask", "embed_columns",
@@ -33,7 +34,22 @@ DD_INSTANCE_EMBEDDINGS = ("sbert_instance", "embdi")
 def embed_columns(dataset: ColumnClusteringDataset, method: str, *,
                   seed: int | None = None, max_values: int = 20,
                   embdi_dim: int = 64) -> np.ndarray:
-    """Embed every column of ``dataset`` with the requested method."""
+    """Embed every column of ``dataset`` with the requested method.
+
+    Results are memoised in the process-wide :mod:`repro.cache`; see
+    :func:`repro.tasks.embed_tables` for the caching contract.
+    """
+    key = embedding_cache_key("columns", dataset, method.lower(), seed,
+                              max_values=max_values, embdi_dim=embdi_dim)
+    return get_cache().get_or_compute(
+        key, lambda: _embed_columns(dataset, method, seed=seed,
+                                    max_values=max_values,
+                                    embdi_dim=embdi_dim))
+
+
+def _embed_columns(dataset: ColumnClusteringDataset, method: str, *,
+                   seed: int | None = None, max_values: int = 20,
+                   embdi_dim: int = 64) -> np.ndarray:
     method = method.lower()
     columns = preprocess_columns(dataset.columns)
     if method == "sbert":
@@ -61,31 +77,13 @@ def embed_columns(dataset: ColumnClusteringDataset, method: str, *,
 
 
 @dataclass
-class DomainDiscoveryTask:
+class DomainDiscoveryTask(ClusteringTask):
     """End-to-end domain discovery pipeline."""
 
     dataset: ColumnClusteringDataset
     config: DeepClusteringConfig | None = None
 
-    def run(self, *, embedding: str, algorithm: str,
-            seed: int | None = None) -> TaskResult:
-        """Embed the columns and cluster them with one algorithm."""
-        X = embed_columns(self.dataset, embedding, seed=seed)
-        return evaluate_clustering(
-            X, self.dataset.labels, algorithm=algorithm,
-            dataset=self.dataset.name, task="domain_discovery",
-            embedding=embedding, config=self.config, seed=seed)
+    task_name = "domain_discovery"
 
-    def run_matrix(self, *, embeddings: tuple[str, ...],
-                   algorithms: tuple[str, ...],
-                   seed: int | None = None) -> list[TaskResult]:
-        """Run every embedding x algorithm combination (Tables 5-6)."""
-        results: list[TaskResult] = []
-        for embedding in embeddings:
-            X = embed_columns(self.dataset, embedding, seed=seed)
-            for algorithm in algorithms:
-                results.append(evaluate_clustering(
-                    X, self.dataset.labels, algorithm=algorithm,
-                    dataset=self.dataset.name, task="domain_discovery",
-                    embedding=embedding, config=self.config, seed=seed))
-        return results
+    def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
+        return embed_columns(self.dataset, method, seed=seed)

@@ -13,11 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cache import embedding_cache_key, get_cache
 from ..config import DeepClusteringConfig
 from ..data.table import RecordClusteringDataset
 from ..embeddings import EmbDiEmbedder, SBERTEncoder
 from ..exceptions import ConfigurationError
-from .base import TaskResult, evaluate_clustering
+from .base import ClusteringTask
 from .preprocessing import preprocess_records
 
 __all__ = ["EntityResolutionTask", "embed_records", "ER_EMBEDDINGS"]
@@ -29,7 +30,21 @@ ER_EMBEDDINGS = ("embdi", "sbert")
 def embed_records(dataset: RecordClusteringDataset, method: str, *,
                   seed: int | None = None,
                   embdi_dim: int = 64) -> np.ndarray:
-    """Embed every record of ``dataset`` with the requested method."""
+    """Embed every record of ``dataset`` with the requested method.
+
+    Results are memoised in the process-wide :mod:`repro.cache`; see
+    :func:`repro.tasks.embed_tables` for the caching contract.
+    """
+    key = embedding_cache_key("records", dataset, method.lower(), seed,
+                              embdi_dim=embdi_dim)
+    return get_cache().get_or_compute(
+        key, lambda: _embed_records(dataset, method, seed=seed,
+                                    embdi_dim=embdi_dim))
+
+
+def _embed_records(dataset: RecordClusteringDataset, method: str, *,
+                   seed: int | None = None,
+                   embdi_dim: int = 64) -> np.ndarray:
     method = method.lower()
     records = preprocess_records(dataset.records)
     if method == "sbert":
@@ -43,37 +58,18 @@ def embed_records(dataset: RecordClusteringDataset, method: str, *,
 
 
 @dataclass
-class EntityResolutionTask:
+class EntityResolutionTask(ClusteringTask):
     """End-to-end entity resolution pipeline."""
 
     dataset: RecordClusteringDataset
     config: DeepClusteringConfig | None = None
 
-    def run(self, *, embedding: str, algorithm: str,
-            seed: int | None = None) -> TaskResult:
-        """Embed the records and cluster them with one algorithm."""
-        X = embed_records(self.dataset, embedding, seed=seed)
-        return evaluate_clustering(
-            X, self.dataset.labels, algorithm=algorithm,
-            dataset=self.dataset.name, task="entity_resolution",
-            embedding=embedding, config=self._config_for_er(), seed=seed)
+    task_name = "entity_resolution"
 
-    def run_matrix(self, *, embeddings: tuple[str, ...],
-                   algorithms: tuple[str, ...],
-                   seed: int | None = None) -> list[TaskResult]:
-        """Run every embedding x algorithm combination (Table 4)."""
-        results: list[TaskResult] = []
-        for embedding in embeddings:
-            X = embed_records(self.dataset, embedding, seed=seed)
-            for algorithm in algorithms:
-                results.append(evaluate_clustering(
-                    X, self.dataset.labels, algorithm=algorithm,
-                    dataset=self.dataset.name, task="entity_resolution",
-                    embedding=embedding, config=self._config_for_er(),
-                    seed=seed))
-        return results
+    def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
+        return embed_records(self.dataset, method, seed=seed)
 
-    def _config_for_er(self) -> DeepClusteringConfig:
+    def task_config(self) -> DeepClusteringConfig:
         """Entity resolution uses longer pre-training (Section 4.2)."""
         config = self.config or DeepClusteringConfig()
         if config.pretrain_epochs < 100 and self.config is None:

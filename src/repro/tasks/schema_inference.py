@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cache import embedding_cache_key, get_cache
 from ..config import DeepClusteringConfig
 from ..data.table import TableClusteringDataset
 from ..embeddings import (
@@ -24,7 +25,7 @@ from ..embeddings import (
     normalize_dimensions,
 )
 from ..exceptions import ConfigurationError
-from .base import TaskResult, evaluate_clustering
+from .base import ClusteringTask
 from .preprocessing import preprocess_tables
 
 __all__ = ["SchemaInferenceTask", "embed_tables",
@@ -38,7 +39,19 @@ INSTANCE_LEVEL_EMBEDDINGS = ("tabnet", "tabtransformer")
 
 def embed_tables(dataset: TableClusteringDataset, method: str, *,
                  seed: int | None = None) -> np.ndarray:
-    """Embed every table of ``dataset`` with the requested method."""
+    """Embed every table of ``dataset`` with the requested method.
+
+    Results are memoised in the process-wide :mod:`repro.cache` keyed by the
+    dataset content, the method and the seed, so repeated calls (e.g. one
+    per clustering algorithm of a table) compute the embedding only once.
+    """
+    key = embedding_cache_key("tables", dataset, method.lower(), seed)
+    return get_cache().get_or_compute(
+        key, lambda: _embed_tables(dataset, method, seed=seed))
+
+
+def _embed_tables(dataset: TableClusteringDataset, method: str, *,
+                  seed: int | None = None) -> np.ndarray:
     method = method.lower()
     tables = preprocess_tables(dataset.tables)
     if method == "sbert":
@@ -60,31 +73,13 @@ def embed_tables(dataset: TableClusteringDataset, method: str, *,
 
 
 @dataclass
-class SchemaInferenceTask:
+class SchemaInferenceTask(ClusteringTask):
     """End-to-end schema inference pipeline."""
 
     dataset: TableClusteringDataset
     config: DeepClusteringConfig | None = None
 
-    def run(self, *, embedding: str, algorithm: str,
-            seed: int | None = None) -> TaskResult:
-        """Embed the tables and cluster them with one algorithm."""
-        X = embed_tables(self.dataset, embedding, seed=seed)
-        return evaluate_clustering(
-            X, self.dataset.labels, algorithm=algorithm,
-            dataset=self.dataset.name, task="schema_inference",
-            embedding=embedding, config=self.config, seed=seed)
+    task_name = "schema_inference"
 
-    def run_matrix(self, *, embeddings: tuple[str, ...],
-                   algorithms: tuple[str, ...],
-                   seed: int | None = None) -> list[TaskResult]:
-        """Run every embedding x algorithm combination (one paper table)."""
-        results: list[TaskResult] = []
-        for embedding in embeddings:
-            X = embed_tables(self.dataset, embedding, seed=seed)
-            for algorithm in algorithms:
-                results.append(evaluate_clustering(
-                    X, self.dataset.labels, algorithm=algorithm,
-                    dataset=self.dataset.name, task="schema_inference",
-                    embedding=embedding, config=self.config, seed=seed))
-        return results
+    def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
+        return embed_tables(self.dataset, method, seed=seed)

@@ -1,0 +1,264 @@
+"""Tests for the artifact cache and the parallel experiment runner."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    configure_cache,
+    dataset_fingerprint,
+    embedding_cache_key,
+    get_cache,
+    reset_cache,
+    set_cache,
+)
+from repro.config import DeepClusteringConfig, ExperimentScale, TEST_SCALE
+from repro.exceptions import ExperimentError, ReproError
+from repro.experiments import (
+    ParallelRunner,
+    build_dataset,
+    plan_experiment,
+    run_experiment,
+)
+from repro.tasks import embed_tables
+
+FAST = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3, layer_size=32,
+                            latent_dim=8, seed=0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test behind a pristine process-wide cache."""
+    cache = reset_cache()
+    yield cache
+    reset_cache()
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        calls = []
+        value = cache.get_or_compute(
+            "k", lambda: calls.append(1) or np.ones(3))
+        again = cache.get_or_compute(
+            "k", lambda: calls.append(1) or np.zeros(3))
+        assert len(calls) == 1
+        np.testing.assert_array_equal(value, again)
+        assert cache.stats.computes == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_get_returns_none_for_unknown(self):
+        assert ArtifactCache().get("nope") is None
+
+    def test_cached_arrays_are_read_only(self):
+        cache = ArtifactCache()
+        value = cache.get_or_compute("k", lambda: np.ones(3))
+        with pytest.raises(ValueError):
+            value[0] = 5.0
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        for name in ("a", "b", "c"):
+            cache.put(name, np.zeros(1))
+        assert cache.stats.evictions == 1
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ArtifactCache(max_entries=0)
+
+    def test_npz_round_trip(self, tmp_path):
+        writer = ArtifactCache(cache_dir=tmp_path)
+        original = np.arange(12, dtype=np.float64).reshape(3, 4)
+        writer.put("shared-key", original)
+        assert writer.stats.disk_writes == 1
+
+        reader = ArtifactCache(cache_dir=tmp_path)
+        loaded = reader.get("shared-key")
+        np.testing.assert_array_equal(loaded, original)
+        assert reader.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("key", np.ones(2))
+        npz_file, = tmp_path.glob("*.npz")
+        npz_file.write_bytes(b"not an npz archive")
+
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        value = fresh.get_or_compute("key", lambda: np.zeros(2))
+        np.testing.assert_array_equal(value, np.zeros(2))
+        assert fresh.stats.computes == 1
+
+    def test_failed_compute_releases_key_lock(self):
+        cache = ArtifactCache()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("key", broken)
+        value = cache.get_or_compute("key", lambda: np.ones(1))
+        np.testing.assert_array_equal(value, np.ones(1))
+
+    def test_concurrent_same_key_computes_once(self):
+        cache = ArtifactCache()
+        started = threading.Barrier(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.ones(2)
+
+        def worker():
+            started.wait()
+            cache.get_or_compute("k", compute)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+
+    def test_default_cache_swap(self):
+        replacement = ArtifactCache(max_entries=3)
+        assert set_cache(replacement) is get_cache()
+        assert get_cache() is replacement
+
+
+class TestCacheKeys:
+    def test_fingerprint_is_content_addressed(self):
+        one = build_dataset("webtables", TEST_SCALE)
+        two = build_dataset("webtables", TEST_SCALE)
+        assert dataset_fingerprint(one) == dataset_fingerprint(two)
+
+    def test_seed_isolation(self):
+        base = build_dataset("webtables", TEST_SCALE, seed=0)
+        other = build_dataset("webtables", TEST_SCALE, seed=1)
+        assert dataset_fingerprint(base) != dataset_fingerprint(other)
+
+    def test_scale_isolation(self):
+        small = build_dataset("webtables", TEST_SCALE)
+        bigger = build_dataset(
+            "webtables",
+            ExperimentScale(webtables_tables=60, webtables_clusters=8))
+        assert dataset_fingerprint(small) != dataset_fingerprint(bigger)
+
+    def test_key_includes_method_seed_and_params(self):
+        dataset = build_dataset("webtables", TEST_SCALE)
+        base = embedding_cache_key("tables", dataset, "sbert", 0)
+        assert embedding_cache_key("tables", dataset, "fasttext", 0) != base
+        assert embedding_cache_key("tables", dataset, "sbert", 1) != base
+        assert embedding_cache_key("tables", dataset, "sbert", 0,
+                                   dim=32) != base
+
+    def test_fingerprint_rejects_unknown_containers(self):
+        with pytest.raises(ReproError):
+            dataset_fingerprint(object())
+
+
+class TestEmbeddingCaching:
+    def test_embed_tables_computes_once(self):
+        dataset = build_dataset("webtables", TEST_SCALE)
+        first = embed_tables(dataset, "sbert")
+        second = embed_tables(dataset, "sbert")
+        assert get_cache().stats.computes == 1
+        assert get_cache().stats.hits == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_table2_twice_computes_each_embedding_once(self):
+        """Acceptance: (dataset, embedding) pairs compute exactly once."""
+        for _ in range(2):
+            run_experiment("table2", scale=TEST_SCALE, config=FAST,
+                           algorithms=("kmeans", "birch"))
+        stats = get_cache().stats
+        # table2 = 2 datasets x 2 embeddings -> 4 unique artifacts, no
+        # matter how many algorithms or repeat runs consume them.
+        assert stats.computes == 4
+        assert stats.hits == 2 * 2 * 2 * 2 - 4  # cells minus first computes
+
+    def test_disk_cache_shared_across_fresh_caches(self, tmp_path):
+        dataset = build_dataset("webtables", TEST_SCALE)
+        configure_cache(cache_dir=tmp_path)
+        embed_tables(dataset, "sbert")
+        assert get_cache().stats.disk_writes == 1
+
+        configure_cache(cache_dir=tmp_path)  # fresh memory layer, same dir
+        embed_tables(dataset, "sbert")
+        stats = get_cache().stats
+        assert stats.computes == 0
+        assert stats.disk_hits == 1
+
+
+class TestParallelRunner:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner(executor="fibers")
+        with pytest.raises(ExperimentError):
+            ParallelRunner(workers=0)
+
+    def test_resolved_workers_bounded_by_cells(self):
+        assert ParallelRunner(workers=8).resolved_workers(3) == 3
+        assert ParallelRunner(workers=2).resolved_workers(10) == 2
+        assert ParallelRunner(workers=None).resolved_workers(0) == 1
+
+    def test_parallel_matches_serial_results(self):
+        """Acceptance: workers>1 yields byte-identical ARI/ACC/K rows."""
+        def rows(results):
+            return [(r.dataset, r.embedding, r.algorithm,
+                     r.n_clusters_predicted, r.ari, r.acc) for r in results]
+
+        serial = run_experiment("table2", scale=TEST_SCALE, config=FAST)
+        reset_cache()
+        parallel = run_experiment("table2", scale=TEST_SCALE, config=FAST,
+                                  workers=4)
+        assert rows(serial) == rows(parallel)
+
+    def test_parallel_still_computes_embeddings_once(self):
+        run_experiment("table2", scale=TEST_SCALE, config=FAST, workers=4)
+        assert get_cache().stats.computes == 4
+
+
+class TestPlanValidation:
+    def test_table_plan_shape_and_order(self):
+        plan = plan_experiment("table2", scale=TEST_SCALE)
+        assert plan.n_cells == 2 * 2 * 6
+        assert plan.unique_embeddings == 4
+        assert [cell.index for cell in plan.cells] == list(range(24))
+        first = plan.cells[0]
+        assert (first.dataset, first.embedding) == ("webtables", "sbert")
+
+    def test_table1_rejects_algorithm_overrides(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table1", scale=TEST_SCALE,
+                           algorithms=("kmeans",))
+
+    def test_ks_density_rejects_embedding_overrides(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("ks_density", scale=TEST_SCALE,
+                           embeddings=("fasttext",))
+
+    def test_dataset_override_must_be_subset(self):
+        with pytest.raises(ExperimentError):
+            plan_experiment("table2", scale=TEST_SCALE,
+                            datasets=("camera",))
+
+    def test_unknown_algorithm_override_rejected(self):
+        with pytest.raises(ExperimentError):
+            plan_experiment("table2", scale=TEST_SCALE,
+                            algorithms=("spectral",))
+
+    def test_unsupported_embedding_override_rejected(self):
+        with pytest.raises(ExperimentError):  # typo'd name fails at plan time
+            plan_experiment("table2", scale=TEST_SCALE,
+                            embeddings=("sbrt",))
+        with pytest.raises(ExperimentError):  # tabular encoder on records
+            plan_experiment("table4", scale=TEST_SCALE,
+                            embeddings=("tabnet",))
+
+    def test_figures_rejected_at_plan_time(self):
+        with pytest.raises(ExperimentError):
+            plan_experiment("figure3", scale=TEST_SCALE)

@@ -1,0 +1,131 @@
+"""Smoke tests for the ``python -m repro`` CLI and the generated docs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cache import reset_cache
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS, render_experiments_md
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_cache()
+    yield
+    reset_cache()
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table2", "--scale", "test",
+                                  "--workers", "2", "--format", "json"])
+        assert args.command == "run"
+        assert args.experiment_id == "table2"
+        assert args.workers == 2
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestListCommand:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_json_format(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["id"] for row in rows} == set(EXPERIMENTS)
+
+
+class TestRunCommand:
+    def test_run_table2_json(self, capsys):
+        code = main(["run", "table2", "--scale", "test", "--format", "json",
+                     "--datasets", "webtables", "--embeddings", "sbert",
+                     "--algorithms", "kmeans", "birch", "--epochs", "2"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert {row["Algorithm"] for row in rows} == {"kmeans", "birch"}
+        assert all(0.0 <= row["ACC"] <= 1.0 for row in rows)
+
+    def test_run_parallel_workers(self, capsys):
+        code = main(["run", "table2", "--scale", "test", "--format", "csv",
+                     "--datasets", "webtables", "--embeddings", "sbert",
+                     "--algorithms", "kmeans", "birch", "--epochs", "2",
+                     "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("Dataset,")
+        assert len(out.strip().splitlines()) == 3  # header + 2 cells
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "test",
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 6
+
+    def test_run_with_cache_dir(self, tmp_path, capsys):
+        code = main(["run", "table2", "--scale", "test", "--format", "json",
+                     "--datasets", "webtables", "--embeddings", "sbert",
+                     "--algorithms", "kmeans", "--epochs", "2",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert list(tmp_path.glob("*.npz")), "expected persisted NPZ artifact"
+
+    def test_invalid_override_exits_nonzero(self, capsys):
+        assert main(["run", "table1", "--scale", "test",
+                     "--algorithms", "kmeans"]) == 2
+        assert "algorithms" in capsys.readouterr().err
+
+    def test_figure_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "figure4", "--scale", "test"]) == 2
+        assert "figure" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profiles_subset(self, capsys):
+        assert main(["profile", "--datasets", "webtables", "camera",
+                     "--scale", "test", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert {row["Task"] for row in rows} == {"Schema Inference",
+                                                 "Domain Discovery"}
+
+
+class TestDocsCommand:
+    def test_docs_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["docs", "--output", str(target)]) == 0
+        assert target.read_text(encoding="utf-8") == render_experiments_md()
+        assert main(["docs", "--check", "--output", str(target)]) == 0
+
+    def test_docs_check_detects_drift(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        target.write_text("stale", encoding="utf-8")
+        assert main(["docs", "--check", "--output", str(target)]) == 1
+
+    def test_committed_experiments_md_in_sync(self):
+        """The checked-in EXPERIMENTS.md must match the registry."""
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert committed == render_experiments_md(), (
+            "EXPERIMENTS.md is out of sync with "
+            "repro.experiments.registry.EXPERIMENTS; "
+            "run 'python -m repro docs' to regenerate it")
+
+    def test_registry_sections_all_rendered(self):
+        document = render_experiments_md()
+        for spec in EXPERIMENTS.values():
+            assert f"`{spec.experiment_id}`" in document

@@ -16,11 +16,9 @@ from repro.data import (
     default_ontology,
     drop_value,
     generate_camera,
-    generate_geographic_settlements,
     generate_monitor,
     generate_musicbrainz,
     generate_musicbrainz_scalability,
-    generate_tus,
     generate_webtables,
     introduce_typo,
     profile_datasets,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.clustering import KMeans
-from repro.config import DeepClusteringConfig
 from repro.dc import (
     EDESC,
     SDCN,

@@ -20,7 +20,7 @@ from repro.experiments import (
     similarity_heatmap,
 )
 from repro.metrics.ks import KSDensityReport
-from repro.tasks import SchemaInferenceTask, embed_tables
+from repro.tasks import embed_tables
 
 FAST = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3, layer_size=32,
                             latent_dim=8, seed=0)

@@ -6,7 +6,6 @@ paper reports rather than absolute scores.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.config import DeepClusteringConfig

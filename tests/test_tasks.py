@@ -1,6 +1,5 @@
 """Tests for the task pipelines (repro.tasks)."""
 
-import numpy as np
 import pytest
 
 from repro.config import DeepClusteringConfig
@@ -155,11 +154,11 @@ class TestEntityResolution:
 
     def test_default_config_extends_pretraining(self, musicbrainz_small):
         task = EntityResolutionTask(musicbrainz_small)
-        assert task._config_for_er().pretrain_epochs >= 100
+        assert task.task_config().pretrain_epochs >= 100
 
     def test_explicit_config_not_overridden(self, musicbrainz_small):
         task = EntityResolutionTask(musicbrainz_small, config=FAST)
-        assert task._config_for_er().pretrain_epochs == FAST.pretrain_epochs
+        assert task.task_config().pretrain_epochs == FAST.pretrain_epochs
 
 
 class TestDomainDiscovery:
