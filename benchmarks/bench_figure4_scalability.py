@@ -5,11 +5,20 @@ number of clusters.  The paper's qualitative findings: SC methods are much
 faster than DC methods and scale roughly linearly; DC runtimes grow steeply
 with the number of clusters; SHGP is the slowest DC method at scale.
 
-Figures have no ``repro run`` entry (see ``python -m repro list``);
+``test_figure4_sparse_scaling`` additionally compares the dense O(n^2)
+graph path against the CSR/blocked-KNN sparse path and pushes the instance
+sweep 4x past the largest dense point — only reachable because the sparse
+path's memory is O(n * k).  Its measurements are written to
+``BENCH_figure4_scalability.json`` (uploaded as a CI artifact so the perf
+trajectory accumulates across commits).
+
+The CLI-runnable version is ``python -m repro run figure4_scalability``;
 this bench sweeps dataset sizes, so each size embeds fresh.
 """
 
+import json
 from collections import defaultdict
+from pathlib import Path
 
 from conftest import run_once
 
@@ -18,6 +27,9 @@ from repro.experiments import run_scalability_study
 
 _FIG4_CONFIG = DeepClusteringConfig(pretrain_epochs=8, train_epochs=8,
                                     layer_size=128, latent_dim=32, seed=7)
+
+#: Where the dense-vs-sparse measurements land (repo root in CI).
+_BENCH_JSON = Path("BENCH_figure4_scalability.json")
 
 
 def test_figure4_runtime_scaling(benchmark):
@@ -51,3 +63,37 @@ def test_figure4_runtime_scaling(benchmark):
     for name in ("sdcn", "edesc", "shgp"):
         series = runtime[("clusters", name)]
         assert series[120] > series[30]
+
+
+def test_figure4_sparse_scaling(benchmark):
+    """Dense vs sparse SDCN: the sparse path reaches 4x the dense grid."""
+    dense_grid = (120, 240)
+    sparse_grid = (120, 240, 480, 960)
+
+    def run():
+        results = {}
+        for graph, grid in (("dense", dense_grid), ("sparse", sparse_grid)):
+            results[graph] = run_scalability_study(
+                instance_grid=grid, cluster_grid=(), fixed_clusters=40,
+                algorithms=("sdcn",), config=_FIG4_CONFIG, graph=graph,
+                batch_size=128 if graph == "sparse" else None, seed=7)
+        return results
+
+    results = run_once(benchmark, run)
+    rows = [point.as_row()
+            for graph in ("dense", "sparse") for point in results[graph]]
+    print("\nFigure 4 (dense vs sparse): runtime and peak memory")
+    for row in rows:
+        print(row)
+    _BENCH_JSON.write_text(json.dumps(rows, indent=2), encoding="utf-8")
+
+    peak = {(p.graph, p.n_instances): p.peak_mem_mb
+            for pts in results.values() for p in pts}
+    # The sparse sweep extends 4x past the largest dense-swept point ...
+    assert max(sparse_grid) >= 4 * max(dense_grid)
+    assert {p.n_instances for p in results["sparse"]} == set(sparse_grid)
+    # ... while staying far below the dense path's quadratic memory trend:
+    # dense peak extrapolated from its largest point to 4x that size.
+    growth = (max(sparse_grid) / max(dense_grid)) ** 2
+    dense_extrapolated = peak[("dense", max(dense_grid))] * growth
+    assert peak[("sparse", max(sparse_grid))] < dense_extrapolated

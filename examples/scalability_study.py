@@ -4,13 +4,14 @@ Measures clustering wall-clock time while growing (a) the number of
 instances at fixed K and (b) the number of clusters, using the
 MusicBrainz-200K-style scalability generator.
 
-Reproduces (at example scale) the paper's Figure 4.  Figures are not
-runnable through ``python -m repro run`` (they have dedicated entry
-points); ``python -m repro list`` shows the registry entry and
-``benchmarks/bench_figure4_scalability.py`` is the timed version.
+Reproduces (at example scale) the paper's Figure 4, then compares the
+dense O(n^2) graph path against the sparse CSR path on SDCN.  The
+CLI-runnable version is ``python -m repro run figure4_scalability
+[--graph sparse] [--batch-size N]``; ``benchmarks/
+bench_figure4_scalability.py`` is the timed version.
 
 Run with:  python examples/scalability_study.py
-           (~9 s; at TEST_SCALE-like grids roughly 5 s)
+           (~12 s; at TEST_SCALE-like grids roughly 6 s)
 """
 
 from collections import defaultdict
@@ -48,6 +49,18 @@ def main() -> None:
         timings = ", ".join(f"K={p.n_clusters}:{p.runtime_seconds:.2f}s"
                             for p in entries)
         print(f"  {algorithm:<7s} {timings}")
+
+    # Dense vs sparse graph path: same model, O(n^2) vs O(n * k) memory.
+    print("\nSDCN dense vs sparse graph path (peak traced memory):")
+    for graph in ("dense", "sparse"):
+        points = run_scalability_study(
+            instance_grid=(200, 400), cluster_grid=(), fixed_clusters=40,
+            algorithms=("sdcn",), config=config, graph=graph,
+            batch_size=128 if graph == "sparse" else None, seed=4)
+        timings = ", ".join(
+            f"{p.n_instances}:{p.runtime_seconds:.2f}s/{p.peak_mem_mb:.0f}MB"
+            for p in points)
+        print(f"  {graph:<7s} {timings}")
 
 
 if __name__ == "__main__":

@@ -6,15 +6,19 @@ evaluation matrix without writing any Python:
 ``repro list``
     Show every registered experiment (id, kind, title, matrix size).
 ``repro run <experiment_id>``
-    Execute one experiment — tables, ``table1`` profiling or the
-    ``ks_density`` analysis — at a chosen ``--scale``, optionally fanning
-    the independent cells out over ``--workers`` threads or processes, and
-    render the results as ``--format {table,json,csv}``.
+    Execute one experiment — tables, ``table1`` profiling, the
+    ``ks_density`` analysis or the ``figure4_scalability`` sweep — at a
+    chosen ``--scale``, optionally fanning the independent cells out over
+    ``--workers`` threads or processes, and render the results as
+    ``--format {table,json,csv}``.  ``--graph {dense,sparse}`` selects the
+    KNN-graph representation for the graph-based models and
+    ``--batch-size`` enables mini-batch deep clustering training.
 ``repro profile``
     Reproduce the Table 1 dataset-property rows for any dataset subset.
 ``repro docs``
-    Regenerate ``EXPERIMENTS.md`` from the experiment registry (``--check``
-    verifies it is in sync without writing).
+    Regenerate ``EXPERIMENTS.md`` from the experiment registry and, with
+    ``--api``, the ``API.md`` public-API reference (``--check`` verifies
+    they are in sync without writing).
 
 Embedding matrices are cached in-process by :mod:`repro.cache`; pass
 ``--cache-dir`` to also persist them as NPZ files shared across runs and
@@ -42,10 +46,12 @@ from .experiments import (
     RESULT_FORMATS,
     format_results_table,
     get_experiment,
+    render_api_md,
     render_experiments_md,
     render_rows,
     results_to_rows,
     run_experiment,
+    write_api_md,
     write_experiments_md,
 )
 
@@ -102,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--epochs", type=int, default=None,
                          help="cap the deep clustering (pre-)training "
                               "epochs, for quick smoke runs")
+    run_cmd.add_argument("--graph", choices=("dense", "sparse"), default=None,
+                         help="KNN-graph path for the graph-based models: "
+                              "dense (O(n^2), the paper's layout) or sparse "
+                              "(CSR + blocked top-k, O(n*k) memory)")
+    run_cmd.add_argument("--batch-size", type=int, default=None,
+                         help="mini-batch size for deep clustering "
+                              "training (default: full batch)")
     run_cmd.add_argument("--pivot", action="store_true",
                          help="with --format table, render the paper's "
                               "pivoted table layout instead of flat rows")
@@ -118,13 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
                              default="table")
 
     docs_cmd = sub.add_parser(
-        "docs", help="regenerate EXPERIMENTS.md from the registry")
+        "docs", help="regenerate EXPERIMENTS.md (and, with --api, API.md)")
     docs_cmd.add_argument("--output", type=Path,
                           default=Path("EXPERIMENTS.md"),
                           help="destination path (default: ./EXPERIMENTS.md)")
+    docs_cmd.add_argument("--api", action="store_true",
+                          help="also regenerate the API.md public-API "
+                               "reference from the package")
+    docs_cmd.add_argument("--api-output", type=Path, default=Path("API.md"),
+                          help="API reference destination (default: ./API.md)")
     docs_cmd.add_argument("--check", action="store_true",
-                          help="exit non-zero if the file is out of sync "
-                               "instead of writing it")
+                          help="exit non-zero if the file(s) are out of "
+                               "sync instead of writing them")
     return parser
 
 
@@ -144,9 +162,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _run_config(args: argparse.Namespace) -> DeepClusteringConfig | None:
+    # --graph / --batch-size are NOT baked into a config here: returning a
+    # config would override task-specific defaults (entity resolution's
+    # longer pre-training).  They travel as partial overrides through
+    # run_experiment instead.
     if args.epochs is None:
         return None
-    config = DeepClusteringConfig()
+    if args.experiment_id == "figure4_scalability":
+        # Match run_scalability_study's short default schedule so --epochs
+        # caps it instead of resurrecting the full 30/50 schedule.
+        config = DeepClusteringConfig(pretrain_epochs=10, train_epochs=10)
+    else:
+        config = DeepClusteringConfig()
     return config.with_updates(
         pretrain_epochs=min(config.pretrain_epochs, args.epochs),
         train_epochs=min(config.train_epochs, args.epochs))
@@ -169,6 +196,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workers = None if args.workers == 0 else args.workers
     result = run_experiment(
         args.experiment_id, scale=scale, config=_run_config(args),
+        graph=args.graph, batch_size=args.batch_size,
         seed=args.seed, workers=workers, executor=args.executor,
         **overrides)
 
@@ -184,6 +212,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "same_distribution": result.same_distribution,
         }
         print(render_rows([row], args.format, title=spec.title))
+    elif spec.experiment_id == "figure4_scalability":
+        print(render_rows([point.as_row() for point in result],
+                          args.format, title=spec.title))
     elif args.pivot and args.format == "table":
         print(format_results_table(result, title=spec.title))
     else:
@@ -208,19 +239,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
-    if args.check:
-        expected = render_experiments_md()
-        actual = (args.output.read_text(encoding="utf-8")
-                  if args.output.exists() else None)
-        if actual != expected:
-            print(f"{args.output} is out of sync with the experiment "
-                  f"registry; run 'python -m repro docs' to regenerate it",
-                  file=sys.stderr)
-            return 1
-        print(f"{args.output} is in sync")
-        return 0
-    path = write_experiments_md(args.output)
-    print(f"wrote {path}")
+    targets = [(args.output, render_experiments_md, write_experiments_md,
+                "the experiment registry", "python -m repro docs")]
+    if args.api:
+        targets.append((args.api_output, render_api_md, write_api_md,
+                        "the package's public API",
+                        "python -m repro docs --api"))
+    for path, render, write, source, command in targets:
+        if args.check:
+            actual = (path.read_text(encoding="utf-8")
+                      if path.exists() else None)
+            if actual != render():
+                print(f"{path} is out of sync with {source}; run "
+                      f"'{command}' to regenerate it", file=sys.stderr)
+                return 1
+            print(f"{path} is in sync")
+        else:
+            print(f"wrote {write(path)}")
     return 0
 
 

@@ -35,6 +35,13 @@ class DeepClusteringConfig:
     Defaults follow Section 4.2 of the paper: two encoder layers of size
     1000, latent dimension 100, 30 pre-training epochs (100 for entity
     resolution), and silhouette-based stopping for the joint training phase.
+
+    ``graph`` selects the KNN-graph representation used by the graph-based
+    models (``"dense"`` reproduces the original O(n^2) path; ``"sparse"``
+    builds a CSR adjacency with the blocked top-k search and keeps memory at
+    O(n * k)).  ``batch_size`` enables mini-batch training: the auto-encoder
+    pre-training always honours it, and SDCN/EDESC additionally fine-tune on
+    mini-batches with per-batch target-distribution updates when set.
     """
 
     n_layers: int = 2
@@ -46,6 +53,7 @@ class DeepClusteringConfig:
     reconstruction_weight: float = 1.0
     clustering_weight: float = 0.1
     batch_size: int | None = None
+    graph: str = "dense"
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -61,6 +69,11 @@ class DeepClusteringConfig:
             raise ConfigurationError("learning_rate must be positive")
         if self.reconstruction_weight < 0 or self.clustering_weight < 0:
             raise ConfigurationError("loss weights must be non-negative")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1 (or None)")
+        if self.graph not in ("dense", "sparse"):
+            raise ConfigurationError(
+                f"graph must be 'dense' or 'sparse', got {self.graph!r}")
 
     def with_updates(self, **changes) -> "DeepClusteringConfig":
         """Return a copy of this config with ``changes`` applied."""

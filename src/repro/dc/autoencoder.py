@@ -18,7 +18,7 @@ from ..config import DeepClusteringConfig, make_rng
 from ..exceptions import ConfigurationError
 from ..nn import Adam, Linear, Module, Tensor, mse_loss, relu, no_grad
 from ..utils.validation import check_matrix
-from .base import DeepClusterer
+from .base import DeepClusterer, epoch_batches
 
 __all__ = ["Autoencoder", "AutoencoderClustering"]
 
@@ -78,6 +78,7 @@ class Autoencoder(Module):
         return out
 
     def decode(self, z: Tensor) -> Tensor:
+        """Map latent codes ``(n, latent_dim)`` back to input space."""
         out = z
         for index, layer in enumerate(self.decoder_layers):
             out = layer(out)
@@ -104,9 +105,7 @@ class Autoencoder(Module):
             if batch_size is None or batch_size >= n_samples:
                 batches = [np.arange(n_samples)]
             else:
-                order = rng.permutation(n_samples)
-                batches = [order[i:i + batch_size]
-                           for i in range(0, n_samples, batch_size)]
+                batches = epoch_batches(rng, n_samples, batch_size)
             epoch_loss = 0.0
             for batch in batches:
                 optimizer.zero_grad()
@@ -158,6 +157,7 @@ class AutoencoderClustering(DeepClusterer):
         return Birch(self.n_clusters, seed=self.config.seed)
 
     def fit(self, X) -> "AutoencoderClustering":
+        """Pre-train the AE on ``X`` and cluster the latent codes."""
         X = check_matrix(X)
         config = self.config.scaled_for(X.shape[0])
         self.autoencoder_ = Autoencoder(

@@ -8,7 +8,20 @@ from ..clustering.base import ClusteringResult, FittableMixin
 from ..config import DeepClusteringConfig
 from ..exceptions import ConfigurationError
 
-__all__ = ["DeepClusterer"]
+__all__ = ["DeepClusterer", "epoch_batches"]
+
+
+def epoch_batches(rng: np.random.Generator, n_samples: int,
+                  batch_size: int):
+    """Yield one epoch of shuffled mini-batch index arrays.
+
+    Every sample appears exactly once per epoch; the final batch may be
+    smaller than ``batch_size``.  Shared by auto-encoder pre-training and
+    the SDCN/EDESC fine-tuning loops.
+    """
+    order = rng.permutation(n_samples)
+    for start in range(0, n_samples, batch_size):
+        yield order[start:start + batch_size]
 
 
 class DeepClusterer(FittableMixin):
@@ -32,6 +45,7 @@ class DeepClusterer(FittableMixin):
 
     # Subclasses implement fit(); fit_predict is shared.
     def fit(self, X) -> "DeepClusterer":  # pragma: no cover - abstract
+        """Train on ``(n_samples, n_features)`` data (subclass hook)."""
         raise NotImplementedError
 
     def fit_predict(self, X) -> ClusteringResult:

@@ -32,7 +32,7 @@ from ..nn import Adam, Tensor, kl_divergence, mse_loss, no_grad
 from ..nn.layers import Parameter
 from ..utils.validation import check_matrix
 from .autoencoder import Autoencoder
-from .base import DeepClusterer
+from .base import DeepClusterer, epoch_batches as _epoch_batches
 from .stopping import SilhouetteStopper
 from .target_distribution import target_distribution
 
@@ -124,6 +124,12 @@ class EDESC(DeepClusterer):
 
     # ------------------------------------------------------------------
     def fit(self, X) -> "EDESC":
+        """Pre-train the AE, then refine subspace bases and encoder jointly.
+
+        ``X`` is an ``(n_samples, n_features)`` float matrix; with
+        ``config.batch_size`` set the refinement runs on mini-batches with
+        per-batch target-distribution updates.
+        """
         X = check_matrix(X)
         n_samples = X.shape[0]
         if n_samples < self.n_clusters:
@@ -151,20 +157,48 @@ class EDESC(DeepClusterer):
         losses: list[float] = []
         target_p: np.ndarray | None = None
 
-        for epoch in range(config.train_epochs):
-            optimizer.zero_grad()
-            latent = self.autoencoder_.encode(x_tensor)
-            reconstruction = self.autoencoder_.decode(latent)
-            s = self._soft_assignment(latent, bases)
-            if target_p is None or epoch % 3 == 0:
-                target_p = target_distribution(s.numpy())
+        rng = make_rng(config.seed)
+        batch_size = config.batch_size
+        minibatch = batch_size is not None and batch_size < n_samples
 
-            loss = mse_loss(reconstruction, x_tensor) * config.reconstruction_weight
-            loss = loss + kl_divergence(target_p, s) * self.beta
-            loss = loss + self._basis_regularization(bases) * self.gamma
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+        for epoch in range(config.train_epochs):
+            if minibatch:
+                epoch_loss = 0.0
+                for batch in _epoch_batches(rng, n_samples, batch_size):
+                    optimizer.zero_grad()
+                    x_batch = Tensor(X[batch])
+                    latent = self.autoencoder_.encode(x_batch)
+                    reconstruction = self.autoencoder_.decode(latent)
+                    s = self._soft_assignment(latent, bases)
+                    # Per-batch target refresh (constant within the step).
+                    target_p = target_distribution(s.numpy())
+
+                    loss = mse_loss(reconstruction, x_batch) \
+                        * config.reconstruction_weight
+                    loss = loss + kl_divergence(target_p, s) * self.beta
+                    loss = loss + self._basis_regularization(bases) * self.gamma
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item() * len(batch)
+                losses.append(epoch_loss / n_samples)
+                with no_grad():
+                    latent = self.autoencoder_.encode(x_tensor)
+                    s = self._soft_assignment(latent, bases)
+            else:
+                optimizer.zero_grad()
+                latent = self.autoencoder_.encode(x_tensor)
+                reconstruction = self.autoencoder_.decode(latent)
+                s = self._soft_assignment(latent, bases)
+                if target_p is None or epoch % 3 == 0:
+                    target_p = target_distribution(s.numpy())
+
+                loss = mse_loss(reconstruction, x_tensor) \
+                    * config.reconstruction_weight
+                loss = loss + kl_divergence(target_p, s) * self.beta
+                loss = loss + self._basis_regularization(bases) * self.gamma
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
 
             labels = soft_to_hard_assignment(s.numpy())
             stopper.update(epoch, latent.numpy(), labels)

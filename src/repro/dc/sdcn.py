@@ -31,16 +31,24 @@ from ..clustering.labels import soft_to_hard_assignment
 from ..config import DeepClusteringConfig, make_rng
 from ..exceptions import ConfigurationError
 from ..graphs.gcn import GCNLayer
-from ..graphs.knn import knn_graph, normalized_adjacency
+from ..graphs.knn import knn_graph, normalized_adjacency, sparse_knn_graph
+from ..nn.sparse import CSRMatrix
 from ..metrics.silhouette import silhouette_score
 from ..nn import Adam, Tensor, kl_divergence, mse_loss, relu, no_grad
 from ..utils.validation import check_matrix
 from .autoencoder import Autoencoder
-from .base import DeepClusterer
+from .base import DeepClusterer, epoch_batches as _epoch_batches
 from .stopping import SilhouetteStopper, select_sdcn_or_autoencoder
 from .target_distribution import student_t_assignment, target_distribution
 
 __all__ = ["SDCN"]
+
+
+def _submatrix(adjacency, index: np.ndarray):
+    """Restrict a (dense or CSR) propagation matrix to one batch of nodes."""
+    if isinstance(adjacency, CSRMatrix):
+        return adjacency.submatrix(index)
+    return adjacency[np.ix_(index, index)]
 
 
 class SDCN(DeepClusterer):
@@ -105,12 +113,14 @@ class SDCN(DeepClusterer):
         return layers
 
     def _gcn_forward(self, x: Tensor, hidden_states: list[Tensor],
-                     adjacency: np.ndarray) -> Tensor:
+                     adjacency) -> Tensor:
         """Run the GCN branch with the delivery operator.
 
         ``hidden_states`` holds the AE encoder outputs (one per encoder
         layer, the last being the latent code); layer ``i`` of the GCN
         receives ``(1 - eps) * gcn_state + eps * ae_state`` as input.
+        ``adjacency`` is the pre-normalised propagation matrix — dense array
+        or :class:`~repro.nn.sparse.CSRMatrix`.
         """
         eps = self.delivery_weight
         state = x
@@ -123,6 +133,13 @@ class SDCN(DeepClusterer):
 
     # ------------------------------------------------------------------
     def fit(self, X) -> "SDCN":
+        """Pre-train the AE, jointly fine-tune both branches, pick labels.
+
+        ``X`` is an ``(n_samples, n_features)`` float matrix.  The KNN
+        graph follows ``config.graph`` ("dense" or "sparse"/CSR), and
+        ``config.batch_size`` switches the joint phase to mini-batches
+        with per-batch target-distribution updates.
+        """
         X = check_matrix(X)
         n_samples = X.shape[0]
         if n_samples < self.n_clusters:
@@ -150,7 +167,10 @@ class SDCN(DeepClusterer):
         # ------------------------------------------------------------------
         # Phase 2: joint training with dual self-supervision.
         # ------------------------------------------------------------------
-        adjacency = normalized_adjacency(knn_graph(X, k=self.knn_k))
+        if config.graph == "sparse":
+            adjacency = normalized_adjacency(sparse_knn_graph(X, k=self.knn_k))
+        else:
+            adjacency = normalized_adjacency(knn_graph(X, k=self.knn_k))
         self._gcn_layers = self._build_gcn(X.shape[1], config, rng)
         self.cluster_centers_ = Tensor(ae_kmeans.cluster_centers_.copy(),
                                        requires_grad=True)
@@ -166,23 +186,56 @@ class SDCN(DeepClusterer):
         losses: list[float] = []
         target_p: np.ndarray | None = None
 
+        batch_size = config.batch_size
+        minibatch = batch_size is not None and batch_size < n_samples
+
         for epoch in range(config.train_epochs):
-            optimizer.zero_grad()
-            latent, hidden = self.autoencoder_.encode(x_tensor, return_hidden=True)
-            reconstruction = self.autoencoder_.decode(latent)
-            q = student_t_assignment(latent, self.cluster_centers_)
-            z = self._gcn_forward(x_tensor, hidden, adjacency)
+            if minibatch:
+                epoch_loss = 0.0
+                for batch in _epoch_batches(rng, n_samples, batch_size):
+                    optimizer.zero_grad()
+                    x_batch = Tensor(X[batch])
+                    latent, hidden = self.autoencoder_.encode(
+                        x_batch, return_hidden=True)
+                    reconstruction = self.autoencoder_.decode(latent)
+                    q = student_t_assignment(latent, self.cluster_centers_)
+                    z = self._gcn_forward(x_batch, hidden,
+                                          _submatrix(adjacency, batch))
+                    # Per-batch refresh: P is derived from the batch's own Q
+                    # and treated as a constant for the step.
+                    target_p = target_distribution(q.numpy())
 
-            if target_p is None or epoch % self.update_interval == 0:
-                # P is refreshed from the current Q and treated as constant.
-                target_p = target_distribution(q.numpy())
+                    loss = mse_loss(reconstruction, x_batch) \
+                        * config.reconstruction_weight
+                    loss = loss + kl_divergence(target_p, q) * self.alpha
+                    loss = loss + kl_divergence(target_p, z) * self.beta
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item() * len(batch)
+                losses.append(epoch_loss / n_samples)
+                with no_grad():
+                    latent, hidden = self.autoencoder_.encode(
+                        x_tensor, return_hidden=True)
+                    z = self._gcn_forward(x_tensor, hidden, adjacency)
+            else:
+                optimizer.zero_grad()
+                latent, hidden = self.autoencoder_.encode(x_tensor,
+                                                          return_hidden=True)
+                reconstruction = self.autoencoder_.decode(latent)
+                q = student_t_assignment(latent, self.cluster_centers_)
+                z = self._gcn_forward(x_tensor, hidden, adjacency)
 
-            loss = mse_loss(reconstruction, x_tensor) * config.reconstruction_weight
-            loss = loss + kl_divergence(target_p, q) * self.alpha
-            loss = loss + kl_divergence(target_p, z) * self.beta
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+                if target_p is None or epoch % self.update_interval == 0:
+                    # P is refreshed from the current Q and treated as constant.
+                    target_p = target_distribution(q.numpy())
+
+                loss = mse_loss(reconstruction, x_tensor) \
+                    * config.reconstruction_weight
+                loss = loss + kl_divergence(target_p, q) * self.alpha
+                loss = loss + kl_divergence(target_p, z) * self.beta
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
 
             labels = soft_to_hard_assignment(z.numpy())
             stopper.update(epoch, latent.numpy(), labels)

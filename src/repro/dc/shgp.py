@@ -117,6 +117,11 @@ class SHGP(DeepClusterer):
                 normalized_adjacency(anchor_path)]
 
     def fit(self, X) -> "SHGP":
+        """Att-LPA / Att-HGNN alternation over the HIN built from ``X``.
+
+        ``X`` is an ``(n_samples, n_features)`` float embedding matrix;
+        final labels come from K-means on the learned target embeddings.
+        """
         X = check_matrix(X)
         n_samples = X.shape[0]
         if n_samples < self.n_clusters:

@@ -26,6 +26,7 @@ from .reporting import (
     rows_to_json,
 )
 from .docs import render_experiments_md, write_experiments_md
+from .api_docs import render_api_md, write_api_md
 from .scalability import ScalabilityPoint, run_scalability_study
 from .projections import project_2d, separability_report, ProjectionReport
 from .heatmaps import similarity_heatmap, HeatmapReport
@@ -50,6 +51,8 @@ __all__ = [
     "rows_to_json",
     "render_experiments_md",
     "write_experiments_md",
+    "render_api_md",
+    "write_api_md",
     "ScalabilityPoint",
     "run_scalability_study",
     "project_2d",

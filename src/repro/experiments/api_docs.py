@@ -1,0 +1,117 @@
+"""Generate ``API.md``, a public-API reference, from the package itself.
+
+Complementing the experiment-registry-driven ``EXPERIMENTS.md``
+(:mod:`repro.experiments.docs`), this module walks the installed ``repro``
+package and renders one section per module: the module's one-line summary
+plus every public name (from ``__all__`` where declared, otherwise the
+module-level definitions) with its kind and first docstring line.  The
+output is deterministic, so ``tests/test_cli.py`` can assert the committed
+``API.md`` is in sync; regenerate with ``python -m repro docs --api``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+__all__ = ["iter_public_modules", "render_api_md", "write_api_md"]
+
+_HEADER = """\
+# API
+
+<!-- GENERATED FILE — do not edit by hand.
+     This file is rendered from the package's modules, __all__ lists and
+     docstrings by `python -m repro docs --api`; `tests/test_cli.py`
+     checks it is in sync. -->
+
+Public API of the `repro` package, one section per module.  Every entry
+shows the name's kind and the first line of its docstring; see the source
+docstrings for shapes, dtypes and full parameter documentation.
+"""
+
+
+def iter_public_modules():
+    """Yield ``(dotted_name, module)`` for ``repro`` and every submodule.
+
+    Modules are ordered by dotted name so the rendered document is
+    deterministic; ``__main__`` entry points are skipped.
+    """
+    package = importlib.import_module("repro")
+    yield "repro", package
+    infos = sorted(pkgutil.walk_packages(package.__path__, prefix="repro."),
+                   key=lambda info: info.name)
+    for info in infos:
+        if info.name.rsplit(".", 1)[-1] == "__main__":
+            continue
+        yield info.name, importlib.import_module(info.name)
+
+
+def _public_names(module) -> list[str]:
+    """Public names of a module: ``__all__`` if declared, else definitions."""
+    declared = getattr(module, "__all__", None)
+    if declared is not None:
+        return [name for name in declared if hasattr(module, name)]
+    names = []
+    for name, value in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(value, "__module__", None) == module.__name__:
+            names.append(name)
+    return names
+
+
+def _first_doc_line(obj) -> str:
+    """First non-empty docstring line of ``obj`` (or a placeholder)."""
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "(undocumented)"
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return "(undocumented)"
+
+
+def _entry_line(name: str, obj) -> str:
+    """One bullet for a public name: kind tag plus docstring summary."""
+    if inspect.isclass(obj):
+        return f"- **`{name}`** (class) — {_first_doc_line(obj)}"
+    if callable(obj):
+        return f"- **`{name}`** (function) — {_first_doc_line(obj)}"
+    # Constants: a builtin value's docstring is its type's help text
+    # ("dict() -> new empty dictionary"), which is noise — only repro-typed
+    # instances (configs, scales) carry a meaningful class docstring.
+    type_name = type(obj).__name__
+    if type(obj).__module__.startswith("repro"):
+        return f"- **`{name}`** (constant `{type_name}`) — {_first_doc_line(obj)}"
+    return f"- **`{name}`** (constant `{type_name}`)"
+
+
+def _module_section(name: str, module) -> str:
+    """Render one module's section of the reference."""
+    lines = [f"## `{name}`", "", _first_doc_line(module), ""]
+    entries = _public_names(module)
+    for entry in entries:
+        obj = getattr(module, entry)
+        if inspect.ismodule(obj):
+            continue
+        lines.append(_entry_line(entry, obj))
+    if lines[-1] != "":
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_api_md() -> str:
+    """Render the full API.md content (deterministic)."""
+    sections = [_HEADER]
+    for name, module in iter_public_modules():
+        sections.append(_module_section(name, module))
+    return "\n".join(sections)
+
+
+def write_api_md(path: str | Path) -> Path:
+    """Write the rendered reference to ``path`` and return it."""
+    destination = Path(path)
+    destination.write_text(render_api_md(), encoding="utf-8")
+    return destination

@@ -26,8 +26,8 @@ _HEADER = """\
 
 Every evaluation artefact of *Deep Clustering for Data Cleaning and
 Integration* (Rauf, Freitas & Paton, EDBT 2024) is described by one
-`ExperimentSpec` in `repro.experiments.registry`.  Tables and the KS
-analysis run through one entry point:
+`ExperimentSpec` in `repro.experiments.registry`.  Tables, the KS
+analysis and the `figure4_scalability` sweep run through one entry point:
 
 ```bash
 python -m repro run <experiment_id> [--scale test] [--workers N] \\

@@ -113,6 +113,34 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         datasets=("camera",),
         embeddings=("sbert", "embdi"),
     ),
+    "figure4_scalability": ExperimentSpec(
+        experiment_id="figure4_scalability", kind="analysis",
+        title="Runtime/memory scalability sweep (Figure 4 data, "
+              "CLI-runnable; dense vs sparse graph path)",
+        task="entity_resolution",
+        datasets=("musicbrainz_scalability",),
+        embeddings=("sbert",),
+        algorithms=("sdcn", "kmeans", "birch", "dbscan"),
+        notes="Runs the Figure 4 instance/cluster sweeps through "
+              "`repro run`; `--graph sparse` switches the graph-based "
+              "models to the CSR/blocked-KNN path and extends the instance "
+              "grid 4x beyond the largest dense point; `--batch-size` "
+              "enables mini-batch fine-tuning.",
+        extra={
+            "benchmark": {
+                "instance_grid": (200, 400, 800),
+                "sparse_extension": (1600, 3200),
+                "cluster_grid": (50, 100, 200),
+                "fixed_clusters": 100,
+            },
+            "test": {
+                "instance_grid": (60, 120),
+                "sparse_extension": (240, 480),
+                "cluster_grid": (15, 30),
+                "fixed_clusters": 20,
+            },
+        },
+    ),
     "ks_density": ExperimentSpec(
         experiment_id="ks_density", kind="analysis",
         title="Kolmogorov-Smirnov density analysis of SBERT features "

@@ -11,7 +11,12 @@ live here.
 
 from __future__ import annotations
 
-from ..config import BENCHMARK_SCALE, DeepClusteringConfig, ExperimentScale
+from ..config import (
+    BENCHMARK_SCALE,
+    TEST_SCALE,
+    DeepClusteringConfig,
+    ExperimentScale,
+)
 from ..data import (
     generate_camera,
     generate_geographic_settlements,
@@ -33,6 +38,7 @@ from ..tasks import (
 from .parallel import ParallelRunner
 from .plan import ExperimentPlan, plan_experiment
 from .registry import ExperimentSpec
+from .scalability import run_scalability_study
 
 __all__ = ["build_dataset", "run_experiment", "run_plan"]
 
@@ -73,6 +79,7 @@ def _task_for(spec: ExperimentSpec, dataset,
 
 def run_plan(plan: ExperimentPlan, *,
              config: DeepClusteringConfig | None = None,
+             config_updates: dict | None = None,
              workers: int | None = 1,
              executor: str = "thread") -> list[TaskResult]:
     """Execute a planned experiment matrix and return ordered results.
@@ -81,11 +88,17 @@ def run_plan(plan: ExperimentPlan, *,
     cache (:mod:`repro.cache`) then deduplicates the embedding step across
     the algorithm cells, so the expensive work of a table is
     ``O(datasets x embeddings)`` regardless of the algorithm count.
+    ``config_updates`` are field overrides layered on top of each task's
+    *resolved* config, so partial overrides (``graph``, ``batch_size``)
+    keep task-specific defaults intact.
     """
-    tasks = {name: _task_for(plan.spec,
-                             build_dataset(name, plan.scale, seed=plan.seed),
-                             config)
-             for name in plan.datasets}
+    tasks = {}
+    for name in plan.datasets:
+        task = _task_for(plan.spec,
+                         build_dataset(name, plan.scale, seed=plan.seed),
+                         config)
+        task.config_updates = config_updates
+        tasks[name] = task
     runner = ParallelRunner(workers=workers, executor=executor)
     return runner.execute((tasks[cell.dataset], cell) for cell in plan.cells)
 
@@ -96,6 +109,8 @@ def run_experiment(experiment_id: str, *,
                    algorithms: tuple[str, ...] | None = None,
                    embeddings: tuple[str, ...] | None = None,
                    datasets: tuple[str, ...] | None = None,
+                   graph: str | None = None,
+                   batch_size: int | None = None,
                    seed: int | None = None,
                    workers: int | None = 1,
                    executor: str = "thread"):
@@ -109,6 +124,12 @@ def run_experiment(experiment_id: str, *,
     :mod:`repro.experiments.projections`,
     :mod:`repro.experiments.heatmaps`) — calling them here raises, keeping
     this function's return type predictable.
+
+    ``graph`` ("dense"/"sparse") and ``batch_size`` are partial config
+    overrides: they are layered on top of each task's own resolved config
+    (so e.g. entity resolution's longer pre-training default survives a
+    ``graph`` switch), and flow to :func:`run_scalability_study` for
+    ``figure4_scalability``.
 
     ``workers`` > 1 (or ``None`` for one worker per core) fans the
     independent cells out on a pool; see
@@ -129,4 +150,38 @@ def run_experiment(experiment_id: str, *,
         X = embed_tables(dataset, "sbert", seed=seed)
         return ks_density_analysis(X, seed=seed)
 
-    return run_plan(plan, config=config, workers=workers, executor=executor)
+    if plan.spec.experiment_id == "figure4_scalability":
+        return _run_scalability_spec(plan, config, graph=graph,
+                                     batch_size=batch_size)
+
+    updates = {}
+    if graph is not None:
+        updates["graph"] = graph
+    if batch_size is not None:
+        updates["batch_size"] = batch_size
+    return run_plan(plan, config=config, config_updates=updates or None,
+                    workers=workers, executor=executor)
+
+
+def _run_scalability_spec(plan: ExperimentPlan,
+                          config: DeepClusteringConfig | None, *,
+                          graph: str | None = None,
+                          batch_size: int | None = None):
+    """Run the Figure 4 sweeps with grids matched to the chosen scale.
+
+    With the sparse graph path active the instance grid is extended past
+    the largest dense point (the CSR adjacency keeps memory at O(n * k),
+    so those sizes are only reachable there).
+    """
+    small = plan.scale.musicbrainz_records <= TEST_SCALE.musicbrainz_records
+    grids = plan.spec.extra["test" if small else "benchmark"]
+    effective_graph = graph or (config.graph if config is not None else "dense")
+    instance_grid = tuple(grids["instance_grid"])
+    if effective_graph == "sparse":
+        instance_grid += tuple(grids["sparse_extension"])
+    return run_scalability_study(
+        instance_grid=instance_grid,
+        cluster_grid=tuple(grids["cluster_grid"]),
+        fixed_clusters=grids["fixed_clusters"],
+        algorithms=plan.algorithms,
+        config=config, graph=graph, batch_size=batch_size, seed=plan.seed)

@@ -1,9 +1,10 @@
 """Graph substrates used by the deep clustering models and benchmarks.
 
 * :mod:`repro.graphs.knn` — K-nearest-neighbour graph construction, the
-  structural input of SDCN.
+  structural input of SDCN: a dense O(n^2) path and a blocked/sparse CSR
+  path with O(n * k) memory.
 * :mod:`repro.graphs.gcn` — graph convolutional layer built on
-  :mod:`repro.nn`, used by SDCN's GCN branch.
+  :mod:`repro.nn`, used by SDCN's GCN branch (dense or sparse propagation).
 * :mod:`repro.graphs.lpa` — label propagation, the structural clustering at
   the heart of SHGP's Att-LPA module.
 * :mod:`repro.graphs.louvain` — Louvain community detection, used to derive
@@ -12,7 +13,13 @@
   for SHGP.
 """
 
-from .knn import knn_graph, normalized_adjacency, cosine_similarity_matrix
+from .knn import (
+    blocked_topk_neighbors,
+    cosine_similarity_matrix,
+    knn_graph,
+    normalized_adjacency,
+    sparse_knn_graph,
+)
 from .gcn import GCNLayer
 from .lpa import label_propagation, attention_label_propagation
 from .louvain import louvain_communities
@@ -20,6 +27,8 @@ from .hin import HeterogeneousGraph, NodeType
 
 __all__ = [
     "knn_graph",
+    "sparse_knn_graph",
+    "blocked_topk_neighbors",
     "normalized_adjacency",
     "cosine_similarity_matrix",
     "GCNLayer",

@@ -2,7 +2,9 @@
 
 SDCN's structural branch stacks several of these layers; each layer applies
 the fixed, pre-normalised propagation matrix to its input followed by a dense
-transform and non-linearity.
+transform and non-linearity.  The propagation matrix may be a dense numpy
+array or a :class:`~repro.nn.sparse.CSRMatrix`; the sparse form keeps the
+propagation at O(nnz) time and memory.
 """
 
 from __future__ import annotations
@@ -10,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.layers import Linear, Module
+from ..nn.sparse import CSRMatrix, sparse_matmul
 from ..nn.tensor import Tensor
 
 __all__ = ["GCNLayer"]
@@ -24,12 +27,23 @@ class GCNLayer(Module):
 
     def __init__(self, in_features: int, out_features: int, *,
                  activation=None, seed: int | None = None) -> None:
+        """Create the dense transform ``W`` and remember the activation."""
         self.linear = Linear(in_features, out_features, bias=False, seed=seed)
         self.activation = activation
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        adjacency_t = Tensor(np.asarray(adjacency, dtype=np.float64))
-        propagated = adjacency_t @ self.linear(x)
+    def forward(self, x: Tensor, adjacency) -> Tensor:
+        """Propagate ``x`` through the graph.
+
+        ``adjacency`` is the pre-normalised propagation matrix, either a
+        dense ``(n, n)`` array or a :class:`~repro.nn.sparse.CSRMatrix`
+        with matching shape; ``x`` has shape ``(n, in_features)``.
+        """
+        transformed = self.linear(x)
+        if isinstance(adjacency, CSRMatrix):
+            propagated = sparse_matmul(adjacency, transformed)
+        else:
+            adjacency_t = Tensor(np.asarray(adjacency, dtype=np.float64))
+            propagated = adjacency_t @ transformed
         if self.activation is not None:
             propagated = self.activation(propagated)
         return propagated

@@ -1,57 +1,143 @@
-"""K-nearest-neighbour graph construction.
+"""K-nearest-neighbour graph construction (dense and sparse paths).
 
 SDCN (Bo et al., 2020) starts by building a KNN graph over the input
 embeddings and feeds the normalised adjacency matrix to its GCN branch.  The
-helpers here produce a symmetric adjacency matrix and the renormalised
-propagation matrix :math:`\\hat{A} = \\tilde{D}^{-1/2}(A + I)\\tilde{D}^{-1/2}`.
+helpers here produce a symmetric adjacency and the renormalised propagation
+matrix :math:`\\hat{A} = \\tilde{D}^{-1/2}(A + I)\\tilde{D}^{-1/2}`.
+
+Two construction strategies are provided:
+
+* :func:`knn_graph` — the original dense path: materialises the full
+  n x n similarity matrix and returns a dense adjacency (O(n^2) memory).
+* :func:`sparse_knn_graph` — the scalable path: a blocked top-k search
+  (:func:`blocked_topk_neighbors`) that processes rows in fixed-size blocks
+  and returns a :class:`~repro.nn.sparse.CSRMatrix`, keeping peak memory at
+  O(n * k + block_size * n).
+
+:func:`normalized_adjacency` accepts either representation and returns the
+matching one, so downstream code (GCN layers, SDCN) is agnostic.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..nn.sparse import CSRMatrix
 from ..utils.validation import check_matrix
 
-__all__ = ["cosine_similarity_matrix", "knn_graph", "normalized_adjacency"]
+__all__ = [
+    "cosine_similarity_matrix",
+    "knn_graph",
+    "sparse_knn_graph",
+    "blocked_topk_neighbors",
+    "normalized_adjacency",
+]
+
+#: Default number of rows per block for the blocked top-k search; bounds the
+#: largest temporary at ``block_size * n`` floats.
+DEFAULT_BLOCK_SIZE = 256
 
 
 def cosine_similarity_matrix(X) -> np.ndarray:
-    """Dense cosine similarity between all rows of ``X``."""
+    """Dense cosine similarity between all rows of ``X`` (O(n^2) memory)."""
     X = check_matrix(X)
+    unit = _unit_rows(X)
+    return unit @ unit.T
+
+
+def _unit_rows(X: np.ndarray) -> np.ndarray:
+    """Rows of ``X`` scaled to unit L2 norm (zero rows stay zero)."""
     norms = np.linalg.norm(X, axis=1, keepdims=True)
     norms = np.where(norms == 0, 1.0, norms)
-    unit = X / norms
-    return unit @ unit.T
+    return X / norms
+
+
+def _validate_k(k: int, n: int) -> int:
+    """Clamp ``k`` to the number of available neighbours."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return min(k, n - 1) if n > 1 else 0
+
+
+def _validate_metric(metric: str) -> None:
+    """Reject unsupported metrics (before any early return on tiny n)."""
+    if metric not in ("cosine", "euclidean"):
+        raise ValueError(f"unsupported metric {metric!r}")
+
+
+def blocked_topk_neighbors(X, k: int = 10, *, metric: str = "cosine",
+                           block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """Indices of the ``k`` most similar rows for every row of ``X``.
+
+    Rows are processed in blocks of ``block_size``, so the largest temporary
+    is a ``block_size x n`` similarity slab and the full n x n matrix is
+    never materialised.  Self-similarity is excluded.  Returns an
+    ``(n, k)`` int64 array; with fewer than ``k`` other points available the
+    width shrinks accordingly (and is 0 for a single-row input).
+    """
+    X = check_matrix(X)
+    n = X.shape[0]
+    k = _validate_k(k, n)
+    _validate_metric(metric)
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    if k == 0:
+        return np.zeros((n, 0), dtype=np.int64)
+
+    if metric == "cosine":
+        unit = _unit_rows(X)
+        reference = unit.T
+        squared = None
+    else:
+        unit = X
+        reference = X.T
+        squared = np.sum(X ** 2, axis=1)
+
+    neighbors = np.empty((n, k), dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = unit[start:stop] @ reference            # (b, n) slab
+        if squared is not None:
+            # Negated squared euclidean distance as a similarity.
+            block *= 2.0
+            block -= squared[None, :]
+            block -= squared[start:stop, None]
+        block[np.arange(stop - start), np.arange(start, stop)] = -np.inf
+        top = np.argpartition(-block, kth=k - 1, axis=1)[:, :k]
+        # Order each row's k candidates by decreasing similarity so the
+        # result is deterministic regardless of the partition layout.
+        order = np.argsort(
+            np.take_along_axis(-block, top, axis=1), axis=1, kind="stable")
+        neighbors[start:stop] = np.take_along_axis(top, order, axis=1)
+    return neighbors
 
 
 def knn_graph(X, k: int = 10, *, metric: str = "cosine",
               symmetric: bool = True) -> np.ndarray:
-    """Binary adjacency matrix connecting each point to its ``k`` neighbours.
+    """Dense binary adjacency connecting each point to its ``k`` neighbours.
 
     Self-loops are excluded here (the renormalisation in
     :func:`normalized_adjacency` adds them back).  With ``symmetric=True``
     (the default, and what SDCN uses) the union of the directed KNN relations
-    is taken so the adjacency is symmetric.
+    is taken so the adjacency is symmetric.  Materialises O(n^2) memory; use
+    :func:`sparse_knn_graph` past a few thousand rows.
     """
     X = check_matrix(X)
     n = X.shape[0]
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    k = min(k, n - 1) if n > 1 else 0
-
-    if metric == "cosine":
-        similarity = cosine_similarity_matrix(X)
-    elif metric == "euclidean":
-        squared = np.sum(X ** 2, axis=1)
-        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
-        np.maximum(d2, 0.0, out=d2)
-        similarity = -d2
-    else:
-        raise ValueError(f"unsupported metric {metric!r}")
+    k = _validate_k(k, n)
+    _validate_metric(metric)
 
     adjacency = np.zeros((n, n), dtype=np.float64)
     if k == 0:
         return adjacency
+    if metric == "cosine":
+        similarity = cosine_similarity_matrix(X)
+    else:
+        squared = np.sum(X ** 2, axis=1)
+        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        similarity = -d2
+
     np.fill_diagonal(similarity, -np.inf)
     # Indices of the k most similar neighbours per row.
     neighbors = np.argpartition(-similarity, kth=k - 1, axis=1)[:, :k]
@@ -62,9 +148,43 @@ def knn_graph(X, k: int = 10, *, metric: str = "cosine",
     return adjacency
 
 
-def normalized_adjacency(adjacency: np.ndarray, *, add_self_loops: bool = True
-                         ) -> np.ndarray:
-    """Symmetrically normalised adjacency used by GCN propagation."""
+def sparse_knn_graph(X, k: int = 10, *, metric: str = "cosine",
+                     symmetric: bool = True,
+                     block_size: int = DEFAULT_BLOCK_SIZE) -> CSRMatrix:
+    """Binary KNN adjacency as a :class:`~repro.nn.sparse.CSRMatrix`.
+
+    Equivalent to ``CSRMatrix.from_dense(knn_graph(X, k))`` but built with
+    the blocked search of :func:`blocked_topk_neighbors`, so peak memory is
+    O(n * k + block_size * n) instead of O(n^2).
+    """
+    X = check_matrix(X)
+    n = X.shape[0]
+    neighbors = blocked_topk_neighbors(X, k, metric=metric,
+                                       block_size=block_size)
+    k_eff = neighbors.shape[1]
+    rows = np.repeat(np.arange(n, dtype=np.int64), k_eff)
+    cols = neighbors.ravel()
+    if symmetric:
+        # Union of the directed relations: A := max(A, A^T).  Duplicates
+        # collapse through from_coo's merge; clip restores binary weights.
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+    values = np.ones(rows.size, dtype=np.float64)
+    graph = CSRMatrix.from_coo(rows, cols, values, (n, n))
+    return CSRMatrix(np.minimum(graph.data, 1.0), graph.indices,
+                     graph.indptr, graph.shape)
+
+
+def normalized_adjacency(adjacency, *, add_self_loops: bool = True):
+    """Symmetrically normalised adjacency used by GCN propagation.
+
+    Accepts a dense square array or a :class:`~repro.nn.sparse.CSRMatrix`
+    and returns the same representation:
+    :math:`\\hat{A} = \\tilde{D}^{-1/2}(A + I)\\tilde{D}^{-1/2}` with
+    :math:`\\tilde{D}` the degree matrix of ``A + I``.
+    """
+    if isinstance(adjacency, CSRMatrix):
+        return _normalized_adjacency_sparse(adjacency,
+                                            add_self_loops=add_self_loops)
     A = np.asarray(adjacency, dtype=np.float64)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise ValueError("adjacency must be a square matrix")
@@ -74,3 +194,15 @@ def normalized_adjacency(adjacency: np.ndarray, *, add_self_loops: bool = True
     degrees = np.where(degrees == 0, 1.0, degrees)
     inv_sqrt = 1.0 / np.sqrt(degrees)
     return (A * inv_sqrt[:, None]) * inv_sqrt[None, :]
+
+
+def _normalized_adjacency_sparse(adjacency: CSRMatrix, *,
+                                 add_self_loops: bool = True) -> CSRMatrix:
+    """Sparse version of :func:`normalized_adjacency` (O(nnz) memory)."""
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    A = adjacency.add_identity() if add_self_loops else adjacency
+    degrees = A.sum_rows()
+    degrees = np.where(degrees == 0, 1.0, degrees)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    return A.scale_rows(inv_sqrt).scale_columns(inv_sqrt)

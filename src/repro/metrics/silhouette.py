@@ -3,6 +3,11 @@
 The paper uses the silhouette score on the learned representation to decide
 (i) how many epochs to train the DC models and (ii) whether to keep the SDCN
 fine-tuning or fall back to the pre-trained AE representation (Section 4.2).
+
+Because the score is recomputed every training epoch, the implementation is
+blocked: rows are processed in slabs of at most ``_BLOCK_FLOATS`` distance
+entries, so peak memory is O(block * n) rather than O(n^2) — the same
+discipline as the sparse KNN path in :mod:`repro.graphs.knn`.
 """
 
 from __future__ import annotations
@@ -13,52 +18,80 @@ from ..utils.validation import check_labels, check_matrix, check_same_length
 
 __all__ = ["silhouette_samples", "silhouette_score"]
 
+#: Upper bound on the number of float64 entries in one distance slab
+#: (256k floats = 2 MiB), keeping the per-epoch scoring memory-bounded.
+_BLOCK_FLOATS = 262_144
 
-def _pairwise_distances(X: np.ndarray, metric: str) -> np.ndarray:
+
+def _distance_block(X: np.ndarray, start: int, stop: int, metric: str,
+                    squared_norms: np.ndarray | None,
+                    unit: np.ndarray | None) -> np.ndarray:
+    """Distances from rows ``start:stop`` to every row (a ``(b, n)`` slab)."""
     if metric == "euclidean":
-        squared = np.sum(X ** 2, axis=1)
-        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
+        d2 = squared_norms[start:stop, None] + squared_norms[None, :] \
+            - 2.0 * (X[start:stop] @ X.T)
         np.maximum(d2, 0.0, out=d2)
-        return np.sqrt(d2)
-    if metric == "cosine":
-        norms = np.linalg.norm(X, axis=1, keepdims=True)
-        norms = np.where(norms == 0, 1.0, norms)
-        unit = X / norms
-        return 1.0 - unit @ unit.T
-    raise ValueError(f"unsupported metric {metric!r}")
+        return np.sqrt(d2, out=d2)
+    return 1.0 - unit[start:stop] @ unit.T
 
 
 def silhouette_samples(X, labels, *, metric: str = "euclidean") -> np.ndarray:
-    """Per-sample silhouette coefficients in [-1, 1]."""
+    """Per-sample silhouette coefficients in [-1, 1].
+
+    Computed blockwise: the full pairwise distance matrix is never
+    materialised, so the function stays usable inside per-epoch training
+    loops at large n.  Samples in singleton clusters score 0; with a single
+    cluster overall every score is 0.
+    """
     X = check_matrix(X)
     labels = check_labels(labels)
     check_same_length(X, labels, names=("X", "labels"))
 
-    distances = _pairwise_distances(X, metric)
-    uniques = np.unique(labels)
     n = X.shape[0]
+    uniques, inverse = np.unique(labels, return_inverse=True)
+    n_clusters = uniques.size
+    if n_clusters < 2:
+        return np.zeros(n, dtype=np.float64)
+
+    if metric == "euclidean":
+        squared_norms = np.sum(X ** 2, axis=1)
+        unit = None
+    elif metric == "cosine":
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms = np.where(norms == 0, 1.0, norms)
+        unit = X / norms
+        squared_norms = None
+    else:
+        raise ValueError(f"unsupported metric {metric!r}")
+
+    # One-hot membership matrix: a slab's per-cluster distance sums are a
+    # single (b, n) @ (n, K) product instead of a python loop over points.
+    membership = np.zeros((n, n_clusters), dtype=np.float64)
+    membership[np.arange(n), inverse] = 1.0
+    sizes = membership.sum(axis=0)
+
+    block = max(1, _BLOCK_FLOATS // max(1, n))
     scores = np.zeros(n, dtype=np.float64)
-
-    cluster_masks = {int(c): labels == c for c in uniques}
-    cluster_sizes = {c: int(mask.sum()) for c, mask in cluster_masks.items()}
-
-    for i in range(n):
-        own = int(labels[i])
-        own_mask = cluster_masks[own]
-        own_size = cluster_sizes[own]
-        if own_size <= 1:
-            scores[i] = 0.0
-            continue
-        # Mean intra-cluster distance excluding the point itself.
-        a = distances[i, own_mask].sum() / (own_size - 1)
-        # Smallest mean distance to another cluster.
-        b = np.inf
-        for other, mask in cluster_masks.items():
-            if other == own:
-                continue
-            b = min(b, distances[i, mask].mean())
-        denom = max(a, b)
-        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        distances = _distance_block(X, start, stop, metric,
+                                    squared_norms, unit)
+        cluster_sums = distances @ membership          # (b, K)
+        rows = np.arange(stop - start)
+        own = inverse[start:stop]
+        own_size = sizes[own]
+        # Mean intra-cluster distance excluding the point itself (the
+        # distance to itself is 0, so the sum needs no correction).
+        with np.errstate(invalid="ignore", divide="ignore"):
+            a = cluster_sums[rows, own] / (own_size - 1)
+            # Smallest mean distance to another cluster.
+            means = cluster_sums / sizes[None, :]
+            means[rows, own] = np.inf
+            b = means.min(axis=1)
+            denom = np.maximum(a, b)
+            block_scores = np.where(denom > 0, (b - a) / denom, 0.0)
+        block_scores = np.where(own_size <= 1, 0.0, block_scores)
+        scores[start:stop] = block_scores
     return scores
 
 

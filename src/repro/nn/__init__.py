@@ -6,9 +6,13 @@ reconstruction and clustering losses.  The original implementations use
 PyTorch; this package provides the pieces they actually need — a
 reverse-mode autograd :class:`Tensor`, dense layers, standard activations,
 losses and optimisers — as a small, dependency-free substrate.
+:mod:`repro.nn.sparse` adds the :class:`CSRMatrix` sparse-matrix type and
+the autograd-aware ``sparse @ dense`` product used for O(n * k) graph
+propagation.
 """
 
 from .tensor import Tensor, no_grad
+from .sparse import CSRMatrix, sparse_matmul
 from .layers import Linear, Sequential, Module, Parameter
 from .activations import relu, sigmoid, tanh, softmax, log_softmax, leaky_relu
 from .losses import mse_loss, kl_divergence, cross_entropy, binary_cross_entropy
@@ -18,6 +22,8 @@ from .init import xavier_uniform, xavier_normal, kaiming_uniform, zeros, normal
 __all__ = [
     "Tensor",
     "no_grad",
+    "CSRMatrix",
+    "sparse_matmul",
     "Linear",
     "Sequential",
     "Module",

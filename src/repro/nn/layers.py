@@ -66,6 +66,7 @@ class Module:
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module's output (implemented by subclasses)."""
         raise NotImplementedError
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -105,6 +106,7 @@ class Linear(Module):
                      if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Affine transform of ``(n, in_features)`` to ``(n, out_features)``."""
         out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias
@@ -118,6 +120,7 @@ class Sequential(Module):
         self.stages = list(stages)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Feed ``x`` through every stage in order."""
         for stage in self.stages:
             x = stage(x)
         return x

@@ -28,6 +28,7 @@ class Optimizer:
             param.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update to every parameter with a gradient."""
         raise NotImplementedError
 
 
@@ -43,6 +44,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """One (momentum) SGD update: ``p -= lr * grad`` per parameter."""
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -73,6 +75,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        """One bias-corrected Adam update for every parameter."""
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t

@@ -1,0 +1,270 @@
+"""CSR sparse matrices and autograd-aware sparse-dense products.
+
+SDCN's GCN branch repeatedly multiplies a *fixed* normalised KNN adjacency
+against dense activations.  With the dense code path that product — and the
+adjacency itself — costs O(n^2) memory, which is the wall the scalability
+study (Figure 4) hits first.  A KNN graph has only O(n * k) edges, so this
+module provides the minimal sparse substrate the models need:
+
+* :class:`CSRMatrix` — an immutable compressed-sparse-row matrix over
+  ``float64`` numpy arrays (``data``/``indices``/``indptr``), supporting the
+  graph operations the library uses: dense products, transposition,
+  row/column scaling, sub-matrix extraction for mini-batching and row sums.
+* :func:`sparse_matmul` — ``A @ X`` where ``A`` is a constant
+  :class:`CSRMatrix` and ``X`` a :class:`~repro.nn.tensor.Tensor`; gradients
+  flow to ``X`` through ``A^T @ grad`` so GCN layers train unchanged.
+
+The matrix is deliberately *not* a :class:`~repro.nn.tensor.Tensor`: graph
+adjacencies are constants during training (exactly as in SDCN), so only the
+dense operand participates in autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["CSRMatrix", "sparse_matmul"]
+
+#: Upper bound on float64 elements per product slab in ``CSRMatrix @ dense``
+#: (2**21 floats = 16 MiB), so wide dense operands (e.g. layer_size-1000
+#: activations) cannot blow the product temporary up to O(nnz * features).
+_MATMUL_SLAB_FLOATS = 2_097_152
+
+
+class CSRMatrix:
+    """Minimal immutable CSR sparse matrix (``float64``).
+
+    Stores ``shape=(n_rows, n_cols)`` plus the classic three arrays:
+    ``data`` (nnz values), ``indices`` (nnz column ids, row-major sorted)
+    and ``indptr`` (``n_rows + 1`` row boundaries).  Peak memory is
+    O(nnz), never O(n_rows * n_cols).
+    """
+
+    __slots__ = ("data", "indices", "indptr", "shape", "_transpose_cache")
+
+    def __init__(self, data, indices, indptr,
+                 shape: tuple[int, int]) -> None:
+        """Build from raw CSR arrays (validated, not copied)."""
+        self.data = np.asarray(data, dtype=np.float64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._transpose_cache: "CSRMatrix | None" = None
+        if self.data.shape != self.indices.shape or self.data.ndim != 1:
+            raise ValueError("data and indices must be 1-D arrays of equal length")
+        if self.indptr.shape != (self.shape[0] + 1,):
+            raise ValueError(
+                f"indptr must have length n_rows + 1 = {self.shape[0] + 1}")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if self.data.size and (self.indices.min() < 0
+                               or self.indices.max() >= self.shape[1]):
+            raise ValueError("column indices out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, rows, cols, values,
+                 shape: tuple[int, int]) -> "CSRMatrix":
+        """Build from coordinate triplets; duplicate entries are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols and values must be equal-length 1-D")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows
+                          or cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("coordinates out of range for shape")
+        # Sort by (row, col) and merge duplicates.
+        linear = rows * n_cols + cols
+        order = np.argsort(linear, kind="stable")
+        linear = linear[order]
+        unique, first = np.unique(linear, return_index=True)
+        summed = np.add.reduceat(values[order], first) if values.size else values
+        out_rows = (unique // n_cols).astype(np.int64)
+        out_cols = (unique % n_cols).astype(np.int64)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, out_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(summed, out_cols, indptr, (n_rows, n_cols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Compress a dense 2-D array (zeros are dropped)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n x n identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(np.ones(n), idx, np.arange(n + 1, dtype=np.int64), (n, n))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return int(self.data.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def row_nonzeros(self) -> np.ndarray:
+        """Row index of every stored entry (length ``nnz``)."""
+        return np.repeat(np.arange(self.shape[0], dtype=np.int64),
+                         np.diff(self.indptr))
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense array (tests/small inputs only: O(n*m))."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.row_nonzeros(), self.indices] = self.data
+        return out
+
+    def sum_rows(self) -> np.ndarray:
+        """Per-row sum of the stored values (dense vector of length n_rows)."""
+        return np.bincount(self.row_nonzeros(), weights=self.data,
+                           minlength=self.shape[0])
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: np.ndarray) -> np.ndarray:
+        """Sparse-dense product ``self @ other`` returning a dense array.
+
+        Time is O(nnz * other.shape[1]); peak extra memory is bounded by
+        ``_MATMUL_SLAB_FLOATS`` — row-aligned slabs of the expanded
+        products are reduced one at a time, so neither the full n x n
+        matrix nor an O(nnz * features) temporary is materialised.
+        ``other`` may be 1-D (vector) or 2-D.
+        """
+        other = np.asarray(other, dtype=np.float64)
+        vector = other.ndim == 1
+        if vector:
+            other = other[:, None]
+        if other.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} @ {other.shape}")
+        n_rows, width = self.shape[0], other.shape[1]
+        out = np.zeros((n_rows, width), dtype=np.float64)
+        if self.nnz:
+            target = max(1, _MATMUL_SLAB_FLOATS // max(1, width))
+            row = 0
+            while row < n_rows:
+                # Largest row range whose entries fit the slab budget
+                # (always at least one row, whatever its entry count).
+                end = int(np.searchsorted(self.indptr,
+                                          self.indptr[row] + target,
+                                          side="right")) - 1
+                end = min(max(end, row + 1), n_rows)
+                lo, hi = int(self.indptr[row]), int(self.indptr[end])
+                if hi > lo:
+                    products = self.data[lo:hi, None] \
+                        * other[self.indices[lo:hi]]
+                    counts = np.diff(self.indptr[row:end + 1])
+                    nonempty = np.flatnonzero(counts > 0)
+                    out[row + nonempty] = np.add.reduceat(
+                        products, self.indptr[row + nonempty] - lo, axis=0)
+                row = end
+        return out[:, 0] if vector else out
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (cached)."""
+        if self._transpose_cache is None:
+            rows = self.row_nonzeros()
+            transposed = CSRMatrix.from_coo(
+                self.indices, rows, self.data,
+                (self.shape[1], self.shape[0]))
+            transposed._transpose_cache = self
+            self._transpose_cache = transposed
+        return self._transpose_cache
+
+    @property
+    def T(self) -> "CSRMatrix":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def scale_rows(self, factors: np.ndarray) -> "CSRMatrix":
+        """Return ``diag(factors) @ self`` (row scaling)."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.shape[0],):
+            raise ValueError("factors must have one entry per row")
+        return CSRMatrix(self.data * factors[self.row_nonzeros()],
+                         self.indices, self.indptr, self.shape)
+
+    def scale_columns(self, factors: np.ndarray) -> "CSRMatrix":
+        """Return ``self @ diag(factors)`` (column scaling)."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.shape[1],):
+            raise ValueError("factors must have one entry per column")
+        return CSRMatrix(self.data * factors[self.indices],
+                         self.indices, self.indptr, self.shape)
+
+    def add_identity(self) -> "CSRMatrix":
+        """Return ``self + I`` (square matrices; used for self-loops)."""
+        if self.shape[0] != self.shape[1]:
+            raise ValueError("add_identity requires a square matrix")
+        n = self.shape[0]
+        eye = np.arange(n, dtype=np.int64)
+        return CSRMatrix.from_coo(
+            np.concatenate([self.row_nonzeros(), eye]),
+            np.concatenate([self.indices, eye]),
+            np.concatenate([self.data, np.ones(n)]),
+            self.shape)
+
+    def submatrix(self, index: np.ndarray) -> "CSRMatrix":
+        """Extract the square sub-matrix ``self[index][:, index]``.
+
+        ``index`` is an array of unique row/column ids; the result is a
+        ``len(index) x len(index)`` CSR matrix with columns remapped to the
+        positions within ``index``.  Used to restrict a graph to one
+        mini-batch of nodes.
+        """
+        index = np.asarray(index, dtype=np.int64)
+        if index.ndim != 1:
+            raise ValueError("index must be 1-D")
+        b = index.size
+        counts = np.diff(self.indptr)[index]
+        total = int(counts.sum())
+        # Flat positions of every stored entry in the selected rows.
+        starts = self.indptr[index]
+        offsets = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
+        positions = np.repeat(starts, counts) + offsets
+        sub_rows = np.repeat(np.arange(b, dtype=np.int64), counts)
+        sub_cols = self.indices[positions]
+        values = self.data[positions]
+        # Keep only columns inside the batch, remapped to batch positions.
+        lookup = np.full(self.shape[1], -1, dtype=np.int64)
+        lookup[index] = np.arange(b)
+        keep = lookup[sub_cols] >= 0
+        return CSRMatrix.from_coo(sub_rows[keep], lookup[sub_cols[keep]],
+                                  values[keep], (b, b))
+
+
+def sparse_matmul(matrix: CSRMatrix, x: Tensor) -> Tensor:
+    """Autograd-aware product ``matrix @ x`` with a constant sparse matrix.
+
+    The forward pass costs O(nnz * x.shape[1]); the backward pass routes
+    ``matrix.T @ grad`` to ``x`` (the sparse matrix itself receives no
+    gradient, matching GCN propagation over a fixed graph).
+    """
+    if not isinstance(matrix, CSRMatrix):
+        raise TypeError("sparse_matmul expects a CSRMatrix on the left")
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    data = matrix @ x.data
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(matrix.transpose() @ grad)
+
+    return x._make(data, (x,), _backward)

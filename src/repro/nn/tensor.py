@@ -89,18 +89,22 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def T(self) -> "Tensor":
+        """Transposed view (alias for :meth:`transpose`)."""
         return self.transpose()
 
     def numpy(self) -> np.ndarray:
@@ -108,6 +112,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """First element as a python float (for scalar losses)."""
         return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
@@ -115,6 +120,7 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -148,24 +154,24 @@ class Tensor:
         other = self._lift(other)
         data = self.data + other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad, self.data.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.data.shape))
 
-        return self._make(data, (self, other), backward)
+        return self._make(data, (self, other), _backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         data = -self.data
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._lift(other))
@@ -177,13 +183,13 @@ class Tensor:
         other = self._lift(other)
         data = self.data * other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
 
-        return self._make(data, (self, other), backward)
+        return self._make(data, (self, other), _backward)
 
     __rmul__ = __mul__
 
@@ -191,14 +197,14 @@ class Tensor:
         other = self._lift(other)
         data = self.data / other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
             if other.requires_grad:
                 other._accumulate(_unbroadcast(
                     -grad * self.data / (other.data ** 2), other.data.shape))
 
-        return self._make(data, (self, other), backward)
+        return self._make(data, (self, other), _backward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._lift(other) / self
@@ -208,75 +214,81 @@ class Tensor:
             raise TypeError("tensor exponents are not supported")
         data = self.data ** exponent
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def __matmul__(self, other) -> "Tensor":
         other = self._lift(other)
         data = self.data @ other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad @ other.data.T)
             if other.requires_grad:
                 other._accumulate(self.data.T @ grad)
 
-        return self._make(data, (self, other), backward)
+        return self._make(data, (self, other), _backward)
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        """Element-wise exponential."""
         data = np.exp(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * data)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def log(self, eps: float = 1e-12) -> "Tensor":
+        """Element-wise natural log of ``max(x, eps)`` (safe at 0)."""
         clipped = np.maximum(self.data, eps)
         data = np.log(clipped)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad / clipped)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
         return self ** 0.5
 
     def abs(self) -> "Tensor":
+        """Element-wise absolute value."""
         data = np.abs(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values into ``[low, high]`` (zero gradient outside)."""
         data = np.clip(self.data, low, high)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 mask = (self.data >= low) & (self.data <= high)
                 self._accumulate(grad * mask)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or all elements when ``axis`` is None)."""
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
             grad_arr = np.asarray(grad)
@@ -288,9 +300,10 @@ class Tensor:
                 expanded = np.broadcast_to(grad_arr, self.data.shape)
             self._accumulate(expanded.copy())
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (or all elements)."""
         count = self.data.size if axis is None else self.data.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
@@ -298,78 +311,84 @@ class Tensor:
     # Shape ops
     # ------------------------------------------------------------------
     def transpose(self) -> "Tensor":
+        """Matrix transpose (2-D semantics: reverses the axes)."""
         data = self.data.T
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.T)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def reshape(self, *shape: int) -> "Tensor":
+        """Reshape to ``shape`` (same number of elements)."""
         original = self.data.shape
         data = self.data.reshape(*shape)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Select rows by integer index (used for mini-batching)."""
         indices = np.asarray(indices, dtype=np.int64)
         data = self.data[indices]
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, indices, grad)
                 self._accumulate(full)
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Non-linearities (kept on the class for convenient chaining)
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
+        """Rectified linear unit: ``max(x, 0)`` element-wise."""
         data = np.maximum(self.data, 0.0)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (self.data > 0))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid with input clamping for stability."""
         data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * data * (1.0 - data))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def tanh(self) -> "Tensor":
+        """Hyperbolic tangent."""
         data = np.tanh(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - data ** 2))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis`` (rows sum to 1)."""
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         data = exp / exp.sum(axis=axis, keepdims=True)
 
-        def backward(grad: np.ndarray) -> None:
+        def _backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 dot = (grad * data).sum(axis=axis, keepdims=True)
                 self._accumulate(data * (grad - dot))
 
-        return self._make(data, (self,), backward)
+        return self._make(data, (self,), _backward)
 
     # ------------------------------------------------------------------
     # Backward pass

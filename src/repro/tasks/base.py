@@ -73,6 +73,11 @@ class ClusteringTask:
 
     task_name = ""
 
+    #: Field overrides (e.g. ``{"graph": "sparse"}``) applied *on top of*
+    #: the task's resolved config, so task-specific defaults (entity
+    #: resolution's longer pre-training) survive a partial override.
+    config_updates: dict | None = None
+
     def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
         """Return the embedding matrix for ``method`` (cached)."""
         raise NotImplementedError
@@ -81,6 +86,14 @@ class ClusteringTask:
         """The deep clustering config used for this task's cells."""
         return self.config
 
+    def resolved_config(self) -> DeepClusteringConfig | None:
+        """Task config with any :attr:`config_updates` layered on top."""
+        config = self.task_config()
+        updates = self.config_updates
+        if updates:
+            config = (config or DeepClusteringConfig()).with_updates(**updates)
+        return config
+
     def run(self, *, embedding: str, algorithm: str,
             seed: int | None = None) -> TaskResult:
         """Execute one cell: embed the dataset and cluster it once."""
@@ -88,7 +101,7 @@ class ClusteringTask:
         return evaluate_clustering(
             X, self.dataset.labels, algorithm=algorithm,
             dataset=self.dataset.name, task=self.task_name,
-            embedding=embedding, config=self.task_config(), seed=seed)
+            embedding=embedding, config=self.resolved_config(), seed=seed)
 
     def run_matrix(self, *, embeddings: tuple[str, ...],
                    algorithms: tuple[str, ...],

@@ -7,7 +7,11 @@ import pytest
 
 from repro.cache import reset_cache
 from repro.cli import build_parser, main
-from repro.experiments import EXPERIMENTS, render_experiments_md
+from repro.experiments import (
+    EXPERIMENTS,
+    render_api_md,
+    render_experiments_md,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -31,6 +35,17 @@ class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_graph_and_batch_size_flags(self):
+        args = build_parser().parse_args(
+            ["run", "figure4_scalability", "--graph", "sparse",
+             "--batch-size", "128"])
+        assert args.graph == "sparse"
+        assert args.batch_size == 128
+
+    def test_graph_flag_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--graph", "csr"])
 
 
 class TestListCommand:
@@ -94,6 +109,30 @@ class TestRunCommand:
         assert main(["run", "table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_run_scalability_sparse_extends_grid(self, capsys):
+        code = main(["run", "figure4_scalability", "--scale", "test",
+                     "--graph", "sparse", "--algorithms", "kmeans",
+                     "--format", "json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(row["graph"] == "sparse" for row in rows)
+        instance_counts = {row["n_instances"] for row in rows
+                           if row["sweep"] == "instances"}
+        # The sparse path extends the instance sweep 4x past the largest
+        # dense point of the test-scale grid (120 -> 480).
+        assert max(instance_counts) >= 4 * 120
+        assert all(row["peak_mem_mb"] >= 0 for row in rows)
+
+    def test_run_scalability_dense_uses_base_grid(self, capsys):
+        code = main(["run", "figure4_scalability", "--scale", "test",
+                     "--algorithms", "kmeans", "--format", "json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(row["graph"] == "dense" for row in rows)
+        instance_counts = {row["n_instances"] for row in rows
+                           if row["sweep"] == "instances"}
+        assert max(instance_counts) == 120
+
 
 class TestProfileCommand:
     def test_profiles_subset(self, capsys):
@@ -129,3 +168,36 @@ class TestDocsCommand:
         document = render_experiments_md()
         for spec in EXPERIMENTS.values():
             assert f"`{spec.experiment_id}`" in document
+
+
+class TestApiDocs:
+    def test_api_roundtrip(self, tmp_path, capsys):
+        experiments = tmp_path / "EXPERIMENTS.md"
+        api = tmp_path / "API.md"
+        assert main(["docs", "--api", "--output", str(experiments),
+                     "--api-output", str(api)]) == 0
+        assert api.read_text(encoding="utf-8") == render_api_md()
+        assert main(["docs", "--api", "--check", "--output", str(experiments),
+                     "--api-output", str(api)]) == 0
+
+    def test_api_check_detects_drift(self, tmp_path, capsys):
+        experiments = tmp_path / "EXPERIMENTS.md"
+        api = tmp_path / "API.md"
+        assert main(["docs", "--output", str(experiments)]) == 0
+        api.write_text("stale", encoding="utf-8")
+        assert main(["docs", "--api", "--check", "--output", str(experiments),
+                     "--api-output", str(api)]) == 1
+
+    def test_committed_api_md_in_sync(self):
+        """The checked-in API.md must match the package's public API."""
+        committed = (REPO_ROOT / "API.md").read_text(encoding="utf-8")
+        assert committed == render_api_md(), (
+            "API.md is out of sync with the package; run "
+            "'python -m repro docs --api' to regenerate it")
+
+    def test_api_reference_covers_new_sparse_modules(self):
+        document = render_api_md()
+        for fragment in ("## `repro.nn.sparse`", "`CSRMatrix`",
+                         "`sparse_matmul`", "`sparse_knn_graph`",
+                         "## `repro.experiments.api_docs`"):
+            assert fragment in document

@@ -134,8 +134,10 @@ class TestScalability:
                                        algorithms=("kmeans",), config=FAST,
                                        seed=0)
         row = points[0].as_row()
-        assert {"sweep", "algorithm", "n_instances", "n_clusters",
-                "runtime_s", "ARI"} == set(row)
+        assert {"sweep", "algorithm", "graph", "n_instances", "n_clusters",
+                "runtime_s", "peak_mem_mb", "ARI"} == set(row)
+        assert row["graph"] == "dense"
+        assert row["peak_mem_mb"] >= 0.0
 
 
 class TestProjections:

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.clustering import KMeans
-from repro.graphs import knn_graph, normalized_adjacency
+from repro.graphs import knn_graph, normalized_adjacency, sparse_knn_graph
+from repro.nn import CSRMatrix
 from repro.metrics import (
     adjusted_rand_index,
     clustering_accuracy,
@@ -89,6 +90,41 @@ class TestGraphInvariants:
         eigenvalues = np.linalg.eigvalsh(A_hat)
         assert eigenvalues.max() <= 1.0 + 1e-6
         assert eigenvalues.min() >= -1.0 - 1e-6
+
+
+class TestSparseInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(matrices)
+    def test_csr_roundtrip_and_matmul_match_dense(self, rows):
+        dense = np.asarray(rows, dtype=float)
+        sparse = CSRMatrix.from_dense(dense)
+        assert np.allclose(sparse.to_dense(), dense)
+        other = np.arange(dense.shape[1] * 3, dtype=float).reshape(-1, 3)
+        assert np.allclose(sparse @ other, dense @ other)
+        assert np.allclose(sparse.T.to_dense(), dense.T)
+        assert np.allclose(sparse.sum_rows(), dense.sum(axis=1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices, st.integers(min_value=1, max_value=4))
+    def test_sparse_knn_graph_invariants(self, rows, k):
+        X = np.asarray(rows)
+        graph = sparse_knn_graph(X, k=k, block_size=2)
+        dense = graph.to_dense()
+        # Same structural invariants as the dense KNN graph.
+        assert np.array_equal(dense, dense.T)
+        assert set(np.unique(dense)).issubset({0.0, 1.0})
+        assert not np.diag(dense).any()
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices, st.integers(min_value=1, max_value=4))
+    def test_sparse_normalization_matches_dense_on_same_graph(self, rows, k):
+        # Normalising the *same* adjacency must agree exactly between the
+        # dense and CSR implementations (no tie-breaking involved).
+        X = np.asarray(rows)
+        adjacency = sparse_knn_graph(X, k=k)
+        dense_norm = normalized_adjacency(adjacency.to_dense())
+        sparse_norm = normalized_adjacency(adjacency)
+        assert np.allclose(sparse_norm.to_dense(), dense_norm)
 
 
 class TestClusteringInvariants:

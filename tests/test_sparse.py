@@ -1,0 +1,311 @@
+"""Tests for the sparse compute path: CSR matrices, blocked KNN, training.
+
+Three pillars:
+
+* correctness of the :class:`repro.nn.sparse.CSRMatrix` primitives and the
+  autograd ``sparse @ dense`` product,
+* parity between the dense and sparse graph paths (property-style, over
+  random small matrices), and
+* memory regression guards asserting the sparse path never materialises an
+  n x n array.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.config import DeepClusteringConfig
+from repro.dc import SDCN, EDESC
+from repro.exceptions import ConfigurationError
+from repro.graphs import (
+    GCNLayer,
+    blocked_topk_neighbors,
+    knn_graph,
+    normalized_adjacency,
+    sparse_knn_graph,
+)
+from repro.nn import CSRMatrix, Tensor, sparse_matmul, relu
+
+
+def random_sparse(rng, shape, density=0.3):
+    dense = rng.normal(size=shape)
+    dense[rng.random(shape) >= density] = 0.0
+    return dense
+
+
+class TestCSRMatrix:
+    def test_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = random_sparse(rng, (9, 6))
+        assert np.allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_from_coo_merges_duplicates(self):
+        A = CSRMatrix.from_coo([0, 0, 1], [2, 2, 0], [1.0, 2.0, 5.0], (2, 3))
+        assert A.nnz == 2
+        expected = np.array([[0.0, 0.0, 3.0], [5.0, 0.0, 0.0]])
+        assert np.allclose(A.to_dense(), expected)
+
+    def test_matmul_matches_dense(self):
+        rng = np.random.default_rng(1)
+        dense = random_sparse(rng, (8, 5))
+        other = rng.normal(size=(5, 4))
+        assert np.allclose(CSRMatrix.from_dense(dense) @ other, dense @ other)
+
+    def test_matmul_vector(self):
+        rng = np.random.default_rng(2)
+        dense = random_sparse(rng, (6, 6))
+        vec = rng.normal(size=6)
+        result = CSRMatrix.from_dense(dense) @ vec
+        assert result.shape == (6,)
+        assert np.allclose(result, dense @ vec)
+
+    def test_matmul_with_empty_rows(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 3.0
+        assert np.allclose(CSRMatrix.from_dense(dense) @ np.eye(4), dense)
+
+    def test_matmul_dimension_mismatch_raises(self):
+        A = CSRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            A @ np.zeros((4, 2))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(3)
+        dense = random_sparse(rng, (7, 4))
+        A = CSRMatrix.from_dense(dense)
+        assert np.allclose(A.T.to_dense(), dense.T)
+        # Cached: transposing twice returns the original object.
+        assert A.T.T is A
+
+    def test_sum_rows(self):
+        rng = np.random.default_rng(4)
+        dense = random_sparse(rng, (5, 8))
+        assert np.allclose(CSRMatrix.from_dense(dense).sum_rows(),
+                           dense.sum(axis=1))
+
+    def test_scaling(self):
+        rng = np.random.default_rng(5)
+        dense = random_sparse(rng, (6, 6))
+        A = CSRMatrix.from_dense(dense)
+        r = rng.random(6) + 0.5
+        assert np.allclose(A.scale_rows(r).to_dense(), dense * r[:, None])
+        assert np.allclose(A.scale_columns(r).to_dense(), dense * r[None, :])
+
+    def test_add_identity(self):
+        rng = np.random.default_rng(6)
+        dense = random_sparse(rng, (5, 5))
+        A = CSRMatrix.from_dense(dense)
+        assert np.allclose(A.add_identity().to_dense(), dense + np.eye(5))
+
+    def test_submatrix_matches_dense_slicing(self):
+        rng = np.random.default_rng(7)
+        dense = random_sparse(rng, (10, 10))
+        A = CSRMatrix.from_dense(dense)
+        for index in (np.array([0, 3, 7, 9]), np.array([5]),
+                      rng.permutation(10)[:6]):
+            expected = dense[np.ix_(index, index)]
+            assert np.allclose(A.submatrix(index).to_dense(), expected)
+
+    def test_invalid_indptr_raises(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([1.0], [0], [0, 0], (2, 2))
+
+    def test_identity(self):
+        assert np.allclose(CSRMatrix.identity(4).to_dense(), np.eye(4))
+
+
+class TestSparseMatmulAutograd:
+    def test_forward_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense = random_sparse(rng, (6, 5))
+        x = Tensor(rng.normal(size=(5, 3)))
+        out = sparse_matmul(CSRMatrix.from_dense(dense), x)
+        assert np.allclose(out.numpy(), dense @ x.numpy())
+
+    def test_gradient_flows_to_dense_operand(self):
+        rng = np.random.default_rng(1)
+        dense = random_sparse(rng, (6, 5))
+        A = CSRMatrix.from_dense(dense)
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        (sparse_matmul(A, x) * 2.0).sum().backward()
+        assert np.allclose(x.grad, dense.T @ np.full((6, 3), 2.0))
+
+    def test_gradient_matches_dense_matmul(self):
+        rng = np.random.default_rng(2)
+        dense = random_sparse(rng, (7, 7))
+        x1 = Tensor(rng.normal(size=(7, 4)), requires_grad=True)
+        x2 = Tensor(x1.numpy().copy(), requires_grad=True)
+        sparse_matmul(CSRMatrix.from_dense(dense), x1).sum().backward()
+        (Tensor(dense) @ x2).sum().backward()
+        assert np.allclose(x1.grad, x2.grad)
+
+    def test_gcn_layer_sparse_equals_dense(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(20, 6))
+        A_hat = normalized_adjacency(knn_graph(X, k=4))
+        layer = GCNLayer(6, 5, activation=relu, seed=0)
+        dense_out = layer(Tensor(X), A_hat)
+        sparse_out = layer(Tensor(X), CSRMatrix.from_dense(A_hat))
+        assert np.allclose(dense_out.numpy(), sparse_out.numpy())
+
+
+class TestBlockedKnnParity:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    @pytest.mark.parametrize("block_size", [1, 7, 64, 1000])
+    def test_blocked_topk_matches_naive(self, metric, block_size):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(40, 6))
+        blocked = blocked_topk_neighbors(X, 5, metric=metric,
+                                         block_size=block_size)
+        # Naive reference: full similarity matrix, top-5 per row.
+        if metric == "cosine":
+            unit = X / np.linalg.norm(X, axis=1, keepdims=True)
+            sim = unit @ unit.T
+        else:
+            sq = np.sum(X ** 2, axis=1)
+            sim = -(sq[:, None] + sq[None, :] - 2.0 * (X @ X.T))
+        np.fill_diagonal(sim, -np.inf)
+        naive = np.argsort(-sim, axis=1)[:, :5]
+        assert np.array_equal(np.sort(blocked, axis=1), np.sort(naive, axis=1))
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_sparse_graph_matches_dense_graph(self, metric):
+        rng = np.random.default_rng(12)
+        for trial in range(5):
+            n = int(rng.integers(5, 60))
+            k = int(rng.integers(1, n))
+            X = rng.normal(size=(n, 4))
+            dense = knn_graph(X, k=k, metric=metric)
+            sparse = sparse_knn_graph(X, k=k, metric=metric,
+                                      block_size=int(rng.integers(1, n + 4)))
+            assert np.array_equal(sparse.to_dense(), dense), (trial, n, k)
+
+    def test_normalized_adjacency_parity(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(30, 5))
+        dense = normalized_adjacency(knn_graph(X, k=4))
+        sparse = normalized_adjacency(sparse_knn_graph(X, k=4))
+        assert isinstance(sparse, CSRMatrix)
+        assert np.allclose(sparse.to_dense(), dense)
+
+    def test_blocked_invalid_inputs(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        with pytest.raises(ValueError):
+            blocked_topk_neighbors(X, 0)
+        with pytest.raises(ValueError):
+            blocked_topk_neighbors(X, 3, block_size=0)
+        with pytest.raises(ValueError):
+            blocked_topk_neighbors(X, 3, metric="hamming")
+
+    def test_single_point(self):
+        graph = sparse_knn_graph(np.array([[1.0, 2.0]]), k=3)
+        assert graph.shape == (1, 1)
+        assert graph.nnz == 0
+
+
+class TestSparseTrainingParity:
+    def test_sdcn_sparse_equals_dense_full_batch(self, blobs):
+        X, _ = blobs
+        config = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3,
+                                      layer_size=24, latent_dim=6, seed=0)
+        dense_model = SDCN(4, knn_k=5, config=config).fit(X)
+        sparse_model = SDCN(
+            4, knn_k=5, config=config.with_updates(graph="sparse")).fit(X)
+        assert np.array_equal(dense_model.labels_, sparse_model.labels_)
+        assert np.allclose(dense_model.embedding_, sparse_model.embedding_)
+
+    def test_sdcn_minibatch_trains(self, blobs):
+        X, labels = blobs
+        config = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3,
+                                      layer_size=24, latent_dim=6,
+                                      batch_size=32, graph="sparse", seed=0)
+        model = SDCN(4, knn_k=5, config=config).fit(X)
+        assert model.labels_.shape == (len(X),)
+        assert len(model.history_["train_loss"]) == 3
+
+    def test_edesc_minibatch_trains(self, blobs):
+        X, _ = blobs
+        config = DeepClusteringConfig(pretrain_epochs=3, train_epochs=3,
+                                      layer_size=24, latent_dim=6,
+                                      batch_size=32, seed=0)
+        model = EDESC(4, subspace_dim=2, config=config).fit(X)
+        assert model.labels_.shape == (len(X),)
+        assert len(model.history_["train_loss"]) == 3
+
+    def test_invalid_graph_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeepClusteringConfig(graph="csr")
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeepClusteringConfig(batch_size=0)
+
+
+class TestMemoryRegression:
+    """The sparse path must never allocate an n x n array."""
+
+    def _traced_peak(self, fn) -> int:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_sparse_knn_peak_far_below_dense_matrix(self):
+        n, k = 2500, 10
+        X = np.random.default_rng(0).normal(size=(n, 16))
+        dense_bytes = n * n * 8  # one float64 n x n matrix: 50 MB
+        peak = self._traced_peak(
+            lambda: sparse_knn_graph(X, k=k, block_size=128))
+        assert peak < dense_bytes / 4, (
+            f"sparse KNN peak {peak / 1e6:.1f} MB suggests an n x n "
+            f"allocation ({dense_bytes / 1e6:.0f} MB)")
+
+    def test_no_square_allocation_via_hook(self, monkeypatch):
+        """Allocation hook: no (n, n)-shaped zeros/empty on the sparse path."""
+        n = 600
+        X = np.random.default_rng(1).normal(size=(n, 8))
+        square_allocations = []
+
+        def record(shape):
+            if isinstance(shape, tuple) and tuple(shape) == (n, n):
+                square_allocations.append(shape)
+
+        original_zeros, original_empty = np.zeros, np.empty
+
+        def zeros(shape, *args, **kwargs):
+            record(shape)
+            return original_zeros(shape, *args, **kwargs)
+
+        def empty(shape, *args, **kwargs):
+            record(shape)
+            return original_empty(shape, *args, **kwargs)
+
+        monkeypatch.setattr(np, "zeros", zeros)
+        monkeypatch.setattr(np, "empty", empty)
+        graph = sparse_knn_graph(X, k=5, block_size=64)
+        normalized_adjacency(graph)
+        assert not square_allocations
+        # Sanity check: the dense path does allocate the square matrix.
+        knn_graph(X, k=5)
+        assert square_allocations
+
+    def test_sdcn_sparse_fit_peak_below_dense_adjacency(self):
+        # At n=2400 one dense n x n adjacency alone is 46 MB; the whole
+        # sparse fit (KNN build, mini-batch training, blocked silhouette,
+        # fallback clustering) must stay below even that single matrix.
+        n = 2400
+        rng = np.random.default_rng(2)
+        centers = rng.normal(size=(3, 12)) * 6.0
+        X = np.vstack([c + rng.normal(size=(n // 3, 12)) for c in centers])
+        config = DeepClusteringConfig(pretrain_epochs=1, train_epochs=1,
+                                      layer_size=16, latent_dim=4,
+                                      graph="sparse", batch_size=128, seed=0)
+        peak = self._traced_peak(lambda: SDCN(3, knn_k=5, config=config).fit(X))
+        dense_bytes = n * n * 8
+        assert peak < dense_bytes, (
+            f"sparse SDCN fit peaked at {peak / 1e6:.1f} MB, above the "
+            f"single dense-adjacency footprint {dense_bytes / 1e6:.1f} MB")

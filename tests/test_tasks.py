@@ -146,6 +146,17 @@ class TestEntityResolution:
         with pytest.raises(ConfigurationError):
             embed_records(musicbrainz_small, "word2vec")
 
+    def test_config_updates_preserve_er_pretraining_default(
+            self, musicbrainz_small):
+        # Partial overrides (CLI --graph/--batch-size) must not defeat the
+        # task's own default of 100 pre-training epochs (Section 4.2).
+        task = EntityResolutionTask(musicbrainz_small)
+        task.config_updates = {"graph": "sparse", "batch_size": 16}
+        resolved = task.resolved_config()
+        assert resolved.pretrain_epochs == 100
+        assert resolved.graph == "sparse"
+        assert resolved.batch_size == 16
+
     def test_run_with_sbert_and_kmeans(self, musicbrainz_small):
         task = EntityResolutionTask(musicbrainz_small, config=FAST)
         result = task.run(embedding="sbert", algorithm="kmeans", seed=0)
