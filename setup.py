@@ -12,9 +12,16 @@ from setuptools import find_packages, setup
 _HERE = Path(__file__).resolve().parent
 _README = _HERE / "README.md"
 
+# Execute (rather than import) the version module so packaging works without
+# numpy/scipy installed; repro/_version.py is the single version constant
+# shared with `repro.__version__` and `repro --version`.
+_VERSION_NS: dict = {}
+exec((_HERE / "src" / "repro" / "_version.py").read_text(encoding="utf-8"),
+     _VERSION_NS)
+
 setup(
     name="repro",
-    version="1.1.0",
+    version=_VERSION_NS["__version__"],
     description="Reproduction of 'Deep Clustering for Data Cleaning and "
                 "Integration' (Rauf, Freitas & Paton, EDBT 2024)",
     long_description=_README.read_text(encoding="utf-8")

@@ -22,8 +22,14 @@ The paper's full evaluation matrix is scriptable from the command line —
 ``python -m repro run table2 --scale test --workers 4`` reproduces one with
 the independent cells fanned out on a worker pool; embedding matrices are
 deduplicated by the content-addressed cache in :mod:`repro.cache`.
+
+Fitted models persist as versioned NPZ checkpoints (:mod:`repro.serialize`)
+and serve online out-of-sample predictions over a stdlib JSON HTTP API with
+micro-batched forwards (:mod:`repro.serve`): ``repro train ... --save m.npz``
+then ``repro serve --model-dir models/``.
 """
 
+from ._version import __version__
 from .cache import (
     ArtifactCache,
     configure_cache,
@@ -61,6 +67,19 @@ from .embeddings import (
     SBERTEncoder,
     TabNetEncoder,
     TabTransformerEncoder,
+    embed_item,
+    embed_items,
+)
+from .serialize import (
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
+from .serve import (
+    MicroBatcher,
+    ModelRegistry,
+    PredictService,
+    create_server,
 )
 from .metrics import (
     adjusted_rand_index,
@@ -86,8 +105,6 @@ from .experiments import (
     run_plan,
     run_scalability_study,
 )
-
-__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -145,4 +162,13 @@ __all__ = [
     "configure_cache",
     "get_cache",
     "reset_cache",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "embed_item",
+    "embed_items",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PredictService",
+    "create_server",
 ]

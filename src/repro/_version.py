@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+``setup.py`` executes this file to avoid importing the package (and its
+numpy/scipy dependencies) at build time; ``repro.__init__`` re-exports the
+constant and the CLI surfaces it via ``repro --version``.
+"""
+
+__version__ = "1.2.0"

@@ -19,6 +19,13 @@ evaluation matrix without writing any Python:
     Regenerate ``EXPERIMENTS.md`` from the experiment registry and, with
     ``--api``, the ``API.md`` public-API reference (``--check`` verifies
     they are in sync without writing).
+``repro train <task>``
+    Fit one (dataset, embedding, algorithm) cell and persist the fitted
+    model as an NPZ checkpoint (``--save``), ready for serving.
+``repro serve``
+    Serve a directory of checkpoints over a stdlib JSON HTTP API with
+    micro-batched out-of-sample prediction (``GET /models``,
+    ``GET /healthz``, ``POST /models/{name}/predict``).
 
 Embedding matrices are cached in-process by :mod:`repro.cache`; pass
 ``--cache-dir`` to also persist them as NPZ files shared across runs and
@@ -32,6 +39,7 @@ import os
 import sys
 from pathlib import Path
 
+from ._version import __version__
 from .cache import configure_cache, get_cache
 from .config import (
     BENCHMARK_SCALE,
@@ -66,12 +74,21 @@ _SCALES: dict[str, ExperimentScale] = {
 _DATASET_NAMES = ("webtables", "tus", "musicbrainz", "geographic",
                   "camera", "monitor")
 
+#: Datasets each task pipeline trains on (train subcommand).
+_TASK_DATASETS = {
+    "schema_inference": ("webtables", "tus"),
+    "entity_resolution": ("musicbrainz", "geographic"),
+    "domain_discovery": ("camera", "monitor"),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the tables and analyses of 'Deep Clustering "
                     "for Data Cleaning and Integration' (EDBT 2024).")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = sub.add_parser(
@@ -118,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--pivot", action="store_true",
                          help="with --format table, render the paper's "
                               "pivoted table layout instead of flat rows")
+    run_cmd.add_argument("--save-dir", type=Path, default=None,
+                         help="persist every cell's fitted model as an NPZ "
+                              "checkpoint in this directory (servable with "
+                              "'repro serve --model-dir')")
 
     profile_cmd = sub.add_parser(
         "profile", help="dataset properties (Table 1)")
@@ -143,6 +164,55 @@ def build_parser() -> argparse.ArgumentParser:
     docs_cmd.add_argument("--check", action="store_true",
                           help="exit non-zero if the file(s) are out of "
                                "sync instead of writing them")
+
+    train_cmd = sub.add_parser(
+        "train", help="fit one model and save it as a servable checkpoint")
+    train_cmd.add_argument("task", choices=sorted(_TASK_DATASETS),
+                           help="task pipeline to train")
+    train_cmd.add_argument("--save", type=Path, required=True,
+                           metavar="PATH",
+                           help="checkpoint destination (NPZ)")
+    train_cmd.add_argument("--dataset", default=None, metavar="NAME",
+                           help="dataset to train on (default: the task's "
+                                "first dataset)")
+    train_cmd.add_argument("--embedding", default="sbert", metavar="NAME",
+                           help="embedding method (default: sbert)")
+    train_cmd.add_argument("--algorithm", default="kmeans", metavar="NAME",
+                           help="clustering algorithm (default: kmeans)")
+    train_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                           default="benchmark")
+    train_cmd.add_argument("--seed", type=int, default=None)
+    train_cmd.add_argument("--epochs", type=int, default=None,
+                           help="cap the deep clustering (pre-)training "
+                                "epochs, for quick smoke runs")
+    train_cmd.add_argument("--cache-dir", type=Path, default=None,
+                           help="persist embedding artifacts as NPZ files "
+                                "in this directory")
+    train_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                           default="table", help="summary output format")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve a directory of checkpoints over HTTP")
+    serve_cmd.add_argument("--model-dir", type=Path, required=True,
+                           help="directory of NPZ checkpoints "
+                                "(from 'repro train --save' or "
+                                "'repro run --save-dir')")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8000,
+                           help="listen port; 0 binds an ephemeral port "
+                                "(default: 8000)")
+    serve_cmd.add_argument("--max-loaded", type=int, default=4,
+                           help="LRU bound on models resident in memory "
+                                "(default: 4)")
+    serve_cmd.add_argument("--batch-rows", type=int, default=256,
+                           help="micro-batch row cap per forward pass "
+                                "(default: 256)")
+    serve_cmd.add_argument("--batch-delay-ms", type=float, default=2.0,
+                           help="micro-batch linger in milliseconds "
+                                "(default: 2.0)")
+    serve_cmd.add_argument("--no-batching", action="store_true",
+                           help="disable micro-batching (one forward pass "
+                                "per request)")
     return parser
 
 
@@ -168,7 +238,7 @@ def _run_config(args: argparse.Namespace) -> DeepClusteringConfig | None:
     # run_experiment instead.
     if args.epochs is None:
         return None
-    if args.experiment_id == "figure4_scalability":
+    if getattr(args, "experiment_id", None) == "figure4_scalability":
         # Match run_scalability_study's short default schedule so --epochs
         # caps it instead of resurrecting the full 30/50 schedule.
         config = DeepClusteringConfig(pretrain_epochs=10, train_epochs=10)
@@ -198,7 +268,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.experiment_id, scale=scale, config=_run_config(args),
         graph=args.graph, batch_size=args.batch_size,
         seed=args.seed, workers=workers, executor=args.executor,
-        **overrides)
+        save_dir=args.save_dir, **overrides)
 
     if spec.experiment_id == "table1":
         rows = [profile.as_row() for profile in result]
@@ -259,11 +329,83 @@ def _cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .experiments.runner import build_dataset
+    from .serialize import read_checkpoint_header
+    from .tasks import (
+        DomainDiscoveryTask,
+        EntityResolutionTask,
+        SchemaInferenceTask,
+    )
+
+    if args.cache_dir is not None:
+        configure_cache(cache_dir=args.cache_dir)
+    datasets = _TASK_DATASETS[args.task]
+    dataset_name = args.dataset or datasets[0]
+    if dataset_name not in datasets:
+        raise ReproError(
+            f"dataset {dataset_name!r} does not belong to task {args.task!r} "
+            f"(expected one of {datasets})")
+    task_cls = {
+        "schema_inference": SchemaInferenceTask,
+        "entity_resolution": EntityResolutionTask,
+        "domain_discovery": DomainDiscoveryTask,
+    }[args.task]
+
+    # Same semantics as `repro run --epochs`: cap the default schedule.
+    config = _run_config(args)
+    dataset = build_dataset(dataset_name, _SCALES[args.scale], seed=args.seed)
+    task = task_cls(dataset, config=config)
+
+    from .tasks.base import evaluate_clustering
+
+    X = task.embed(args.embedding, seed=args.seed)
+    result = evaluate_clustering(
+        X, dataset.labels, algorithm=args.algorithm,
+        dataset=dataset.name, task=task.task_name,
+        embedding=args.embedding, config=task.resolved_config(),
+        seed=args.seed, save_path=args.save)
+
+    print(render_rows([result.as_row()], args.format,
+                      title=f"trained {args.algorithm} on "
+                            f"{dataset_name}/{args.embedding}"))
+    header = read_checkpoint_header(args.save)
+    print(f"saved checkpoint {args.save} "
+          f"(class={header['class']}, format v{header['version']})",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import create_server
+
+    server = create_server(
+        args.model_dir, host=args.host, port=args.port,
+        max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
+        max_delay=args.batch_delay_ms / 1000.0,
+        micro_batching=not args.no_batching)
+    host, port = server.server_address[:2]
+    names = server.service.registry.names()
+    print(f"serving {len(names)} model(s) {names} from {args.model_dir} "
+          f"on http://{host}:{port} "
+          f"(micro-batching {'off' if args.no_batching else 'on'})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "profile": _cmd_profile,
     "docs": _cmd_docs,
+    "train": _cmd_train,
+    "serve": _cmd_serve,
 }
 
 

@@ -6,7 +6,7 @@ DBSCAN, plus the elbow-method heuristic the paper uses to choose DBSCAN's
 interface so tasks and experiments can treat SC and DC methods uniformly.
 """
 
-from .base import BaseClusterer, ClusteringResult
+from .base import BaseClusterer, ClusteringResult, nearest_centers
 from .kmeans import KMeans
 from .birch import Birch
 from .dbscan import DBSCAN
@@ -21,6 +21,7 @@ from .labels import (
 __all__ = [
     "BaseClusterer",
     "ClusteringResult",
+    "nearest_centers",
     "KMeans",
     "Birch",
     "DBSCAN",

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from .base import ClusteringResult, FittableMixin
+from .base import ClusteringResult, FittableMixin, nearest_centers
 from .kmeans import KMeans
 
 __all__ = ["Birch"]
@@ -239,10 +239,7 @@ class Birch(FittableMixin):
         if self.subcluster_centers_ is None:
             raise ConfigurationError("Birch.predict called before fit")
         X = self._validate(X)
-        x_sq = np.sum(X ** 2, axis=1)[:, None]
-        c_sq = np.sum(self.subcluster_centers_ ** 2, axis=1)[None, :]
-        d2 = x_sq + c_sq - 2.0 * (X @ self.subcluster_centers_.T)
-        nearest = np.argmin(d2, axis=1)
+        nearest, _ = nearest_centers(X, self.subcluster_centers_)
         return self.subcluster_labels_[nearest].astype(np.int64)
 
     def fit_predict(self, X) -> ClusteringResult:
@@ -255,3 +252,41 @@ class Birch(FittableMixin):
                 "threshold": self.threshold_,
             },
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able constructor and fitted scalar state.
+
+        ``predict`` only needs the sub-cluster centroids and their global
+        labels, so the CF tree itself is not persisted.
+        """
+        self._require_fitted()
+        return {
+            "n_clusters": self.n_clusters,
+            "threshold": self.threshold,
+            "fitted_threshold": self.threshold_,
+            "branching_factor": self.branching_factor,
+            "seed": self.seed,
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Fitted arrays: sub-cluster centroids/labels and training labels."""
+        self._require_fitted()
+        return {"subcluster_centers": self.subcluster_centers_,
+                "subcluster_labels": self.subcluster_labels_,
+                "labels": self.labels_}
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "Birch":
+        """Rebuild a fitted estimator from :mod:`repro.serialize` state."""
+        model = cls(params["n_clusters"], threshold=params["threshold"],
+                    branching_factor=params["branching_factor"],
+                    seed=params["seed"])
+        model.threshold_ = params["fitted_threshold"]
+        model.subcluster_centers_ = np.asarray(arrays["subcluster_centers"])
+        model.subcluster_labels_ = np.asarray(arrays["subcluster_labels"],
+                                              dtype=np.int64)
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model._fitted = True
+        return model

@@ -14,7 +14,7 @@ from collections import deque
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from .base import ClusteringResult, FittableMixin
+from .base import ClusteringResult, FittableMixin, nearest_centers
 from .eps_selection import estimate_eps_elbow
 
 __all__ = ["DBSCAN"]
@@ -46,6 +46,8 @@ class DBSCAN(FittableMixin):
         self.eps_: float | None = None
         self.labels_: np.ndarray | None = None
         self.core_sample_indices_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.component_labels_: np.ndarray | None = None
 
     @staticmethod
     def _pairwise_distances(X: np.ndarray) -> np.ndarray:
@@ -63,6 +65,8 @@ class DBSCAN(FittableMixin):
             # Degenerate data (all points identical): a single dense cluster.
             self.labels_ = np.zeros(n_samples, dtype=np.int64)
             self.core_sample_indices_ = np.arange(n_samples)
+            self.components_ = X.copy()
+            self.component_labels_ = self.labels_.copy()
             self._fitted = True
             return self
 
@@ -93,8 +97,62 @@ class DBSCAN(FittableMixin):
         labels[labels == _UNVISITED] = NOISE
         self.labels_ = labels
         self.core_sample_indices_ = np.flatnonzero(core)
+        # Retained for out-of-sample prediction: the epsilon-neighbour rule
+        # only needs the core points and their cluster labels.
+        self.components_ = X[self.core_sample_indices_].copy()
+        self.component_labels_ = labels[self.core_sample_indices_].copy()
         self._fitted = True
         return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign new points with the epsilon-neighbour rule.
+
+        A point inherits the cluster of its nearest *core* training point
+        when that core point lies within ``eps_``; otherwise it is noise
+        (``-1``).  This matches how DBSCAN labels border points, extended to
+        unseen data.
+        """
+        self._require_fitted()
+        X = self._validate(X)
+        if self.components_ is None or self.components_.shape[0] == 0:
+            return np.full(X.shape[0], NOISE, dtype=np.int64)
+        nearest, distance = nearest_centers(X, self.components_)
+        labels = self.component_labels_[nearest].astype(np.int64)
+        labels[distance > self.eps_] = NOISE
+        return labels
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able constructor and fitted scalar state."""
+        self._require_fitted()
+        return {
+            "eps": self.eps,
+            "min_samples": self.min_samples,
+            "fitted_eps": self.eps_,
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Fitted arrays: core points, their labels, and training labels."""
+        self._require_fitted()
+        return {"components": self.components_,
+                "component_labels": self.component_labels_,
+                "core_sample_indices": self.core_sample_indices_,
+                "labels": self.labels_}
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "DBSCAN":
+        """Rebuild a fitted estimator from :mod:`repro.serialize` state."""
+        model = cls(params["eps"], min_samples=params["min_samples"])
+        model.eps_ = params["fitted_eps"]
+        model.components_ = np.asarray(arrays["components"])
+        model.component_labels_ = np.asarray(arrays["component_labels"],
+                                             dtype=np.int64)
+        model.core_sample_indices_ = np.asarray(
+            arrays["core_sample_indices"], dtype=np.int64)
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model._fitted = True
+        return model
 
     def fit_predict(self, X) -> ClusteringResult:
         self.fit(X)

@@ -132,3 +132,37 @@ class KMeans(FittableMixin):
             embedding=None,
             metadata={"inertia": self.inertia_, "n_iter": self.n_iter_},
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able constructor and fitted scalar state."""
+        self._require_fitted()
+        return {
+            "n_clusters": self.n_clusters,
+            "n_init": self.n_init,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "seed": self.seed,
+            "inertia": self.inertia_,
+            "n_iter": self.n_iter_,
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Fitted arrays: the learned centres and the training labels."""
+        self._require_fitted()
+        return {"cluster_centers": self.cluster_centers_,
+                "labels": self.labels_}
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "KMeans":
+        """Rebuild a fitted estimator from :mod:`repro.serialize` state."""
+        model = cls(params["n_clusters"], n_init=params["n_init"],
+                    max_iter=params["max_iter"], tol=params["tol"],
+                    seed=params["seed"])
+        model.cluster_centers_ = np.asarray(arrays["cluster_centers"])
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model.inertia_ = params["inertia"]
+        model.n_iter_ = params["n_iter"]
+        model._fitted = True
+        return model

@@ -132,6 +132,25 @@ class Autoencoder(Module):
             reconstruction, _ = self.forward(Tensor(X))
         return reconstruction.numpy()
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able architecture description."""
+        from .base import autoencoder_checkpoint
+
+        return autoencoder_checkpoint(self)[0]
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Weight arrays, one entry per parameter (``Module.state_dict``)."""
+        return self.state_dict()
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "Autoencoder":
+        """Rebuild a trained auto-encoder from :mod:`repro.serialize` state."""
+        from .base import autoencoder_from_checkpoint
+
+        return autoencoder_from_checkpoint(params, dict(arrays))
+
 
 class AutoencoderClustering(DeepClusterer):
     """Pre-trained AE representation clustered with Birch or K-means.
@@ -147,6 +166,7 @@ class AutoencoderClustering(DeepClusterer):
             raise ConfigurationError("clusterer must be 'birch' or 'kmeans'")
         self.clusterer = clusterer
         self.autoencoder_: Autoencoder | None = None
+        self.clusterer_: Birch | KMeans | None = None
 
     def _make_clusterer(self):
         if self.clusterer == "kmeans":
@@ -168,12 +188,66 @@ class AutoencoderClustering(DeepClusterer):
             X, epochs=config.pretrain_epochs, lr=config.learning_rate,
             batch_size=config.batch_size, seed=config.seed)
         latent = self.autoencoder_.transform(X)
-        result = self._make_clusterer().fit_predict(latent)
+        self.clusterer_ = self._make_clusterer()
+        result = self.clusterer_.fit_predict(latent)
         self.labels_ = result.labels
         self.embedding_ = latent
         self.history_ = {"reconstruction_loss": losses}
         self._fitted = True
         return self
 
+    def predict(self, X) -> np.ndarray:
+        """Encode new points and assign them with the fitted clusterer."""
+        self._require_fitted()
+        latent = self.autoencoder_.transform(check_matrix(X))
+        return self.clusterer_.predict(latent)
+
     def _result_metadata(self) -> dict:
         return {"clusterer": self.clusterer}
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able state: own config plus nested AE/clusterer params."""
+        from .base import autoencoder_checkpoint, config_to_dict
+
+        self._require_fitted()
+        ae_params, _ = autoencoder_checkpoint(self.autoencoder_)
+        return {
+            "n_clusters": self.n_clusters,
+            "clusterer": self.clusterer,
+            "config": config_to_dict(self.config),
+            "autoencoder": ae_params,
+            "clusterer_params": self.clusterer_.checkpoint_params(),
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """AE weights (``ae.``) and inner clusterer arrays (``clusterer.``)."""
+        self._require_fitted()
+        arrays = {f"ae.{name}": value
+                  for name, value in self.autoencoder_.state_dict().items()}
+        for name, value in self.clusterer_.checkpoint_arrays().items():
+            arrays[f"clusterer.{name}"] = value
+        arrays["labels"] = self.labels_
+        return arrays
+
+    @classmethod
+    def from_checkpoint(cls, params: dict,
+                        arrays: dict) -> "AutoencoderClustering":
+        """Rebuild the fitted AE + clusterer pair from checkpoint state."""
+        from .base import (
+            autoencoder_from_checkpoint,
+            config_from_dict,
+            split_prefixed_arrays,
+        )
+
+        model = cls(params["n_clusters"], clusterer=params["clusterer"],
+                    config=config_from_dict(params["config"]))
+        model.autoencoder_ = autoencoder_from_checkpoint(
+            params["autoencoder"], split_prefixed_arrays(arrays, "ae"))
+        inner_cls = KMeans if params["clusterer"] == "kmeans" else Birch
+        model.clusterer_ = inner_cls.from_checkpoint(
+            params["clusterer_params"], split_prefixed_arrays(arrays, "clusterer"))
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model._fitted = True
+        return model

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
 from ..clustering.base import ClusteringResult, FittableMixin
@@ -9,6 +11,52 @@ from ..config import DeepClusteringConfig
 from ..exceptions import ConfigurationError
 
 __all__ = ["DeepClusterer", "epoch_batches"]
+
+
+def config_to_dict(config: DeepClusteringConfig) -> dict:
+    """JSON-able representation of a config, for checkpoint headers."""
+    return asdict(config)
+
+
+def config_from_dict(payload: dict) -> DeepClusteringConfig:
+    """Inverse of :func:`config_to_dict`."""
+    return DeepClusteringConfig(**payload)
+
+
+def autoencoder_checkpoint(autoencoder) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a fitted auto-encoder into (architecture params, weight arrays).
+
+    The architecture is recorded from the *instance* (not the config) because
+    ``DeepClusteringConfig.scaled_for`` may have capped the layer sizes at fit
+    time; the weights come from ``Module.state_dict`` and are stored under an
+    ``ae.`` key prefix by the callers.
+    """
+    params = {
+        "input_dim": autoencoder.input_dim,
+        "latent_dim": autoencoder.latent_dim,
+        "layer_size": autoencoder.layer_size,
+        "n_layers": autoencoder.n_layers,
+    }
+    return params, autoencoder.state_dict()
+
+
+def autoencoder_from_checkpoint(params: dict, state: dict[str, np.ndarray]):
+    """Rebuild an auto-encoder from :func:`autoencoder_checkpoint` output."""
+    from .autoencoder import Autoencoder
+
+    autoencoder = Autoencoder(
+        params["input_dim"], latent_dim=params["latent_dim"],
+        layer_size=params["layer_size"], n_layers=params["n_layers"], seed=0)
+    autoencoder.load_state_dict(state)
+    return autoencoder
+
+
+def split_prefixed_arrays(arrays: dict[str, np.ndarray],
+                          prefix: str) -> dict[str, np.ndarray]:
+    """Extract the entries of ``arrays`` under ``prefix.`` (prefix stripped)."""
+    marker = f"{prefix}."
+    return {name[len(marker):]: value for name, value in arrays.items()
+            if name.startswith(marker)}
 
 
 def epoch_batches(rng: np.random.Generator, n_samples: int,
@@ -46,6 +94,10 @@ class DeepClusterer(FittableMixin):
     # Subclasses implement fit(); fit_predict is shared.
     def fit(self, X) -> "DeepClusterer":  # pragma: no cover - abstract
         """Train on ``(n_samples, n_features)`` data (subclass hook)."""
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - abstract
+        """Assign new points to the learned clusters (subclass hook)."""
         raise NotImplementedError
 
     def fit_predict(self, X) -> ClusteringResult:

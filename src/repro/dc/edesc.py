@@ -235,3 +235,64 @@ class EDESC(DeepClusterer):
     def _result_metadata(self) -> dict:
         return {"subspace_dim": self.subspace_dim,
                 "latent_dim": self.latent_dim}
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Out-of-sample assignment: encode, project onto the bases, argmax.
+
+        The soft subspace assignment S is evaluated with the trained encoder
+        and subspace bases; each point takes the cluster whose subspace
+        captures the most energy of its latent code.
+        """
+        self._require_fitted()
+        X = check_matrix(X)
+        with no_grad():
+            latent = self.autoencoder_.encode(Tensor(X))
+            s = self._soft_assignment(latent, Tensor(self.subspace_bases_))
+        return soft_to_hard_assignment(s.numpy())
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able state: hyper-parameters plus nested AE architecture."""
+        from .base import autoencoder_checkpoint, config_to_dict
+
+        self._require_fitted()
+        return {
+            "n_clusters": self.n_clusters,
+            "subspace_dim": self.subspace_dim,
+            "eta": self.eta,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "config": config_to_dict(self.config),
+            "autoencoder": autoencoder_checkpoint(self.autoencoder_)[0],
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """AE weights, subspace bases and training labels."""
+        self._require_fitted()
+        arrays = {f"ae.{name}": value
+                  for name, value in self.autoencoder_.state_dict().items()}
+        arrays["subspace_bases"] = self.subspace_bases_
+        arrays["labels"] = self.labels_
+        return arrays
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "EDESC":
+        """Rebuild a trained EDESC from :mod:`repro.serialize` state."""
+        from .base import (
+            autoencoder_from_checkpoint,
+            config_from_dict,
+            split_prefixed_arrays,
+        )
+
+        model = cls(params["n_clusters"], subspace_dim=params["subspace_dim"],
+                    eta=params["eta"], beta=params["beta"],
+                    gamma=params["gamma"],
+                    config=config_from_dict(params["config"]))
+        model.autoencoder_ = autoencoder_from_checkpoint(
+            params["autoencoder"], split_prefixed_arrays(arrays, "ae"))
+        model.subspace_bases_ = np.asarray(arrays["subspace_bases"])
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model._fitted = True
+        return model

@@ -96,6 +96,7 @@ class SDCN(DeepClusterer):
         self.cluster_centers_: Tensor | None = None
         self.soft_assignments_: np.ndarray | None = None
         self.selected_branch_: str = "sdcn"
+        self.fallback_clusterer_: Birch | None = None
 
     # ------------------------------------------------------------------
     def _build_gcn(self, input_dim: int, config: DeepClusteringConfig,
@@ -258,6 +259,7 @@ class SDCN(DeepClusterer):
             final_labels = stopper.best_labels
 
         self.selected_branch_ = "sdcn"
+        self.fallback_clusterer_ = None
         if self.auto_fallback:
             choice = select_sdcn_or_autoencoder(sdcn_silhouette, ae_silhouette)
             if choice == "autoencoder":
@@ -265,6 +267,8 @@ class SDCN(DeepClusterer):
                 final_labels = fallback.fit_predict(pretrained_latent).labels
                 final_latent = pretrained_latent
                 self.selected_branch_ = "autoencoder"
+                # Kept for out-of-sample prediction on the selected branch.
+                self.fallback_clusterer_ = fallback
 
         self.labels_ = final_labels
         self.embedding_ = final_latent
@@ -282,3 +286,87 @@ class SDCN(DeepClusterer):
                 "knn_k": self.knn_k,
                 "alpha": self.alpha,
                 "beta": self.beta}
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Out-of-sample assignment through the selected branch.
+
+        New points see only attribute information (there is no KNN graph for
+        them), so the SDCN branch assigns via the encoder and the Student-t
+        soft assignment against the trained centres — the ``argmax Q`` rule;
+        when training selected the auto-encoder fallback, points are encoded
+        and assigned by the fitted Birch instead.
+        """
+        self._require_fitted()
+        X = check_matrix(X)
+        with no_grad():
+            latent = self.autoencoder_.encode(Tensor(X))
+            if self.selected_branch_ == "autoencoder":
+                return self.fallback_clusterer_.predict(latent.numpy())
+            q = student_t_assignment(latent, self.cluster_centers_)
+        return soft_to_hard_assignment(q.numpy())
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able state: hyper-parameters plus nested AE architecture."""
+        from .base import autoencoder_checkpoint, config_to_dict
+
+        self._require_fitted()
+        params = {
+            "n_clusters": self.n_clusters,
+            "knn_k": self.knn_k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "delivery_weight": self.delivery_weight,
+            "update_interval": self.update_interval,
+            "auto_fallback": self.auto_fallback,
+            "config": config_to_dict(self.config),
+            "selected_branch": self.selected_branch_,
+            "autoencoder": autoencoder_checkpoint(self.autoencoder_)[0],
+        }
+        if self.fallback_clusterer_ is not None:
+            params["fallback_params"] = \
+                self.fallback_clusterer_.checkpoint_params()
+        return params
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """AE weights, trained centres, labels, optional fallback arrays."""
+        self._require_fitted()
+        arrays = {f"ae.{name}": value
+                  for name, value in self.autoencoder_.state_dict().items()}
+        arrays["cluster_centers"] = self.cluster_centers_.numpy()
+        arrays["labels"] = self.labels_
+        if self.fallback_clusterer_ is not None:
+            for name, value in \
+                    self.fallback_clusterer_.checkpoint_arrays().items():
+                arrays[f"fallback.{name}"] = value
+        return arrays
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "SDCN":
+        """Rebuild a trained SDCN (predict path only; GCN is not needed)."""
+        from .base import (
+            autoencoder_from_checkpoint,
+            config_from_dict,
+            split_prefixed_arrays,
+        )
+
+        model = cls(params["n_clusters"], knn_k=params["knn_k"],
+                    alpha=params["alpha"], beta=params["beta"],
+                    delivery_weight=params["delivery_weight"],
+                    update_interval=params["update_interval"],
+                    auto_fallback=params["auto_fallback"],
+                    config=config_from_dict(params["config"]))
+        model.autoencoder_ = autoencoder_from_checkpoint(
+            params["autoencoder"], split_prefixed_arrays(arrays, "ae"))
+        model.cluster_centers_ = Tensor(
+            np.asarray(arrays["cluster_centers"]).copy(), requires_grad=True)
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model.selected_branch_ = params["selected_branch"]
+        if "fallback_params" in params:
+            model.fallback_clusterer_ = Birch.from_checkpoint(
+                params["fallback_params"],
+                split_prefixed_arrays(arrays, "fallback"))
+        model._fitted = True
+        return model

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..clustering.base import nearest_centers
 from ..clustering.kmeans import KMeans
 from ..config import DeepClusteringConfig, make_rng
 from ..exceptions import ConfigurationError
@@ -103,6 +104,8 @@ class SHGP(DeepClusterer):
         self.knn_k = int(knn_k)
         self.pseudo_labels_: np.ndarray | None = None
         self.attention_: np.ndarray | None = None
+        self.input_centroids_: np.ndarray | None = None
+        self.centroid_labels_: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def _build_propagations(self, graph: HeterogeneousGraph
@@ -187,8 +190,64 @@ class SHGP(DeepClusterer):
         self.pseudo_labels_ = pseudo_labels
         self.attention_ = model.attention_weights()
         self.history_ = {"train_loss": losses, "silhouette": stopper.history}
+        # Input-space centroids of the final clusters, for out-of-sample
+        # assignment: SHGP's forward pass needs the whole heterogeneous
+        # graph, which unseen points are not part of, so prediction falls
+        # back to nearest-centroid in the input embedding space.
+        uniques = np.unique(final_labels)
+        self.centroid_labels_ = uniques.astype(np.int64)
+        self.input_centroids_ = np.vstack(
+            [X[final_labels == label].mean(axis=0) for label in uniques])
         self._fitted = True
         return self
+
+    def predict(self, X) -> np.ndarray:
+        """Assign new points to the nearest final-cluster input centroid."""
+        self._require_fitted()
+        X = check_matrix(X)
+        nearest, _ = nearest_centers(X, self.input_centroids_)
+        return self.centroid_labels_[nearest]
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able hyper-parameters (the predict path is centroid-based)."""
+        from .base import config_to_dict
+
+        self._require_fitted()
+        return {
+            "n_clusters": self.n_clusters,
+            "hidden_dim": self.hidden_dim,
+            "n_rounds": self.n_rounds,
+            "epochs_per_round": self.epochs_per_round,
+            "n_anchors": self.n_anchors,
+            "knn_k": self.knn_k,
+            "config": config_to_dict(self.config),
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Input-space centroids, their labels and the training labels."""
+        self._require_fitted()
+        return {"input_centroids": self.input_centroids_,
+                "centroid_labels": self.centroid_labels_,
+                "labels": self.labels_}
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "SHGP":
+        """Rebuild a trained SHGP from :mod:`repro.serialize` state."""
+        from .base import config_from_dict
+
+        model = cls(params["n_clusters"], hidden_dim=params["hidden_dim"],
+                    n_rounds=params["n_rounds"],
+                    epochs_per_round=params["epochs_per_round"],
+                    n_anchors=params["n_anchors"], knn_k=params["knn_k"],
+                    config=config_from_dict(params["config"]))
+        model.input_centroids_ = np.asarray(arrays["input_centroids"])
+        model.centroid_labels_ = np.asarray(arrays["centroid_labels"],
+                                            dtype=np.int64)
+        model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model._fitted = True
+        return model
 
     # ------------------------------------------------------------------
     def _cap_labels(self, labels: np.ndarray, X: np.ndarray,

@@ -23,8 +23,12 @@ from .embdi import EmbDiEmbedder, TripartiteGraph
 from .tabnet import TabNetEncoder
 from .tabtransformer import TabTransformerEncoder
 from .dimension import normalize_dimensions
+from .single import SERVABLE_EMBEDDINGS, embed_item, embed_items
 
 __all__ = [
+    "SERVABLE_EMBEDDINGS",
+    "embed_item",
+    "embed_items",
     "TextEncoder",
     "SBERTEncoder",
     "FastTextEncoder",

@@ -1,0 +1,176 @@
+"""Embed single tables, records or columns — the online-serving path.
+
+The batch pipelines (:func:`repro.tasks.embed_tables` and friends) embed a
+whole dataset at once; the serving layer instead receives *one* new item per
+request (a new WebTables table, a new MusicBrainz record, a new column) and
+must place it in the same embedding space the model was trained in.  That is
+only possible for the *per-item stateless* encoders — SBERT and FastText
+substitutes, whose output for an item depends on that item alone — so this
+module supports exactly those methods and rejects the corpus-dependent ones
+(EmbDi's tripartite graph, TabNet/TabTransformer's dataset-wide dimension
+normalisation) with a clear :class:`~repro.exceptions.EmbeddingError`.
+
+Items arrive as plain JSON-able dictionaries (the HTTP API's payload
+format), are parsed into the :mod:`repro.data.table` containers, run through
+the same preprocessing as the batch path, and encoded identically — so a
+training-set item embedded here lands on the exact vector the model was
+fitted on.  Vectors are memoised in the process-wide :mod:`repro.cache`
+keyed by item content, which makes repeated requests for hot items
+cache-hits instead of encoder work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+
+import numpy as np
+
+from ..cache import get_cache
+from ..data.table import Column, Record, Table
+from ..exceptions import EmbeddingError
+from .fasttext import FastTextEncoder
+from .sbert import SBERTEncoder
+
+__all__ = [
+    "SERVABLE_EMBEDDINGS",
+    "embed_item",
+    "embed_items",
+    "parse_column",
+    "parse_record",
+    "parse_table",
+]
+
+#: Per-task embedding methods usable for single-item (online) embedding.
+#: Everything else is corpus-dependent and must go through the batch path.
+SERVABLE_EMBEDDINGS: dict[str, tuple[str, ...]] = {
+    "schema_inference": ("sbert", "fasttext"),
+    "entity_resolution": ("sbert",),
+    "domain_discovery": ("sbert", "fasttext", "sbert_instance"),
+}
+
+
+@lru_cache(maxsize=4)
+def _encoder(kind: str):
+    """Shared encoder instances (stateless per text, cheap to cache)."""
+    return SBERTEncoder() if kind == "sbert" else FastTextEncoder()
+
+
+def parse_table(item: dict) -> Table:
+    """Build a :class:`Table` from a JSON-able payload.
+
+    Accepts ``{"name", "columns": {header: [values, ...]}}`` or the
+    headers-only shorthand ``{"headers": [...]}``.  Headers given without
+    values receive a placeholder cell so the preprocessing step (which drops
+    fully empty columns) keeps them — a client sending only headers means
+    every header to count.
+    """
+    if not isinstance(item, dict):
+        raise EmbeddingError(f"table item must be an object, got {type(item).__name__}")
+    if "headers" in item:
+        columns = {str(header): ["?"] for header in item["headers"]}
+    elif "columns" in item and isinstance(item["columns"], dict):
+        columns = {str(header): (list(values) if values else ["?"])
+                   for header, values in item["columns"].items()}
+    else:
+        raise EmbeddingError(
+            "table item must provide 'columns' (header -> values) or 'headers'")
+    if not columns:
+        raise EmbeddingError("table item has no columns")
+    return Table(name=str(item.get("name", "item")), columns=columns)
+
+
+def parse_record(item: dict) -> Record:
+    """Build a :class:`Record` from ``{"values": {...}}`` or a flat mapping."""
+    if not isinstance(item, dict):
+        raise EmbeddingError(f"record item must be an object, got {type(item).__name__}")
+    if isinstance(item.get("values"), dict):
+        values = item["values"]
+    else:
+        # Flat mapping shorthand: every key except the provenance fields is
+        # treated as an attribute.
+        values = {key: value for key, value in item.items()
+                  if key not in ("source", "identifier")}
+    if not values:
+        raise EmbeddingError("record item has no attribute values")
+    return Record(values=dict(values), source=str(item.get("source", "")),
+                  identifier=str(item.get("identifier", "")))
+
+
+def parse_column(item: dict) -> Column:
+    """Build a :class:`Column` from ``{"header", "values"?, "table_name"?}``."""
+    if not isinstance(item, dict) or "header" not in item:
+        raise EmbeddingError("column item must be an object with a 'header'")
+    values = item.get("values") or []
+    return Column(header=str(item["header"]), values=list(values),
+                  table_name=str(item.get("table_name", "")))
+
+
+def _embed_table(item: dict, method: str) -> np.ndarray:
+    from ..tasks.preprocessing import preprocess_tables
+
+    table = preprocess_tables([parse_table(item)])[0]
+    return _encoder(method).encode(table.header_text())
+
+
+def _embed_record(item: dict, method: str) -> np.ndarray:
+    from ..tasks.preprocessing import preprocess_records
+
+    record = preprocess_records([parse_record(item)])[0]
+    return _encoder(method).encode(record.text())
+
+
+def _embed_column(item: dict, method: str, *, max_values: int) -> np.ndarray:
+    from ..tasks.preprocessing import preprocess_columns
+
+    column = preprocess_columns([parse_column(item)])[0]
+    if method == "sbert_instance":
+        encoder = _encoder("sbert")
+        header_vector = encoder.encode(column.header)
+        value_vector = encoder.encode(
+            " ".join(str(v) for v in column.values[:max_values]))
+        # Section 7: the column embedding is the mean of the header and
+        # value embeddings (matches repro.tasks.domain_discovery).
+        return (header_vector + value_vector) / 2.0
+    return _encoder(method).encode(column.header)
+
+
+def embed_item(task: str, method: str, item: dict, *,
+               max_values: int = 20) -> np.ndarray:
+    """Embed one raw item for ``task`` with ``method``; returns ``(dim,)``.
+
+    The result is bit-identical to the row the batch pipeline would produce
+    for the same item, and is memoised in the process-wide artifact cache.
+    """
+    method = method.lower()
+    supported = SERVABLE_EMBEDDINGS.get(task)
+    if supported is None:
+        raise EmbeddingError(
+            f"unknown task {task!r}; expected one of {sorted(SERVABLE_EMBEDDINGS)}")
+    if method not in supported:
+        raise EmbeddingError(
+            f"embedding {method!r} cannot embed single items for task "
+            f"{task!r}: it needs the whole corpus (supported: {supported})")
+
+    fingerprint = hashlib.sha256(
+        json.dumps(item, sort_keys=True, default=str).encode("utf-8")).hexdigest()
+    key = f"item/{task}/{method}/max_values={max_values}/{fingerprint}"
+
+    def compute() -> np.ndarray:
+        if task == "schema_inference":
+            return _embed_table(item, method)
+        if task == "entity_resolution":
+            return _embed_record(item, method)
+        return _embed_column(item, method, max_values=max_values)
+
+    return get_cache().get_or_compute(key, compute)
+
+
+def embed_items(task: str, method: str, items: list[dict], *,
+                max_values: int = 20) -> np.ndarray:
+    """Embed a batch of raw items; returns an ``(n, dim)`` matrix."""
+    if not items:
+        raise EmbeddingError("embed_items received no items")
+    return np.vstack([embed_item(task, method, item, max_values=max_values)
+                      for item in items])

@@ -38,3 +38,11 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment definition or run is invalid."""
+
+
+class SerializationError(ReproError):
+    """Raised when a model checkpoint cannot be written or read back."""
+
+
+class ServingError(ReproError):
+    """Raised when the online inference layer receives an unservable request."""

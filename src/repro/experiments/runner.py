@@ -81,7 +81,8 @@ def run_plan(plan: ExperimentPlan, *,
              config: DeepClusteringConfig | None = None,
              config_updates: dict | None = None,
              workers: int | None = 1,
-             executor: str = "thread") -> list[TaskResult]:
+             executor: str = "thread",
+             save_dir=None) -> list[TaskResult]:
     """Execute a planned experiment matrix and return ordered results.
 
     Each dataset is built once and shared by all of its cells; the embedding
@@ -90,7 +91,9 @@ def run_plan(plan: ExperimentPlan, *,
     ``O(datasets x embeddings)`` regardless of the algorithm count.
     ``config_updates`` are field overrides layered on top of each task's
     *resolved* config, so partial overrides (``graph``, ``batch_size``)
-    keep task-specific defaults intact.
+    keep task-specific defaults intact.  ``save_dir`` persists every cell's
+    fitted model as an NPZ checkpoint (see
+    :attr:`repro.tasks.base.ClusteringTask.save_dir`).
     """
     tasks = {}
     for name in plan.datasets:
@@ -98,6 +101,7 @@ def run_plan(plan: ExperimentPlan, *,
                          build_dataset(name, plan.scale, seed=plan.seed),
                          config)
         task.config_updates = config_updates
+        task.save_dir = save_dir
         tasks[name] = task
     runner = ParallelRunner(workers=workers, executor=executor)
     return runner.execute((tasks[cell.dataset], cell) for cell in plan.cells)
@@ -113,7 +117,8 @@ def run_experiment(experiment_id: str, *,
                    batch_size: int | None = None,
                    seed: int | None = None,
                    workers: int | None = 1,
-                   executor: str = "thread"):
+                   executor: str = "thread",
+                   save_dir=None):
     """Run one registered experiment and return its result rows.
 
     For the table experiments the return value is a list of
@@ -136,10 +141,22 @@ def run_experiment(experiment_id: str, *,
     :class:`~repro.experiments.parallel.ParallelRunner` for the ``executor``
     choices and determinism guarantees.  Overrides that an experiment cannot
     honour raise :class:`~repro.exceptions.ExperimentError` at plan time.
+
+    ``save_dir`` persists every cell's fitted model as an NPZ checkpoint
+    (:mod:`repro.serialize`) named
+    ``<task>__<dataset>__<embedding>__<algorithm>.npz`` — a directory
+    ``repro serve`` can serve directly.  Only the table experiments fit
+    persistable models; other experiments reject the option.
     """
     plan = plan_experiment(experiment_id, scale=scale, datasets=datasets,
                            embeddings=embeddings, algorithms=algorithms,
                            seed=seed)
+
+    if save_dir is not None and plan.spec.experiment_id in (
+            "table1", "ks_density", "figure4_scalability"):
+        raise ExperimentError(
+            f"experiment {experiment_id!r} does not fit persistable models; "
+            "'save_dir' only applies to the table experiments")
 
     if plan.spec.experiment_id == "table1":
         return profile_datasets([build_dataset(name, plan.scale, seed=seed)
@@ -160,7 +177,7 @@ def run_experiment(experiment_id: str, *,
     if batch_size is not None:
         updates["batch_size"] = batch_size
     return run_plan(plan, config=config, config_updates=updates or None,
-                    workers=workers, executor=executor)
+                    workers=workers, executor=executor, save_dir=save_dir)
 
 
 def _run_scalability_spec(plan: ExperimentPlan,

@@ -1,0 +1,220 @@
+"""Versioned NPZ checkpoints for trained clustering models.
+
+A checkpoint is a single ``.npz`` file with two kinds of entries:
+
+* ``__header__`` — a JSON document (stored as a zero-dimensional string
+  array) carrying the format magic, the format version, the model class
+  name, the library version, the model's JSON-able constructor/fitted
+  parameters and free-form user metadata (task, dataset, embedding method,
+  metrics, ...);
+* ``array.<name>`` — one entry per numpy array of fitted state (centroids,
+  auto-encoder weights, subspace bases, core samples, labels).
+
+Arrays round-trip bit-identically (NPZ stores the raw little-endian buffer),
+so a model reloaded in a fresh process reproduces ``predict`` exactly.
+Writes are atomic (temp file + ``os.replace``) so a serving process scanning
+a model directory never observes a partial checkpoint.
+
+Models participate through three hooks — ``checkpoint_params()`` (JSON-able
+dict), ``checkpoint_arrays()`` (name -> ndarray) and the classmethod
+``from_checkpoint(params, arrays)`` — and are resolved by class name through
+:func:`checkpointable_classes`.  Anything malformed (truncated file, foreign
+NPZ, unknown class, future format version) raises
+:class:`~repro.exceptions.SerializationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ._version import __version__
+from .exceptions import SerializationError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "checkpointable_classes",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "save_checkpoint",
+]
+
+#: Identifies a file as a repro checkpoint (vs an arbitrary NPZ).
+CHECKPOINT_MAGIC = "repro-checkpoint"
+#: Current checkpoint format version; readers reject anything newer.
+CHECKPOINT_VERSION = 1
+
+_ARRAY_PREFIX = "array."
+
+
+def checkpointable_classes() -> dict[str, type]:
+    """Mapping of checkpointable class names to their classes.
+
+    Imported lazily so that :mod:`repro.serialize` itself stays import-light
+    and the model modules never need to import this one (no cycles).
+    """
+    from .clustering import DBSCAN, Birch, KMeans
+    from .dc import EDESC, SDCN, SHGP, Autoencoder, AutoencoderClustering
+
+    return {cls.__name__: cls
+            for cls in (KMeans, Birch, DBSCAN, Autoencoder,
+                        AutoencoderClustering, SDCN, EDESC, SHGP)}
+
+
+def _json_default(value):
+    """Coerce numpy scalars hiding in params/metadata to JSON natives."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(
+        f"checkpoint params/metadata must be JSON-able, got {type(value).__name__}")
+
+
+def save_checkpoint(path: str | Path, model, *,
+                    metadata: dict | None = None) -> Path:
+    """Write ``model`` (a fitted clusterer) to ``path`` as an NPZ checkpoint.
+
+    ``metadata`` is free-form JSON-able context stored in the header —
+    the serving layer reads ``task`` and ``embedding`` from it to embed raw
+    items before prediction.  Returns the destination path.
+    """
+    classes = checkpointable_classes()
+    cls_name = type(model).__name__
+    if classes.get(cls_name) is not type(model):
+        raise SerializationError(
+            f"cannot checkpoint object of type {cls_name!r}; expected one of "
+            f"{sorted(classes)}")
+    try:
+        params = model.checkpoint_params()
+        arrays = model.checkpoint_arrays()
+    except AttributeError as exc:  # pragma: no cover - registry guards this
+        raise SerializationError(
+            f"{cls_name} does not implement the checkpoint protocol") from exc
+
+    header = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "class": cls_name,
+        "library_version": __version__,
+        "params": params,
+        "metadata": dict(metadata or {}),
+    }
+    try:
+        header_json = json.dumps(header, sort_keys=True, default=_json_default)
+    except TypeError as exc:
+        raise SerializationError(str(exc)) from exc
+
+    payload: dict[str, np.ndarray] = {}
+    for name, value in arrays.items():
+        array = np.asarray(value)
+        if array.dtype == object:
+            raise SerializationError(
+                f"array {name!r} of {cls_name} has dtype=object; checkpoints "
+                "store numeric arrays only")
+        payload[f"{_ARRAY_PREFIX}{name}"] = array
+
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    # Atomic write so concurrent readers (the model registry) never see a
+    # partially written checkpoint.
+    handle, tmp_name = tempfile.mkstemp(dir=destination.parent, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            np.savez_compressed(tmp, __header__=np.asarray(header_json),
+                                **payload)
+        os.replace(tmp_name, destination)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return destination
+
+
+def _load_header(payload, path: Path) -> dict:
+    if "__header__" not in payload:
+        raise SerializationError(
+            f"{path} is not a repro checkpoint (missing header entry)")
+    try:
+        header = json.loads(str(payload["__header__"][()]))
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise SerializationError(f"{path} has a corrupt header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != CHECKPOINT_MAGIC:
+        raise SerializationError(
+            f"{path} is not a repro checkpoint (bad magic)")
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise SerializationError(
+            f"{path} uses checkpoint format version {version!r}; this build "
+            f"reads version {CHECKPOINT_VERSION} — re-save the model with "
+            "a matching repro release")
+    if "class" not in header or "params" not in header:
+        raise SerializationError(f"{path} has an incomplete header")
+    return header
+
+
+def read_checkpoint_header(path: str | Path) -> dict:
+    """Read and validate only the header of a checkpoint (cheap).
+
+    The model registry uses this to list models without deserialising their
+    weights.  Raises :class:`SerializationError` for anything that is not a
+    valid checkpoint of the current format version.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise SerializationError(f"checkpoint not found: {source}")
+    try:
+        with np.load(source, allow_pickle=False) as payload:
+            return _load_header(payload, source)
+    except SerializationError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, KeyError, ...
+        raise SerializationError(
+            f"cannot read checkpoint {source}: {exc}") from exc
+
+
+def load_checkpoint(path: str | Path):
+    """Reconstruct the fitted model stored at ``path``.
+
+    Returns the model instance; its header (including user metadata) is
+    attached as ``model.checkpoint_header_`` for callers that need the
+    training context (the serving layer reads task/embedding from it).
+    """
+    source = Path(path)
+    if not source.exists():
+        raise SerializationError(f"checkpoint not found: {source}")
+    try:
+        with np.load(source, allow_pickle=False) as payload:
+            header = _load_header(payload, source)
+            arrays = {name[len(_ARRAY_PREFIX):]: payload[name]
+                      for name in payload.files
+                      if name.startswith(_ARRAY_PREFIX)}
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(
+            f"cannot read checkpoint {source}: {exc}") from exc
+
+    classes = checkpointable_classes()
+    cls = classes.get(header["class"])
+    if cls is None:
+        raise SerializationError(
+            f"{source} stores a {header['class']!r} model, which this build "
+            f"does not know how to load (expected one of {sorted(classes)})")
+    try:
+        model = cls.from_checkpoint(header["params"], arrays)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(
+            f"checkpoint {source} is inconsistent for class "
+            f"{header['class']}: {exc}") from exc
+    model.checkpoint_header_ = header
+    return model

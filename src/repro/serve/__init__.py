@@ -1,0 +1,34 @@
+"""Online inference serving: persist -> load -> serve.
+
+The subsystem turns fitted clusterers into a deployable service, the way
+the paper's three tasks would run in production (a new table arrives —
+which schema cluster does it belong to?):
+
+* :mod:`repro.serialize` (sibling module) persists any fitted clusterer as
+  a versioned NPZ checkpoint;
+* :class:`ModelRegistry` exposes a directory of named checkpoints,
+  deserialised lazily and bounded by an LRU;
+* :class:`MicroBatcher` coalesces concurrent predict requests into shared
+  batched forward passes (bounded latency, bounded batch size);
+* :func:`create_server` wraps both in a stdlib ``ThreadingHTTPServer`` JSON
+  API — ``GET /models``, ``GET /healthz``,
+  ``POST /models/{name}/predict`` — with raw items embedded through the
+  cached single-item embedding path (:func:`repro.embeddings.embed_items`).
+
+``repro serve --model-dir ...`` is the CLI entry point.
+"""
+
+from .batching import BatchStats, MicroBatcher
+from .http import ReproHTTPServer, create_server
+from .registry import LoadedModel, ModelRegistry
+from .service import PredictService
+
+__all__ = [
+    "BatchStats",
+    "MicroBatcher",
+    "LoadedModel",
+    "ModelRegistry",
+    "PredictService",
+    "ReproHTTPServer",
+    "create_server",
+]

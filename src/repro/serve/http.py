@@ -1,0 +1,165 @@
+"""Stdlib JSON-over-HTTP front end for the online inference service.
+
+Endpoints (all responses ``application/json``):
+
+``GET /healthz``
+    Liveness: status, model count, resident models.
+``GET /models``
+    One summary per checkpoint in the model directory (header metadata
+    only; nothing is deserialised).
+``POST /models/{name}/predict``
+    Body ``{"vectors": [[...], ...]}`` for pre-embedded rows or
+    ``{"items": [{...}, ...]}`` for raw tables/records/columns, which are
+    embedded with the task/embedding recorded in the checkpoint.  Response:
+    ``{"model", "n_items", "labels"}``.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per request,
+with the :class:`~repro.serve.service.PredictService` micro-batcher
+coalescing concurrent forwards — so serving needs no dependencies beyond
+the standard library and numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from ..exceptions import EmbeddingError, SerializationError, ServingError
+from .registry import ModelRegistry
+from .service import PredictService
+
+__all__ = ["ReproHTTPServer", "create_server"]
+
+_PREDICT_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/predict/?$")
+
+#: Upper bound on accepted request bodies: large enough for thousands of
+#: embedded rows, small enough that a hostile Content-Length cannot exhaust
+#: memory (one buffered body per request thread).
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying the shared :class:`PredictService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, service: PredictService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+    def server_close(self) -> None:
+        """Close the listening socket and stop the micro-batcher threads."""
+        super().server_close()
+        self.service.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the three endpoints; every error is a JSON body too."""
+
+    server: ReproHTTPServer
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default; flip for debugging.
+    verbose = False
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, body: dict | list) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/healthz", "/health"):
+                self._send_json(200, self.server.service.health())
+            elif path == "/models":
+                self._send_json(200, self.server.service.models())
+            elif path == "/stats":
+                self._send_json(200, self.server.service.stats())
+            else:
+                self._send_error_json(404, f"no such route: {path}")
+        except ServingError as exc:
+            self._send_error_json(400, str(exc))
+        except SerializationError as exc:
+            self._send_error_json(500, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        # Always drain the request body first: answering before consuming
+        # Content-Length bytes desyncs HTTP/1.1 keep-alive connections (the
+        # next request would be parsed starting at the leftover body).
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError as exc:
+            self._send_error_json(400, f"bad Content-Length: {exc}")
+            return
+        if length < 0:
+            # rfile.read(-1) would block reading until EOF, pinning the
+            # handler thread for as long as the client holds the socket.
+            self.close_connection = True
+            self._send_error_json(400, f"bad Content-Length: {length}")
+            return
+        if length > _MAX_BODY_BYTES:
+            # Answer without reading; the connection cannot be reused after
+            # an undrained body, so close it explicitly.
+            self.close_connection = True
+            self._send_error_json(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{_MAX_BODY_BYTES} byte limit")
+            return
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except OSError as exc:
+            self._send_error_json(400, f"unreadable request body: {exc}")
+            return
+        match = _PREDICT_ROUTE.match(self.path.split("?", 1)[0])
+        if match is None:
+            self._send_error_json(404, f"no such route: {self.path}")
+            return
+        name = match.group(1)
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            self._send_json(200, self.server.service.predict(name, payload))
+        except ServingError as exc:
+            status = 404 if "no model named" in str(exc) else 400
+            self._send_error_json(status, str(exc))
+        except EmbeddingError as exc:
+            self._send_error_json(400, str(exc))
+        except SerializationError as exc:
+            self._send_error_json(500, str(exc))
+        except Exception as exc:  # model/shape errors surface as 400s
+            self._send_error_json(400, f"{type(exc).__name__}: {exc}")
+
+
+def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
+                  port: int = 8000, max_loaded: int = 4,
+                  max_batch_rows: int = 256, max_delay: float = 0.002,
+                  micro_batching: bool = True) -> ReproHTTPServer:
+    """Build (but do not start) the serving HTTP server.
+
+    ``port=0`` binds an ephemeral port (``server.server_address[1]`` tells
+    which), which is what the tests and the example client use.  Call
+    ``serve_forever()`` to run and ``shutdown()`` + ``server_close()`` to
+    stop; closing the server also stops the micro-batcher threads.
+    """
+    registry = ModelRegistry(model_dir, max_loaded=max_loaded)
+    service = PredictService(registry, max_batch_rows=max_batch_rows,
+                             max_delay=max_delay,
+                             micro_batching=micro_batching)
+    return ReproHTTPServer((host, port), _Handler, service)

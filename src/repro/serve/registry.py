@@ -1,0 +1,192 @@
+"""Directory-backed model registry with lazy loading and an LRU bound.
+
+A model directory is simply a folder of ``<name>.npz`` checkpoints written
+by :func:`repro.serialize.save_checkpoint` (e.g. by ``repro train --save``
+or ``repro run --save-dir``).  The registry lists models by reading only the
+cheap checkpoint headers, deserialises a model's weights the first time a
+request needs it, and keeps at most ``max_loaded`` models in memory,
+evicting the least recently used — so a directory of many large models can
+be served from a bounded footprint.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..exceptions import SerializationError, ServingError
+from ..serialize import load_checkpoint, read_checkpoint_header
+
+__all__ = ["LoadedModel", "ModelRegistry"]
+
+#: Model names the registry (and the HTTP predict route) accept: the stem
+#: of the checkpoint file, no path separators, no leading dot.
+_VALID_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(eq=False)
+class LoadedModel:
+    """A deserialised checkpoint: the model plus its header context.
+
+    Compared (and hashed) by identity: every load produces a distinct
+    entry, which is what lets the serving layer key per-load state (the
+    micro-batcher) without ever confusing two loads of the same name.
+    """
+
+    name: str
+    model: object
+    header: dict
+    path: Path
+
+    @property
+    def metadata(self) -> dict:
+        """User metadata stored at save time (task, embedding, dataset...)."""
+        return self.header.get("metadata", {})
+
+
+class ModelRegistry:
+    """Named checkpoints in a directory, loaded lazily, LRU-bounded.
+
+    Thread-safe: the stdlib threading HTTP server calls :meth:`get` from
+    many request threads; loads of the *same* model serialise while loads of
+    different models proceed concurrently.  A loaded model stays resident
+    (ignoring later changes to its file) until it falls out of the LRU or is
+    explicitly evicted; ``on_evict`` is called with each entry leaving
+    memory, which is how the serving layer retires the evicted model's
+    micro-batcher instead of pinning the stale object forever.
+    """
+
+    def __init__(self, model_dir: str | Path, *, max_loaded: int = 4,
+                 on_evict: Callable[[LoadedModel], None] | None = None
+                 ) -> None:
+        if max_loaded < 1:
+            raise ServingError("max_loaded must be >= 1")
+        self.model_dir = Path(model_dir)
+        if not self.model_dir.is_dir():
+            raise ServingError(f"model directory not found: {self.model_dir}")
+        self.max_loaded = int(max_loaded)
+        self.on_evict = on_evict
+        self._loaded: OrderedDict[str, LoadedModel] = OrderedDict()
+        self._lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of every servable checkpoint in the directory.
+
+        Files whose stem is not a valid model name (dot-prefixed sidecar
+        files, for example) are skipped rather than breaking the listing.
+        """
+        return sorted(path.stem for path in self.model_dir.glob("*.npz")
+                      if _VALID_NAME.match(path.stem))
+
+    def __contains__(self, name: str) -> bool:
+        return self._path_for(name).exists()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    @property
+    def loaded_names(self) -> list[str]:
+        """Models currently resident in memory (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._loaded)
+
+    def describe(self) -> list[dict]:
+        """One summary dict per model, from the headers only (cheap).
+
+        A corrupt or foreign checkpoint yields an ``error`` row instead of
+        failing the whole listing — one bad file must not hide the
+        servable models.
+        """
+        rows = []
+        with self._lock:
+            resident = set(self._loaded)
+        for name in self.names():
+            try:
+                header = read_checkpoint_header(self._path_for(name))
+            except SerializationError as exc:
+                rows.append({"name": name, "error": str(exc)})
+                continue
+            # Registry-computed keys come last so checkpoint metadata can
+            # never shadow the name the predict route needs (or the class).
+            rows.append({
+                **header.get("metadata", {}),
+                "name": name,
+                "class": header.get("class"),
+                "library_version": header.get("library_version"),
+                "loaded": name in resident,
+            })
+        return rows
+
+    def get(self, name: str) -> LoadedModel:
+        """Return the loaded model for ``name``, deserialising on first use."""
+        with self._lock:
+            entry = self._loaded.get(name)
+            if entry is not None:
+                self._loaded.move_to_end(name)
+                return entry
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
+        try:
+            with load_lock:
+                with self._lock:
+                    entry = self._loaded.get(name)
+                    if entry is not None:
+                        self._loaded.move_to_end(name)
+                        return entry
+                path = self._path_for(name)
+                if not path.exists():
+                    raise ServingError(
+                        f"no model named {name!r} in {self.model_dir} "
+                        f"(available: {self.names()})")
+                model = load_checkpoint(path)
+                entry = LoadedModel(name=name, model=model,
+                                    header=model.checkpoint_header_, path=path)
+                evicted: list[LoadedModel] = []
+                with self._lock:
+                    # Under eviction churn two loads of one name can race
+                    # (the per-name lock is dropped between loads); treat a
+                    # displaced earlier entry as evicted so its per-load
+                    # state (the serving batcher) is retired, not leaked.
+                    displaced = self._loaded.get(name)
+                    if displaced is not None and displaced is not entry:
+                        evicted.append(displaced)
+                    self._loaded[name] = entry
+                    self._loaded.move_to_end(name)
+                    while len(self._loaded) > self.max_loaded:
+                        evicted.append(self._loaded.popitem(last=False)[1])
+                self._notify_evicted(evicted)
+                return entry
+        finally:
+            with self._lock:
+                self._load_locks.pop(name, None)
+
+    def is_current(self, entry: LoadedModel) -> bool:
+        """Is ``entry`` still the resident load for its name?"""
+        with self._lock:
+            return self._loaded.get(entry.name) is entry
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name`` from memory (the checkpoint file stays); was it loaded?"""
+        with self._lock:
+            entry = self._loaded.pop(name, None)
+        if entry is not None:
+            self._notify_evicted([entry])
+        return entry is not None
+
+    # ------------------------------------------------------------------
+    def _notify_evicted(self, entries: list[LoadedModel]) -> None:
+        """Run the eviction hook outside the registry lock."""
+        if self.on_evict is None:
+            return
+        for entry in entries:
+            self.on_evict(entry)
+
+    def _path_for(self, name: str) -> Path:
+        if not _VALID_NAME.match(name):
+            raise ServingError(f"invalid model name {name!r}")
+        return self.model_dir / f"{name}.npz"

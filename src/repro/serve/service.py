@@ -1,0 +1,196 @@
+"""Request handling behind the HTTP façade: payload -> matrix -> labels.
+
+:class:`PredictService` ties the three serving pieces together: the
+:class:`~repro.serve.registry.ModelRegistry` resolves a model name to a
+loaded checkpoint, the single-item embedding path
+(:func:`repro.embeddings.embed_items`) turns raw JSON items into vectors in
+the model's training space, and a per-model
+:class:`~repro.serve.batching.MicroBatcher` coalesces concurrent predict
+calls into shared forward passes.  The service is transport-agnostic — the
+stdlib HTTP server calls it, and tests / benchmarks can call it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..embeddings import embed_items
+from ..exceptions import ServingError
+from .batching import MicroBatcher
+from .registry import LoadedModel, ModelRegistry
+
+__all__ = ["PredictService"]
+
+
+class PredictService:
+    """Resolve, embed and micro-batch predict requests for a model directory.
+
+    Parameters
+    ----------
+    registry:
+        The model registry to resolve names against.
+    max_batch_rows, max_delay:
+        Micro-batching knobs, applied to every model's batcher; see
+        :class:`~repro.serve.batching.MicroBatcher`.  ``max_delay=0`` still
+        coalesces whatever is queued concurrently but never lingers.
+    micro_batching:
+        Set ``False`` to bypass batchers entirely (one forward per request)
+        — the baseline mode the serving benchmark compares against.
+    """
+
+    def __init__(self, registry: ModelRegistry, *,
+                 max_batch_rows: int = 256, max_delay: float = 0.002,
+                 micro_batching: bool = True) -> None:
+        self.registry = registry
+        self.max_batch_rows = max_batch_rows
+        self.max_delay = max_delay
+        self.micro_batching = micro_batching
+        # One batcher per *load* of a model.  Keyed by the LoadedModel entry
+        # itself (identity-hashed, strong reference — no id() reuse hazard)
+        # and retired through the registry's eviction hook, so an evicted or
+        # reloaded model never stays pinned by its old batcher and never
+        # serves stale weights.
+        self._batchers: dict[LoadedModel, MicroBatcher] = {}
+        self._lock = threading.Lock()
+        # Chain rather than replace any caller-installed eviction hook.
+        previous_hook = registry.on_evict
+
+        def _on_evict(entry: LoadedModel) -> None:
+            self._retire_batcher(entry)
+            if previous_hook is not None:
+                previous_hook(entry)
+
+        registry.on_evict = _on_evict
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness payload for ``GET /healthz``."""
+        return {
+            "status": "ok",
+            "model_dir": str(self.registry.model_dir),
+            "models": len(self.registry),
+            "loaded": self.registry.loaded_names,
+            "micro_batching": self.micro_batching,
+        }
+
+    def models(self) -> list[dict]:
+        """Model summaries for ``GET /models``."""
+        return self.registry.describe()
+
+    def predict(self, name: str, payload: dict) -> dict:
+        """Answer one ``POST /models/{name}/predict`` payload.
+
+        ``payload`` provides either ``"vectors"`` (pre-embedded rows in the
+        model's training space) or ``"items"`` (raw tables/records/columns,
+        embedded via the task/embedding recorded in the checkpoint
+        metadata).  Returns the JSON-able response body.
+        """
+        loaded = self.registry.get(name)
+        matrix = self._matrix_from_payload(loaded, payload)
+        if self.micro_batching:
+            labels = self._batched_predict(loaded, matrix)
+        else:
+            labels = loaded.model.predict(matrix)
+        labels = np.asarray(labels)
+        return {
+            "model": name,
+            "n_items": int(labels.shape[0]),
+            "labels": [int(label) for label in labels],
+        }
+
+    def stats(self) -> dict:
+        """Per-model micro-batching counters (for diagnostics and benches)."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        return {batcher.name: batcher.stats.as_dict() for batcher in batchers}
+
+    def close(self) -> None:
+        """Shut down every batcher's collector thread."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "PredictService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _batched_predict(self, loaded: LoadedModel,
+                         matrix: np.ndarray) -> np.ndarray:
+        # An eviction can close the batcher between lookup and submit;
+        # the registry still has (or will reload) the model, so retry with
+        # a fresh batcher rather than failing the request.
+        for _ in range(3):
+            try:
+                result = self._batcher_for(loaded).submit(matrix)
+            except ServingError as exc:
+                if "closed" not in str(exc):
+                    raise
+                loaded = self.registry.get(loaded.name)
+                continue
+            if not self.registry.is_current(loaded):
+                # Lost a race with an eviction that ran before the batcher
+                # existed: retire the orphan now so it cannot pin the stale
+                # model or accumulate in the stats.
+                self._retire_batcher(loaded)
+            return result
+        return loaded.model.predict(matrix)
+
+    def _batcher_for(self, loaded: LoadedModel) -> MicroBatcher:
+        with self._lock:
+            batcher = self._batchers.get(loaded)
+            if batcher is None:
+                batcher = MicroBatcher(loaded.model.predict,
+                                       max_batch_rows=self.max_batch_rows,
+                                       max_delay=self.max_delay,
+                                       name=loaded.name)
+                self._batchers[loaded] = batcher
+            return batcher
+
+    def _retire_batcher(self, loaded: LoadedModel) -> None:
+        """Registry eviction hook: drop and stop the entry's batcher."""
+        with self._lock:
+            batcher = self._batchers.pop(loaded, None)
+        if batcher is not None:
+            batcher.close()
+
+    def _matrix_from_payload(self, loaded: LoadedModel,
+                             payload: dict) -> np.ndarray:
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        if "vectors" in payload:
+            try:
+                matrix = np.atleast_2d(
+                    np.asarray(payload["vectors"], dtype=np.float64))
+            except (TypeError, ValueError) as exc:
+                raise ServingError(f"'vectors' is not numeric: {exc}") from exc
+            if matrix.ndim != 2 or 0 in matrix.shape:
+                raise ServingError("'vectors' must be a non-empty 2-D array")
+            # Reject wrong-width vectors *before* they join a shared
+            # micro-batch, where the stacking error would propagate to every
+            # concurrent (innocent) request in the same tick.
+            expected = loaded.metadata.get("n_features")
+            if expected is not None and matrix.shape[1] != expected:
+                raise ServingError(
+                    f"'vectors' have {matrix.shape[1]} features; model "
+                    f"{loaded.name!r} expects {expected}")
+            return matrix
+        if "items" in payload:
+            items = payload["items"]
+            if not isinstance(items, list) or not items:
+                raise ServingError("'items' must be a non-empty list")
+            metadata = loaded.metadata
+            task = metadata.get("task")
+            embedding = metadata.get("embedding")
+            if not task or not embedding:
+                raise ServingError(
+                    f"model {loaded.name!r} was saved without task/embedding "
+                    "metadata; send pre-embedded 'vectors' instead")
+            return embed_items(task, embedding, items)
+        raise ServingError("request body must contain 'vectors' or 'items'")

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -12,6 +14,7 @@ from ..config import DeepClusteringConfig
 from ..dc import EDESC, SDCN, SHGP, AutoencoderClustering
 from ..exceptions import ConfigurationError
 from ..metrics import adjusted_rand_index, clustering_accuracy
+from ..serialize import save_checkpoint
 from ..utils.timing import Timer
 
 __all__ = ["TaskResult", "ClusteringTask", "make_clusterer",
@@ -78,6 +81,12 @@ class ClusteringTask:
     #: resolution's longer pre-training) survive a partial override.
     config_updates: dict | None = None
 
+    #: When set, every executed cell persists its fitted model as an NPZ
+    #: checkpoint ``<task>__<dataset>__<embedding>__<algorithm>.npz`` in
+    #: this directory (see :mod:`repro.serialize`), ready for
+    #: ``repro serve``.
+    save_dir: Path | None = None
+
     def embed(self, method: str, *, seed: int | None = None) -> np.ndarray:
         """Return the embedding matrix for ``method`` (cached)."""
         raise NotImplementedError
@@ -98,10 +107,20 @@ class ClusteringTask:
             seed: int | None = None) -> TaskResult:
         """Execute one cell: embed the dataset and cluster it once."""
         X = self.embed(embedding, seed=seed)
+        save_path = None
+        if self.save_dir is not None:
+            # Sanitise each component so the file stem is a valid serving
+            # model name (dataset names like "web tables" contain spaces,
+            # which the HTTP predict route does not accept).
+            parts = (self.task_name, self.dataset.name, embedding, algorithm)
+            stem = "__".join(re.sub(r"[^A-Za-z0-9._-]+", "-", part)
+                             for part in parts)
+            save_path = Path(self.save_dir) / f"{stem}.npz"
         return evaluate_clustering(
             X, self.dataset.labels, algorithm=algorithm,
             dataset=self.dataset.name, task=self.task_name,
-            embedding=embedding, config=self.resolved_config(), seed=seed)
+            embedding=embedding, config=self.resolved_config(), seed=seed,
+            save_path=save_path)
 
     def run_matrix(self, *, embeddings: tuple[str, ...],
                    algorithms: tuple[str, ...],
@@ -151,8 +170,15 @@ def evaluate_clustering(X: np.ndarray, labels_true: np.ndarray, *,
                         algorithm: str, dataset: str, task: str,
                         embedding: str,
                         config: DeepClusteringConfig | None = None,
-                        seed: int | None = None) -> TaskResult:
-    """Run one clusterer on an embedding matrix and score it against GT."""
+                        seed: int | None = None,
+                        save_path: str | Path | None = None) -> TaskResult:
+    """Run one clusterer on an embedding matrix and score it against GT.
+
+    With ``save_path`` set, the fitted model is additionally persisted as an
+    NPZ checkpoint (:mod:`repro.serialize`) whose metadata records the full
+    training context — task, dataset, embedding, metrics — which is what the
+    serving layer needs to embed and assign raw items later.
+    """
     labels_true = np.asarray(labels_true, dtype=np.int64)
     n_clusters = int(np.unique(labels_true).size)
     clusterer = make_clusterer(algorithm, n_clusters, config=config, seed=seed)
@@ -162,7 +188,7 @@ def evaluate_clustering(X: np.ndarray, labels_true: np.ndarray, *,
         result = clusterer.fit_predict(X)
     predicted = relabel_noise_as_singletons(result.labels)
 
-    return TaskResult(
+    task_result = TaskResult(
         dataset=dataset,
         task=task,
         embedding=embedding,
@@ -174,3 +200,18 @@ def evaluate_clustering(X: np.ndarray, labels_true: np.ndarray, *,
         runtime_seconds=timer.elapsed,
         clustering=result,
     )
+    if save_path is not None:
+        save_checkpoint(save_path, clusterer, metadata={
+            "task": task,
+            "dataset": dataset,
+            "embedding": embedding,
+            "algorithm": algorithm,
+            "seed": seed,
+            "n_items": int(X.shape[0]),
+            "n_features": int(X.shape[1]),
+            "n_clusters_true": n_clusters,
+            "n_clusters_predicted": result.n_clusters,
+            "ari": round(task_result.ari, 6),
+            "acc": round(task_result.acc, 6),
+        })
+    return task_result

@@ -23,6 +23,28 @@ def fresh_cache():
     reset_cache()
 
 
+class TestVersion:
+    def test_version_flag_prints_single_constant(self, capsys):
+        from repro import __version__
+        from repro._version import __version__ as version_constant
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {version_constant}"
+        # The package, the CLI and setup.py share the one constant.
+        assert __version__ == version_constant
+
+    def test_setup_py_reads_the_same_constant(self):
+        from repro._version import __version__ as version_constant
+
+        setup_text = (REPO_ROOT / "setup.py").read_text(encoding="utf-8")
+        assert "_version.py" in setup_text
+        assert f'version="{version_constant}"' not in setup_text, \
+            "setup.py must read the version from repro/_version.py, " \
+            "not hard-code it"
+
+
 class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
@@ -134,6 +156,130 @@ class TestRunCommand:
         assert max(instance_counts) == 120
 
 
+class TestJsonPayloadRegression:
+    """--format json/csv must never drag the heavy clustering payload along."""
+
+    def _result_with_heavy_payload(self):
+        import numpy as np
+
+        from repro.clustering.base import ClusteringResult
+        from repro.tasks.base import TaskResult
+
+        heavy = ClusteringResult(
+            labels=np.zeros(100_000, dtype=np.int64),
+            n_clusters=3,
+            embedding=np.zeros((100_000, 64)),
+            soft_assignments=np.zeros((100_000, 32)),
+            metadata={"history": {"train_loss": [0.0] * 10_000}},
+        )
+        return TaskResult(
+            dataset="d", task="t", embedding="sbert", algorithm="kmeans",
+            n_clusters_true=3, n_clusters_predicted=3, ari=0.5, acc=0.5,
+            runtime_seconds=0.1, clustering=heavy)
+
+    def test_as_row_contains_only_scalars(self):
+        row = self._result_with_heavy_payload().as_row()
+        for key, value in row.items():
+            assert isinstance(value, (str, int, float, bool)), \
+                f"row key {key!r} leaked a {type(value).__name__}"
+
+    def test_json_and_csv_output_stay_small(self):
+        from repro.experiments import render_rows, results_to_rows
+
+        rows = results_to_rows([self._result_with_heavy_payload()] * 4)
+        for fmt in ("json", "csv"):
+            rendered = render_rows(rows, fmt)
+            assert len(rendered) < 2000, \
+                f"--format {fmt} output dragged the clustering payload along"
+        parsed = json.loads(render_rows(rows, "json"))
+        assert len(parsed) == 4
+        assert set(parsed[0]) == {"Dataset", "Task", "Embedding", "Algorithm",
+                                  "K", "ARI", "ACC", "runtime_s"}
+
+    def test_cli_json_run_emits_no_arrays(self, capsys):
+        assert main(["run", "table2", "--scale", "test", "--format", "json",
+                     "--datasets", "webtables", "--embeddings", "sbert",
+                     "--algorithms", "kmeans", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        rows = json.loads(out)
+        assert all(isinstance(value, (str, int, float, bool))
+                   for row in rows for value in row.values())
+
+
+class TestTrainCommand:
+    def test_train_saves_servable_checkpoint(self, tmp_path, capsys):
+        target = tmp_path / "models" / "webtables.npz"
+        code = main(["train", "schema_inference", "--dataset", "webtables",
+                     "--scale", "test", "--embedding", "sbert",
+                     "--algorithm", "kmeans", "--save", str(target),
+                     "--format", "json"])
+        assert code == 0
+        assert target.exists()
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["Algorithm"] == "kmeans"
+
+        from repro.serialize import load_checkpoint
+
+        model = load_checkpoint(target)
+        header = model.checkpoint_header_
+        assert header["metadata"]["task"] == "schema_inference"
+        assert header["metadata"]["embedding"] == "sbert"
+        assert model.predict(model.cluster_centers_).shape[0] == \
+            model.cluster_centers_.shape[0]
+
+    def test_train_epochs_caps_instead_of_raising_schedule(self, tmp_path,
+                                                           capsys):
+        """--epochs is a cap (like `repro run`), not an override upwards."""
+        from repro.serialize import read_checkpoint_header
+
+        target = tmp_path / "ae.npz"
+        code = main(["train", "schema_inference", "--dataset", "webtables",
+                     "--scale", "test", "--algorithm", "ae",
+                     "--epochs", "999", "--save", str(target),
+                     "--format", "json"])
+        assert code == 0
+        capsys.readouterr()
+        header = read_checkpoint_header(target)
+        # The stored config reflects the capped default schedule (30), not
+        # the requested 999.
+        assert header["params"]["config"]["pretrain_epochs"] == 30
+
+    def test_train_rejects_foreign_dataset(self, capsys):
+        code = main(["train", "schema_inference", "--dataset", "camera",
+                     "--scale", "test", "--save", "/tmp/unused.npz"])
+        assert code == 2
+        assert "does not belong" in capsys.readouterr().err
+
+    def test_run_save_dir_persists_models(self, tmp_path, capsys):
+        code = main(["run", "table2", "--scale", "test", "--format", "json",
+                     "--datasets", "webtables", "--embeddings", "sbert",
+                     "--algorithms", "kmeans", "--epochs", "2",
+                     "--save-dir", str(tmp_path)])
+        assert code == 0
+        saved = list(tmp_path.glob("*.npz"))
+        assert len(saved) == 1
+        assert saved[0].name.endswith("__sbert__kmeans.npz")
+
+
+class TestServeParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--model-dir", "models", "--port", "8123",
+             "--batch-rows", "64", "--batch-delay-ms", "1.5"])
+        assert args.command == "serve"
+        assert args.port == 8123
+        assert args.batch_rows == 64
+        assert args.batch_delay_ms == 1.5
+
+    def test_serve_requires_model_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_missing_dir_exits_nonzero(self, tmp_path, capsys):
+        assert main(["serve", "--model-dir", str(tmp_path / "nope")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
 class TestProfileCommand:
     def test_profiles_subset(self, capsys):
         assert main(["profile", "--datasets", "webtables", "camera",
@@ -200,4 +346,13 @@ class TestApiDocs:
         for fragment in ("## `repro.nn.sparse`", "`CSRMatrix`",
                          "`sparse_matmul`", "`sparse_knn_graph`",
                          "## `repro.experiments.api_docs`"):
+            assert fragment in document
+
+    def test_api_reference_covers_serving_modules(self):
+        document = render_api_md()
+        for fragment in ("## `repro.serialize`", "`save_checkpoint`",
+                         "`load_checkpoint`", "## `repro.serve`",
+                         "`ModelRegistry`", "`MicroBatcher`",
+                         "`create_server`", "## `repro.embeddings.single`",
+                         "`embed_item`"):
             assert fragment in document
