@@ -1,0 +1,205 @@
+"""Perf-regression gate: diff fresh ``BENCH_*.json`` against committed baselines.
+
+The benches under ``benchmarks/`` measure throughput, latency and memory
+into ``BENCH_*.json`` files; until now those were uploaded as artifacts but
+never *compared*, so a regression shipped silently.  This script closes the
+loop: ``benchmarks/baselines/`` holds one committed baseline per bench
+file, and the ``scalability-bench`` CI job fails when a fresh measurement
+regresses past the thresholds:
+
+* **throughput-class** metrics (higher is better: speedups) fail on a
+  drop of more than 30% against the baseline;
+* **latency-class** metrics (lower is better: p99 ratios, memory ratios)
+  fail on growth of more than 2x;
+* **zero-class** metrics (failure counts) fail on any non-zero value.
+
+Every gated metric is a *same-machine ratio* (micro-batched vs per-request
+p99, incremental-update vs refit wall time, sparse vs dense peak memory),
+so a committed baseline transfers across hardware generations — a slower
+CI runner scales both sides of each ratio.
+
+Usage::
+
+    python benchmarks/compare_bench.py [--baseline-dir benchmarks/baselines]
+        [--current-dir .] [--report bench-comparison.json] [--strict]
+
+Exit status 0 when nothing regressed, 1 otherwise.  ``--strict`` also
+fails when a baseline exists but the fresh measurement file is missing
+(a bench that silently stopped writing must not pass the gate vacuously).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Maximum allowed drop of a higher-is-better (throughput-class) metric.
+THROUGHPUT_DROP = 0.30
+#: Maximum allowed growth factor of a lower-is-better (latency-class) metric.
+LATENCY_GROWTH = 2.0
+
+
+def _metrics_serve(doc: dict) -> dict[str, tuple[float, str]]:
+    """Gated metrics of ``BENCH_serve.json``: ``{name: (value, kind)}``."""
+    per_request = doc["per_request"]
+    micro = doc["micro_batched"]
+    return {
+        "throughput_speedup": (float(doc["throughput_speedup"]), "higher"),
+        "p99_ratio_micro_vs_per_request": (
+            float(micro["p99_ms"]) / float(per_request["p99_ms"]), "lower"),
+    }
+
+
+def _metrics_stream(doc: dict) -> dict[str, tuple[float, str]]:
+    """Gated metrics of ``BENCH_stream.json``."""
+    metrics: dict[str, tuple[float, str]] = {}
+    update = doc.get("update")
+    if update is not None:
+        metrics["min_update_speedup_vs_refit"] = (
+            float(update["min_speedup_vs_refit"]), "higher")
+    hot_reload = doc.get("hot_reload")
+    if hot_reload is not None:
+        metrics["hot_reload_failed_predicts"] = (
+            float(hot_reload["failed_predicts"]), "zero")
+    return metrics
+
+
+def _metrics_figure4(doc: list) -> dict[str, tuple[float, str]]:
+    """Gated metrics of ``BENCH_figure4_scalability.json`` (a row list)."""
+    rows = {(row["graph"], row["n_instances"]): row for row in doc}
+    dense_sizes = sorted(n for graph, n in rows if graph == "dense")
+    sparse_sizes = sorted(n for graph, n in rows if graph == "sparse")
+    if not dense_sizes or not sparse_sizes:
+        return {}
+    common = max(set(dense_sizes) & set(sparse_sizes))
+    dense_max, sparse_max = dense_sizes[-1], sparse_sizes[-1]
+    # Dense memory extrapolated quadratically to the largest sparse size;
+    # the sparse path must stay well below it (< 1.0, gated at 2x growth).
+    growth = (sparse_max / dense_max) ** 2
+    mem_ratio = (rows[("sparse", sparse_max)]["peak_mem_mb"]
+                 / (rows[("dense", dense_max)]["peak_mem_mb"] * growth))
+    runtime_ratio = (rows[("sparse", common)]["runtime_s"]
+                     / rows[("dense", common)]["runtime_s"])
+    return {
+        "sparse_peak_mem_vs_dense_extrapolated": (mem_ratio, "lower"),
+        f"sparse_vs_dense_runtime_ratio@{common}": (runtime_ratio, "lower"),
+    }
+
+
+#: Bench file name -> metric extractor.
+EXTRACTORS = {
+    "BENCH_serve.json": _metrics_serve,
+    "BENCH_stream.json": _metrics_stream,
+    "BENCH_figure4_scalability.json": _metrics_figure4,
+}
+
+
+def _judge(name: str, kind: str, baseline: float,
+           current: float) -> tuple[str, str]:
+    """Return (status, explanation) for one metric comparison."""
+    if kind == "zero":
+        if current > 0:
+            return "fail", f"{name}: {current:g} must be 0"
+        return "ok", f"{name}: 0 as required"
+    if kind == "higher":
+        floor = baseline * (1.0 - THROUGHPUT_DROP)
+        if current < floor:
+            return ("fail",
+                    f"{name}: {current:g} dropped more than "
+                    f"{THROUGHPUT_DROP:.0%} below baseline {baseline:g}")
+        return "ok", f"{name}: {current:g} vs baseline {baseline:g}"
+    if kind == "lower":
+        ceiling = baseline * LATENCY_GROWTH
+        if current > ceiling:
+            return ("fail",
+                    f"{name}: {current:g} grew more than "
+                    f"{LATENCY_GROWTH:g}x over baseline {baseline:g}")
+        return "ok", f"{name}: {current:g} vs baseline {baseline:g}"
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+def compare_file(name: str, baseline_path: Path,
+                 current_path: Path) -> list[dict]:
+    """Compare one bench file; return one row per gated metric."""
+    extractor = EXTRACTORS[name]
+    baseline = extractor(
+        json.loads(baseline_path.read_text(encoding="utf-8")))
+    current = extractor(json.loads(current_path.read_text(encoding="utf-8")))
+    rows = []
+    for metric, (baseline_value, kind) in sorted(baseline.items()):
+        if metric not in current:
+            rows.append({"file": name, "metric": metric, "status": "fail",
+                         "detail": f"{metric} missing from fresh measurement"})
+            continue
+        current_value, _ = current[metric]
+        status, detail = _judge(metric, kind, baseline_value, current_value)
+        rows.append({"file": name, "metric": metric, "kind": kind,
+                     "baseline": round(baseline_value, 4),
+                     "current": round(current_value, 4),
+                     "status": status, "detail": detail})
+    return rows
+
+
+def run_compare(baseline_dir: Path, current_dir: Path, *,
+                strict: bool = False) -> dict:
+    """Compare every known bench file; return the full report document."""
+    rows: list[dict] = []
+    for name in sorted(EXTRACTORS):
+        baseline_path = baseline_dir / name
+        current_path = current_dir / name
+        if not baseline_path.exists():
+            rows.append({"file": name, "metric": "-", "status": "skipped",
+                         "detail": f"no baseline at {baseline_path}"})
+            continue
+        if not current_path.exists():
+            status = "fail" if strict else "skipped"
+            rows.append({"file": name, "metric": "-", "status": status,
+                         "detail": f"bench did not write {current_path}"})
+            continue
+        rows.extend(compare_file(name, baseline_path, current_path))
+    failed = [row for row in rows if row["status"] == "fail"]
+    return {
+        "baseline_dir": str(baseline_dir),
+        "current_dir": str(current_dir),
+        "thresholds": {"throughput_drop": THROUGHPUT_DROP,
+                       "latency_growth": LATENCY_GROWTH},
+        "rows": rows,
+        "failures": len(failed),
+        "status": "fail" if failed else "ok",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark regressions against committed "
+                    "baselines.")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("benchmarks/baselines"))
+    parser.add_argument("--current-dir", type=Path, default=Path("."))
+    parser.add_argument("--report", type=Path, default=None,
+                        help="also write the comparison report as JSON here")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail when a baselined bench file was not "
+                             "produced by the current run")
+    args = parser.parse_args(argv)
+
+    report = run_compare(args.baseline_dir, args.current_dir,
+                         strict=args.strict)
+    for row in report["rows"]:
+        marker = {"ok": " ok ", "fail": "FAIL", "skipped": "skip"}[row["status"]]
+        print(f"[{marker}] {row['file']}: {row['detail']}")
+    print(f"=> {report['status']} "
+          f"({report['failures']} regression(s) across "
+          f"{len(report['rows'])} check(s))")
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2),
+                               encoding="utf-8")
+        print(f"report written to {args.report}")
+    return 1 if report["status"] == "fail" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

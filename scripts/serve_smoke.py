@@ -1,0 +1,163 @@
+"""Deterministic serving smoke test: train -> serve -> predict -> shutdown.
+
+Replaces the CI shell loop of ``sleep``/``curl`` retries: this script
+trains a small checkpoint, starts ``repro serve`` as a subprocess on an
+ephemeral port (parsed from the server's startup line, so there are no
+port collisions and no guessing), polls ``/healthz`` with a hard deadline,
+asserts the shape of a real predict response, and **always** terminates
+the server — including on assertion failure or timeout, so CI never leaks
+an orphaned process holding the job open.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--timeout 60]
+
+Exit status 0 on success; any failure prints the reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+_ADDRESS = re.compile(r"on http://([0-9.]+):(\d+)")
+
+
+def _get_json(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_json(url: str, payload: dict, timeout: float = 10.0):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def _wait_for_address(server: subprocess.Popen,
+                      deadline: float) -> tuple[str, int]:
+    """Parse host/port from the server's startup line on stderr.
+
+    The pipe is drained by a daemon thread so the deadline holds even when
+    the server hangs *before* printing anything — a bare ``readline()``
+    here would block past any timeout and leak the process in CI.
+    """
+    lines: queue.Queue[str | None] = queue.Queue()
+
+    def drain() -> None:
+        for line in server.stderr:
+            lines.put(line)
+        lines.put(None)  # EOF
+
+    threading.Thread(target=drain, daemon=True).start()
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError("server never printed its listen address")
+        try:
+            line = lines.get(timeout=min(remaining, 0.5))
+        except queue.Empty:
+            if server.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early with code {server.returncode}")
+            continue
+        if line is None:
+            raise RuntimeError(
+                f"server closed stderr without printing its address "
+                f"(exit code {server.poll()})")
+        print(f"[serve] {line.rstrip()}")
+        match = _ADDRESS.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+
+
+def _wait_healthy(base: str, deadline: float) -> dict:
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            status, body = _get_json(f"{base}/healthz", timeout=2.0)
+            if status == 200 and body.get("status") == "ok":
+                return body
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last_error = exc
+        time.sleep(0.1)
+    raise TimeoutError(f"server never became healthy: {last_error}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke test; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=90.0,
+                        help="overall deadline in seconds (default: 90)")
+    parser.add_argument("--model-dir", type=Path, default=None,
+                        help="directory for the trained checkpoint "
+                             "(default: a fresh temporary directory)")
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    model_dir = args.model_dir or Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    model_dir.mkdir(parents=True, exist_ok=True)
+    checkpoint = model_dir / "webtables.npz"
+
+    train = subprocess.run(
+        [sys.executable, "-m", "repro", "train", "schema_inference",
+         "--dataset", "webtables", "--scale", "test", "--embedding", "sbert",
+         "--algorithm", "kmeans", "--save", str(checkpoint),
+         "--format", "json"],
+        capture_output=True, text=True, timeout=args.timeout)
+    if train.returncode != 0:
+        print(train.stdout)
+        print(train.stderr, file=sys.stderr)
+        print("FAIL: training the smoke checkpoint failed", file=sys.stderr)
+        return 1
+    print(f"trained {checkpoint}")
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--model-dir", str(model_dir), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        host, port = _wait_for_address(server, deadline)
+        base = f"http://{host}:{port}"
+        health = _wait_healthy(base, deadline)
+        assert health["models"] >= 1, f"no models served: {health}"
+
+        status, models = _get_json(f"{base}/models")
+        assert status == 200 and any(
+            entry.get("name") == "webtables" for entry in models), models
+
+        status, body = _post_json(
+            f"{base}/models/webtables/predict",
+            {"items": [{"headers": ["name", "population", "country"]}]})
+        assert status == 200, body
+        assert body["n_items"] == 1 and len(body["labels"]) == 1, body
+        assert all(isinstance(label, int) for label in body["labels"]), body
+        print(f"predict ok: {body}")
+        print("serve smoke test passed")
+        return 0
+    except Exception as exc:
+        print(f"FAIL: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

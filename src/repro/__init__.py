@@ -27,6 +27,12 @@ Fitted models persist as versioned NPZ checkpoints (:mod:`repro.serialize`)
 and serve online out-of-sample predictions over a stdlib JSON HTTP API with
 micro-batched forwards (:mod:`repro.serve`): ``repro train ... --save m.npz``
 then ``repro serve --model-dir models/``.
+
+Models are also continuously updatable (:mod:`repro.stream`): ``repro
+stream`` replays a dataset as arrival batches with drift-aware incremental
+updates, ``repro update`` absorbs new data into a checkpoint and rotates it
+to its next generation (:func:`repro.serialize.rotate_checkpoint`), and a
+serving process hot-reloads the new generation with zero failed predicts.
 """
 
 from ._version import __version__
@@ -71,8 +77,10 @@ from .embeddings import (
     embed_items,
 )
 from .serialize import (
+    checkpoint_generations,
     load_checkpoint,
     read_checkpoint_header,
+    rotate_checkpoint,
     save_checkpoint,
 )
 from .serve import (
@@ -80,6 +88,11 @@ from .serve import (
     ModelRegistry,
     PredictService,
     create_server,
+)
+from .stream import (
+    DriftMonitor,
+    StreamSource,
+    incremental_update,
 )
 from .metrics import (
     adjusted_rand_index,
@@ -165,10 +178,15 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_header",
+    "rotate_checkpoint",
+    "checkpoint_generations",
     "embed_item",
     "embed_items",
     "MicroBatcher",
     "ModelRegistry",
     "PredictService",
     "create_server",
+    "DriftMonitor",
+    "StreamSource",
+    "incremental_update",
 ]

@@ -211,6 +211,31 @@ class ArtifactCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every entry whose key starts with ``prefix``; return the count.
+
+        Used by the serving layer when a model's checkpoint generation is
+        hot-swapped: anything memoised under the ``model/<name>/`` namespace
+        describes the *old* weights and must not outlive them.  Matching
+        disk-layer files are removed too (disk filenames hash the full key,
+        so only keys currently resident in memory can be matched — callers
+        that persist generation-dependent artifacts on disk should embed the
+        generation in the key instead of relying on invalidation).
+        """
+        with self._lock:
+            doomed = [key for key in self._entries
+                      if key.startswith(prefix)]
+            for key in doomed:
+                del self._entries[key]
+        for key in doomed:
+            path = self._disk_path(key)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return len(doomed)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

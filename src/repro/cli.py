@@ -25,7 +25,18 @@ evaluation matrix without writing any Python:
 ``repro serve``
     Serve a directory of checkpoints over a stdlib JSON HTTP API with
     micro-batched out-of-sample prediction (``GET /models``,
-    ``GET /healthz``, ``POST /models/{name}/predict``).
+    ``GET /healthz``, ``POST /models/{name}/predict``) and, by default,
+    hot reload: checkpoints rotated in place are swapped in off the
+    request path with zero failed predicts.
+``repro stream <task>``
+    Replay a dataset as arrival batches (optionally with injected drift)
+    and keep the model current with incremental updates, refitting only
+    when the drift monitor demands it; ``--save`` rotates a servable
+    checkpoint generation per step.
+``repro update <checkpoint>``
+    Absorb a batch of new data into a saved checkpoint in place
+    (``partial_fit`` / warm-start fine-tuning) and rotate the file to its
+    next generation — a running ``repro serve`` picks it up live.
 
 Embedding matrices are cached in-process by :mod:`repro.cache`; pass
 ``--cache-dir`` to also persist them as NPZ files shared across runs and
@@ -213,6 +224,84 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-batching", action="store_true",
                            help="disable micro-batching (one forward pass "
                                 "per request)")
+    serve_cmd.add_argument("--reload-ms", type=float, default=1000.0,
+                           help="poll interval for hot-reloading rotated "
+                                "checkpoints, in milliseconds "
+                                "(default: 1000)")
+    serve_cmd.add_argument("--no-hot-reload", action="store_true",
+                           help="serve each loaded checkpoint as-is, "
+                                "ignoring newer generations on disk")
+
+    stream_cmd = sub.add_parser(
+        "stream", help="replay a dataset as arrival batches with "
+                       "incremental model updates")
+    stream_cmd.add_argument("task", choices=sorted(_TASK_DATASETS),
+                            help="task pipeline to stream")
+    stream_cmd.add_argument("--dataset", default=None, metavar="NAME",
+                            help="dataset to replay (default: the task's "
+                                 "first dataset)")
+    stream_cmd.add_argument("--embedding", default="sbert", metavar="NAME",
+                            help="per-item stateless embedding "
+                                 "(default: sbert)")
+    stream_cmd.add_argument("--algorithm", default="kmeans", metavar="NAME",
+                            help="clustering algorithm (default: kmeans)")
+    stream_cmd.add_argument("--batches", type=int, default=4,
+                            help="number of arrival batches after the "
+                                 "initial fit (default: 4)")
+    stream_cmd.add_argument("--drift", default=None,
+                            choices=("none", "abbreviate", "typo", "case",
+                                     "drop"),
+                            help="corruption flavour injected with growing "
+                                 "intensity over the batches")
+    stream_cmd.add_argument("--drift-rate", type=float, default=0.5,
+                            help="final per-item corruption probability "
+                                 "(default: 0.5)")
+    stream_cmd.add_argument("--initial-fraction", type=float, default=0.5,
+                            help="share of items in the initial fit "
+                                 "(default: 0.5)")
+    stream_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                            default="benchmark")
+    stream_cmd.add_argument("--seed", type=int, default=None)
+    stream_cmd.add_argument("--epochs", type=int, default=None,
+                            help="cap the deep clustering (pre-)training "
+                                 "epochs, for quick smoke runs")
+    stream_cmd.add_argument("--save", type=Path, default=None, metavar="PATH",
+                            help="rotate a servable checkpoint generation "
+                                 "here after every step (hot-reloadable by "
+                                 "'repro serve')")
+    stream_cmd.add_argument("--keep-generations", type=int, default=3,
+                            help="archived checkpoint generations to retain "
+                                 "(default: 3)")
+    stream_cmd.add_argument("--cache-dir", type=Path, default=None,
+                            help="persist embedding artifacts as NPZ files "
+                                 "in this directory")
+    stream_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                            default="table", help="output format")
+
+    update_cmd = sub.add_parser(
+        "update", help="absorb new data into a saved checkpoint in place")
+    update_cmd.add_argument("checkpoint", type=Path,
+                            help="NPZ checkpoint to update (rotated to its "
+                                 "next generation)")
+    update_cmd.add_argument("--data", required=True, metavar="NAME",
+                            help="dataset generator providing the new batch "
+                                 "(must belong to the checkpoint's task)")
+    update_cmd.add_argument("--scale", choices=sorted(_SCALES),
+                            default="test",
+                            help="scale of the generated batch "
+                                 "(default: test)")
+    update_cmd.add_argument("--seed", type=int, default=None,
+                            help="seed for the generated batch (default: a "
+                                 "different seed than training, so the "
+                                 "batch is genuinely new data)")
+    update_cmd.add_argument("--epochs", type=int, default=2,
+                            help="warm-start fine-tuning epochs for deep "
+                                 "models (default: 2)")
+    update_cmd.add_argument("--keep-generations", type=int, default=3,
+                            help="archived checkpoint generations to retain "
+                                 "(default: 3)")
+    update_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                            default="table", help="output format")
     return parser
 
 
@@ -285,6 +374,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif spec.experiment_id == "figure4_scalability":
         print(render_rows([point.as_row() for point in result],
                           args.format, title=spec.title))
+    elif spec.experiment_id == "stream_ingestion":
+        print(render_rows(result, args.format, title=spec.title))
     elif args.pivot and args.format == "table":
         print(format_results_table(result, title=spec.title))
     else:
@@ -379,16 +470,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import create_server
 
+    reload_interval = (None if args.no_hot_reload
+                       else args.reload_ms / 1000.0)
     server = create_server(
         args.model_dir, host=args.host, port=args.port,
         max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
         max_delay=args.batch_delay_ms / 1000.0,
-        micro_batching=not args.no_batching)
+        micro_batching=not args.no_batching,
+        reload_interval=reload_interval)
     host, port = server.server_address[:2]
     names = server.service.registry.names()
     print(f"serving {len(names)} model(s) {names} from {args.model_dir} "
           f"on http://{host}:{port} "
-          f"(micro-batching {'off' if args.no_batching else 'on'})",
+          f"(micro-batching {'off' if args.no_batching else 'on'}, "
+          f"hot-reload {'off' if args.no_hot_reload else 'on'})",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -399,6 +494,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .experiments.streaming import run_stream_scenario
+
+    if args.cache_dir is not None:
+        configure_cache(cache_dir=args.cache_dir)
+    datasets = _TASK_DATASETS[args.task]
+    dataset_name = args.dataset or datasets[0]
+    if dataset_name not in datasets:
+        raise ReproError(
+            f"dataset {dataset_name!r} does not belong to task {args.task!r} "
+            f"(expected one of {datasets})")
+    steps = run_stream_scenario(
+        args.task, dataset=dataset_name, embedding=args.embedding,
+        algorithm=args.algorithm, n_batches=args.batches,
+        drift=args.drift, drift_rate=args.drift_rate,
+        initial_fraction=args.initial_fraction,
+        scale=_SCALES[args.scale], config=_run_config(args),
+        seed=args.seed, save_path=args.save,
+        keep_generations=args.keep_generations)
+    print(render_rows([step.as_row() for step in steps], args.format,
+                      title=f"streamed {dataset_name}/{args.embedding}/"
+                            f"{args.algorithm} over {args.batches} batches"))
+    if args.save is not None:
+        from .serialize import read_checkpoint_header
+
+        header = read_checkpoint_header(args.save)
+        print(f"rotated checkpoint {args.save} to generation "
+              f"{header['metadata'].get('generation')}", file=sys.stderr)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .experiments.runner import build_dataset
+    from .experiments.streaming import _EMBED_FNS, STREAMABLE_EMBEDDINGS
+    from .serialize import load_checkpoint, rotate_checkpoint
+    from .stream import incremental_update
+
+    model = load_checkpoint(args.checkpoint)
+    metadata = dict(model.checkpoint_header_.get("metadata", {}))
+    task = metadata.get("task")
+    embedding = metadata.get("embedding")
+    if not task or not embedding:
+        raise ReproError(
+            f"checkpoint {args.checkpoint} was saved without task/embedding "
+            "metadata; retrain it with 'repro train --save' or "
+            "'repro stream --save'")
+    if embedding not in STREAMABLE_EMBEDDINGS.get(task, ()):
+        raise ReproError(
+            f"checkpoint embedding {embedding!r} is corpus-dependent; "
+            "incremental updates need a per-item stateless embedding")
+    if args.data not in _TASK_DATASETS.get(task, ()):
+        raise ReproError(
+            f"dataset {args.data!r} does not belong to the checkpoint's "
+            f"task {task!r} (expected one of {_TASK_DATASETS.get(task)})")
+    # Default to a seed the training run did not use, so the generated
+    # batch is genuinely new data rather than a replay.
+    train_seed = metadata.get("seed")
+    seed = args.seed if args.seed is not None else \
+        (train_seed if isinstance(train_seed, int) else 0) + 1
+    dataset = build_dataset(args.data, _SCALES[args.scale], seed=seed)
+    X = _EMBED_FNS[task](dataset, embedding, seed=seed)
+    report = incremental_update(model, X, epochs=args.epochs, seed=seed)
+    metadata.update({"n_items": int(X.shape[0]),
+                     "updated_from": args.data, "update_seed": seed})
+    rotate_checkpoint(args.checkpoint, model, metadata=metadata,
+                      keep=args.keep_generations)
+    print(render_rows([report.as_row()], args.format,
+                      title=f"updated {args.checkpoint}"))
+    from .serialize import read_checkpoint_header
+
+    header = read_checkpoint_header(args.checkpoint)
+    print(f"rotated checkpoint {args.checkpoint} to generation "
+          f"{header['metadata'].get('generation')}"
+          + (" (refit recommended)" if report.refit_recommended else ""),
+          file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -406,6 +579,8 @@ _COMMANDS = {
     "docs": _cmd_docs,
     "train": _cmd_train,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
+    "update": _cmd_update,
 }
 
 

@@ -97,7 +97,9 @@ class Birch(FittableMixin):
         self.seed = seed
         self.subcluster_centers_: np.ndarray | None = None
         self.subcluster_labels_: np.ndarray | None = None
+        self.subcluster_weights_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
+        self.n_seen_: int = 0
         self._root: _CFNode | None = None
 
     # ------------------------------------------------------------------
@@ -163,15 +165,19 @@ class Birch(FittableMixin):
         node.entries = keep
         return _CFNode(is_leaf=node.is_leaf, entries=move)
 
+    def _insert_entry(self, entry: _CFEntry) -> None:
+        """Insert one CF entry at the root, growing the tree on a split."""
+        sibling = self._insert(self._root, entry)
+        if sibling is not None:
+            old_root = self._root
+            self._root = _CFNode(is_leaf=False,
+                                 entries=[self._summarise(old_root),
+                                          self._summarise(sibling)])
+
     def _build_tree(self, X: np.ndarray) -> None:
         self._root = _CFNode(is_leaf=True)
         for row in X:
-            sibling = self._insert(self._root, _CFEntry.from_point(row))
-            if sibling is not None:
-                old_root = self._root
-                self._root = _CFNode(is_leaf=False,
-                                     entries=[self._summarise(old_root),
-                                              self._summarise(sibling)])
+            self._insert_entry(_CFEntry.from_point(row))
 
     def _leaf_entries(self) -> list[_CFEntry]:
         leaves: list[_CFEntry] = []
@@ -225,13 +231,62 @@ class Birch(FittableMixin):
         self.threshold_ = (self.threshold if self.threshold is not None
                            else self._estimate_threshold(X))
         self._build_tree(X)
+        self._refresh_subclusters()
+        self.labels_ = self.predict(X)
+        self.n_seen_ = int(X.shape[0])
+        self._fitted = True
+        return self
+
+    def _refresh_subclusters(self) -> None:
+        """Recompute centroids/weights/global labels from the leaf entries."""
         leaves = self._leaf_entries()
         centers = np.vstack([entry.centroid for entry in leaves])
         weights = np.array([entry.n for entry in leaves], dtype=np.float64)
         self.subcluster_centers_ = centers
+        self.subcluster_weights_ = weights
         self.subcluster_labels_ = self._global_cluster(centers, weights)
-        self.labels_ = self.predict(X)
-        self._fitted = True
+
+    def _rebuild_tree_from_subclusters(self) -> None:
+        """Reconstruct a leaf-level CF tree from checkpointed sub-clusters.
+
+        Checkpoints persist the sub-cluster centroids and weights but not
+        the CF tree; rebuilding inserts one weighted entry per sub-cluster
+        (its internal spread is lost, so each behaves as ``n`` coincident
+        points at the centroid — a slightly conservative merge radius).
+        """
+        weights = (self.subcluster_weights_
+                   if self.subcluster_weights_ is not None
+                   else np.ones(self.subcluster_centers_.shape[0]))
+        self._root = _CFNode(is_leaf=True)
+        for center, weight in zip(self.subcluster_centers_, weights):
+            n = max(1, int(round(weight)))
+            self._insert_entry(_CFEntry(
+                n=n, linear_sum=center * n,
+                squared_sum=float(n * np.dot(center, center))))
+
+    def partial_fit(self, X) -> "Birch":
+        """Insert a batch of new points into the existing CF tree (streaming).
+
+        The tree built at fit time is reused — new points merge into (or
+        split) the existing leaf sub-clusters under the fitted threshold —
+        and the global clustering step is re-run over the updated leaves.
+        After a checkpoint round-trip the tree is first rebuilt from the
+        persisted sub-cluster summaries.  Called on an unfitted estimator
+        this delegates to :meth:`fit`.
+        """
+        if not getattr(self, "_fitted", False):
+            return self.fit(X)
+        X = self._validate(X)
+        if X.shape[1] != self.subcluster_centers_.shape[1]:
+            raise ConfigurationError(
+                f"partial_fit batch has {X.shape[1]} features; the fitted "
+                f"model expects {self.subcluster_centers_.shape[1]}")
+        if self._root is None:
+            self._rebuild_tree_from_subclusters()
+        for row in X:
+            self._insert_entry(_CFEntry.from_point(row))
+        self._refresh_subclusters()
+        self.n_seen_ += int(X.shape[0])
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -268,14 +323,18 @@ class Birch(FittableMixin):
             "fitted_threshold": self.threshold_,
             "branching_factor": self.branching_factor,
             "seed": self.seed,
+            "n_seen": self.n_seen_,
         }
 
     def checkpoint_arrays(self) -> dict[str, np.ndarray]:
-        """Fitted arrays: sub-cluster centroids/labels and training labels."""
+        """Fitted arrays: sub-cluster summaries and training labels."""
         self._require_fitted()
-        return {"subcluster_centers": self.subcluster_centers_,
-                "subcluster_labels": self.subcluster_labels_,
-                "labels": self.labels_}
+        arrays = {"subcluster_centers": self.subcluster_centers_,
+                  "subcluster_labels": self.subcluster_labels_,
+                  "labels": self.labels_}
+        if self.subcluster_weights_ is not None:
+            arrays["subcluster_weights"] = self.subcluster_weights_
+        return arrays
 
     @classmethod
     def from_checkpoint(cls, params: dict, arrays: dict) -> "Birch":
@@ -287,6 +346,10 @@ class Birch(FittableMixin):
         model.subcluster_centers_ = np.asarray(arrays["subcluster_centers"])
         model.subcluster_labels_ = np.asarray(arrays["subcluster_labels"],
                                               dtype=np.int64)
+        if "subcluster_weights" in arrays:
+            model.subcluster_weights_ = np.asarray(
+                arrays["subcluster_weights"], dtype=np.float64)
         model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model.n_seen_ = int(params.get("n_seen", model.labels_.shape[0]))
         model._fitted = True
         return model

@@ -22,6 +22,10 @@ __all__ = ["DBSCAN"]
 NOISE = -1
 _UNVISITED = -2
 
+#: Fraction of streamed points labelled noise beyond which
+#: :attr:`DBSCAN.refit_recommended_` flips to True.
+_REFIT_NOISE_FRACTION = 0.3
+
 
 class DBSCAN(FittableMixin):
     """Classic DBSCAN over Euclidean distances.
@@ -48,6 +52,10 @@ class DBSCAN(FittableMixin):
         self.core_sample_indices_: np.ndarray | None = None
         self.components_: np.ndarray | None = None
         self.component_labels_: np.ndarray | None = None
+        # Streaming counters (see partial_fit / refit_recommended_).
+        self.n_streamed_: int = 0
+        self.n_streamed_noise_: int = 0
+        self.n_unabsorbed_cores_: int = 0
 
     @staticmethod
     def _pairwise_distances(X: np.ndarray) -> np.ndarray:
@@ -104,6 +112,96 @@ class DBSCAN(FittableMixin):
         self._fitted = True
         return self
 
+    def partial_fit(self, X) -> "DBSCAN":
+        """Absorb a batch of new points into the fitted density model.
+
+        New points within ``eps_`` of a stored core point inherit that
+        core's cluster; an absorbed point that is itself dense — at least
+        ``min_samples`` neighbours among the stored core points and this
+        batch — is *promoted* to a core point, extending the cluster's
+        reach for later arrivals (the passes repeat until no further point
+        can be absorbed).  A dense region with no existing cluster in range
+        cannot be resolved incrementally (it would need a new cluster id
+        and the full neighbourhood graph), so such points are counted and
+        surface through :attr:`refit_recommended_` instead of being
+        guessed at.  Called on an unfitted estimator this delegates to
+        :meth:`fit`.
+        """
+        if not getattr(self, "_fitted", False):
+            return self.fit(X)
+        X = self._validate(X)
+        if self.components_.shape[0] and \
+                X.shape[1] != self.components_.shape[1]:
+            raise ConfigurationError(
+                f"partial_fit batch has {X.shape[1]} features; the fitted "
+                f"model expects {self.components_.shape[1]}")
+        n = X.shape[0]
+        eps = self.eps_ if self.eps_ > 0 else 0.0
+        # Within-batch distances are reused by every absorption pass.
+        batch_distances = self._pairwise_distances(X)
+        batch_neighbors = batch_distances <= eps
+        labels = np.full(n, NOISE, dtype=np.int64)
+        assigned = np.zeros(n, dtype=bool)
+        promoted = np.zeros(n, dtype=bool)
+        components = self.components_
+        component_labels = self.component_labels_
+        while True:
+            pending = np.flatnonzero(~assigned)
+            if pending.size == 0 or components.shape[0] == 0:
+                break
+            nearest, distance = nearest_centers(X[pending], components)
+            reachable = distance <= eps
+            if not np.any(reachable):
+                break
+            hit = pending[reachable]
+            labels[hit] = component_labels[nearest[reachable]]
+            assigned[hit] = True
+            # Promote dense absorbed points: their neighbourhood spans the
+            # stored cores plus this batch (the point itself included).
+            # Same O(h*m) distance expansion as _pairwise_distances — never
+            # the (h, m, d) broadcast, which would blow up memory by a
+            # factor of d on wide embeddings.
+            d2 = (np.sum(X[hit] ** 2, axis=1)[:, None]
+                  + np.sum(components ** 2, axis=1)[None, :]
+                  - 2.0 * (X[hit] @ components.T))
+            np.maximum(d2, 0.0, out=d2)
+            core_counts = np.sum(d2 <= eps * eps, axis=1)
+            batch_counts = batch_neighbors[hit].sum(axis=1)
+            dense = (core_counts + batch_counts) >= self.min_samples
+            newly = hit[dense & ~promoted[hit]]
+            if newly.size == 0:
+                break
+            promoted[newly] = True
+            components = np.vstack([components, X[newly]])
+            component_labels = np.concatenate(
+                [component_labels, labels[newly]])
+        self.components_ = components
+        self.component_labels_ = component_labels
+        # Unabsorbed dense points are evidence of a *new* cluster the
+        # incremental path cannot create.
+        unassigned = ~assigned
+        dense_unassigned = unassigned & \
+            (batch_neighbors.sum(axis=1) >= self.min_samples)
+        self.n_streamed_ += n
+        self.n_streamed_noise_ += int(np.sum(unassigned))
+        self.n_unabsorbed_cores_ += int(np.sum(dense_unassigned))
+        return self
+
+    @property
+    def refit_recommended_(self) -> bool:
+        """Has streaming accumulated structure this model cannot absorb?
+
+        True once any streamed dense region fell outside every existing
+        cluster, or once the fraction of streamed points labelled noise
+        exceeds ``30%`` — in either case the incremental assignments remain
+        *valid* but a full refit would recover genuinely new clusters.
+        """
+        if self.n_unabsorbed_cores_ > 0:
+            return True
+        return (self.n_streamed_ > 0
+                and self.n_streamed_noise_ / self.n_streamed_
+                > _REFIT_NOISE_FRACTION)
+
     def predict(self, X) -> np.ndarray:
         """Assign new points with the epsilon-neighbour rule.
 
@@ -130,6 +228,9 @@ class DBSCAN(FittableMixin):
             "eps": self.eps,
             "min_samples": self.min_samples,
             "fitted_eps": self.eps_,
+            "n_streamed": self.n_streamed_,
+            "n_streamed_noise": self.n_streamed_noise_,
+            "n_unabsorbed_cores": self.n_unabsorbed_cores_,
         }
 
     def checkpoint_arrays(self) -> dict[str, np.ndarray]:
@@ -151,6 +252,9 @@ class DBSCAN(FittableMixin):
         model.core_sample_indices_ = np.asarray(
             arrays["core_sample_indices"], dtype=np.int64)
         model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
+        model.n_streamed_ = int(params.get("n_streamed", 0))
+        model.n_streamed_noise_ = int(params.get("n_streamed_noise", 0))
+        model.n_unabsorbed_cores_ = int(params.get("n_unabsorbed_cores", 0))
         model._fitted = True
         return model
 

@@ -37,6 +37,9 @@ class KMeans(FittableMixin):
         self.labels_: np.ndarray | None = None
         self.inertia_: float | None = None
         self.n_iter_: int = 0
+        # Streaming state (see partial_fit): points ever assigned per centre.
+        self.counts_: np.ndarray | None = None
+        self.n_seen_: int = 0
 
     # ------------------------------------------------------------------
     def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -113,7 +116,51 @@ class KMeans(FittableMixin):
         self.cluster_centers_ = centers
         self.inertia_ = inertia
         self.n_iter_ = n_iter
+        self.counts_ = np.bincount(labels, minlength=self.n_clusters
+                                   ).astype(np.float64)
+        self.n_seen_ = int(X.shape[0])
         self._fitted = True
+        return self
+
+    def partial_fit(self, X) -> "KMeans":
+        """Update the fitted centres with a batch of new points (streaming).
+
+        Mini-batch K-means update (Sculley 2010): each new point pulls its
+        nearest centre towards itself with a per-centre learning rate of
+        ``1 / count``, so every centre tracks the running mean of all points
+        ever assigned to it.  On a stream whose batches keep the same
+        nearest-centre partition as a batch fit of the concatenation, the
+        incremental centres converge to the same fixed point — the parity
+        the streaming tests assert.  Called on an unfitted estimator this
+        simply delegates to :meth:`fit`.
+        """
+        if not getattr(self, "_fitted", False):
+            return self.fit(X)
+        X = self._validate(X)
+        if X.shape[1] != self.cluster_centers_.shape[1]:
+            raise ConfigurationError(
+                f"partial_fit batch has {X.shape[1]} features; the fitted "
+                f"model expects {self.cluster_centers_.shape[1]}")
+        if self.counts_ is None:
+            # Restored from a pre-streaming checkpoint: recover the per-centre
+            # counts from the stored training labels.
+            self.counts_ = np.bincount(self.labels_,
+                                       minlength=self.n_clusters
+                                       ).astype(np.float64)
+            self.n_seen_ = int(self.labels_.shape[0])
+        labels, _ = self._assign(X, self.cluster_centers_)
+        centers = self.cluster_centers_.copy()
+        for cluster in np.unique(labels):
+            members = X[labels == cluster]
+            total = self.counts_[cluster] + members.shape[0]
+            # Exact streaming-mean update: old_mean + (batch_sum - k*old)/total.
+            centers[cluster] += (members.sum(axis=0)
+                                 - members.shape[0] * centers[cluster]) / total
+            self.counts_[cluster] = total
+        self.cluster_centers_ = centers
+        self.n_seen_ += int(X.shape[0])
+        # The training-time inertia no longer describes the updated centres.
+        self.inertia_ = None
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -146,13 +193,17 @@ class KMeans(FittableMixin):
             "seed": self.seed,
             "inertia": self.inertia_,
             "n_iter": self.n_iter_,
+            "n_seen": self.n_seen_,
         }
 
     def checkpoint_arrays(self) -> dict[str, np.ndarray]:
-        """Fitted arrays: the learned centres and the training labels."""
+        """Fitted arrays: learned centres, training labels, stream counts."""
         self._require_fitted()
-        return {"cluster_centers": self.cluster_centers_,
-                "labels": self.labels_}
+        arrays = {"cluster_centers": self.cluster_centers_,
+                  "labels": self.labels_}
+        if self.counts_ is not None:
+            arrays["counts"] = self.counts_
+        return arrays
 
     @classmethod
     def from_checkpoint(cls, params: dict, arrays: dict) -> "KMeans":
@@ -164,5 +215,10 @@ class KMeans(FittableMixin):
         model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
         model.inertia_ = params["inertia"]
         model.n_iter_ = params["n_iter"]
+        # Streaming state; absent from pre-streaming checkpoints, in which
+        # case partial_fit recovers the counts from the training labels.
+        if "counts" in arrays:
+            model.counts_ = np.asarray(arrays["counts"], dtype=np.float64)
+        model.n_seen_ = int(params.get("n_seen", model.labels_.shape[0]))
         model._fitted = True
         return model

@@ -46,3 +46,7 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """Raised when the online inference layer receives an unservable request."""
+
+
+class StreamingError(ReproError):
+    """Raised when a streaming-ingestion or incremental-update step is invalid."""

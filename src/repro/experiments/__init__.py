@@ -28,6 +28,7 @@ from .reporting import (
 from .docs import render_experiments_md, write_experiments_md
 from .api_docs import render_api_md, write_api_md
 from .scalability import ScalabilityPoint, run_scalability_study
+from .streaming import StreamStepResult, run_stream_scenario
 from .projections import project_2d, separability_report, ProjectionReport
 from .heatmaps import similarity_heatmap, HeatmapReport
 
@@ -55,6 +56,8 @@ __all__ = [
     "write_api_md",
     "ScalabilityPoint",
     "run_scalability_study",
+    "StreamStepResult",
+    "run_stream_scenario",
     "project_2d",
     "separability_report",
     "ProjectionReport",

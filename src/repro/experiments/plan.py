@@ -38,6 +38,10 @@ _TASK_EMBEDDINGS = {
     "schema_inference": SCHEMA_LEVEL_EMBEDDINGS + INSTANCE_LEVEL_EMBEDDINGS,
     "entity_resolution": ER_EMBEDDINGS,
     "domain_discovery": DD_SCHEMA_EMBEDDINGS + DD_INSTANCE_EMBEDDINGS,
+    # Streaming spans all three tasks but only the per-item stateless
+    # encoders keep batches in the training space (see
+    # repro.experiments.streaming.STREAMABLE_EMBEDDINGS).
+    "streaming": ("sbert", "fasttext", "sbert_instance"),
 }
 
 

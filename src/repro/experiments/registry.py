@@ -141,6 +141,24 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             },
         },
     ),
+    "stream_ingestion": ExperimentSpec(
+        experiment_id="stream_ingestion", kind="analysis",
+        title="Streaming ingestion with incremental model updates "
+              "(continuous learning over arrival batches)",
+        task="streaming",
+        datasets=("webtables", "musicbrainz", "camera"),
+        embeddings=("sbert",),
+        algorithms=("kmeans", "birch", "dbscan", "ae"),
+        notes="Replays each dataset as arrival batches (optionally with "
+              "injected drift), fits on the initial portion, and applies "
+              "the drift monitor's update-vs-refit decision per batch via "
+              "`repro.stream`; `repro stream <task>` exposes every knob "
+              "(batches, drift kind/rate, checkpoint rotation for hot "
+              "reload), `repro run stream_ingestion` runs this default "
+              "matrix.",
+        extra={"n_batches": 4, "initial_fraction": 0.5,
+               "drift_kinds": ("none", "abbreviate", "typo", "case", "drop")},
+    ),
     "ks_density": ExperimentSpec(
         experiment_id="ks_density", kind="analysis",
         title="Kolmogorov-Smirnov density analysis of SBERT features "

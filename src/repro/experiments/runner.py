@@ -39,8 +39,20 @@ from .parallel import ParallelRunner
 from .plan import ExperimentPlan, plan_experiment
 from .registry import ExperimentSpec
 from .scalability import run_scalability_study
+from .streaming import run_stream_scenario
 
 __all__ = ["build_dataset", "run_experiment", "run_plan"]
+
+#: Which task pipeline each streamable dataset belongs to (the streaming
+#: scenario spans all three tasks, one dataset per task by default).
+_STREAM_DATASET_TASKS = {
+    "webtables": "schema_inference",
+    "tus": "schema_inference",
+    "musicbrainz": "entity_resolution",
+    "geographic": "entity_resolution",
+    "camera": "domain_discovery",
+    "monitor": "domain_discovery",
+}
 
 
 def build_dataset(name: str, scale: ExperimentScale | None = None, *,
@@ -153,7 +165,7 @@ def run_experiment(experiment_id: str, *,
                            seed=seed)
 
     if save_dir is not None and plan.spec.experiment_id in (
-            "table1", "ks_density", "figure4_scalability"):
+            "table1", "ks_density", "figure4_scalability", "stream_ingestion"):
         raise ExperimentError(
             f"experiment {experiment_id!r} does not fit persistable models; "
             "'save_dir' only applies to the table experiments")
@@ -171,6 +183,9 @@ def run_experiment(experiment_id: str, *,
         return _run_scalability_spec(plan, config, graph=graph,
                                      batch_size=batch_size)
 
+    if plan.spec.experiment_id == "stream_ingestion":
+        return _run_stream_spec(plan, config)
+
     updates = {}
     if graph is not None:
         updates["graph"] = graph
@@ -178,6 +193,32 @@ def run_experiment(experiment_id: str, *,
         updates["batch_size"] = batch_size
     return run_plan(plan, config=config, config_updates=updates or None,
                     workers=workers, executor=executor, save_dir=save_dir)
+
+
+def _run_stream_spec(plan: ExperimentPlan,
+                     config: DeepClusteringConfig | None) -> list[dict]:
+    """Run the default streaming matrix: one scenario per (dataset, algorithm).
+
+    Each scenario replays the dataset without injected drift (the
+    `repro stream` CLI exposes the drift knobs); the per-step rows are
+    flattened with their dataset/algorithm identity so the CLI renders one
+    table for the whole matrix.
+    """
+    rows: list[dict] = []
+    n_batches = int(plan.spec.extra.get("n_batches", 4))
+    fraction = float(plan.spec.extra.get("initial_fraction", 0.5))
+    embedding = plan.embeddings[0]
+    for dataset_name in plan.datasets:
+        task = _STREAM_DATASET_TASKS[dataset_name]
+        for algorithm in plan.algorithms:
+            steps = run_stream_scenario(
+                task, dataset=dataset_name, embedding=embedding,
+                algorithm=algorithm, n_batches=n_batches,
+                initial_fraction=fraction, scale=plan.scale,
+                config=config, seed=plan.seed)
+            rows.extend({"dataset": dataset_name, "algorithm": algorithm,
+                         **step.as_row()} for step in steps)
+    return rows
 
 
 def _run_scalability_spec(plan: ExperimentPlan,

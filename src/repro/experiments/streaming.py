@@ -1,0 +1,199 @@
+"""End-to-end continuous-learning scenario: ingest -> monitor -> update.
+
+``run_stream_scenario`` is the executable behind the ``stream_ingestion``
+registry entry and the ``repro stream`` CLI: it replays one dataset as
+arrival batches (:class:`repro.stream.StreamSource`), fits an initial model
+on the first portion, and then — batch by batch — embeds the arrivals,
+lets the :class:`repro.stream.DriftMonitor` decide **update vs refit**,
+applies the chosen action (:func:`repro.stream.incremental_update` or a
+fresh fit on everything seen), scores the result against the batch's
+ground truth, and optionally rotates a servable checkpoint generation per
+step (:func:`repro.serialize.rotate_checkpoint`) for a hot-reloading
+``repro serve`` to pick up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..clustering import relabel_noise_as_singletons
+from ..config import BENCHMARK_SCALE, DeepClusteringConfig, ExperimentScale
+from ..exceptions import StreamingError
+from ..metrics import adjusted_rand_index, clustering_accuracy
+from ..serialize import rotate_checkpoint
+from ..stream import DriftMonitor, StreamSource, incremental_update
+from ..tasks import embed_columns, embed_records, embed_tables
+from ..tasks.base import make_clusterer
+from ..utils.timing import Timer
+
+__all__ = ["StreamStepResult", "run_stream_scenario", "STREAMABLE_EMBEDDINGS"]
+
+#: Embeddings whose vectors depend on the item alone — the only ones where
+#: a batch embedded today lands in the space the model was fitted in
+#: yesterday.  Corpus-dependent methods (EmbDi, TabNet/TabTransformer)
+#: would re-derive a new space per batch and are rejected.
+STREAMABLE_EMBEDDINGS = {
+    "schema_inference": ("sbert", "fasttext"),
+    "entity_resolution": ("sbert",),
+    "domain_discovery": ("sbert", "fasttext", "sbert_instance"),
+}
+
+_EMBED_FNS = {
+    "schema_inference": embed_tables,
+    "entity_resolution": embed_records,
+    "domain_discovery": embed_columns,
+}
+
+
+@dataclass
+class StreamStepResult:
+    """Outcome of one stream step (the initial fit or one arrival batch)."""
+
+    step: int                       # -1 for the initial fit
+    action: str                     # "fit", "update" or "refit"
+    n_items: int
+    n_seen: int
+    seconds: float
+    ari: float
+    acc: float
+    mean_shift: float = 0.0
+    silhouette: float = 0.0
+    drifted: bool = False
+    reasons: tuple[str, ...] = ()
+    details: dict = field(default_factory=dict, repr=False)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table/JSON/CSV rendering."""
+        return {
+            "step": self.step,
+            "action": self.action,
+            "n_items": self.n_items,
+            "n_seen": self.n_seen,
+            "seconds": round(self.seconds, 4),
+            "ARI": round(self.ari, 3),
+            "ACC": round(self.acc, 3),
+            "mean_shift": round(self.mean_shift, 3),
+            "silhouette": round(self.silhouette, 3),
+            "drifted": self.drifted,
+            "reasons": ";".join(self.reasons),
+        }
+
+
+def _score(model, X: np.ndarray, labels_true: np.ndarray) -> tuple[float, float]:
+    predicted = relabel_noise_as_singletons(model.predict(X))
+    labels_true = np.asarray(labels_true, dtype=np.int64)
+    return (adjusted_rand_index(labels_true, predicted),
+            clustering_accuracy(labels_true, predicted))
+
+
+def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
+                        algorithm: str = "kmeans",
+                        n_batches: int = 4,
+                        drift: str | None = None,
+                        drift_rate: float = 0.5,
+                        initial_fraction: float = 0.5,
+                        scale: ExperimentScale | None = None,
+                        config: DeepClusteringConfig | None = None,
+                        seed: int | None = None,
+                        save_path: str | Path | None = None,
+                        keep_generations: int = 3,
+                        monitor: DriftMonitor | None = None,
+                        ) -> list[StreamStepResult]:
+    """Run the continuous-learning loop over one dataset; return step rows.
+
+    ``dataset`` is either a built container from :mod:`repro.data` or a
+    dataset *name* resolved through the experiment runner at ``scale``.
+    ``save_path`` rotates a checkpoint generation after the initial fit and
+    after every batch, with metadata a ``repro serve`` hot-reloader can
+    consume.  The returned list has one entry for the initial fit (step
+    ``-1``) followed by one per arrival batch.
+    """
+    supported = STREAMABLE_EMBEDDINGS.get(task)
+    if supported is None:
+        raise StreamingError(
+            f"unknown task {task!r}; expected one of "
+            f"{sorted(STREAMABLE_EMBEDDINGS)}")
+    embedding = embedding.lower()
+    if embedding not in supported:
+        raise StreamingError(
+            f"embedding {embedding!r} is corpus-dependent or unknown; "
+            f"streaming supports {supported} for task {task!r}")
+    if isinstance(dataset, str):
+        from .runner import build_dataset
+        dataset = build_dataset(dataset, scale or BENCHMARK_SCALE, seed=seed)
+
+    embed = _EMBED_FNS[task]
+    source = StreamSource(dataset, n_batches=n_batches, drift=drift,
+                          drift_rate=drift_rate,
+                          initial_fraction=initial_fraction, seed=seed)
+    initial = source.initial()
+    X0 = embed(initial, embedding, seed=seed)
+    n_clusters = int(np.unique(initial.labels).size)
+
+    timer = Timer()
+    with timer:
+        model = make_clusterer(algorithm, n_clusters, config=config,
+                               seed=seed)
+        model.fit(X0)
+    ari, acc = _score(model, X0, initial.labels)
+    results = [StreamStepResult(
+        step=-1, action="fit", n_items=X0.shape[0], n_seen=X0.shape[0],
+        seconds=timer.elapsed, ari=ari, acc=acc)]
+
+    monitor = monitor or DriftMonitor()
+    # Same noise convention as assess() below (DBSCAN noise becomes
+    # singletons on both sides), so the silhouette decay carries no
+    # systematic offset.
+    monitor.observe_reference(
+        X0, relabel_noise_as_singletons(np.asarray(model.labels_)))
+
+    metadata = {"task": task, "dataset": dataset.name, "embedding": embedding,
+                "algorithm": algorithm, "seed": seed,
+                "n_features": int(X0.shape[1])}
+    if save_path is not None:
+        rotate_checkpoint(save_path, model, metadata=metadata,
+                          keep=keep_generations)
+
+    seen = [X0]
+    seen_labels = [np.asarray(initial.labels, dtype=np.int64)]
+    for batch in source.batches():
+        Xb = embed(batch.dataset, embedding, seed=seed)
+        predicted = relabel_noise_as_singletons(model.predict(Xb))
+        decision = monitor.assess(
+            Xb, predicted,
+            model_refit_flag=bool(getattr(model, "refit_recommended_", False)))
+        details: dict = {}
+        timer = Timer()
+        with timer:
+            if decision.action == "refit":
+                X_all = np.vstack(seen + [Xb])
+                y_all = np.concatenate(seen_labels + [batch.labels])
+                model = make_clusterer(
+                    algorithm, int(np.unique(y_all).size), config=config,
+                    seed=seed)
+                model.fit(X_all)
+                monitor.observe_reference(
+                    X_all, relabel_noise_as_singletons(
+                        np.asarray(model.labels_)))
+            else:
+                report = incremental_update(model, Xb, seed=seed)
+                details = dict(report.details)
+        seen.append(Xb)
+        seen_labels.append(np.asarray(batch.labels, dtype=np.int64))
+        ari, acc = _score(model, Xb, batch.labels)
+        results.append(StreamStepResult(
+            step=batch.index, action=decision.action,
+            n_items=int(Xb.shape[0]),
+            n_seen=int(sum(x.shape[0] for x in seen)),
+            seconds=timer.elapsed, ari=ari, acc=acc,
+            mean_shift=decision.mean_shift,
+            silhouette=decision.silhouette,
+            drifted=batch.drifted, reasons=decision.reasons,
+            details=details))
+        if save_path is not None:
+            rotate_checkpoint(save_path, model, metadata=metadata,
+                              keep=keep_generations)
+    return results

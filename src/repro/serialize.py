@@ -38,9 +38,11 @@ from .exceptions import SerializationError
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "checkpoint_generations",
     "checkpointable_classes",
     "load_checkpoint",
     "read_checkpoint_header",
+    "rotate_checkpoint",
     "save_checkpoint",
 ]
 
@@ -135,6 +137,73 @@ def save_checkpoint(path: str | Path, model, *,
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)
         raise
+    return destination
+
+
+def _generation_glob(path: Path) -> str:
+    """Glob pattern matching the archived generations of ``path``.
+
+    Archives are dot-prefixed (``.{stem}.gen000123.npz``) so the serving
+    registry's ``*.npz`` listing — which rejects dot-prefixed stems — never
+    mistakes an old generation for a servable model.
+    """
+    return f".{path.stem}.gen*{path.suffix}"
+
+
+def checkpoint_generations(path: str | Path) -> list[Path]:
+    """Archived generations of checkpoint ``path``, oldest first.
+
+    The live checkpoint itself (``path``) is not included; an empty list
+    means the checkpoint has never been rotated (or does not exist).
+    """
+    source = Path(path)
+    return sorted(source.parent.glob(_generation_glob(source)))
+
+
+def rotate_checkpoint(path: str | Path, model, *, metadata: dict | None = None,
+                      keep: int = 3) -> Path:
+    """Write ``model`` as the next *generation* of checkpoint ``path``.
+
+    The continuous-learning write path: the current file (if any) is first
+    preserved as a dot-prefixed archive via a hard link (falling back to a
+    copy across filesystems), then the new generation atomically replaces
+    ``path`` — a reader polling the file (the hot-reload watcher) sees
+    either the old complete checkpoint or the new complete checkpoint,
+    never a gap and never a partial file.  ``metadata["generation"]`` is
+    stamped automatically (one past the current file's generation).  At
+    most ``keep`` archived generations are retained, oldest pruned first;
+    ``keep=0`` archives nothing.  Returns the destination path.
+    """
+    if keep < 0:
+        raise SerializationError("keep must be >= 0")
+    destination = Path(path)
+    generation = 0
+    if destination.exists():
+        try:
+            header = read_checkpoint_header(destination)
+            generation = int(header.get("metadata", {}).get("generation", 0)) + 1
+        except SerializationError:
+            # A foreign/corrupt file at the destination: replace it, but
+            # do not archive garbage.
+            generation = 1
+        else:
+            if keep > 0:
+                archive = destination.parent / \
+                    f".{destination.stem}.gen{generation - 1:06d}{destination.suffix}"
+                try:
+                    os.link(destination, archive)
+                except OSError:
+                    import shutil
+                    shutil.copy2(destination, archive)
+    stamped = dict(metadata or {})
+    stamped["generation"] = generation
+    save_checkpoint(destination, model, metadata=stamped)
+    archives = checkpoint_generations(destination)
+    for stale in archives[:max(0, len(archives) - keep)]:
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - concurrent prune
+            pass
     return destination
 
 

@@ -44,15 +44,27 @@ class ReproHTTPServer(ThreadingHTTPServer):
     """Threading HTTP server carrying the shared :class:`PredictService`."""
 
     daemon_threads = True
+    #: The socketserver default backlog of 5 resets connections under a
+    #: concurrent burst (the hot-reload guarantee is exercised with 100
+    #: simultaneous clients); a deeper accept queue just parks them.
+    request_queue_size = 128
 
     def __init__(self, address, handler, service: PredictService) -> None:
         super().__init__(address, handler)
         self.service = service
 
     def server_close(self) -> None:
-        """Close the listening socket and stop the micro-batcher threads."""
+        """Close the socket, the hot-reload watcher and the batcher threads.
+
+        ``TCPServer.__init__`` calls this on a failed bind, *before* our
+        ``__init__`` assigned ``service`` — guard it so the caller sees the
+        bind error (address in use) rather than an ``AttributeError``.
+        """
         super().server_close()
-        self.service.close()
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.registry.stop_hot_reload()
+            service.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -150,16 +162,32 @@ class _Handler(BaseHTTPRequestHandler):
 def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
                   port: int = 8000, max_loaded: int = 4,
                   max_batch_rows: int = 256, max_delay: float = 0.002,
-                  micro_batching: bool = True) -> ReproHTTPServer:
+                  micro_batching: bool = True,
+                  reload_interval: float | None = None) -> ReproHTTPServer:
     """Build (but do not start) the serving HTTP server.
 
     ``port=0`` binds an ephemeral port (``server.server_address[1]`` tells
     which), which is what the tests and the example client use.  Call
     ``serve_forever()`` to run and ``shutdown()`` + ``server_close()`` to
     stop; closing the server also stops the micro-batcher threads.
+
+    ``reload_interval`` (seconds) starts the registry's hot-reload watcher:
+    checkpoints rotated in place (``repro update``, ``rotate_checkpoint``)
+    are picked up within one interval with zero failed predicts — requests
+    racing the swap are answered by whichever complete generation they
+    resolved.  ``None`` serves each loaded checkpoint as-is.
     """
     registry = ModelRegistry(model_dir, max_loaded=max_loaded)
     service = PredictService(registry, max_batch_rows=max_batch_rows,
                              max_delay=max_delay,
                              micro_batching=micro_batching)
-    return ReproHTTPServer((host, port), _Handler, service)
+    try:
+        server = ReproHTTPServer((host, port), _Handler, service)
+    except BaseException:
+        service.close()
+        raise
+    # Only after the bind succeeded: a failed construction must not leak a
+    # polling watcher thread nobody can stop.
+    if reload_interval is not None:
+        registry.start_hot_reload(reload_interval)
+    return server

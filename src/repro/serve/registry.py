@@ -1,4 +1,4 @@
-"""Directory-backed model registry with lazy loading and an LRU bound.
+"""Directory-backed model registry with lazy loading, LRU bound, hot reload.
 
 A model directory is simply a folder of ``<name>.npz`` checkpoints written
 by :func:`repro.serialize.save_checkpoint` (e.g. by ``repro train --save``
@@ -7,6 +7,17 @@ cheap checkpoint headers, deserialises a model's weights the first time a
 request needs it, and keeps at most ``max_loaded`` models in memory,
 evicting the least recently used — so a directory of many large models can
 be served from a bounded footprint.
+
+Checkpoints are also *live*: the continuous-learning loop rotates new
+generations into the same file (:func:`repro.serialize.rotate_checkpoint`),
+and :meth:`ModelRegistry.reload_stale` — polled by the background watcher
+started with :meth:`ModelRegistry.start_hot_reload` — notices the newer
+mtime, deserialises the new generation **off the request path**, and swaps
+it in atomically.  Requests racing the swap keep using the old entry (whose
+weights stay valid) or pick up the new one; the retired entry flows through
+``on_evict`` so the serving layer shuts its micro-batcher down, and any
+``model/<name>/...`` artifacts memoised in :mod:`repro.cache` are
+invalidated.  The predict route never 5xxes during an update.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from ..cache import get_cache
 from ..exceptions import SerializationError, ServingError
 from ..serialize import load_checkpoint, read_checkpoint_header
 
@@ -41,11 +53,19 @@ class LoadedModel:
     model: object
     header: dict
     path: Path
+    #: File mtime at load time; the hot-reload watcher compares against the
+    #: current file to detect a rotated-in newer generation.
+    mtime_ns: int = 0
 
     @property
     def metadata(self) -> dict:
         """User metadata stored at save time (task, embedding, dataset...)."""
         return self.header.get("metadata", {})
+
+    @property
+    def generation(self) -> int:
+        """Checkpoint generation stamped by ``rotate_checkpoint`` (0 if never)."""
+        return int(self.metadata.get("generation", 0))
 
 
 class ModelRegistry:
@@ -73,6 +93,8 @@ class ModelRegistry:
         self._loaded: OrderedDict[str, LoadedModel] = OrderedDict()
         self._lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
+        self._watcher: threading.Thread | None = None
+        self._watcher_stop = threading.Event()
 
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -143,9 +165,14 @@ class ModelRegistry:
                     raise ServingError(
                         f"no model named {name!r} in {self.model_dir} "
                         f"(available: {self.names()})")
+                # Stat before reading: if the file is replaced mid-load the
+                # recorded mtime is older than the winner and the watcher
+                # simply reloads once more.
+                mtime_ns = path.stat().st_mtime_ns
                 model = load_checkpoint(path)
                 entry = LoadedModel(name=name, model=model,
-                                    header=model.checkpoint_header_, path=path)
+                                    header=model.checkpoint_header_,
+                                    path=path, mtime_ns=mtime_ns)
                 evicted: list[LoadedModel] = []
                 with self._lock:
                     # Under eviction churn two loads of one name can race
@@ -177,6 +204,88 @@ class ModelRegistry:
         if entry is not None:
             self._notify_evicted([entry])
         return entry is not None
+
+    # ------------------------------------------------------------------
+    # hot reload
+    # ------------------------------------------------------------------
+    def reload_stale(self) -> list[str]:
+        """Swap in newer checkpoint generations; return the reloaded names.
+
+        For every resident model whose file mtime changed since it was
+        loaded, the new generation is deserialised *without holding the
+        registry lock* (requests keep resolving the old entry meanwhile)
+        and then swapped in atomically; the replaced entry is retired
+        through ``on_evict`` exactly like an LRU eviction, and the model's
+        ``model/<name>/`` cache namespace is invalidated.  A model whose
+        file disappeared is evicted; a corrupt replacement file leaves the
+        old (valid) weights serving.
+        """
+        with self._lock:
+            snapshot = list(self._loaded.values())
+        reloaded: list[str] = []
+        for entry in snapshot:
+            try:
+                mtime_ns = entry.path.stat().st_mtime_ns
+            except OSError:
+                # Checkpoint removed: stop serving it from memory.
+                self.evict(entry.name)
+                continue
+            if mtime_ns == entry.mtime_ns:
+                continue
+            try:
+                model = load_checkpoint(entry.path)
+            except SerializationError:
+                # Never replace valid weights with a broken file; leave the
+                # stale mtime unrecorded so the next poll retries.
+                continue
+            fresh = LoadedModel(name=entry.name, model=model,
+                                header=model.checkpoint_header_,
+                                path=entry.path, mtime_ns=mtime_ns)
+            with self._lock:
+                swapped = self._loaded.get(entry.name) is entry
+                if swapped:
+                    self._loaded[entry.name] = fresh
+                # else: the entry was evicted or replaced while we loaded;
+                # discard our load rather than fight the winner.
+            if swapped:
+                self._notify_evicted([entry])
+                get_cache().invalidate_prefix(f"model/{entry.name}/")
+                reloaded.append(entry.name)
+        return reloaded
+
+    def start_hot_reload(self, interval: float = 1.0) -> None:
+        """Poll for newer checkpoint generations every ``interval`` seconds.
+
+        The watcher is a daemon thread calling :meth:`reload_stale`, so
+        deserialisation cost is paid off the request path.  Idempotent;
+        :meth:`stop_hot_reload` stops it.
+        """
+        if interval <= 0:
+            raise ServingError("hot-reload interval must be positive")
+        with self._lock:
+            if self._watcher is not None:
+                return
+            self._watcher_stop.clear()
+            self._watcher = threading.Thread(
+                target=self._watch, args=(float(interval),),
+                name="repro-hot-reload", daemon=True)
+            self._watcher.start()
+
+    def stop_hot_reload(self) -> None:
+        """Stop the hot-reload watcher thread (no-op when not running)."""
+        with self._lock:
+            watcher = self._watcher
+            self._watcher = None
+        if watcher is not None:
+            self._watcher_stop.set()
+            watcher.join()
+
+    def _watch(self, interval: float) -> None:
+        while not self._watcher_stop.wait(interval):
+            try:
+                self.reload_stale()
+            except Exception:  # pragma: no cover - watchdog must survive
+                pass
 
     # ------------------------------------------------------------------
     def _notify_evicted(self, entries: list[LoadedModel]) -> None:

@@ -8,14 +8,24 @@ the model's training space, and a per-model
 :class:`~repro.serve.batching.MicroBatcher` coalesces concurrent predict
 calls into shared forward passes.  The service is transport-agnostic — the
 stdlib HTTP server calls it, and tests / benchmarks can call it directly.
+
+Raw-item predictions are additionally memoised in :mod:`repro.cache` under
+the ``model/<name>/`` namespace: a hot item asked of the same checkpoint
+generation skips the embed *and* the forward pass entirely.  The keys bake
+in the loaded generation and file mtime (so two generations can never
+serve each other's labels), and the registry's hot-reload swap invalidates
+the whole namespace as belt-and-braces hygiene.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 
 import numpy as np
 
+from ..cache import get_cache
 from ..embeddings import embed_items
 from ..exceptions import ServingError
 from .batching import MicroBatcher
@@ -88,12 +98,17 @@ class PredictService:
         metadata).  Returns the JSON-able response body.
         """
         loaded = self.registry.get(name)
-        matrix = self._matrix_from_payload(loaded, payload)
-        if self.micro_batching:
-            labels = self._batched_predict(loaded, matrix)
-        else:
-            labels = loaded.model.predict(matrix)
-        labels = np.asarray(labels)
+        cache_key = self._items_cache_key(loaded, payload)
+        labels = get_cache().get(cache_key) if cache_key is not None else None
+        if labels is None:
+            matrix = self._matrix_from_payload(loaded, payload)
+            if self.micro_batching:
+                labels = self._batched_predict(loaded, matrix)
+            else:
+                labels = loaded.model.predict(matrix)
+            labels = np.asarray(labels)
+            if cache_key is not None:
+                get_cache().put(cache_key, labels)
         return {
             "model": name,
             "n_items": int(labels.shape[0]),
@@ -159,6 +174,32 @@ class PredictService:
             batcher = self._batchers.pop(loaded, None)
         if batcher is not None:
             batcher.close()
+
+    @staticmethod
+    def _items_cache_key(loaded: LoadedModel, payload) -> str | None:
+        """Cache key memoising one raw-items payload's labels (or ``None``).
+
+        Only well-formed ``items`` payloads are memoised (everything else
+        falls through to the validating path).  The key bakes in the
+        loaded checkpoint's generation *and* file mtime, so a hot-swapped
+        model — even one overwritten in place without advancing the
+        generation counter — can never serve a predecessor's labels; the
+        registry additionally drops the whole ``model/<name>/`` namespace
+        on swap so retired entries don't linger in the LRU.
+        """
+        if not isinstance(payload, dict):
+            return None
+        items = payload.get("items")
+        if not isinstance(items, list) or not items:
+            return None
+        try:
+            fingerprint = hashlib.sha256(json.dumps(
+                items, sort_keys=True, default=str).encode("utf-8")
+            ).hexdigest()
+        except (TypeError, ValueError):
+            return None
+        return (f"model/{loaded.name}/predict/"
+                f"gen{loaded.generation}.{loaded.mtime_ns}/{fingerprint}")
 
     def _matrix_from_payload(self, loaded: LoadedModel,
                              payload: dict) -> np.ndarray:

@@ -1,0 +1,36 @@
+"""Streaming ingestion and incremental (continuous) learning.
+
+The batch pipelines fit once and freeze; this package makes the models
+*live*.  It has three cooperating pieces:
+
+* :class:`StreamSource` replays any :mod:`repro.data` dataset as timed
+  arrival batches, optionally injecting distribution drift through the
+  corruption functions of :mod:`repro.data.corruption`;
+* :class:`DriftMonitor` watches each batch's embedding-distribution shift
+  and silhouette decay and decides **update vs refit**;
+* :func:`incremental_update` absorbs a batch into a fitted model in place —
+  ``partial_fit`` on the SC clusterers, warm-start auto-encoder fine-tuning
+  on the deep models — orders of magnitude cheaper than refitting.
+
+Together with checkpoint rotation (:func:`repro.serialize.rotate_checkpoint`)
+and the registry's hot reload (:meth:`repro.serve.ModelRegistry.reload_stale`)
+this closes the loop: ingest -> update -> rotate -> hot-swap, while
+``/models/{name}/predict`` keeps answering.  ``repro stream`` and
+``repro update`` are the CLI entry points; the end-to-end scenario lives in
+:func:`repro.experiments.streaming.run_stream_scenario`.
+"""
+
+from .drift import DriftDecision, DriftMonitor
+from .source import DRIFT_KINDS, StreamBatch, StreamSource
+from .update import UpdateReport, incremental_update, supports_incremental_update
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DriftDecision",
+    "DriftMonitor",
+    "StreamBatch",
+    "StreamSource",
+    "UpdateReport",
+    "incremental_update",
+    "supports_incremental_update",
+]

@@ -1,0 +1,141 @@
+"""Decide between incremental update and full refit as batches arrive.
+
+Incremental updates (:mod:`repro.stream.update`) are cheap but can only
+*absorb* new data into existing structure; when the arriving distribution
+has genuinely moved, continuing to absorb silently degrades the model.  The
+:class:`DriftMonitor` watches two signals per batch, both computable without
+ground-truth labels:
+
+* **embedding-distribution shift** — the distance between the batch's mean
+  embedding and the reference mean, normalised by the sampling noise a
+  same-distribution batch of that size would show (``sigma * sqrt(d / n)``),
+  so the statistic is ~1 for undrifted batches regardless of embedding
+  dimension or batch size, and
+* **silhouette decay** — how much worse the model's own cluster assignments
+  separate the new batch compared to the reference data.
+
+Either signal crossing its threshold — or the model raising its own
+``refit_recommended_`` flag, as incremental DBSCAN does when dense regions
+fall outside every known cluster — tips the decision to ``"refit"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import StreamingError
+from ..metrics.silhouette import silhouette_score
+
+__all__ = ["DriftDecision", "DriftMonitor"]
+
+
+@dataclass
+class DriftDecision:
+    """Outcome of assessing one batch: the action plus its evidence."""
+
+    action: str                     # "update" or "refit"
+    mean_shift: float               # normalised embedding-mean displacement
+    silhouette: float               # silhouette of the batch assignments
+    silhouette_decay: float         # reference silhouette minus batch one
+    reasons: tuple[str, ...] = ()
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table/JSON rendering."""
+        return {
+            "action": self.action,
+            "mean_shift": round(self.mean_shift, 4),
+            "silhouette": round(self.silhouette, 4),
+            "silhouette_decay": round(self.silhouette_decay, 4),
+            "reasons": ";".join(self.reasons),
+        }
+
+
+class DriftMonitor:
+    """Track a reference embedding distribution and score batches against it.
+
+    Parameters
+    ----------
+    shift_threshold:
+        Normalised mean-shift beyond which a batch counts as drifted.  The
+        statistic is scaled by the expected sampling noise of an undrifted
+        batch, so values hover around ``1`` without drift; the default of
+        ``2`` is a two-sigma rule.
+    silhouette_drop:
+        Absolute silhouette decay (reference minus batch) beyond which the
+        model's structure no longer fits the arrivals.
+    """
+
+    def __init__(self, *, shift_threshold: float = 2.0,
+                 silhouette_drop: float = 0.25) -> None:
+        if shift_threshold <= 0 or silhouette_drop <= 0:
+            raise StreamingError(
+                "shift_threshold and silhouette_drop must be positive")
+        self.shift_threshold = float(shift_threshold)
+        self.silhouette_drop = float(silhouette_drop)
+        self._reference_mean: np.ndarray | None = None
+        self._reference_scale: float | None = None
+        self._reference_silhouette: float | None = None
+
+    @property
+    def has_reference(self) -> bool:
+        """Has :meth:`observe_reference` been called?"""
+        return self._reference_mean is not None
+
+    def observe_reference(self, X, labels) -> None:
+        """Record the training distribution and its assignment quality."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise StreamingError(
+                "reference must be a 2-D matrix with at least 2 rows")
+        self._reference_mean = X.mean(axis=0)
+        # Mean per-feature dispersion: one scale for the whole space keeps
+        # the shift statistic robust to near-constant features.
+        scale = float(np.mean(X.std(axis=0)))
+        self._reference_scale = scale if scale > 0 else 1.0
+        self._reference_silhouette = silhouette_score(
+            X, np.asarray(labels, dtype=np.int64))
+
+    def assess(self, X, labels, *,
+               model_refit_flag: bool = False) -> DriftDecision:
+        """Score one arrival batch and decide ``update`` vs ``refit``.
+
+        ``labels`` are the *model's* assignments for the batch (no ground
+        truth is consulted).  ``model_refit_flag`` folds in an estimator's
+        own signal (``DBSCAN.refit_recommended_``).
+        """
+        if not self.has_reference:
+            raise StreamingError(
+                "DriftMonitor.assess called before observe_reference")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._reference_mean.shape[0]:
+            raise StreamingError(
+                f"batch has shape {X.shape}; reference dimension is "
+                f"{self._reference_mean.shape[0]}")
+        # Expected ||batch_mean - ref_mean|| for an undrifted batch of this
+        # size is ~ sigma * sqrt(d / n); dividing by it makes the statistic
+        # dimension- and batch-size-free (~1 under the null).
+        null_scale = self._reference_scale * float(
+            np.sqrt(X.shape[1] / max(1, X.shape[0])))
+        shift = float(np.linalg.norm(X.mean(axis=0) - self._reference_mean)
+                      / null_scale)
+        batch_silhouette = silhouette_score(
+            X, np.asarray(labels, dtype=np.int64))
+        decay = self._reference_silhouette - batch_silhouette
+
+        reasons = []
+        if model_refit_flag:
+            reasons.append("model_refit_flag")
+        if shift > self.shift_threshold:
+            reasons.append(f"mean_shift {shift:.3f} > {self.shift_threshold}")
+        if decay > self.silhouette_drop:
+            reasons.append(
+                f"silhouette_decay {decay:.3f} > {self.silhouette_drop}")
+        return DriftDecision(
+            action="refit" if reasons else "update",
+            mean_shift=shift,
+            silhouette=batch_silhouette,
+            silhouette_decay=decay,
+            reasons=tuple(reasons),
+        )

@@ -1,0 +1,230 @@
+"""Replay a dataset as a stream of timed arrival batches, with optional drift.
+
+The batch pipelines see a dataset as one static snapshot; production traffic
+instead *arrives* — new tables are crawled, new records are ingested, new
+columns appear as sources are onboarded.  :class:`StreamSource` turns any of
+the :mod:`repro.data` containers into that shape: an initial portion to fit
+on, followed by ``n_batches`` arrival batches (optionally spaced by a wall
+clock interval), each carrying its items and their ground-truth labels.
+
+Drift is injected through the same corruption functions the generators use
+(:mod:`repro.data.corruption`): with ``drift`` set, a growing fraction of
+each batch's text content is abbreviated, typo'd, case-mangled or dropped,
+so later batches come from a measurably shifted distribution — exactly the
+condition the :class:`~repro.stream.drift.DriftMonitor` exists to detect.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import make_rng
+from ..data.corruption import abbreviate, drop_value, introduce_typo, vary_case
+from ..data.table import (
+    Column,
+    ColumnClusteringDataset,
+    Record,
+    RecordClusteringDataset,
+    Table,
+    TableClusteringDataset,
+)
+from ..exceptions import StreamingError
+
+__all__ = ["DRIFT_KINDS", "StreamBatch", "StreamSource"]
+
+#: Drift flavours ``StreamSource`` can inject (``"none"`` replays verbatim).
+DRIFT_KINDS = ("none", "abbreviate", "typo", "case", "drop")
+
+
+@dataclass
+class StreamBatch:
+    """One arrival batch: a sub-dataset plus its stream position."""
+
+    index: int
+    dataset: object                     # same container type as the source
+    labels: np.ndarray
+    drifted: bool = False
+    arrived_at: float = 0.0
+
+    @property
+    def n_items(self) -> int:
+        """Number of items in this batch."""
+        return int(self.labels.shape[0])
+
+
+def _corrupt_text(value: object, kind: str,
+                  rng: np.random.Generator) -> object:
+    if kind == "abbreviate":
+        return abbreviate(str(value), rng)
+    if kind == "typo":
+        return introduce_typo(str(value), rng)
+    if kind == "case":
+        return vary_case(str(value), rng)
+    if kind == "drop":
+        return drop_value(value, rng, probability=1.0)
+    return value
+
+
+def _drift_table(table: Table, kind: str, rate: float,
+                 rng: np.random.Generator) -> Table:
+    """Corrupt a table's headers (the schema-level embedding evidence).
+
+    ``drop`` removes whole columns (always keeping at least one) — the
+    schema-level analogue of a missing value.
+    """
+    columns = {}
+    for header, values in table.columns.items():
+        if rng.random() < rate:
+            if kind == "drop":
+                continue
+            header = str(_corrupt_text(header, kind, rng))
+        columns[header] = list(values)
+    if not columns:  # never drop the whole schema
+        header = next(iter(table.columns))
+        columns[header] = list(table.columns[header])
+    return Table(name=table.name, columns=columns,
+                 metadata=dict(table.metadata))
+
+
+def _drift_record(record: Record, kind: str, rate: float,
+                  rng: np.random.Generator) -> Record:
+    values = {}
+    for attribute, value in record.values.items():
+        if value is not None and rng.random() < rate:
+            value = _corrupt_text(value, kind, rng)
+        values[attribute] = value
+    return Record(values=values, source=record.source,
+                  identifier=record.identifier,
+                  metadata=dict(record.metadata))
+
+
+def _drift_column(column: Column, kind: str, rate: float,
+                  rng: np.random.Generator) -> Column:
+    values = [(_corrupt_text(value, kind, rng)
+               if value is not None and rng.random() < rate else value)
+              for value in column.values]
+    header = column.header
+    if rng.random() < rate:
+        header = str(_corrupt_text(header, kind, rng) or header)
+    return Column(header=header, values=values, table_name=column.table_name,
+                  metadata=dict(column.metadata))
+
+
+class StreamSource:
+    """Split a clustering dataset into an initial fit set plus arrival batches.
+
+    Parameters
+    ----------
+    dataset:
+        Any container from :mod:`repro.data.table` (tables, records or
+        columns with labels).
+    n_batches:
+        Number of arrival batches after the initial portion.
+    initial_fraction:
+        Share of the items reserved for the initial fit (default half).
+    drift, drift_rate:
+        Corruption flavour from :data:`DRIFT_KINDS` and the *final* per-item
+        corruption probability; the rate ramps linearly from 0 over the
+        batches, so early batches match the training distribution and late
+        ones do not.
+    interval:
+        Seconds between batch arrivals (``0`` replays as fast as possible —
+        what the tests and benchmarks use).
+    seed:
+        Controls the shuffle and every corruption draw.
+    """
+
+    def __init__(self, dataset, *, n_batches: int, initial_fraction: float = 0.5,
+                 drift: str | None = None, drift_rate: float = 0.5,
+                 interval: float = 0.0, seed: int | None = None) -> None:
+        if n_batches < 1:
+            raise StreamingError("n_batches must be >= 1")
+        if not 0.0 < initial_fraction < 1.0:
+            raise StreamingError("initial_fraction must be in (0, 1)")
+        if drift is not None and drift not in DRIFT_KINDS:
+            raise StreamingError(
+                f"unknown drift kind {drift!r}; expected one of {DRIFT_KINDS}")
+        if not 0.0 <= drift_rate <= 1.0:
+            raise StreamingError("drift_rate must be in [0, 1]")
+        if interval < 0:
+            raise StreamingError("interval must be non-negative")
+        self.dataset = dataset
+        self.items, self._field = self._dataset_items(dataset)
+        self.n_batches = int(n_batches)
+        self.drift = None if drift in (None, "none") else drift
+        self.drift_rate = float(drift_rate)
+        self.interval = float(interval)
+        self.seed = seed
+        n_items = len(self.items)
+        n_initial = int(round(n_items * initial_fraction))
+        if n_initial < 1 or n_items - n_initial < n_batches:
+            raise StreamingError(
+                f"cannot split {n_items} items into an initial portion plus "
+                f"{n_batches} non-empty batches at fraction {initial_fraction}")
+        rng = make_rng(seed)
+        self._order = rng.permutation(n_items)
+        self._n_initial = n_initial
+        self._rng = rng
+
+    @staticmethod
+    def _dataset_items(dataset) -> tuple[list, str]:
+        for attr in ("tables", "records", "columns"):
+            if hasattr(dataset, attr):
+                return list(getattr(dataset, attr)), attr
+        raise StreamingError(
+            f"cannot stream object of type {type(dataset).__name__}; expected "
+            "a table/record/column clustering dataset")
+
+    # ------------------------------------------------------------------
+    def _subset(self, indices: np.ndarray, name: str, items: list | None = None):
+        """Package ``indices`` of the source as a same-typed sub-dataset."""
+        chosen = (items if items is not None
+                  else [self.items[i] for i in indices])
+        labels = np.asarray(self.dataset.labels)[indices]
+        cls = {"tables": TableClusteringDataset,
+               "records": RecordClusteringDataset,
+               "columns": ColumnClusteringDataset}[self._field]
+        return cls(**{self._field: chosen}, labels=labels, name=name)
+
+    def initial(self):
+        """The initial fit portion as a sub-dataset of the source's type."""
+        indices = self._order[:self._n_initial]
+        return self._subset(indices, f"{self.dataset.name}")
+
+    def _drift_items(self, items: list, rate: float) -> list:
+        drifters = {"tables": _drift_table, "records": _drift_record,
+                    "columns": _drift_column}
+        drifter = drifters[self._field]
+        return [drifter(item, self.drift, rate, self._rng) for item in items]
+
+    def batches(self):
+        """Yield the :class:`StreamBatch` arrivals in order.
+
+        Each batch's drift rate ramps from ``0`` (first batch) to
+        ``drift_rate`` (last batch); with ``interval`` set the generator
+        sleeps between arrivals to emulate timed ingestion.
+        """
+        remaining = self._order[self._n_initial:]
+        splits = np.array_split(remaining, self.n_batches)
+        for index, indices in enumerate(splits):
+            if self.interval > 0 and index > 0:
+                time.sleep(self.interval)
+            rate = 0.0
+            drifted = False
+            items = [self.items[i] for i in indices]
+            if self.drift is not None and self.n_batches > 1:
+                rate = self.drift_rate * index / (self.n_batches - 1)
+            elif self.drift is not None:
+                rate = self.drift_rate
+            if rate > 0:
+                items = self._drift_items(items, rate)
+                drifted = True
+            dataset = self._subset(indices,
+                                   f"{self.dataset.name}#batch{index}",
+                                   items=items)
+            yield StreamBatch(index=index, dataset=dataset,
+                              labels=dataset.labels, drifted=drifted,
+                              arrived_at=time.monotonic())

@@ -1,0 +1,145 @@
+"""Incremental model updates: absorb a batch without refitting from scratch.
+
+:func:`incremental_update` is the single entry point the streaming scenario,
+the ``repro update`` CLI and the serving-side refresh path share.  It
+dispatches on the fitted model's type:
+
+* **KMeans / Birch / DBSCAN** — the estimator's own ``partial_fit``
+  (mini-batch centroid updates, CF-tree insertion, core-point absorption);
+* **AutoencoderClustering / SDCN / EDESC** — *warm-start fine-tuning*: the
+  already-trained auto-encoder resumes from its current weights for a few
+  reconstruction epochs on the new batch (through the mini-batch path), and
+  the clustering head is refreshed incrementally — the AE baseline's inner
+  clusterer and SDCN's fallback Birch via ``partial_fit``, SDCN's Student-t
+  centres and EDESC's subspace bases kept (they keep assigning through the
+  updated encoder);
+* **SHGP** — rejected: its embeddings are a function of the whole
+  heterogeneous graph, so there is no sound incremental step (callers
+  should refit).
+
+Every path is orders of magnitude cheaper than a full refit — the exact
+margin is measured by ``benchmarks/bench_stream.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering import DBSCAN, Birch, KMeans
+from ..dc import EDESC, SDCN, AutoencoderClustering
+from ..exceptions import StreamingError
+from ..utils.validation import check_matrix
+
+__all__ = ["UpdateReport", "incremental_update", "supports_incremental_update"]
+
+#: Default number of warm-start fine-tuning epochs for the deep models.
+_FINE_TUNE_EPOCHS = 2
+#: Default mini-batch size of the fine-tuning pass.
+_FINE_TUNE_BATCH = 64
+
+
+@dataclass
+class UpdateReport:
+    """What one incremental update did and what it cost."""
+
+    strategy: str                    # "partial_fit" or "warm_start"
+    model_class: str
+    n_new: int
+    seconds: float
+    refit_recommended: bool = False
+    details: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table/JSON rendering."""
+        return {
+            "strategy": self.strategy,
+            "model": self.model_class,
+            "n_new": self.n_new,
+            "seconds": round(self.seconds, 4),
+            "refit_recommended": self.refit_recommended,
+            **{key: (round(value, 4) if isinstance(value, float) else value)
+               for key, value in self.details.items()},
+        }
+
+
+def supports_incremental_update(model) -> bool:
+    """Can :func:`incremental_update` absorb new data into ``model``?"""
+    return isinstance(model, (KMeans, Birch, DBSCAN, AutoencoderClustering,
+                              SDCN, EDESC))
+
+
+def _fine_tune_autoencoder(model, X: np.ndarray, *, epochs: int,
+                           batch_size: int, seed: int | None) -> list[float]:
+    """Resume the model's AE from its trained weights on the new batch."""
+    config = model.config
+    learning_rate = config.learning_rate
+    return model.autoencoder_.pretrain(
+        X, epochs=epochs, lr=learning_rate,
+        batch_size=min(batch_size, X.shape[0]), seed=seed)
+
+
+def incremental_update(model, X, *, epochs: int = _FINE_TUNE_EPOCHS,
+                       batch_size: int = _FINE_TUNE_BATCH,
+                       seed: int | None = None) -> UpdateReport:
+    """Absorb the batch ``X`` into the fitted ``model`` in place.
+
+    Returns an :class:`UpdateReport` with the strategy used, the wall time,
+    and — where the estimator exposes one — its refit-recommended signal.
+    Raises :class:`~repro.exceptions.StreamingError` for models with no
+    sound incremental step (SHGP, or anything unfitted/unknown).
+    """
+    if not getattr(model, "_fitted", False):
+        raise StreamingError(
+            f"incremental_update requires a fitted model; "
+            f"{type(model).__name__} is not fitted")
+    if not supports_incremental_update(model):
+        raise StreamingError(
+            f"{type(model).__name__} does not support incremental updates "
+            "(its representation depends on the whole corpus); refit instead")
+    X = check_matrix(X)
+    started = time.perf_counter()
+    details: dict = {}
+    refit_recommended = False
+
+    if isinstance(model, (KMeans, Birch, DBSCAN)):
+        strategy = "partial_fit"
+        model.partial_fit(X)
+        if isinstance(model, DBSCAN):
+            refit_recommended = model.refit_recommended_
+            details["n_unabsorbed_cores"] = model.n_unabsorbed_cores_
+        elif isinstance(model, KMeans):
+            details["n_seen"] = model.n_seen_
+        else:
+            details["n_subclusters"] = int(model.subcluster_centers_.shape[0])
+    else:
+        strategy = "warm_start"
+        losses = _fine_tune_autoencoder(model, X, epochs=epochs,
+                                        batch_size=batch_size, seed=seed)
+        details["fine_tune_loss"] = float(losses[-1]) if losses else 0.0
+        details["epochs"] = epochs
+        latent = model.autoencoder_.transform(X)
+        if isinstance(model, AutoencoderClustering):
+            # The inner clusterer lives in the latent space the encoder just
+            # moved; feed it the new batch's updated codes.
+            model.clusterer_.partial_fit(latent)
+        elif isinstance(model, SDCN):
+            if model.selected_branch_ == "autoencoder" and \
+                    model.fallback_clusterer_ is not None:
+                model.fallback_clusterer_.partial_fit(latent)
+            # Student-t centres are kept: argmax Q keeps assigning through
+            # the fine-tuned encoder.
+        # EDESC: subspace bases are kept for the same reason.
+        model.history_.setdefault("fine_tune_loss", []).extend(
+            float(value) for value in losses)
+
+    return UpdateReport(
+        strategy=strategy,
+        model_class=type(model).__name__,
+        n_new=int(X.shape[0]),
+        seconds=time.perf_counter() - started,
+        refit_recommended=refit_recommended,
+        details=details,
+    )

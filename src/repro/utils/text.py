@@ -10,6 +10,7 @@ subword embeddings.
 
 from __future__ import annotations
 
+import math
 import re
 from functools import lru_cache
 
@@ -67,11 +68,16 @@ def char_ngrams(token: str, n_min: int = 3, n_max: int = 5) -> tuple[str, ...]:
 
 
 def is_numeric_token(token: str) -> bool:
-    """Return True when ``token`` parses as a number."""
+    """Return True when ``token`` parses as a *finite* number.
+
+    ``float`` also accepts the words ``inf``/``infinity``/``nan`` (which
+    real text produces, e.g. a typo turning ``info`` into ``inf``); those
+    carry no magnitude, so they are treated as ordinary words.
+    """
     if not token:
         return False
     try:
-        float(token)
+        value = float(token)
     except ValueError:
         return False
-    return True
+    return math.isfinite(value)

@@ -1,0 +1,157 @@
+"""Perf-regression gate: benchmarks/compare_bench.py behaviour."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _MODULE_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _serve_doc(*, speedup=2.5, per_request_p99=50.0, micro_p99=5.0) -> dict:
+    return {
+        "throughput_speedup": speedup,
+        "per_request": {"p99_ms": per_request_p99},
+        "micro_batched": {"p99_ms": micro_p99},
+    }
+
+
+def _stream_doc(*, speedup=20.0, failed=0) -> dict:
+    return {
+        "update": {"min_speedup_vs_refit": speedup},
+        "hot_reload": {"failed_predicts": failed},
+    }
+
+
+def _figure4_doc(*, sparse_runtime=1.5, sparse_mem=20.0) -> list:
+    return [
+        {"graph": "dense", "n_instances": 240, "runtime_s": 1.0,
+         "peak_mem_mb": 100.0},
+        {"graph": "sparse", "n_instances": 240, "runtime_s": sparse_runtime,
+         "peak_mem_mb": 10.0},
+        {"graph": "sparse", "n_instances": 960, "runtime_s": 8.0,
+         "peak_mem_mb": sparse_mem},
+    ]
+
+
+def _write(directory: Path, serve=None, stream=None, figure4=None) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    if serve is not None:
+        (directory / "BENCH_serve.json").write_text(json.dumps(serve))
+    if stream is not None:
+        (directory / "BENCH_stream.json").write_text(json.dumps(stream))
+    if figure4 is not None:
+        (directory / "BENCH_figure4_scalability.json").write_text(
+            json.dumps(figure4))
+    return directory
+
+
+@pytest.fixture
+def baseline_dir(tmp_path):
+    return _write(tmp_path / "baselines", serve=_serve_doc(),
+                  stream=_stream_doc(), figure4=_figure4_doc())
+
+
+class TestRunCompare:
+    def test_identical_numbers_pass(self, baseline_dir, tmp_path):
+        current = _write(tmp_path / "current", serve=_serve_doc(),
+                         stream=_stream_doc(), figure4=_figure4_doc())
+        report = compare_bench.run_compare(baseline_dir, current)
+        assert report["status"] == "ok"
+        assert report["failures"] == 0
+
+    def test_improvements_pass(self, baseline_dir, tmp_path):
+        current = _write(tmp_path / "current",
+                         serve=_serve_doc(speedup=4.0, micro_p99=2.0),
+                         stream=_stream_doc(speedup=100.0),
+                         figure4=_figure4_doc(sparse_runtime=0.9))
+        report = compare_bench.run_compare(baseline_dir, current)
+        assert report["status"] == "ok"
+
+    def test_throughput_regression_beyond_30_percent_fails(self, baseline_dir,
+                                                           tmp_path):
+        # Baseline speedup 2.5; a drop to 1.5 is a 40% regression.
+        current = _write(tmp_path / "current",
+                         serve=_serve_doc(speedup=1.5),
+                         stream=_stream_doc(), figure4=_figure4_doc())
+        report = compare_bench.run_compare(baseline_dir, current)
+        assert report["status"] == "fail"
+        failing = [row for row in report["rows"] if row["status"] == "fail"]
+        assert any(row["metric"] == "throughput_speedup" for row in failing)
+
+    def test_throughput_drop_within_30_percent_passes(self, baseline_dir,
+                                                      tmp_path):
+        current = _write(tmp_path / "current",
+                         serve=_serve_doc(speedup=1.8),  # -28%
+                         stream=_stream_doc(), figure4=_figure4_doc())
+        assert compare_bench.run_compare(baseline_dir,
+                                         current)["status"] == "ok"
+
+    def test_p99_regression_beyond_2x_fails(self, baseline_dir, tmp_path):
+        # Baseline p99 ratio 5/50 = 0.1; 25/50 = 0.5 is a 5x growth.
+        current = _write(tmp_path / "current",
+                         serve=_serve_doc(micro_p99=25.0),
+                         stream=_stream_doc(), figure4=_figure4_doc())
+        report = compare_bench.run_compare(baseline_dir, current)
+        assert report["status"] == "fail"
+        failing = [row for row in report["rows"] if row["status"] == "fail"]
+        assert any("p99" in row["metric"] for row in failing)
+
+    def test_any_failed_predict_fails(self, baseline_dir, tmp_path):
+        current = _write(tmp_path / "current", serve=_serve_doc(),
+                         stream=_stream_doc(failed=1),
+                         figure4=_figure4_doc())
+        report = compare_bench.run_compare(baseline_dir, current)
+        assert report["status"] == "fail"
+
+    def test_missing_current_file_skips_unless_strict(self, baseline_dir,
+                                                      tmp_path):
+        current = _write(tmp_path / "current", serve=_serve_doc())
+        relaxed = compare_bench.run_compare(baseline_dir, current)
+        assert relaxed["status"] == "ok"
+        strict = compare_bench.run_compare(baseline_dir, current, strict=True)
+        assert strict["status"] == "fail"
+
+    def test_missing_baseline_is_skipped(self, tmp_path):
+        baselines = _write(tmp_path / "baselines")  # empty
+        current = _write(tmp_path / "current", serve=_serve_doc())
+        report = compare_bench.run_compare(baselines, current)
+        assert report["status"] == "ok"
+        assert all(row["status"] == "skipped" for row in report["rows"])
+
+
+class TestMainCli:
+    def test_exit_codes_and_report_file(self, baseline_dir, tmp_path, capsys):
+        current = _write(tmp_path / "current", serve=_serve_doc(speedup=1.0),
+                         stream=_stream_doc(), figure4=_figure4_doc())
+        report_path = tmp_path / "report.json"
+        code = compare_bench.main([
+            "--baseline-dir", str(baseline_dir),
+            "--current-dir", str(current),
+            "--report", str(report_path)])
+        assert code == 1
+        assert json.loads(report_path.read_text())["status"] == "fail"
+        assert "FAIL" in capsys.readouterr().out
+
+        good = _write(tmp_path / "good", serve=_serve_doc(),
+                      stream=_stream_doc(), figure4=_figure4_doc())
+        assert compare_bench.main(["--baseline-dir", str(baseline_dir),
+                                   "--current-dir", str(good)]) == 0
+
+    def test_committed_baselines_are_valid(self):
+        """The real committed baselines parse and yield every gated metric."""
+        baselines = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        for name, extractor in compare_bench.EXTRACTORS.items():
+            path = baselines / name
+            assert path.exists(), f"missing committed baseline {name}"
+            metrics = extractor(json.loads(path.read_text(encoding="utf-8")))
+            assert metrics, f"baseline {name} produced no gated metrics"
+            for value, kind in metrics.values():
+                assert kind in ("higher", "lower", "zero")
+                assert value >= 0

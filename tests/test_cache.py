@@ -128,6 +128,27 @@ class TestArtifactCache:
         assert set_cache(replacement) is get_cache()
         assert get_cache() is replacement
 
+    def test_invalidate_prefix_drops_matching_entries_only(self):
+        cache = ArtifactCache()
+        cache.put("model/m/labels", np.ones(2))
+        cache.put("model/m/centers", np.ones(2))
+        cache.put("model/other/labels", np.ones(2))
+        cache.put("item/x", np.ones(2))
+        assert cache.invalidate_prefix("model/m/") == 2
+        assert cache.get("model/m/labels") is None
+        assert cache.get("model/other/labels") is not None
+        assert cache.get("item/x") is not None
+        assert cache.invalidate_prefix("model/m/") == 0
+
+    def test_invalidate_prefix_removes_disk_entries(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("model/m/derived", np.arange(3))
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        cache.invalidate_prefix("model/m/")
+        assert list(tmp_path.glob("*.npz")) == []
+        # A fresh cache sharing the directory cannot resurrect the value.
+        assert ArtifactCache(cache_dir=tmp_path).get("model/m/derived") is None
+
 
 class TestCacheKeys:
     def test_fingerprint_is_content_addressed(self):

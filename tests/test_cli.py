@@ -279,6 +279,75 @@ class TestServeParser:
         assert main(["serve", "--model-dir", str(tmp_path / "nope")]) == 2
         assert "not found" in capsys.readouterr().err
 
+    def test_serve_hot_reload_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--model-dir", "models", "--reload-ms", "250",
+             "--no-hot-reload"])
+        assert args.reload_ms == 250.0
+        assert args.no_hot_reload
+
+
+class TestStreamCommand:
+    def test_stream_renders_one_row_per_step(self, capsys):
+        code = main(["stream", "schema_inference", "--scale", "test",
+                     "--batches", "2", "--seed", "7", "--format", "json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3  # initial fit + 2 batches
+        assert rows[0]["action"] == "fit"
+        assert all(row["action"] in ("fit", "update", "refit")
+                   for row in rows)
+
+    def test_stream_save_rotates_generations(self, tmp_path, capsys):
+        target = tmp_path / "live.npz"
+        code = main(["stream", "domain_discovery", "--scale", "test",
+                     "--batches", "2", "--algorithm", "birch",
+                     "--save", str(target), "--format", "json"])
+        assert code == 0
+        from repro.serialize import read_checkpoint_header
+
+        header = read_checkpoint_header(target)
+        assert header["metadata"]["generation"] == 2
+        assert "rotated checkpoint" in capsys.readouterr().err
+
+    def test_stream_rejects_foreign_dataset(self, capsys):
+        assert main(["stream", "schema_inference", "--dataset", "camera",
+                     "--scale", "test"]) == 2
+        assert "does not belong" in capsys.readouterr().err
+
+
+class TestUpdateCommand:
+    def test_update_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "web.npz"
+        assert main(["train", "schema_inference", "--dataset", "webtables",
+                     "--scale", "test", "--embedding", "sbert",
+                     "--algorithm", "kmeans", "--save", str(target),
+                     "--format", "json"]) == 0
+        capsys.readouterr()
+        code = main(["update", str(target), "--data", "webtables",
+                     "--scale", "test", "--format", "json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)
+        assert rows[0]["strategy"] == "partial_fit"
+        assert "generation 1" in captured.err
+
+        from repro.serialize import load_checkpoint
+
+        model = load_checkpoint(target)
+        assert model.checkpoint_header_["metadata"]["generation"] == 1
+        assert model.n_seen_ > 40  # absorbed the generated batch
+
+    def test_update_rejects_wrong_task_dataset(self, tmp_path, capsys):
+        target = tmp_path / "web.npz"
+        assert main(["train", "schema_inference", "--dataset", "webtables",
+                     "--scale", "test", "--algorithm", "kmeans",
+                     "--save", str(target), "--format", "json"]) == 0
+        capsys.readouterr()
+        assert main(["update", str(target), "--data", "camera",
+                     "--scale", "test"]) == 2
+        assert "does not belong" in capsys.readouterr().err
+
 
 class TestProfileCommand:
     def test_profiles_subset(self, capsys):

@@ -522,3 +522,132 @@ class TestPredictService:
             body = service.predict("m", {"vectors": X[:3].tolist()})
             assert body["labels"] == [int(v) for v in model.predict(X[:3])]
             assert service.stats() == {}
+
+
+# ----------------------------------------------------------------------
+class TestHotReloadOverHTTP:
+    """The satellite guarantee: zero failed predicts across a hot swap."""
+
+    def test_100_concurrent_requests_across_checkpoint_swap(self, tmp_path):
+        import time
+
+        from repro.serialize import rotate_checkpoint
+
+        model, X = _fitted_kmeans(n_clusters=4, dim=8, n=80, seed=0)
+        path = tmp_path / "live.npz"
+        save_checkpoint(path, model, metadata={"n_features": 8})
+        server, port = _start_server(tmp_path, reload_interval=0.01)
+        try:
+            n_requests = 100
+            barrier = threading.Barrier(n_requests + 1)
+            failures: list[object] = []
+            statuses: list[int] = []
+
+            def client(index: int) -> None:
+                barrier.wait()
+                # Spread arrivals across the swap window.
+                time.sleep((index % 10) * 0.01)
+                try:
+                    body = _post(port, "/models/live/predict",
+                                 {"vectors": X[index % X.shape[0]][None, :]
+                                  .tolist()})
+                    statuses.append(200)
+                    assert body["n_items"] == 1
+                except Exception as exc:  # any non-200 counts as a failure
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n_requests)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            # Rotate a new generation right into the middle of the traffic.
+            time.sleep(0.03)
+            rotate_checkpoint(path, KMeans(4, seed=9).fit(X),
+                              metadata={"n_features": 8})
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+
+            assert failures == []
+            assert len(statuses) == n_requests
+            # The swap really happened while requests were in flight.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.service.registry.get("live").generation == 1:
+                    break
+                time.sleep(0.02)
+            assert server.service.registry.get("live").generation == 1
+            # And the new generation serves subsequent traffic.
+            body = _post(port, "/models/live/predict",
+                         {"vectors": X[:2].tolist()})
+            assert body["n_items"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_server_close_stops_the_watcher(self, tmp_path):
+        model, _ = _fitted_kmeans()
+        save_checkpoint(tmp_path / "m.npz", model)
+        server, _port = _start_server(tmp_path, reload_interval=0.01)
+        registry = server.service.registry
+        server.shutdown()
+        server.server_close()
+        assert registry._watcher is None
+
+
+class TestServedPredictionCache:
+    """Raw-item predictions memoise per checkpoint generation."""
+
+    def _model_dir(self, tmp_path, seed=0):
+        dataset = generate_webtables(24, 6, seed=3)
+        X = embed_tables(dataset, "sbert")
+        model = KMeans(6, seed=seed).fit(X)
+        save_checkpoint(tmp_path / "web.npz", model,
+                        metadata={"task": "schema_inference",
+                                  "embedding": "sbert"})
+        return X
+
+    def test_hot_item_skips_the_forward_pass(self, tmp_path):
+        self._model_dir(tmp_path)
+        registry = ModelRegistry(tmp_path)
+        with PredictService(registry, max_delay=0.0) as service:
+            payload = {"items": [{"headers": ["name", "country"]}]}
+            first = service.predict("web", payload)
+            rows_after_first = service.stats()["web"]["rows"]
+            second = service.predict("web", payload)
+            assert second == first
+            # No additional rows reached the batcher: the labels came from
+            # the model/<name>/ cache namespace.
+            assert service.stats()["web"]["rows"] == rows_after_first
+
+    def test_swap_recomputes_hot_items_on_the_new_generation(self, tmp_path):
+        import time
+
+        from repro.serialize import rotate_checkpoint
+
+        X = self._model_dir(tmp_path)
+        registry = ModelRegistry(tmp_path)
+        with PredictService(registry, max_delay=0.0) as service:
+            payload = {"items": [{"headers": ["name", "country"]}]}
+            service.predict("web", payload)
+            time.sleep(0.01)
+            rotate_checkpoint(tmp_path / "web.npz", KMeans(6, seed=1).fit(X),
+                              metadata={"task": "schema_inference",
+                                        "embedding": "sbert"})
+            assert registry.reload_stale() == ["web"]
+            # Old batcher retired with its entry; the re-predict must run a
+            # fresh forward on the new generation, not reuse cached labels.
+            assert service.stats() == {}
+            body = service.predict("web", payload)
+            assert body["n_items"] == 1
+            assert service.stats()["web"]["rows"] == 1
+
+    def test_vectors_payloads_are_never_memoised(self, tmp_path):
+        X = self._model_dir(tmp_path)
+        registry = ModelRegistry(tmp_path)
+        with PredictService(registry, max_delay=0.0) as service:
+            payload = {"vectors": X[:2].tolist()}
+            service.predict("web", payload)
+            service.predict("web", payload)
+            assert service.stats()["web"]["rows"] == 4
