@@ -88,11 +88,38 @@ def _metrics_figure4(doc: list) -> dict[str, tuple[float, str]]:
     }
 
 
+def _metrics_index(doc: dict) -> dict[str, tuple[float, str]]:
+    """Gated metrics of ``BENCH_index.json``.
+
+    QPS and build speedups are same-machine ratios; the recalls are
+    hardware-independent absolutes — both transfer across runners.
+    """
+    metrics: dict[str, tuple[float, str]] = {}
+    top = doc.get("sizes", {}).get("100000", {}).get("ivf")
+    if top is not None:
+        metrics["ivf_qps_speedup_vs_flat@100k"] = (
+            float(top["qps_speedup_vs_flat"]), "higher")
+        metrics["ivf_recall_at_10@100k"] = (float(top["recall_at_10"]),
+                                            "higher")
+    hnsw = doc.get("sizes", {}).get("10000", {}).get("hnsw")
+    if hnsw is not None:
+        metrics["hnsw_recall_at_10@10k"] = (float(hnsw["recall_at_10"]),
+                                            "higher")
+    graph = doc.get("knn_graph")
+    if graph is not None:
+        metrics["knn_graph_build_speedup@3200"] = (
+            float(graph["build_speedup"]), "higher")
+        metrics["knn_graph_edge_recall@3200"] = (float(graph["edge_recall"]),
+                                                 "higher")
+    return metrics
+
+
 #: Bench file name -> metric extractor.
 EXTRACTORS = {
     "BENCH_serve.json": _metrics_serve,
     "BENCH_stream.json": _metrics_stream,
     "BENCH_figure4_scalability.json": _metrics_figure4,
+    "BENCH_index.json": _metrics_index,
 }
 
 
@@ -143,10 +170,20 @@ def compare_file(name: str, baseline_path: Path,
 
 
 def run_compare(baseline_dir: Path, current_dir: Path, *,
-                strict: bool = False) -> dict:
-    """Compare every known bench file; return the full report document."""
+                strict: bool = False,
+                files: list[str] | None = None) -> dict:
+    """Compare the known bench files; return the full report document.
+
+    ``files`` restricts the comparison to a subset of bench file names —
+    what ``repro bench <name>`` uses to gate a single fresh measurement.
+    """
     rows: list[dict] = []
-    for name in sorted(EXTRACTORS):
+    names = sorted(EXTRACTORS) if files is None else list(files)
+    unknown = [name for name in names if name not in EXTRACTORS]
+    if unknown:
+        raise SystemExit(f"unknown bench file(s) {unknown}; known: "
+                         f"{sorted(EXTRACTORS)}")
+    for name in names:
         baseline_path = baseline_dir / name
         current_path = current_dir / name
         if not baseline_path.exists():
@@ -184,10 +221,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail when a baselined bench file was not "
                              "produced by the current run")
+    parser.add_argument("--files", nargs="+", default=None, metavar="NAME",
+                        help="restrict the comparison to these bench file "
+                             "names (default: all known files)")
     args = parser.parse_args(argv)
 
     report = run_compare(args.baseline_dir, args.current_dir,
-                         strict=args.strict)
+                         strict=args.strict, files=args.files)
     for row in report["rows"]:
         marker = {"ok": " ok ", "fail": "FAIL", "skipped": "skip"}[row["status"]]
         print(f"[{marker}] {row['file']}: {row['detail']}")

@@ -115,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         [sys.executable, "-m", "repro", "train", "schema_inference",
          "--dataset", "webtables", "--scale", "test", "--embedding", "sbert",
          "--algorithm", "kmeans", "--save", str(checkpoint),
-         "--format", "json"],
+         "--with-index", "ivf", "--format", "json"],
         capture_output=True, text=True, timeout=args.timeout)
     if train.returncode != 0:
         print(train.stdout)
@@ -145,6 +145,19 @@ def main(argv: list[str] | None = None) -> int:
         assert body["n_items"] == 1 and len(body["labels"]) == 1, body
         assert all(isinstance(label, int) for label in body["labels"]), body
         print(f"predict ok: {body}")
+
+        # Similarity search against the index trained alongside the model
+        # (the directory serves exactly one index, so no name is needed).
+        status, body = _post_json(
+            f"{base}/search",
+            {"items": [{"headers": ["name", "population", "country"]}],
+             "k": 3})
+        assert status == 200, body
+        assert body["index"] == "webtables.index", body
+        assert body["n_items"] == 1 and len(body["ids"][0]) == 3, body
+        distances = body["distances"][0]
+        assert distances == sorted(distances), body
+        print(f"search ok: {body}")
         print("serve smoke test passed")
         return 0
     except Exception as exc:

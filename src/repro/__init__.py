@@ -28,6 +28,12 @@ and serve online out-of-sample predictions over a stdlib JSON HTTP API with
 micro-batched forwards (:mod:`repro.serve`): ``repro train ... --save m.npz``
 then ``repro serve --model-dir models/``.
 
+Nearest-neighbour work — SDCN's KNN graph, DBSCAN's epsilon queries, and
+the serving API's similarity search — can route through the ANN vector
+indexes in :mod:`repro.index` (``FlatIndex``, ``IVFFlatIndex``,
+``HNSWIndex``), which persist and hot-reload through the same checkpoint
+machinery: ``repro train ... --with-index ivf`` then ``POST /search``.
+
 Models are also continuously updatable (:mod:`repro.stream`): ``repro
 stream`` replays a dataset as arrival batches with drift-aware incremental
 updates, ``repro update`` absorbs new data into a checkpoint and rotates it
@@ -75,6 +81,13 @@ from .embeddings import (
     TabTransformerEncoder,
     embed_item,
     embed_items,
+)
+from .index import (
+    FlatIndex,
+    HNSWIndex,
+    IVFFlatIndex,
+    VectorIndex,
+    create_index,
 )
 from .serialize import (
     checkpoint_generations,
@@ -175,6 +188,11 @@ __all__ = [
     "configure_cache",
     "get_cache",
     "reset_cache",
+    "VectorIndex",
+    "create_index",
+    "FlatIndex",
+    "IVFFlatIndex",
+    "HNSWIndex",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_header",

@@ -37,6 +37,15 @@ evaluation matrix without writing any Python:
     Absorb a batch of new data into a saved checkpoint in place
     (``partial_fit`` / warm-start fine-tuning) and rotate the file to its
     next generation — a running ``repro serve`` picks it up live.
+``repro search <task>``
+    Query a saved :mod:`repro.index` vector index (from ``repro train
+    --with-index`` or ``repro stream --with-index``) with a raw JSON item:
+    embeds the item in the index's training space and prints the top-k
+    nearest corpus items with ids and distances.
+``repro bench <name>``
+    Run one benchmark script and diff its fresh ``BENCH_*.json`` against
+    the committed baseline via ``benchmarks/compare_bench.py`` — the CI
+    perf-regression gate, reproducible locally in one command.
 
 Embedding matrices are cached in-process by :mod:`repro.cache`; pass
 ``--cache-dir`` to also persist them as NPZ files shared across runs and
@@ -60,6 +69,7 @@ from .config import (
 )
 from .data.profiles import DatasetProfile
 from .exceptions import ReproError
+from .index.base import INDEX_BACKENDS
 from .experiments import (
     EXPERIMENTS,
     RESULT_FORMATS,
@@ -90,6 +100,19 @@ _TASK_DATASETS = {
     "schema_inference": ("webtables", "tus"),
     "entity_resolution": ("musicbrainz", "geographic"),
     "domain_discovery": ("camera", "monitor"),
+}
+
+#: Vector-index backends the CLI exposes (one definition: repro.index).
+_INDEX_BACKENDS = INDEX_BACKENDS
+
+#: Bench subcommand: name -> (pytest target, BENCH json it writes).
+_BENCHES = {
+    "index": ("bench_index.py", "BENCH_index.json"),
+    "serve": ("bench_serve.py", "BENCH_serve.json"),
+    "stream": ("bench_stream.py", "BENCH_stream.json"),
+    "figure4_scalability": (
+        "bench_figure4_scalability.py::test_figure4_sparse_scaling",
+        "BENCH_figure4_scalability.json"),
 }
 
 
@@ -140,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="KNN-graph path for the graph-based models: "
                               "dense (O(n^2), the paper's layout) or sparse "
                               "(CSR + blocked top-k, O(n*k) memory)")
+    run_cmd.add_argument("--graph-backend",
+                         choices=("exact",) + _INDEX_BACKENDS, default=None,
+                         help="top-k search behind the sparse graph: exact "
+                              "(blocked scan) or a repro.index ANN backend "
+                              "(sub-quadratic construction)")
     run_cmd.add_argument("--batch-size", type=int, default=None,
                          help="mini-batch size for deep clustering "
                               "training (default: full batch)")
@@ -201,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 "in this directory")
     train_cmd.add_argument("--format", choices=RESULT_FORMATS,
                            default="table", help="summary output format")
+    train_cmd.add_argument("--with-index", nargs="?", const="ivf",
+                           choices=_INDEX_BACKENDS, default=None,
+                           metavar="BACKEND",
+                           help="also build a similarity-search index over "
+                                "the training embeddings and save it next "
+                                "to the checkpoint as <stem>.index.npz "
+                                "(backend: flat, ivf or hnsw; bare flag "
+                                "means ivf)")
 
     serve_cmd = sub.add_parser(
         "serve", help="serve a directory of checkpoints over HTTP")
@@ -277,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "in this directory")
     stream_cmd.add_argument("--format", choices=RESULT_FORMATS,
                             default="table", help="output format")
+    stream_cmd.add_argument("--with-index", nargs="?", const="ivf",
+                            choices=_INDEX_BACKENDS, default=None,
+                            metavar="BACKEND",
+                            help="with --save: maintain a similarity-search "
+                                 "index over everything streamed (built on "
+                                 "the initial fit, extended incrementally "
+                                 "per batch) and rotate it alongside the "
+                                 "model as <stem>.index.npz")
 
     update_cmd = sub.add_parser(
         "update", help="absorb new data into a saved checkpoint in place")
@@ -302,6 +346,39 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: 3)")
     update_cmd.add_argument("--format", choices=RESULT_FORMATS,
                             default="table", help="output format")
+
+    search_cmd = sub.add_parser(
+        "search", help="query a saved vector index with a raw JSON item")
+    search_cmd.add_argument("task", choices=sorted(_TASK_DATASETS),
+                            help="task whose embedding space the index "
+                                 "lives in")
+    search_cmd.add_argument("--index", type=Path, required=True,
+                            metavar="PATH",
+                            help="index checkpoint (from 'repro train "
+                                 "--with-index' or 'repro stream "
+                                 "--with-index')")
+    search_cmd.add_argument("--query", required=True, metavar="JSON",
+                            help="one item as JSON (table/record/column "
+                                 "payload, same shapes as the HTTP API), "
+                                 "or a JSON list of items")
+    search_cmd.add_argument("-k", type=int, default=5,
+                            help="neighbours to return (default: 5)")
+    search_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                            default="table", help="output format")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="run one benchmark and gate it against the committed "
+                      "baseline")
+    bench_cmd.add_argument("name", choices=sorted(_BENCHES),
+                           help="benchmark to run (writes BENCH_<...>.json "
+                                "then diffs it via compare_bench.py)")
+    bench_cmd.add_argument("--benchmarks-dir", type=Path,
+                           default=Path("benchmarks"),
+                           help="benchmark scripts directory (default: "
+                                "./benchmarks — run from the repo root)")
+    bench_cmd.add_argument("--compare-only", action="store_true",
+                           help="skip the run; only diff an existing "
+                                "BENCH json against the baseline")
     return parser
 
 
@@ -355,7 +432,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workers = None if args.workers == 0 else args.workers
     result = run_experiment(
         args.experiment_id, scale=scale, config=_run_config(args),
-        graph=args.graph, batch_size=args.batch_size,
+        graph=args.graph, graph_backend=args.graph_backend,
+        batch_size=args.batch_size,
         seed=args.seed, workers=workers, executor=args.executor,
         save_dir=args.save_dir, **overrides)
 
@@ -464,7 +542,36 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"saved checkpoint {args.save} "
           f"(class={header['class']}, format v{header['version']})",
           file=sys.stderr)
+    if args.with_index is not None:
+        from .index import create_index
+
+        index = create_index(args.with_index, metric="cosine")
+        index.build(X, ids=_item_ids(dataset))
+        index_path = args.save.with_name(args.save.stem + ".index.npz")
+        index.save(index_path, metadata={
+            "task": task.task_name, "dataset": dataset.name,
+            "embedding": args.embedding, "seed": args.seed})
+        print(f"saved index {index_path} (backend={args.with_index}, "
+              f"n={index.size}) — query it with 'repro search' or "
+              "POST /search", file=sys.stderr)
     return 0
+
+
+def _item_ids(dataset) -> list[str] | None:
+    """Human-meaningful corpus ids for a dataset's items, if it has any."""
+    tables = getattr(dataset, "tables", None)
+    if tables:
+        return [table.name for table in tables]
+    records = getattr(dataset, "records", None)
+    if records:
+        return [record.identifier or f"record-{i}"
+                for i, record in enumerate(records)]
+    columns = getattr(dataset, "columns", None)
+    if columns:
+        return [f"{column.table_name}.{column.header}"
+                if column.table_name else column.header
+                for column in columns]
+    return None
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -512,7 +619,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         initial_fraction=args.initial_fraction,
         scale=_SCALES[args.scale], config=_run_config(args),
         seed=args.seed, save_path=args.save,
-        keep_generations=args.keep_generations)
+        keep_generations=args.keep_generations,
+        with_index=args.with_index)
     print(render_rows([step.as_row() for step in steps], args.format,
                       title=f"streamed {dataset_name}/{args.embedding}/"
                             f"{args.algorithm} over {args.batches} batches"))
@@ -572,6 +680,81 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json
+
+    from .embeddings import embed_items
+    from .index import VectorIndex
+    from .serialize import load_checkpoint
+
+    index = load_checkpoint(args.index)
+    if not isinstance(index, VectorIndex):
+        raise ReproError(
+            f"{args.index} stores a {type(index).__name__}, not a vector "
+            "index; build one with 'repro train --save ... --with-index'")
+    metadata = index.checkpoint_header_.get("metadata", {})
+    index_task = metadata.get("task")
+    embedding = metadata.get("embedding")
+    if index_task and index_task != args.task:
+        raise ReproError(
+            f"index {args.index} was built for task {index_task!r}, "
+            f"not {args.task!r}")
+    if not embedding:
+        raise ReproError(
+            f"index {args.index} was saved without embedding metadata; "
+            "rebuild it with 'repro train --with-index'")
+    try:
+        query = json.loads(args.query)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"--query is not valid JSON: {exc}") from exc
+    items = query if isinstance(query, list) else [query]
+    X = embed_items(args.task, embedding, items)
+    positions, distances = index.query(X, args.k)
+    ids = index.ids.tolist()  # JSON-able natives (int64 -> int, str_ -> str)
+    rows = [{"query": q, "rank": rank + 1,
+             "id": ids[positions[q, rank]],
+             "distance": round(float(distances[q, rank]), 4)}
+            for q in range(positions.shape[0])
+            for rank in range(positions.shape[1])]
+    print(render_rows(rows, args.format,
+                      title=f"top-{positions.shape[1]} neighbours "
+                            f"({index.backend} index over {index.size} "
+                            f"items)"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+
+    bench_dir = args.benchmarks_dir
+    target, bench_json = _BENCHES[args.name]
+    script = target.partition("::")[0]
+    if not (bench_dir / script).exists():
+        raise ReproError(
+            f"{bench_dir / script} not found; run from the repository root "
+            "or pass --benchmarks-dir")
+    # The bench subprocess needs the same import path that resolved this
+    # very package (works from a source tree or an installed env).
+    src_dir = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+    if not args.compare_only:
+        pytest_target = str(bench_dir / script) + target[len(script):]
+        outcome = subprocess.run(
+            [sys.executable, "-m", "pytest", pytest_target,
+             "--benchmark-only", "-q", "-s"], env=env)
+        if outcome.returncode != 0:
+            print(f"error: benchmark {args.name} failed", file=sys.stderr)
+            return outcome.returncode
+    compare = subprocess.run(
+        [sys.executable, str(bench_dir / "compare_bench.py"), "--strict",
+         "--files", bench_json,
+         "--baseline-dir", str(bench_dir / "baselines")], env=env)
+    return compare.returncode
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -581,6 +764,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "stream": _cmd_stream,
     "update": _cmd_update,
+    "search": _cmd_search,
+    "bench": _cmd_bench,
 }
 
 

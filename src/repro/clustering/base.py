@@ -8,6 +8,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from ..exceptions import NotFittedError
+from ..utils.metrics_dispatch import squared_euclidean_distances
 from ..utils.validation import check_matrix
 
 __all__ = ["BaseClusterer", "ClusteringResult", "nearest_centers"]
@@ -18,14 +19,12 @@ def nearest_centers(X: np.ndarray,
     """Nearest Euclidean centre per row: ``(indices, distances)``.
 
     The shared kernel behind every centroid-style ``predict`` (Birch
-    sub-clusters, DBSCAN core points, SHGP input centroids): one
-    ``||x||² + ||c||² - 2x·c`` expansion, clamped at zero before the square
-    root so floating-point cancellation never produces NaNs.
+    sub-clusters, DBSCAN core points, SHGP input centroids), built on the
+    :func:`~repro.utils.metrics_dispatch.squared_euclidean_distances`
+    expansion (clamped at zero before the square root so floating-point
+    cancellation never produces NaNs).
     """
-    x_sq = np.sum(X ** 2, axis=1)[:, None]
-    c_sq = np.sum(centers ** 2, axis=1)[None, :]
-    d2 = x_sq + c_sq - 2.0 * (X @ centers.T)
-    np.maximum(d2, 0.0, out=d2)
+    d2 = squared_euclidean_distances(X, centers)
     indices = np.argmin(d2, axis=1)
     distances = np.sqrt(d2[np.arange(X.shape[0]), indices])
     return indices, distances

@@ -14,6 +14,8 @@ from collections import deque
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..index.base import INDEX_BACKENDS
+from ..utils.metrics_dispatch import pairwise_distances
 from .base import ClusteringResult, FittableMixin, nearest_centers
 from .eps_selection import estimate_eps_elbow
 
@@ -21,6 +23,10 @@ __all__ = ["DBSCAN"]
 
 NOISE = -1
 _UNVISITED = -2
+
+#: Core-point query backends: ``exact`` is the vectorised nearest-centre
+#: scan; the rest route through a :mod:`repro.index` vector index.
+_CORE_QUERY_BACKENDS = ("exact",) + INDEX_BACKENDS
 
 #: Fraction of streamed points labelled noise beyond which
 #: :attr:`DBSCAN.refit_recommended_` flips to True.
@@ -38,15 +44,32 @@ class DBSCAN(FittableMixin):
     min_samples:
         Minimum neighbourhood size (including the point itself) for a core
         point.
+    index:
+        Backend answering the out-of-sample core-point queries that
+        :meth:`predict` and the eps-absorption passes of
+        :meth:`partial_fit` issue: ``"exact"`` (the default — a vectorised
+        scan over all stored core points), ``"flat"`` (the same scan
+        through the :mod:`repro.index` machinery) or the approximate
+        ``"ivf"``/``"hnsw"`` backends, which drop per-query cost below
+        O(n_cores * d) at a small recall cost (a point whose true nearest
+        core the index misses may be labelled noise or absorb a
+        neighbouring cluster's label).
     """
 
-    def __init__(self, eps: float | None = None, *, min_samples: int = 5) -> None:
+    def __init__(self, eps: float | None = None, *, min_samples: int = 5,
+                 index: str = "exact") -> None:
         if eps is not None and eps <= 0:
             raise ConfigurationError("eps must be positive (or None to estimate)")
         if min_samples < 1:
             raise ConfigurationError("min_samples must be >= 1")
+        if index not in _CORE_QUERY_BACKENDS:
+            raise ConfigurationError(
+                f"unknown index backend {index!r}; expected one of "
+                f"{_CORE_QUERY_BACKENDS}")
         self.eps = eps
         self.min_samples = int(min_samples)
+        self.index = index
+        self._core_index = None
         self.eps_: float | None = None
         self.labels_: np.ndarray | None = None
         self.core_sample_indices_: np.ndarray | None = None
@@ -59,14 +82,32 @@ class DBSCAN(FittableMixin):
 
     @staticmethod
     def _pairwise_distances(X: np.ndarray) -> np.ndarray:
-        squared = np.sum(X ** 2, axis=1)
-        d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
-        np.maximum(d2, 0.0, out=d2)
-        return np.sqrt(d2)
+        return pairwise_distances(X, metric="euclidean")
+
+    def _nearest_cores(self, X: np.ndarray, components: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest stored core point per row: ``(positions, distances)``.
+
+        Dispatches on the ``index`` backend: the exact scan, or a cached
+        :mod:`repro.index` over the core points (kept incrementally in
+        sync by the promotion path of :meth:`partial_fit`).
+        """
+        if self.index == "exact":
+            return nearest_centers(X, components)
+        index = self._core_index
+        if index is None or index.size != components.shape[0]:
+            from ..index import create_index
+
+            index = create_index(self.index, metric="euclidean")
+            index.build(components)
+            self._core_index = index
+        positions, distances = index.query(X, 1)
+        return positions[:, 0], distances[:, 0]
 
     def fit(self, X) -> "DBSCAN":
         X = self._validate(X)
         n_samples = X.shape[0]
+        self._core_index = None  # the core set is about to be replaced
         self.eps_ = float(self.eps) if self.eps is not None else \
             estimate_eps_elbow(X, k=max(self.min_samples, 2))
         if self.eps_ <= 0:
@@ -149,7 +190,7 @@ class DBSCAN(FittableMixin):
             pending = np.flatnonzero(~assigned)
             if pending.size == 0 or components.shape[0] == 0:
                 break
-            nearest, distance = nearest_centers(X[pending], components)
+            nearest, distance = self._nearest_cores(X[pending], components)
             reachable = distance <= eps
             if not np.any(reachable):
                 break
@@ -175,6 +216,10 @@ class DBSCAN(FittableMixin):
             components = np.vstack([components, X[newly]])
             component_labels = np.concatenate(
                 [component_labels, labels[newly]])
+            if self._core_index is not None:
+                # Keep the cached query index aligned with the growing
+                # core set (the incremental-add write path).
+                self._core_index.add(X[newly])
         self.components_ = components
         self.component_labels_ = component_labels
         # Unabsorbed dense points are evidence of a *new* cluster the
@@ -214,7 +259,7 @@ class DBSCAN(FittableMixin):
         X = self._validate(X)
         if self.components_ is None or self.components_.shape[0] == 0:
             return np.full(X.shape[0], NOISE, dtype=np.int64)
-        nearest, distance = nearest_centers(X, self.components_)
+        nearest, distance = self._nearest_cores(X, self.components_)
         labels = self.component_labels_[nearest].astype(np.int64)
         labels[distance > self.eps_] = NOISE
         return labels
@@ -227,6 +272,7 @@ class DBSCAN(FittableMixin):
         return {
             "eps": self.eps,
             "min_samples": self.min_samples,
+            "index": self.index,
             "fitted_eps": self.eps_,
             "n_streamed": self.n_streamed_,
             "n_streamed_noise": self.n_streamed_noise_,
@@ -244,7 +290,8 @@ class DBSCAN(FittableMixin):
     @classmethod
     def from_checkpoint(cls, params: dict, arrays: dict) -> "DBSCAN":
         """Rebuild a fitted estimator from :mod:`repro.serialize` state."""
-        model = cls(params["eps"], min_samples=params["min_samples"])
+        model = cls(params["eps"], min_samples=params["min_samples"],
+                    index=params.get("index", "exact"))
         model.eps_ = params["fitted_eps"]
         model.components_ = np.asarray(arrays["components"])
         model.component_labels_ = np.asarray(arrays["component_labels"],

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.metrics_dispatch import squared_euclidean_distances
 from ..utils.validation import check_matrix
 
 __all__ = ["kth_nearest_neighbor_distances", "estimate_eps_elbow"]
@@ -23,9 +24,7 @@ def kth_nearest_neighbor_distances(X, k: int = 4) -> np.ndarray:
         raise ValueError("k must be >= 1")
     n = X.shape[0]
     k = min(k, n - 1) if n > 1 else 1
-    squared = np.sum(X ** 2, axis=1)
-    d2 = squared[:, None] + squared[None, :] - 2.0 * (X @ X.T)
-    np.maximum(d2, 0.0, out=d2)
+    d2 = squared_euclidean_distances(X)
     np.fill_diagonal(d2, np.inf)
     if n == 1:
         return np.zeros(1)

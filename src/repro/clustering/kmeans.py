@@ -18,21 +18,33 @@ __all__ = ["KMeans"]
 
 
 class KMeans(FittableMixin):
-    """Lloyd's algorithm with k-means++ seeding and multiple restarts."""
+    """Lloyd's algorithm with k-means++ seeding and multiple restarts.
+
+    ``init="random"`` swaps the k-means++ seeding for a uniform sample of
+    the data — the O(n * k * d) sequential seeding loop is the dominant
+    cost when k is large relative to the iteration count, which is exactly
+    the coarse-quantizer regime :class:`repro.index.IVFFlatIndex` trains
+    in (many cells, few Lloyd iterations, quality set by the data volume).
+    """
 
     def __init__(self, n_clusters: int, *, n_init: int = 4, max_iter: int = 300,
-                 tol: float = 1e-6, seed: int | None = None) -> None:
+                 tol: float = 1e-6, seed: int | None = None,
+                 init: str = "k-means++") -> None:
         if n_clusters < 1:
             raise ConfigurationError("n_clusters must be >= 1")
         if n_init < 1:
             raise ConfigurationError("n_init must be >= 1")
         if max_iter < 1:
             raise ConfigurationError("max_iter must be >= 1")
+        if init not in ("k-means++", "random"):
+            raise ConfigurationError(
+                f"init must be 'k-means++' or 'random', got {init!r}")
         self.n_clusters = int(n_clusters)
         self.n_init = int(n_init)
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.seed = seed
+        self.init = init
         self.cluster_centers_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
         self.inertia_: float | None = None
@@ -43,8 +55,11 @@ class KMeans(FittableMixin):
 
     # ------------------------------------------------------------------
     def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """k-means++ seeding."""
+        """k-means++ seeding (or a uniform sample with ``init="random"``)."""
         n_samples = X.shape[0]
+        if self.init == "random":
+            return X[rng.choice(n_samples, size=self.n_clusters,
+                                replace=False)].copy()
         centers = np.empty((self.n_clusters, X.shape[1]), dtype=np.float64)
         first = rng.integers(n_samples)
         centers[0] = X[first]
@@ -191,6 +206,7 @@ class KMeans(FittableMixin):
             "max_iter": self.max_iter,
             "tol": self.tol,
             "seed": self.seed,
+            "init": self.init,
             "inertia": self.inertia_,
             "n_iter": self.n_iter_,
             "n_seen": self.n_seen_,
@@ -210,7 +226,8 @@ class KMeans(FittableMixin):
         """Rebuild a fitted estimator from :mod:`repro.serialize` state."""
         model = cls(params["n_clusters"], n_init=params["n_init"],
                     max_iter=params["max_iter"], tol=params["tol"],
-                    seed=params["seed"])
+                    seed=params["seed"],
+                    init=params.get("init", "k-means++"))
         model.cluster_centers_ = np.asarray(arrays["cluster_centers"])
         model.labels_ = np.asarray(arrays["labels"], dtype=np.int64)
         model.inertia_ = params["inertia"]

@@ -39,7 +39,11 @@ class DeepClusteringConfig:
     ``graph`` selects the KNN-graph representation used by the graph-based
     models (``"dense"`` reproduces the original O(n^2) path; ``"sparse"``
     builds a CSR adjacency with the blocked top-k search and keeps memory at
-    O(n * k)).  ``batch_size`` enables mini-batch training: the auto-encoder
+    O(n * k)).  ``graph_backend`` selects how the sparse graph's top-k
+    search runs: ``"exact"`` is the blocked scan; ``"flat"``/``"ivf"``/
+    ``"hnsw"`` route through a :mod:`repro.index` vector index, dropping
+    construction below the O(n^2 d) wall at a sliver of recall.
+    ``batch_size`` enables mini-batch training: the auto-encoder
     pre-training always honours it, and SDCN/EDESC additionally fine-tune on
     mini-batches with per-batch target-distribution updates when set.
     """
@@ -54,6 +58,7 @@ class DeepClusteringConfig:
     clustering_weight: float = 0.1
     batch_size: int | None = None
     graph: str = "dense"
+    graph_backend: str = "exact"
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -74,6 +79,13 @@ class DeepClusteringConfig:
         if self.graph not in ("dense", "sparse"):
             raise ConfigurationError(
                 f"graph must be 'dense' or 'sparse', got {self.graph!r}")
+        from .index.base import INDEX_BACKENDS
+
+        if self.graph_backend not in ("exact",) + INDEX_BACKENDS:
+            raise ConfigurationError(
+                f"graph_backend must be one of "
+                f"{('exact',) + INDEX_BACKENDS}, got "
+                f"{self.graph_backend!r}")
 
     def with_updates(self, **changes) -> "DeepClusteringConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -169,7 +169,8 @@ class SDCN(DeepClusterer):
         # Phase 2: joint training with dual self-supervision.
         # ------------------------------------------------------------------
         if config.graph == "sparse":
-            adjacency = normalized_adjacency(sparse_knn_graph(X, k=self.knn_k))
+            adjacency = normalized_adjacency(sparse_knn_graph(
+                X, k=self.knn_k, backend=config.graph_backend))
         else:
             adjacency = normalized_adjacency(knn_graph(X, k=self.knn_k))
         self._gcn_layers = self._build_gcn(X.shape[1], config, rng)

@@ -50,3 +50,7 @@ class ServingError(ReproError):
 
 class StreamingError(ReproError):
     """Raised when a streaming-ingestion or incremental-update step is invalid."""
+
+
+class VectorIndexError(ReproError):
+    """Raised when a vector index is queried or mutated invalidly."""

@@ -126,6 +126,7 @@ def run_experiment(experiment_id: str, *,
                    embeddings: tuple[str, ...] | None = None,
                    datasets: tuple[str, ...] | None = None,
                    graph: str | None = None,
+                   graph_backend: str | None = None,
                    batch_size: int | None = None,
                    seed: int | None = None,
                    workers: int | None = 1,
@@ -142,11 +143,12 @@ def run_experiment(experiment_id: str, *,
     :mod:`repro.experiments.heatmaps`) — calling them here raises, keeping
     this function's return type predictable.
 
-    ``graph`` ("dense"/"sparse") and ``batch_size`` are partial config
-    overrides: they are layered on top of each task's own resolved config
-    (so e.g. entity resolution's longer pre-training default survives a
-    ``graph`` switch), and flow to :func:`run_scalability_study` for
-    ``figure4_scalability``.
+    ``graph`` ("dense"/"sparse"), ``graph_backend`` ("exact" or a
+    :mod:`repro.index` ANN backend for the sparse top-k search) and
+    ``batch_size`` are partial config overrides: they are layered on top
+    of each task's own resolved config (so e.g. entity resolution's longer
+    pre-training default survives a ``graph`` switch), and flow to
+    :func:`run_scalability_study` for ``figure4_scalability``.
 
     ``workers`` > 1 (or ``None`` for one worker per core) fans the
     independent cells out on a pool; see
@@ -181,6 +183,7 @@ def run_experiment(experiment_id: str, *,
 
     if plan.spec.experiment_id == "figure4_scalability":
         return _run_scalability_spec(plan, config, graph=graph,
+                                     graph_backend=graph_backend,
                                      batch_size=batch_size)
 
     if plan.spec.experiment_id == "stream_ingestion":
@@ -189,6 +192,8 @@ def run_experiment(experiment_id: str, *,
     updates = {}
     if graph is not None:
         updates["graph"] = graph
+    if graph_backend is not None:
+        updates["graph_backend"] = graph_backend
     if batch_size is not None:
         updates["batch_size"] = batch_size
     return run_plan(plan, config=config, config_updates=updates or None,
@@ -224,6 +229,7 @@ def _run_stream_spec(plan: ExperimentPlan,
 def _run_scalability_spec(plan: ExperimentPlan,
                           config: DeepClusteringConfig | None, *,
                           graph: str | None = None,
+                          graph_backend: str | None = None,
                           batch_size: int | None = None):
     """Run the Figure 4 sweeps with grids matched to the chosen scale.
 
@@ -242,4 +248,5 @@ def _run_scalability_spec(plan: ExperimentPlan,
         cluster_grid=tuple(grids["cluster_grid"]),
         fixed_clusters=grids["fixed_clusters"],
         algorithms=plan.algorithms,
-        config=config, graph=graph, batch_size=batch_size, seed=plan.seed)
+        config=config, graph=graph, graph_backend=graph_backend,
+        batch_size=batch_size, seed=plan.seed)

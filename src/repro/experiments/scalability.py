@@ -91,17 +91,22 @@ def run_scalability_study(*, instance_grid: tuple[int, ...] = (200, 400, 800),
                           config: DeepClusteringConfig | None = None,
                           embedding: str = "sbert",
                           graph: str | None = None,
+                          graph_backend: str | None = None,
                           batch_size: int | None = None,
                           seed: int | None = None) -> list[ScalabilityPoint]:
     """Measure clustering runtimes and peak memory over both sweeps.
 
-    ``graph`` / ``batch_size`` override the corresponding fields of
-    ``config`` when given (``graph="sparse"`` is what pushes the instance
-    sweep past the dense O(n^2) wall).
+    ``graph`` / ``graph_backend`` / ``batch_size`` override the
+    corresponding fields of ``config`` when given (``graph="sparse"`` is
+    what pushes the instance sweep past the dense O(n^2) wall;
+    ``graph_backend="ivf"``/``"hnsw"`` additionally drops graph
+    *construction* below the blocked exact scan).
     """
     config = config or DeepClusteringConfig(pretrain_epochs=10, train_epochs=10)
     if graph is not None:
         config = config.with_updates(graph=graph)
+    if graph_backend is not None:
+        config = config.with_updates(graph_backend=graph_backend)
     if batch_size is not None:
         config = config.with_updates(batch_size=batch_size)
     points: list[ScalabilityPoint] = []

@@ -101,6 +101,7 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
                         save_path: str | Path | None = None,
                         keep_generations: int = 3,
                         monitor: DriftMonitor | None = None,
+                        with_index: str | None = None,
                         ) -> list[StreamStepResult]:
     """Run the continuous-learning loop over one dataset; return step rows.
 
@@ -108,8 +109,13 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
     dataset *name* resolved through the experiment runner at ``scale``.
     ``save_path`` rotates a checkpoint generation after the initial fit and
     after every batch, with metadata a ``repro serve`` hot-reloader can
-    consume.  The returned list has one entry for the initial fit (step
-    ``-1``) followed by one per arrival batch.
+    consume.  ``with_index`` (a :mod:`repro.index` backend name) keeps a
+    similarity-search index over everything streamed so far — built on the
+    initial fit, extended with incremental ``add`` per batch — and rotates
+    it as ``<save stem>.index.npz`` in lockstep with the model
+    generations, so a serving process hot-reloads both together.  The
+    returned list has one entry for the initial fit (step ``-1``)
+    followed by one per arrival batch.
     """
     supported = STREAMABLE_EMBEDDINGS.get(task)
     if supported is None:
@@ -157,6 +163,24 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
         rotate_checkpoint(save_path, model, metadata=metadata,
                           keep=keep_generations)
 
+    index = None
+    index_path = None
+    if with_index is not None:
+        if save_path is None:
+            raise StreamingError(
+                "with_index requires a checkpoint save path (the index is "
+                "rotated alongside the model)")
+        from ..index import create_index
+
+        save_path = Path(save_path)
+        index_path = save_path.with_name(save_path.stem + ".index.npz")
+        index = create_index(with_index, metric="cosine")
+        index.build(X0)
+        index_metadata = {**metadata, "kind": "vector-index",
+                          "backend": with_index}
+        rotate_checkpoint(index_path, index, metadata=index_metadata,
+                          keep=keep_generations)
+
     seen = [X0]
     seen_labels = [np.asarray(initial.labels, dtype=np.int64)]
     for batch in source.batches():
@@ -195,5 +219,11 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
             details=details))
         if save_path is not None:
             rotate_checkpoint(save_path, model, metadata=metadata,
+                              keep=keep_generations)
+        if index is not None:
+            # The streaming write path: absorb the arrivals incrementally
+            # and rotate the index generation in lockstep with the model.
+            index.add(Xb)
+            rotate_checkpoint(index_path, index, metadata=index_metadata,
                               keep=keep_generations)
     return results

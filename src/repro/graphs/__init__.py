@@ -1,8 +1,10 @@
 """Graph substrates used by the deep clustering models and benchmarks.
 
 * :mod:`repro.graphs.knn` — K-nearest-neighbour graph construction, the
-  structural input of SDCN: a dense O(n^2) path and a blocked/sparse CSR
-  path with O(n * k) memory.
+  structural input of SDCN: a dense O(n^2) path, a blocked/sparse CSR
+  path with O(n * k) memory, and ANN-accelerated backends
+  (``backend="ivf"|"hnsw"`` via :mod:`repro.index`) for sub-quadratic
+  construction at scale.
 * :mod:`repro.graphs.gcn` — graph convolutional layer built on
   :mod:`repro.nn`, used by SDCN's GCN branch (dense or sparse propagation).
 * :mod:`repro.graphs.lpa` — label propagation, the structural clustering at
@@ -14,6 +16,7 @@
 """
 
 from .knn import (
+    ann_topk_neighbors,
     blocked_topk_neighbors,
     cosine_similarity_matrix,
     knn_graph,
@@ -29,6 +32,7 @@ __all__ = [
     "knn_graph",
     "sparse_knn_graph",
     "blocked_topk_neighbors",
+    "ann_topk_neighbors",
     "normalized_adjacency",
     "cosine_similarity_matrix",
     "GCNLayer",

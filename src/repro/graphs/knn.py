@@ -12,7 +12,10 @@ Two construction strategies are provided:
 * :func:`sparse_knn_graph` — the scalable path: a blocked top-k search
   (:func:`blocked_topk_neighbors`) that processes rows in fixed-size blocks
   and returns a :class:`~repro.nn.sparse.CSRMatrix`, keeping peak memory at
-  O(n * k + block_size * n).
+  O(n * k + block_size * n).  Its ``backend`` parameter swaps the exact
+  blocked scan for an approximate :mod:`repro.index` search
+  (:func:`ann_topk_neighbors`), dropping construction *time* below the
+  O(n^2 d) wall as well.
 
 :func:`normalized_adjacency` accepts either representation and returns the
 matching one, so downstream code (GCN layers, SDCN) is agnostic.
@@ -22,7 +25,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..index.base import INDEX_BACKENDS
 from ..nn.sparse import CSRMatrix
+from ..utils.metrics_dispatch import unit_rows as _unit_rows
+from ..utils.metrics_dispatch import validate_metric as _validate_metric
 from ..utils.validation import check_matrix
 
 __all__ = [
@@ -30,12 +36,17 @@ __all__ = [
     "knn_graph",
     "sparse_knn_graph",
     "blocked_topk_neighbors",
+    "ann_topk_neighbors",
     "normalized_adjacency",
 ]
 
 #: Default number of rows per block for the blocked top-k search; bounds the
 #: largest temporary at ``block_size * n`` floats.
 DEFAULT_BLOCK_SIZE = 256
+
+#: Graph-construction backends: ``exact`` is the blocked scan below; the
+#: rest delegate the top-k search to a :mod:`repro.index` ANN backend.
+GRAPH_BACKENDS = ("exact",) + INDEX_BACKENDS
 
 
 def cosine_similarity_matrix(X) -> np.ndarray:
@@ -45,24 +56,11 @@ def cosine_similarity_matrix(X) -> np.ndarray:
     return unit @ unit.T
 
 
-def _unit_rows(X: np.ndarray) -> np.ndarray:
-    """Rows of ``X`` scaled to unit L2 norm (zero rows stay zero)."""
-    norms = np.linalg.norm(X, axis=1, keepdims=True)
-    norms = np.where(norms == 0, 1.0, norms)
-    return X / norms
-
-
 def _validate_k(k: int, n: int) -> int:
     """Clamp ``k`` to the number of available neighbours."""
     if k < 1:
         raise ValueError("k must be >= 1")
     return min(k, n - 1) if n > 1 else 0
-
-
-def _validate_metric(metric: str) -> None:
-    """Reject unsupported metrics (before any early return on tiny n)."""
-    if metric not in ("cosine", "euclidean"):
-        raise ValueError(f"unsupported metric {metric!r}")
 
 
 def blocked_topk_neighbors(X, k: int = 10, *, metric: str = "cosine",
@@ -112,6 +110,38 @@ def blocked_topk_neighbors(X, k: int = 10, *, metric: str = "cosine",
     return neighbors
 
 
+def ann_topk_neighbors(X, k: int = 10, *, metric: str = "cosine",
+                       backend: str = "ivf",
+                       index_params: dict | None = None) -> np.ndarray:
+    """Approximate counterpart of :func:`blocked_topk_neighbors`.
+
+    Builds a :mod:`repro.index` backend (``flat``, ``ivf`` or ``hnsw``)
+    over ``X``, queries it with every row for ``k + 1`` neighbours, and
+    strips each row's self-match — so the output has the same ``(n, k)``
+    int64 shape and ordering contract as the exact path, with recall
+    governed by the backend's parameters (``index_params``).  Sub-linear
+    per-row work is what drops KNN-graph construction below the blocked
+    exact scan's O(n^2 d) wall.
+    """
+    X = check_matrix(X)
+    n = X.shape[0]
+    k = _validate_k(k, n)
+    _validate_metric(metric)
+    if k == 0:
+        return np.zeros((n, 0), dtype=np.int64)
+    from ..index import create_index
+
+    index = create_index(backend, metric=metric, **(index_params or {}))
+    index.build(X)
+    neighbors, _ = index.query(X, min(k + 1, n))
+    # Drop each row's self-match (an approximate search may occasionally
+    # miss it, in which case the row already holds foreign neighbours):
+    # stable-sort non-self entries first, preserving distance order.
+    non_self = neighbors != np.arange(n, dtype=np.int64)[:, None]
+    order = np.argsort(~non_self, axis=1, kind="stable")
+    return np.take_along_axis(neighbors, order, axis=1)[:, :k]
+
+
 def knn_graph(X, k: int = 10, *, metric: str = "cosine",
               symmetric: bool = True) -> np.ndarray:
     """Dense binary adjacency connecting each point to its ``k`` neighbours.
@@ -150,17 +180,34 @@ def knn_graph(X, k: int = 10, *, metric: str = "cosine",
 
 def sparse_knn_graph(X, k: int = 10, *, metric: str = "cosine",
                      symmetric: bool = True,
-                     block_size: int = DEFAULT_BLOCK_SIZE) -> CSRMatrix:
+                     block_size: int = DEFAULT_BLOCK_SIZE,
+                     backend: str = "exact",
+                     index_params: dict | None = None) -> CSRMatrix:
     """Binary KNN adjacency as a :class:`~repro.nn.sparse.CSRMatrix`.
 
-    Equivalent to ``CSRMatrix.from_dense(knn_graph(X, k))`` but built with
-    the blocked search of :func:`blocked_topk_neighbors`, so peak memory is
-    O(n * k + block_size * n) instead of O(n^2).
+    With ``backend="exact"`` (the default) this is equivalent to
+    ``CSRMatrix.from_dense(knn_graph(X, k))`` but built with the blocked
+    search of :func:`blocked_topk_neighbors`, so peak memory is
+    O(n * k + block_size * n) instead of O(n^2) — and the output is
+    bit-identical to that path.  The other backends (``flat``, ``ivf``,
+    ``hnsw``) route the top-k search through a :mod:`repro.index` vector
+    index (:func:`ann_topk_neighbors`), trading a sliver of recall for
+    sub-quadratic construction — the knob that keeps SDCN/EDESC graph
+    building tractable as n grows.  ``index_params`` is passed to the
+    index constructor (e.g. ``{"nprobe": 16}`` or ``{"m": 24}``).
     """
     X = check_matrix(X)
     n = X.shape[0]
-    neighbors = blocked_topk_neighbors(X, k, metric=metric,
-                                       block_size=block_size)
+    if backend not in GRAPH_BACKENDS:
+        raise ValueError(
+            f"unknown graph backend {backend!r}; expected one of "
+            f"{GRAPH_BACKENDS}")
+    if backend == "exact":
+        neighbors = blocked_topk_neighbors(X, k, metric=metric,
+                                           block_size=block_size)
+    else:
+        neighbors = ann_topk_neighbors(X, k, metric=metric, backend=backend,
+                                       index_params=index_params)
     k_eff = neighbors.shape[1]
     rows = np.repeat(np.arange(n, dtype=np.int64), k_eff)
     cols = neighbors.ravel()

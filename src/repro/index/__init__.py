@@ -1,0 +1,37 @@
+"""Vector indexes: exact and approximate nearest-neighbour search.
+
+The paper's pipeline is nearest-neighbour-bound end to end — SDCN's
+structural input is a KNN graph, DBSCAN is defined by
+epsilon-neighbourhood queries, and serving predicts by distance to stored
+points.  This package supplies the standard database answer, an ANN index,
+behind one protocol:
+
+* :class:`FlatIndex` — exact blocked scan; recall 1.0, the baseline;
+* :class:`IVFFlatIndex` — k-means coarse quantizer + inverted lists with
+  ``nprobe``-tunable recall and a fully vectorised build;
+* :class:`HNSWIndex` — navigable small-world graph with ``ef``-tunable
+  recall and sub-linear queries.
+
+All three support cosine and Euclidean metrics, incremental :meth:`add`
+for streaming, and round-trip through the versioned
+:mod:`repro.serialize` checkpoint format — so indexes persist, hot-reload
+and rotate alongside model generations.  Integration points:
+``repro.graphs.knn.sparse_knn_graph(..., backend=...)`` for graph
+construction, ``DBSCAN(index=...)`` for out-of-sample density queries,
+and the serving API's ``POST /models/{name}/neighbors`` / ``POST
+/search`` routes for similarity search over tables.
+"""
+
+from .base import INDEX_BACKENDS, VectorIndex, create_index
+from .flat import FlatIndex
+from .hnsw import HNSWIndex
+from .ivf import IVFFlatIndex
+
+__all__ = [
+    "INDEX_BACKENDS",
+    "VectorIndex",
+    "create_index",
+    "FlatIndex",
+    "IVFFlatIndex",
+    "HNSWIndex",
+]

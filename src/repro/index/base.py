@@ -1,0 +1,289 @@
+"""Common machinery for the vector-index backends.
+
+:class:`VectorIndex` owns everything the three backends share — metric
+dispatch (through :mod:`repro.utils.metrics_dispatch`), the external-id
+mapping, the raw-vector store, input validation, the
+``build/add/query/save/load`` surface and the :mod:`repro.serialize`
+checkpoint protocol — so each backend only implements how it organises
+vectors for search (:meth:`VectorIndex._rebuild`,
+:meth:`VectorIndex._append`) and how it answers a query
+(:meth:`VectorIndex._search`).
+
+Distances returned by :meth:`VectorIndex.query` are true metric
+dissimilarities: Euclidean distance for ``metric="euclidean"`` and the
+cosine distance ``1 - cos`` for ``metric="cosine"`` — smaller is closer
+under both, which is what lets DBSCAN compare them against ``eps`` and the
+serving API report them uniformly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, VectorIndexError
+from ..utils.metrics_dispatch import unit_rows, validate_metric
+from ..utils.validation import check_matrix
+
+__all__ = ["VectorIndex", "create_index", "INDEX_BACKENDS"]
+
+
+class VectorIndex:
+    """Base class of the approximate/exact nearest-neighbour indexes.
+
+    Parameters
+    ----------
+    metric:
+        ``"cosine"`` (the embedding-space default throughout the library)
+        or ``"euclidean"`` (what DBSCAN's ``eps`` is defined over).
+
+    Subclasses set :attr:`backend` and implement ``_rebuild`` (organise
+    ``self._search_vectors`` from scratch), ``_append`` (absorb the rows
+    just appended by :meth:`add`) and ``_search`` (answer a validated
+    query batch with ``(positions, distances)``).
+    """
+
+    #: Registry key of the backend (``"flat"``, ``"ivf"``, ``"hnsw"``).
+    backend: str = ""
+
+    def __init__(self, *, metric: str = "cosine") -> None:
+        validate_metric(metric)
+        self.metric = metric
+        self.vectors_: np.ndarray | None = None
+        self.ids_: np.ndarray | None = None
+        self._search_vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return 0 if self.vectors_ is None else int(self.vectors_.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed vectors (0 before ``build``)."""
+        return 0 if self.vectors_ is None else int(self.vectors_.shape[1])
+
+    @property
+    def ids(self) -> np.ndarray:
+        """External ids aligned with vector positions (default: positions)."""
+        self._require_built()
+        return self.ids_
+
+    def _require_built(self) -> None:
+        if self.vectors_ is None:
+            raise VectorIndexError(
+                f"{type(self).__name__} is empty; call build() first")
+
+    def _as_search(self, X: np.ndarray) -> np.ndarray:
+        """The representation distances are computed in (unit rows for cosine)."""
+        return unit_rows(X) if self.metric == "cosine" else X
+
+    @staticmethod
+    def _check_ids(ids, n: int) -> np.ndarray:
+        array = np.asarray(ids)
+        if array.ndim != 1 or array.shape[0] != n:
+            raise VectorIndexError(
+                f"ids must be a 1-D sequence of length {n}, got shape "
+                f"{array.shape}")
+        if array.dtype == object:
+            array = array.astype(str)
+        return array
+
+    # ------------------------------------------------------------------
+    # build / add / query
+    def build(self, X, ids=None) -> "VectorIndex":
+        """Index the rows of ``X`` from scratch, replacing any prior state.
+
+        ``ids`` optionally attaches one external id per row (integers or
+        strings); they default to the row positions and are what the
+        serving API reports back to clients.
+        """
+        X = check_matrix(X, name="X")
+        self.vectors_ = X
+        self.ids_ = (np.arange(X.shape[0], dtype=np.int64) if ids is None
+                     else self._check_ids(ids, X.shape[0]))
+        self._search_vectors = self._as_search(X)
+        self._rebuild()
+        return self
+
+    def add(self, X, ids=None) -> "VectorIndex":
+        """Append new rows incrementally (the streaming write path).
+
+        On an empty index this is :meth:`build`.  Default ids continue the
+        position numbering, so positions and default ids stay aligned.
+        """
+        if self.vectors_ is None:
+            return self.build(X, ids=ids)
+        X = check_matrix(X, name="X")
+        if X.shape[1] != self.dim:
+            raise VectorIndexError(
+                f"add batch has {X.shape[1]} features; the index holds "
+                f"{self.dim}-dimensional vectors")
+        start = self.size
+        if ids is None:
+            fresh = np.arange(start, start + X.shape[0], dtype=np.int64)
+        else:
+            fresh = self._check_ids(ids, X.shape[0])
+        if fresh.dtype.kind != self.ids_.dtype.kind:
+            # Mixed kinds (e.g. auto-numbered adds onto string ids):
+            # render the new ids as strings.  astype(str) sizes the
+            # unicode width to the values — never a fixed-width cast,
+            # which would silently truncate ('201' -> '20').
+            fresh = fresh.astype(str)
+        self.vectors_ = np.vstack([self.vectors_, X])
+        # np.concatenate promotes to the wider dtype, so existing ids and
+        # new ids both survive verbatim.
+        self.ids_ = np.concatenate([self.ids_, fresh])
+        self._search_vectors = np.vstack([self._search_vectors,
+                                          self._as_search(X)])
+        self._append(start)
+        return self
+
+    def query(self, Q, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` nearest indexed vectors for every row of ``Q``.
+
+        Returns ``(positions, distances)``, both ``(len(Q), k_eff)`` with
+        ``k_eff = min(k, size)`` and each row ordered by increasing
+        distance.  Positions index :attr:`ids` / the build order; map them
+        through :attr:`ids` for external ids.
+        """
+        self._require_built()
+        if k < 1:
+            raise VectorIndexError("k must be >= 1")
+        Q = check_matrix(Q, name="Q")
+        if Q.shape[1] != self.dim:
+            raise VectorIndexError(
+                f"query has {Q.shape[1]} features; the index holds "
+                f"{self.dim}-dimensional vectors")
+        k = min(int(k), self.size)
+        return self._search(self._as_search(Q), k)
+
+    # ------------------------------------------------------------------
+    # backend hooks
+    def _rebuild(self) -> None:
+        """Organise ``self._search_vectors`` for search (from scratch)."""
+        raise NotImplementedError
+
+    def _append(self, start: int) -> None:
+        """Absorb rows ``start:`` of ``self._search_vectors`` incrementally."""
+        raise NotImplementedError
+
+    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Answer a validated, metric-transformed query batch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # ordering helper shared by the backends
+    @staticmethod
+    def _top_k(distances: np.ndarray, candidates: np.ndarray,
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Select the ``k`` smallest of one row's candidate distances.
+
+        Ties break towards the lower candidate position so results are
+        deterministic regardless of how candidates were gathered.
+        """
+        if candidates.size > k:
+            keep = np.argpartition(distances, kth=k - 1)[:k]
+            distances, candidates = distances[keep], candidates[keep]
+        order = np.lexsort((candidates, distances))
+        return candidates[order], distances[order]
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (see repro.serialize)
+    def checkpoint_params(self) -> dict:
+        """JSON-able constructor and structural state."""
+        self._require_built()
+        return {"metric": self.metric, "backend": self.backend,
+                **self._state_params()}
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Numeric state: raw vectors, ids and backend structure."""
+        self._require_built()
+        return {"vectors": self.vectors_, "ids": self.ids_,
+                **self._state_arrays()}
+
+    @classmethod
+    def from_checkpoint(cls, params: dict, arrays: dict) -> "VectorIndex":
+        """Rebuild an index from :mod:`repro.serialize` state."""
+        index = cls(metric=params["metric"], **cls._init_kwargs(params))
+        index.vectors_ = np.asarray(arrays["vectors"], dtype=np.float64)
+        ids = np.asarray(arrays["ids"])
+        index.ids_ = ids if ids.dtype.kind in "US" else ids.astype(np.int64)
+        index._search_vectors = index._as_search(index.vectors_)
+        index._restore(params, arrays)
+        return index
+
+    def _state_params(self) -> dict:
+        """Backend-specific JSON-able state merged into the header params."""
+        return {}
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        """Backend-specific arrays merged into the checkpoint payload."""
+        return {}
+
+    @classmethod
+    def _init_kwargs(cls, params: dict) -> dict:
+        """Constructor kwargs recovered from checkpoint params."""
+        return {}
+
+    def _restore(self, params: dict, arrays: dict) -> None:
+        """Restore backend structure (default: rebuild it from the vectors)."""
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # save / load convenience over repro.serialize
+    def save(self, path: str | Path, *, metadata: dict | None = None) -> Path:
+        """Persist as a versioned NPZ checkpoint (atomic write)."""
+        from ..serialize import save_checkpoint
+
+        stamped = {"kind": "vector-index", "backend": self.backend,
+                   "n_vectors": self.size, "n_features": self.dim,
+                   **(metadata or {})}
+        return save_checkpoint(path, self, metadata=stamped)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorIndex":
+        """Load any checkpointed index (class resolved from the header)."""
+        from ..serialize import load_checkpoint
+
+        index = load_checkpoint(path)
+        if not isinstance(index, VectorIndex):
+            raise VectorIndexError(
+                f"{path} stores a {type(index).__name__}, not a vector index")
+        return index
+
+
+def _backends() -> dict[str, type]:
+    """Backend name -> index class (import-light: resolved lazily)."""
+    from .flat import FlatIndex
+    from .hnsw import HNSWIndex
+    from .ivf import IVFFlatIndex
+
+    return {FlatIndex.backend: FlatIndex,
+            IVFFlatIndex.backend: IVFFlatIndex,
+            HNSWIndex.backend: HNSWIndex}
+
+
+#: Names accepted by :func:`create_index` (and the CLI/graph backends).
+INDEX_BACKENDS = ("flat", "ivf", "hnsw")
+
+
+def create_index(backend: str, *, metric: str = "cosine",
+                 **params) -> VectorIndex:
+    """Instantiate an index backend by name (``flat``, ``ivf``, ``hnsw``).
+
+    Extra keyword arguments are passed to the backend constructor
+    (``nlist``/``nprobe`` for IVF, ``m``/``ef_construction``/``ef_search``
+    for HNSW); unknown backends raise
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    classes = _backends()
+    cls = classes.get(backend)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown index backend {backend!r}; expected one of "
+            f"{sorted(classes)}")
+    return cls(metric=metric, **params)

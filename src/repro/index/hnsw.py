@@ -1,0 +1,327 @@
+"""Hierarchical navigable small-world graph index (Malkov & Yashunin, 2018).
+
+A numpy-only HNSW: every vector becomes a node in a stack of proximity
+graphs.  Layer 0 contains all nodes; each higher layer keeps an
+exponentially thinning subset (a node's top layer is drawn geometrically
+with multiplier ``1/ln(m)``), so a search greedily descends coarse layers
+in a few hops and only runs the beam search (width ``ef``) on the bottom
+layer.  Queries cost ``O(ef * m * log n)`` distance evaluations instead of
+the flat scan's ``O(n)``; construction inserts nodes one at a time with
+the same beam search, which also makes :meth:`HNSWIndex.add` naturally
+incremental — streaming inserts are just more of the build loop.
+
+Neighbour distance evaluations are batched through numpy (one gather +
+matmul per hop), which is what keeps the pure-python control loop viable;
+for corpus sizes where the build loop itself dominates, prefer
+:class:`repro.index.IVFFlatIndex`, whose build is fully vectorised.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .base import VectorIndex
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex(VectorIndex):
+    """Navigable small-world graph over the indexed vectors.
+
+    Parameters
+    ----------
+    m:
+        Out-degree target: layers above 0 keep at most ``m`` links per
+        node, layer 0 keeps ``2 * m``.
+    ef_construction:
+        Beam width while inserting — bigger builds a better graph, slower.
+    ef_search:
+        Default beam width while querying (raised to ``k`` when smaller).
+        Tunable after construction: recall/speed without rebuilding.
+    seed:
+        Seed for the geometric layer draws (deterministic builds).
+    """
+
+    backend = "hnsw"
+
+    def __init__(self, *, metric: str = "cosine", m: int = 16,
+                 ef_construction: int = 100, ef_search: int = 64,
+                 seed: int | None = 0) -> None:
+        super().__init__(metric=metric)
+        if m < 2:
+            raise ValueError("m must be >= 2")
+        if ef_construction < 1 or ef_search < 1:
+            raise ValueError("ef_construction and ef_search must be >= 1")
+        self.m = int(m)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self.seed = seed
+        self._level_mult = 1.0 / np.log(self.m)
+        self.entry_point_: int = -1
+        self.max_level_: int = -1
+        self.levels_: list[int] = []
+        #: ``_graphs[level][node]`` -> list of neighbour positions.
+        self._graphs: list[list[list[int] | None]] = []
+        self._rng = np.random.default_rng(seed)
+        # Stamped visited marks, reused across searches (no per-call zeros).
+        self._visited = np.zeros(0, dtype=np.int64)
+        self._stamp = 0
+        # Cached squared norms of the search vectors (euclidean hot path).
+        self._sq = np.zeros(0)
+
+    # ------------------------------------------------------------------
+    # distances
+    def _dist_to(self, q: np.ndarray, nodes: list[int] | np.ndarray
+                 ) -> np.ndarray:
+        """Distances from ``q`` to the given nodes (one gather + matmul).
+
+        Hot path of every insert and search hop: norms are cached, and the
+        tiny negative values cancellation can produce are tolerated here —
+        ordering is unaffected; user-facing distances are clamped once in
+        :meth:`_search`.
+        """
+        ids = np.asarray(nodes, dtype=np.int64)
+        block = self._search_vectors[ids]
+        if self.metric == "cosine":
+            return 1.0 - block @ q
+        d2 = self._sq[ids] - 2.0 * (block @ q) + q @ q
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    # ------------------------------------------------------------------
+    # construction
+    def _rebuild(self) -> None:
+        self.entry_point_ = -1
+        self.max_level_ = -1
+        self.levels_ = []
+        self._graphs = []
+        self._rng = np.random.default_rng(self.seed)
+        self._visited = np.zeros(self._search_vectors.shape[0],
+                                 dtype=np.int64)
+        self._stamp = 0
+        self._sq = np.sum(self._search_vectors ** 2, axis=1)
+        for pos in range(self._search_vectors.shape[0]):
+            self._insert(pos)
+
+    def _append(self, start: int) -> None:
+        grow = self._search_vectors.shape[0] - self._visited.shape[0]
+        if grow > 0:
+            self._visited = np.concatenate(
+                [self._visited, np.zeros(grow, dtype=np.int64)])
+        self._sq = np.sum(self._search_vectors ** 2, axis=1)
+        for level_graph in self._graphs:
+            level_graph.extend([None] * grow)
+        for pos in range(start, self._search_vectors.shape[0]):
+            self._insert(pos)
+
+    def _draw_level(self) -> int:
+        return int(-np.log(1.0 - self._rng.random()) * self._level_mult)
+
+    def _insert(self, pos: int) -> None:
+        level = self._draw_level()
+        self.levels_.append(level)
+        n_total = len(self._graphs[0]) if self._graphs else \
+            self._search_vectors.shape[0]
+        while len(self._graphs) <= level:
+            self._graphs.append([None] * n_total)
+        for lay in range(level + 1):
+            self._graphs[lay][pos] = []
+        if self.entry_point_ < 0:
+            self.entry_point_ = pos
+            self.max_level_ = level
+            return
+        q = self._search_vectors[pos]
+        ep = self.entry_point_
+        # Coarse descent: greedy hops through the layers above the new
+        # node's top level.
+        for lay in range(self.max_level_, level, -1):
+            ep = self._greedy(q, ep, lay)
+        # Beam-search insertion on each layer the node joins.
+        for lay in range(min(level, self.max_level_), -1, -1):
+            found = self._search_layer(q, ep, self.ef_construction, lay)
+            limit = self.m if lay > 0 else 2 * self.m
+            chosen = self._select_neighbors(found, self.m)
+            self._graphs[lay][pos] = list(chosen)
+            for node in chosen:
+                links = self._graphs[lay][node]
+                links.append(pos)
+                if len(links) > limit:
+                    d = self._dist_to(self._search_vectors[node], links)
+                    ranked = sorted(zip(d, links))
+                    self._graphs[lay][node] = self._select_neighbors(
+                        ranked, limit)
+            ep = found[0][1]
+        if level > self.max_level_:
+            self.entry_point_ = pos
+            self.max_level_ = level
+
+    def _select_neighbors(self, ranked: list[tuple[float, int]],
+                          m: int) -> list[int]:
+        """Diversity-pruned neighbour selection (the paper's heuristic).
+
+        A candidate is linked only if it is closer to the query than to any
+        already-linked neighbour; on clustered data plain closest-``m``
+        selection degenerates into intra-cluster cliques with no navigable
+        long-range links, which silently caps recall.  Pruned candidates
+        backfill remaining slots (``keepPrunedConnections``) so degree
+        never starves.
+        """
+        if len(ranked) <= m:
+            # Every candidate ends up linked anyway (pruned ones backfill).
+            return [int(node) for _, node in ranked]
+        nodes = np.fromiter((node for _, node in ranked), dtype=np.int64,
+                            count=len(ranked))
+        d_query = np.fromiter((d for d, _ in ranked), dtype=np.float64,
+                              count=len(ranked))
+        block = self._search_vectors[nodes]
+        if self.metric == "cosine":
+            between = 1.0 - block @ block.T
+        else:
+            sq = self._sq[nodes]
+            between = np.sqrt(np.maximum(
+                sq[:, None] + sq[None, :] - 2.0 * (block @ block.T), 0.0))
+        # Running minimum distance from every candidate to the chosen set,
+        # updated with one vector op per acceptance (no per-candidate
+        # fancy-indexed min).
+        to_chosen = np.full(nodes.shape[0], np.inf)
+        d_list = d_query.tolist()
+        chosen: list[int] = []
+        pruned: list[int] = []
+        for i in range(nodes.shape[0]):
+            if len(chosen) == m:
+                break
+            if to_chosen[i] < d_list[i]:
+                pruned.append(i)
+                continue
+            chosen.append(i)
+            np.minimum(to_chosen, between[i], out=to_chosen)
+        for i in pruned:
+            if len(chosen) == m:
+                break
+            chosen.append(i)
+        return [int(nodes[i]) for i in chosen]
+
+    # ------------------------------------------------------------------
+    # search primitives
+    def _greedy(self, q: np.ndarray, ep: int, level: int) -> int:
+        """Hill-climb to the locally nearest node of one layer."""
+        best = ep
+        best_d = float(self._dist_to(q, [ep])[0])
+        improved = True
+        while improved:
+            improved = False
+            links = self._graphs[level][best]
+            if not links:
+                break
+            d = self._dist_to(q, links)
+            j = int(np.argmin(d))
+            if d[j] < best_d:
+                best, best_d = links[j], float(d[j])
+                improved = True
+        return best
+
+    def _search_layer(self, q: np.ndarray, ep: int, ef: int,
+                      level: int) -> list[tuple[float, int]]:
+        """Beam search of width ``ef``; returns (distance, node) ascending."""
+        self._stamp += 1
+        stamp = self._stamp
+        visited = self._visited
+        visited[ep] = stamp
+        d0 = float(self._dist_to(q, [ep])[0])
+        candidates = [(d0, ep)]            # min-heap: closest frontier first
+        results = [(-d0, ep)]              # max-heap: worst kept result on top
+        while candidates:
+            d, node = heapq.heappop(candidates)
+            if d > -results[0][0] and len(results) >= ef:
+                break
+            fresh = [x for x in self._graphs[level][node]
+                     if visited[x] != stamp]
+            if not fresh:
+                continue
+            for x in fresh:
+                visited[x] = stamp
+            dists = self._dist_to(q, fresh).tolist()
+            worst = -results[0][0]
+            for dx, x in zip(dists, fresh):
+                if len(results) < ef or dx < worst:
+                    heapq.heappush(candidates, (dx, x))
+                    heapq.heappush(results, (-dx, x))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        return sorted((-d, node) for d, node in results)
+
+    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        q_rows = Q.shape[0]
+        indices = np.empty((q_rows, k), dtype=np.int64)
+        distances = np.empty((q_rows, k))
+        ef = max(self.ef_search, k)
+        for row in range(q_rows):
+            q = Q[row]
+            ep = self.entry_point_
+            for lay in range(self.max_level_, 0, -1):
+                ep = self._greedy(q, ep, lay)
+            found = self._search_layer(q, ep, ef, 0)
+            if len(found) < k:
+                # Degenerate graph (tiny corpus): fall back to the rest.
+                have = {node for _, node in found}
+                rest = [x for x in range(self.size) if x not in have]
+                found += sorted(zip(self._dist_to(q, rest), rest))
+            cand = np.asarray([node for _, node in found[:k]], dtype=np.int64)
+            cand_d = np.asarray([d for d, _ in found[:k]])
+            indices[row], distances[row] = self._top_k(cand_d, cand, k)
+        np.maximum(distances, 0.0, out=distances)
+        return indices, distances
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol extensions
+    def _state_params(self) -> dict:
+        return {"m": self.m, "ef_construction": self.ef_construction,
+                "ef_search": self.ef_search, "seed": self.seed,
+                "entry_point": self.entry_point_,
+                "max_level": self.max_level_,
+                "n_layers": len(self._graphs)}
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        arrays = {"levels": np.asarray(self.levels_, dtype=np.int64)}
+        # One CSR adjacency per layer (nodes absent from a layer contribute
+        # zero-width rows), which round-trips the exact graph structure.
+        for lay, level_graph in enumerate(self._graphs):
+            counts = [len(links) if links is not None else 0
+                      for links in level_graph]
+            indptr = np.zeros(len(level_graph) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            flat = [x for links in level_graph if links for x in links]
+            arrays[f"layer{lay}_indices"] = np.asarray(flat, dtype=np.int64)
+            arrays[f"layer{lay}_indptr"] = indptr
+        return arrays
+
+    @classmethod
+    def _init_kwargs(cls, params: dict) -> dict:
+        return {"m": params["m"], "ef_construction": params["ef_construction"],
+                "ef_search": params["ef_search"], "seed": params["seed"]}
+
+    def _restore(self, params: dict, arrays: dict) -> None:
+        n = self.vectors_.shape[0]
+        self.entry_point_ = int(params["entry_point"])
+        self.max_level_ = int(params["max_level"])
+        self.levels_ = [int(v) for v in np.asarray(arrays["levels"])]
+        self._graphs = []
+        for lay in range(int(params["n_layers"])):
+            indices = np.asarray(arrays[f"layer{lay}_indices"], dtype=np.int64)
+            indptr = np.asarray(arrays[f"layer{lay}_indptr"], dtype=np.int64)
+            level_graph: list[list[int] | None] = []
+            for node in range(n):
+                if self.levels_[node] >= lay:
+                    level_graph.append(
+                        [int(x) for x in indices[indptr[node]:indptr[node + 1]]])
+                else:
+                    level_graph.append(None)
+            self._graphs.append(level_graph)
+        self._visited = np.zeros(n, dtype=np.int64)
+        self._stamp = 0
+        self._sq = np.sum(self._search_vectors ** 2, axis=1)
+        # Future adds continue deterministically but never replay the
+        # level draws already consumed by the saved build.
+        self._rng = np.random.default_rng((self.seed or 0) + n)

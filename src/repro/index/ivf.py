@@ -1,0 +1,271 @@
+"""IVF-Flat: k-means coarse quantizer + inverted lists, ``nprobe`` recall.
+
+The classic database ANN layout (FAISS's ``IndexIVFFlat``): a k-means
+quantizer — :class:`repro.clustering.KMeans`, trained on a bounded sample —
+partitions the corpus into ``nlist`` cells, each holding the exact vectors
+assigned to it.  A query is compared against the ``nprobe`` nearest cell
+centroids only, then scanned exactly within those cells, so work per query
+drops from ``O(n*d)`` to roughly ``O((nlist + n*nprobe/nlist) * d)``.
+``nprobe`` trades recall for speed at query time without rebuilding.
+
+Incremental :meth:`IVFFlatIndex.add` assigns new vectors to their nearest
+existing cell — the streaming write path; the quantizer itself is only
+retrained by a fresh :meth:`IVFFlatIndex.build`.
+
+For ``metric="cosine"`` vectors are unit-normalised once at insert time;
+on the unit sphere the Euclidean and cosine orderings coincide, so the
+same Euclidean quantizer serves both metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.metrics_dispatch import squared_euclidean_distances
+from .base import VectorIndex
+
+__all__ = ["IVFFlatIndex"]
+
+#: Quantizer k-means training sample: ``max(_TRAIN_MIN, _TRAIN_PER_LIST *
+#: nlist)`` rows, capped at n — centroid quality needs O(points-per-list)
+#: examples, not the whole corpus, and the cap is what keeps build cost
+#: bounded at large n (and large d).
+_TRAIN_PER_LIST = 16
+_TRAIN_MIN = 2048
+#: Lloyd iterations for the quantizer (FAISS-style: coarse cells converge
+#: in a few iterations; more buys nothing measurable).
+_TRAIN_ITER = 12
+
+
+class IVFFlatIndex(VectorIndex):
+    """Inverted-file index with exact residual scan inside probed cells.
+
+    Parameters
+    ----------
+    nlist:
+        Number of k-means cells; ``None`` picks ``~sqrt(n)`` at build time
+        (re-derived on every :meth:`build`).
+    nprobe:
+        Cells scanned per query.  Raising it monotonically raises recall
+        towards the exact result (``nprobe=nlist`` *is* an exact scan).
+    seed:
+        Seed for the quantizer's k-means (deterministic builds).
+    """
+
+    backend = "ivf"
+
+    def __init__(self, *, metric: str = "cosine", nlist: int | None = None,
+                 nprobe: int = 8, seed: int | None = 0) -> None:
+        super().__init__(metric=metric)
+        if nlist is not None and nlist < 1:
+            raise ValueError("nlist must be >= 1 (or None for sqrt(n))")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        self.nlist = nlist
+        self.nprobe = int(nprobe)
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.assignments_: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+        # Contiguous per-cell copies of the (metric-transformed) vectors,
+        # plus their squared norms: a probed cell is scanned with a direct
+        # matmul instead of a fancy-indexed gather across the whole corpus
+        # — the gather's memcpy, not the arithmetic, dominates query cost.
+        self._cell_vectors: list[np.ndarray] = []
+        self._cell_sq: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def _effective_nlist(self, n: int) -> int:
+        if self.nlist is not None:
+            return min(self.nlist, n)
+        return max(1, min(n, int(round(np.sqrt(n)))))
+
+    def _nearest_cells(self, Q: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest centroids per query row."""
+        d2 = squared_euclidean_distances(Q, self.centroids_)
+        if k >= d2.shape[1]:
+            return np.argsort(d2, axis=1, kind="stable")
+        cells = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        order = np.argsort(np.take_along_axis(d2, cells, axis=1), axis=1,
+                           kind="stable")
+        return np.take_along_axis(cells, order, axis=1)
+
+    def _rebuild(self) -> None:
+        from ..clustering import KMeans
+
+        X = self._search_vectors
+        n = X.shape[0]
+        nlist = self._effective_nlist(n)
+        sample_size = min(n, max(_TRAIN_MIN, _TRAIN_PER_LIST * nlist))
+        if sample_size < n:
+            rng = np.random.default_rng(self.seed)
+            sample = X[rng.choice(n, size=sample_size, replace=False)]
+        else:
+            sample = X
+        quantizer = KMeans(nlist, n_init=1, max_iter=_TRAIN_ITER,
+                           seed=self.seed, init="random")
+        quantizer.fit(sample)
+        self.centroids_ = quantizer.cluster_centers_
+        self.assignments_ = self._nearest_cells(X, 1)[:, 0].astype(np.int64)
+        self._build_cells()
+
+    def _build_cells(self) -> None:
+        """Derive inverted lists + contiguous cell storage from assignments."""
+        X = self._search_vectors
+        self._lists = [np.flatnonzero(self.assignments_ == cell)
+                       for cell in range(self.centroids_.shape[0])]
+        self._cell_vectors = [np.ascontiguousarray(X[members])
+                              for members in self._lists]
+        self._cell_sq = [np.sum(block ** 2, axis=1)
+                         for block in self._cell_vectors]
+
+    def _append(self, start: int) -> None:
+        fresh = self._search_vectors[start:]
+        cells = self._nearest_cells(fresh, 1)[:, 0].astype(np.int64)
+        self.assignments_ = np.concatenate([self.assignments_, cells])
+        positions = np.arange(start, start + fresh.shape[0], dtype=np.int64)
+        for cell in np.unique(cells):
+            joined = cells == cell
+            members = positions[joined]
+            block = fresh[joined]
+            self._lists[cell] = np.concatenate([self._lists[cell], members])
+            self._cell_vectors[cell] = np.vstack(
+                [self._cell_vectors[cell], block])
+            self._cell_sq[cell] = np.concatenate(
+                [self._cell_sq[cell], np.sum(block ** 2, axis=1)])
+
+    # ------------------------------------------------------------------
+    def _candidate_distances(self, Q: np.ndarray,
+                             candidates: np.ndarray) -> np.ndarray:
+        """Exact distances from the rows of ``Q`` to arbitrary positions.
+
+        Gathers across the corpus — only the rare pad/back-fill paths pay
+        this; hot paths scan the contiguous cell storage instead.
+        """
+        block = self._search_vectors[candidates]
+        if self.metric == "cosine":
+            distances = 1.0 - Q @ block.T
+            np.maximum(distances, 0.0, out=distances)
+            return distances
+        return np.sqrt(squared_euclidean_distances(Q, block))
+
+    def _cell_distances(self, Q: np.ndarray, q_sq: np.ndarray,
+                        cell: int) -> np.ndarray:
+        """Distances from the rows of ``Q`` to one cell's members."""
+        block = self._cell_vectors[cell]
+        if self.metric == "cosine":
+            distances = 1.0 - Q @ block.T
+            np.maximum(distances, 0.0, out=distances)
+            return distances
+        d2 = q_sq[:, None] + self._cell_sq[cell][None, :] - 2.0 * (Q @ block.T)
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        nlist = self.centroids_.shape[0]
+        nprobe = min(self.nprobe, nlist)
+        probes = self._nearest_cells(Q, nprobe)
+        q = Q.shape[0]
+        indices = np.empty((q, k), dtype=np.int64)
+        distances = np.empty((q, k))
+        q_sq = None if self.metric == "cosine" else np.sum(Q ** 2, axis=1)
+        if q < nlist:
+            # Few queries: scan each probed cell's contiguous block, one
+            # small matmul per cell (disjoint cells, so no dedup needed).
+            for row in range(q):
+                query = Q[row:row + 1]
+                row_sq = None if q_sq is None else q_sq[row:row + 1]
+                pools, dists = [], []
+                for cell in probes[row]:
+                    if self._lists[cell].size == 0:
+                        continue
+                    pools.append(self._lists[cell])
+                    dists.append(self._cell_distances(query, row_sq, cell)[0])
+                pool = (np.concatenate(pools) if pools
+                        else np.empty(0, dtype=np.int64))
+                if pool.size < k:
+                    pool = self._pad_pool(pool, k)
+                    d = self._candidate_distances(query, pool)[0]
+                else:
+                    d = np.concatenate(dists)
+                indices[row], distances[row] = self._top_k(d, pool, k)
+            return indices, distances
+        # Many queries (e.g. KNN-graph construction: the corpus queries
+        # itself): loop over *cells* instead — nlist well-shaped matmuls
+        # regardless of query count, each scanning one cell against every
+        # query that probes it (at whatever probe rank).
+        pool_d = np.full((q, nprobe * k), np.inf)
+        pool_i = np.zeros((q, nprobe * k), dtype=np.int64)
+        for cell in range(nlist):
+            members = self._lists[cell]
+            if members.size == 0:
+                continue
+            rows, ranks = np.nonzero(probes == cell)
+            if rows.size == 0:
+                continue
+            row_sq = None if q_sq is None else q_sq[rows]
+            d = self._cell_distances(Q[rows], row_sq, cell)
+            take = min(k, members.size)
+            if members.size > take:
+                keep = np.argpartition(d, kth=take - 1, axis=1)[:, :take]
+                block_d = np.take_along_axis(d, keep, axis=1)
+                block_i = members[keep]
+            else:
+                block_d = d
+                block_i = np.broadcast_to(members, d.shape)
+            # Each (query, cell) pair owns the rank-th k-wide pool slot.
+            cols = ranks[:, None] * k + np.arange(take)[None, :]
+            pool_d[rows[:, None], cols] = block_d
+            pool_i[rows[:, None], cols] = block_i
+        # Vectorised finalise: top-k of each pool row, ties broken by
+        # position (lexsort) for determinism.
+        filled = np.isfinite(pool_d).sum(axis=1)
+        keep = np.argpartition(pool_d, kth=k - 1, axis=1)[:, :k]
+        cand_d = np.take_along_axis(pool_d, keep, axis=1)
+        cand_i = np.take_along_axis(pool_i, keep, axis=1)
+        order = np.lexsort((cand_i, cand_d))
+        indices = np.take_along_axis(cand_i, order, axis=1)
+        distances = np.take_along_axis(cand_d, order, axis=1)
+        # Rows whose probed cells under-filled the pool (rare): back-fill
+        # candidates and redo that row exactly.
+        for row in np.flatnonzero(filled < k):
+            pool = pool_i[row][np.isfinite(pool_d[row])]
+            cand = self._pad_pool(pool, k)
+            d = self._candidate_distances(Q[row:row + 1], cand)[0]
+            indices[row], distances[row] = self._top_k(d, cand, k)
+        return indices, distances
+
+    def _pad_pool(self, pool: np.ndarray, k: int) -> np.ndarray:
+        """Ensure at least ``k`` candidates (probed cells can under-fill).
+
+        Falls back to the first corpus positions not already pooled — the
+        result stays a valid (if lower-recall) top-k whose width always
+        matches the exact baseline's.
+        """
+        pool = np.unique(pool)
+        if pool.size >= k:
+            return pool
+        missing = np.setdiff1d(np.arange(self.size, dtype=np.int64), pool,
+                               assume_unique=True)[:k - pool.size]
+        return np.concatenate([pool, missing])
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol extensions
+    def _state_params(self) -> dict:
+        return {"nlist": self.nlist, "nprobe": self.nprobe, "seed": self.seed}
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"centroids": self.centroids_,
+                "assignments": self.assignments_}
+
+    @classmethod
+    def _init_kwargs(cls, params: dict) -> dict:
+        return {"nlist": params["nlist"], "nprobe": params["nprobe"],
+                "seed": params["seed"]}
+
+    def _restore(self, params: dict, arrays: dict) -> None:
+        # The stored assignments rebuild the inverted lists exactly; the
+        # quantizer is NOT retrained, so a reloaded index answers queries
+        # bit-identically to the instance that was saved.
+        self.centroids_ = np.asarray(arrays["centroids"], dtype=np.float64)
+        self.assignments_ = np.asarray(arrays["assignments"], dtype=np.int64)
+        self._build_cells()

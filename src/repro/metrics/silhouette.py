@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.metrics_dispatch import unit_rows, validate_metric
 from ..utils.validation import check_labels, check_matrix, check_same_length
 
 __all__ = ["silhouette_samples", "silhouette_score"]
@@ -53,16 +54,13 @@ def silhouette_samples(X, labels, *, metric: str = "euclidean") -> np.ndarray:
     if n_clusters < 2:
         return np.zeros(n, dtype=np.float64)
 
+    validate_metric(metric)
     if metric == "euclidean":
         squared_norms = np.sum(X ** 2, axis=1)
         unit = None
-    elif metric == "cosine":
-        norms = np.linalg.norm(X, axis=1, keepdims=True)
-        norms = np.where(norms == 0, 1.0, norms)
-        unit = X / norms
-        squared_norms = None
     else:
-        raise ValueError(f"unsupported metric {metric!r}")
+        unit = unit_rows(X)
+        squared_norms = None
 
     # One-hot membership matrix: a slab's per-cluster distance sums are a
     # single (b, n) @ (n, K) product instead of a python loop over points.

@@ -59,13 +59,18 @@ def checkpointable_classes() -> dict[str, type]:
 
     Imported lazily so that :mod:`repro.serialize` itself stays import-light
     and the model modules never need to import this one (no cycles).
+    Besides the clustering models this covers the :mod:`repro.index`
+    vector indexes, so similarity-search indexes persist, hot-reload and
+    rotate through exactly the same machinery as model checkpoints.
     """
     from .clustering import DBSCAN, Birch, KMeans
     from .dc import EDESC, SDCN, SHGP, Autoencoder, AutoencoderClustering
+    from .index import FlatIndex, HNSWIndex, IVFFlatIndex
 
     return {cls.__name__: cls
             for cls in (KMeans, Birch, DBSCAN, Autoencoder,
-                        AutoencoderClustering, SDCN, EDESC, SHGP)}
+                        AutoencoderClustering, SDCN, EDESC, SHGP,
+                        FlatIndex, IVFFlatIndex, HNSWIndex)}
 
 
 def _json_default(value):

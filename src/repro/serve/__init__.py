@@ -11,9 +11,11 @@ which schema cluster does it belong to?):
 * :class:`MicroBatcher` coalesces concurrent predict requests into shared
   batched forward passes (bounded latency, bounded batch size);
 * :func:`create_server` wraps both in a stdlib ``ThreadingHTTPServer`` JSON
-  API — ``GET /models``, ``GET /healthz``,
-  ``POST /models/{name}/predict`` — with raw items embedded through the
-  cached single-item embedding path (:func:`repro.embeddings.embed_items`).
+  API — ``GET /models``, ``GET /healthz``, ``POST /models/{name}/predict``,
+  and similarity search over :mod:`repro.index` checkpoints via
+  ``POST /models/{name}/neighbors`` and ``POST /search`` — with raw items
+  embedded through the cached single-item embedding path
+  (:func:`repro.embeddings.embed_items`).
 
 ``repro serve --model-dir ...`` is the CLI entry point.
 """

@@ -12,6 +12,15 @@ Endpoints (all responses ``application/json``):
     ``{"items": [{...}, ...]}`` for raw tables/records/columns, which are
     embedded with the task/embedding recorded in the checkpoint.  Response:
     ``{"model", "n_items", "labels"}``.
+``POST /models/{name}/neighbors``
+    Similarity search against a checkpointed :mod:`repro.index` vector
+    index: same ``vectors``/``items`` body plus an optional ``"k"``
+    (default 10).  Response: ``{"model", "n_items", "k", "ids",
+    "positions", "distances"}`` — per query row, nearest first.
+``POST /search``
+    Like ``neighbors`` with the index named in the body (``"index"``) —
+    or omitted entirely when exactly one index is served.  The
+    embed-raw-item -> top-k-corpus-items route for end users.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per request,
 with the :class:`~repro.serve.service.PredictService` micro-batcher
@@ -26,13 +35,19 @@ import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from ..exceptions import EmbeddingError, SerializationError, ServingError
+from ..exceptions import (
+    EmbeddingError,
+    SerializationError,
+    ServingError,
+    VectorIndexError,
+)
 from .registry import ModelRegistry
 from .service import PredictService
 
 __all__ = ["ReproHTTPServer", "create_server"]
 
 _PREDICT_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/predict/?$")
+_NEIGHBORS_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/neighbors/?$")
 
 #: Upper bound on accepted request bodies: large enough for thousands of
 #: embedded rows, small enough that a hostile Content-Length cannot exhaust
@@ -136,22 +151,31 @@ class _Handler(BaseHTTPRequestHandler):
         except OSError as exc:
             self._send_error_json(400, f"unreadable request body: {exc}")
             return
-        match = _PREDICT_ROUTE.match(self.path.split("?", 1)[0])
-        if match is None:
+        path = self.path.split("?", 1)[0]
+        predict = _PREDICT_ROUTE.match(path)
+        neighbors = _NEIGHBORS_ROUTE.match(path)
+        if predict is None and neighbors is None and \
+                (path.rstrip("/") or "/") != "/search":
             self._send_error_json(404, f"no such route: {self.path}")
             return
-        name = match.group(1)
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
             self._send_error_json(400, f"invalid JSON body: {exc}")
             return
+        service = self.server.service
         try:
-            self._send_json(200, self.server.service.predict(name, payload))
+            if predict is not None:
+                body = service.predict(predict.group(1), payload)
+            elif neighbors is not None:
+                body = service.neighbors(neighbors.group(1), payload)
+            else:
+                body = service.search(payload)
+            self._send_json(200, body)
         except ServingError as exc:
             status = 404 if "no model named" in str(exc) else 400
             self._send_error_json(status, str(exc))
-        except EmbeddingError as exc:
+        except (EmbeddingError, VectorIndexError) as exc:
             self._send_error_json(400, str(exc))
         except SerializationError as exc:
             self._send_error_json(500, str(exc))

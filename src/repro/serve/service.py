@@ -28,10 +28,15 @@ import numpy as np
 from ..cache import get_cache
 from ..embeddings import embed_items
 from ..exceptions import ServingError
+from ..index import VectorIndex
 from .batching import MicroBatcher
 from .registry import LoadedModel, ModelRegistry
 
 __all__ = ["PredictService"]
+
+#: Upper bound on the per-request neighbour count; keeps one hostile
+#: request from forcing a near-full-corpus sort per query row.
+_MAX_NEIGHBORS = 1024
 
 
 class PredictService:
@@ -57,12 +62,19 @@ class PredictService:
         self.max_batch_rows = max_batch_rows
         self.max_delay = max_delay
         self.micro_batching = micro_batching
-        # One batcher per *load* of a model.  Keyed by the LoadedModel entry
-        # itself (identity-hashed, strong reference — no id() reuse hazard)
-        # and retired through the registry's eviction hook, so an evicted or
+        # One batcher per *load* of a model (and, for vector indexes, per
+        # requested k — rows in one coalesced query must share their k).
+        # Keyed by the LoadedModel entry itself (identity-hashed, strong
+        # reference — no id() reuse hazard) plus the k discriminator, and
+        # retired through the registry's eviction hook, so an evicted or
         # reloaded model never stays pinned by its old batcher and never
         # serves stale weights.
-        self._batchers: dict[LoadedModel, MicroBatcher] = {}
+        self._batchers: dict[tuple[LoadedModel, int | None],
+                             MicroBatcher] = {}
+        # Memoised /search index resolution, keyed by the directory
+        # listing it was derived from (see _only_index_name).
+        self._index_names_cache: tuple[tuple[str, ...], list[str]] | None = \
+            None
         self._lock = threading.Lock()
         # Chain rather than replace any caller-installed eviction hook.
         previous_hook = registry.on_evict
@@ -98,6 +110,10 @@ class PredictService:
         metadata).  Returns the JSON-able response body.
         """
         loaded = self.registry.get(name)
+        if isinstance(loaded.model, VectorIndex):
+            raise ServingError(
+                f"model {name!r} is a vector index; use POST "
+                f"/models/{name}/neighbors or POST /search")
         cache_key = self._items_cache_key(loaded, payload)
         labels = get_cache().get(cache_key) if cache_key is not None else None
         if labels is None:
@@ -114,6 +130,99 @@ class PredictService:
             "n_items": int(labels.shape[0]),
             "labels": [int(label) for label in labels],
         }
+
+    def neighbors(self, name: str, payload: dict) -> dict:
+        """Answer one ``POST /models/{name}/neighbors`` payload.
+
+        ``name`` must resolve to a checkpointed :class:`~repro.index`
+        vector index.  The payload provides ``"vectors"`` or ``"items"``
+        exactly like predict, plus an optional ``"k"`` (default 10).
+        Concurrent requests with the same ``k`` are micro-batched into
+        shared index queries.  Returns ids, positions and distances per
+        query row, each row ordered nearest first.
+        """
+        loaded = self.registry.get(name)
+        index = loaded.model
+        if not isinstance(index, VectorIndex):
+            raise ServingError(
+                f"model {name!r} is a {type(index).__name__}, not a vector "
+                f"index; use POST /models/{name}/predict")
+        k = payload.get("k", 10) if isinstance(payload, dict) else 10
+        if not isinstance(k, int) or isinstance(k, bool) or \
+                not 1 <= k <= _MAX_NEIGHBORS:
+            raise ServingError(
+                f"'k' must be an integer in [1, {_MAX_NEIGHBORS}], got {k!r}")
+        matrix = self._matrix_from_payload(loaded, payload)
+        if self.micro_batching:
+            packed = self._batched_neighbors(loaded, matrix, k)
+            positions = packed[:, 0].astype(np.int64)
+            distances = packed[:, 1]
+        else:
+            positions, distances = index.query(matrix, k)
+        return {
+            "model": name,
+            "n_items": int(positions.shape[0]),
+            "k": int(positions.shape[1]),
+            "ids": index.ids[positions].tolist(),
+            "positions": positions.tolist(),
+            "distances": distances.tolist(),
+        }
+
+    def search(self, payload: dict) -> dict:
+        """Answer one ``POST /search`` payload (similarity search).
+
+        Like :meth:`neighbors`, but the index is named in the body
+        (``"index"``) rather than the path — and when the model directory
+        serves exactly one vector index, the name can be omitted entirely:
+        embed the raw item(s), return the nearest corpus items.
+        """
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        name = payload.get("index")
+        if name is None:
+            name = self._only_index_name()
+        elif not isinstance(name, str):
+            raise ServingError("'index' must be a model name string")
+        return {"index": name, **self.neighbors(name, payload)}
+
+    def _only_index_name(self) -> str:
+        """The single served vector index (error if zero or ambiguous).
+
+        Header reads (file open + JSON parse per checkpoint) are paid only
+        when the directory *listing* changes, not per request: a rotated
+        generation keeps its name and kind, so the name -> is-index
+        classification is stable for a given listing.
+        """
+        from ..serialize import SerializationError, read_checkpoint_header
+
+        names = tuple(self.registry.names())
+        with self._lock:
+            cached = self._index_names_cache
+            if cached is not None and cached[0] == names:
+                indexes = cached[1]
+            else:
+                indexes = None
+        if indexes is None:
+            indexes = []
+            for name in names:
+                try:
+                    header = read_checkpoint_header(
+                        self.registry.model_dir / f"{name}.npz")
+                except SerializationError:
+                    continue
+                if header.get("metadata", {}).get("kind") == "vector-index":
+                    indexes.append(name)
+            with self._lock:
+                self._index_names_cache = (names, indexes)
+        if len(indexes) == 1:
+            return indexes[0]
+        if not indexes:
+            raise ServingError(
+                f"no vector index in {self.registry.model_dir}; save one "
+                "with 'repro train --save ... --with-index'")
+        raise ServingError(
+            f"multiple vector indexes served ({sorted(indexes)}); name one "
+            "with the 'index' field")
 
     def stats(self) -> dict:
         """Per-model micro-batching counters (for diagnostics and benches)."""
@@ -157,22 +266,62 @@ class PredictService:
             return result
         return loaded.model.predict(matrix)
 
+    def _batched_neighbors(self, loaded: LoadedModel, matrix: np.ndarray,
+                           k: int) -> np.ndarray:
+        # Same eviction-race discipline as _batched_predict: a closed
+        # batcher means the load was retired, so resolve afresh and retry.
+        for _ in range(3):
+            try:
+                result = self._neighbor_batcher_for(loaded, k).submit(matrix)
+            except ServingError as exc:
+                if "closed" not in str(exc):
+                    raise
+                loaded = self.registry.get(loaded.name)
+                continue
+            if not self.registry.is_current(loaded):
+                self._retire_batcher(loaded)
+            return result
+        positions, distances = loaded.model.query(matrix, k)
+        return np.stack([positions.astype(np.float64), distances], axis=1)
+
     def _batcher_for(self, loaded: LoadedModel) -> MicroBatcher:
         with self._lock:
-            batcher = self._batchers.get(loaded)
+            batcher = self._batchers.get((loaded, None))
             if batcher is None:
                 batcher = MicroBatcher(loaded.model.predict,
                                        max_batch_rows=self.max_batch_rows,
                                        max_delay=self.max_delay,
                                        name=loaded.name)
-                self._batchers[loaded] = batcher
+                self._batchers[loaded, None] = batcher
+            return batcher
+
+    def _neighbor_batcher_for(self, loaded: LoadedModel,
+                              k: int) -> MicroBatcher:
+        index = loaded.model
+
+        def query_rows(X: np.ndarray) -> np.ndarray:
+            positions, distances = index.query(X, k)
+            # Packed as one (rows, 2, k) array so the MicroBatcher can
+            # hand each caller its row slice of a shared query.
+            return np.stack([positions.astype(np.float64), distances],
+                            axis=1)
+
+        with self._lock:
+            batcher = self._batchers.get((loaded, k))
+            if batcher is None:
+                batcher = MicroBatcher(query_rows,
+                                       max_batch_rows=self.max_batch_rows,
+                                       max_delay=self.max_delay,
+                                       name=f"{loaded.name}#k={k}")
+                self._batchers[loaded, k] = batcher
             return batcher
 
     def _retire_batcher(self, loaded: LoadedModel) -> None:
-        """Registry eviction hook: drop and stop the entry's batcher."""
+        """Registry eviction hook: drop and stop the entry's batcher(s)."""
         with self._lock:
-            batcher = self._batchers.pop(loaded, None)
-        if batcher is not None:
+            keys = [key for key in self._batchers if key[0] is loaded]
+            batchers = [self._batchers.pop(key) for key in keys]
+        for batcher in batchers:
             batcher.close()
 
     @staticmethod

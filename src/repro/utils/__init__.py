@@ -6,6 +6,13 @@ from .validation import (
     check_same_length,
     check_square,
 )
+from .metrics_dispatch import (
+    SUPPORTED_METRICS,
+    pairwise_distances,
+    squared_euclidean_distances,
+    unit_rows,
+    validate_metric,
+)
 from .text import normalize_text, tokenize, char_ngrams
 from .timing import Timer
 from .io import read_csv_table, write_csv_table
@@ -15,6 +22,11 @@ __all__ = [
     "check_labels",
     "check_same_length",
     "check_square",
+    "SUPPORTED_METRICS",
+    "validate_metric",
+    "unit_rows",
+    "squared_euclidean_distances",
+    "pairwise_distances",
     "normalize_text",
     "tokenize",
     "char_ngrams",

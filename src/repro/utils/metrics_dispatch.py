@@ -1,0 +1,84 @@
+"""Shared pairwise-distance kernel and metric validation.
+
+KNN graph construction, DBSCAN, the silhouette metric and the vector-index
+subsystem all dispatch on the same two metrics (``cosine`` and
+``euclidean``) and all expand squared Euclidean distances through the same
+``||x||^2 + ||y||^2 - 2 x.y`` identity.  Before this module each of them
+validated and computed independently; the helpers here are the single
+implementation they share, so the numerics (operation order, zero-clamping
+before any square root) are bit-identical across every call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_METRICS",
+    "validate_metric",
+    "unit_rows",
+    "squared_euclidean_distances",
+    "pairwise_distances",
+]
+
+#: The metrics every distance-dispatching component supports.
+SUPPORTED_METRICS = ("cosine", "euclidean")
+
+
+def validate_metric(metric: str) -> str:
+    """Return ``metric`` if supported, raise ``ValueError`` otherwise.
+
+    Validation happens *before* any early return on degenerate inputs so a
+    typo fails loudly regardless of data size.
+    """
+    if metric not in SUPPORTED_METRICS:
+        raise ValueError(f"unsupported metric {metric!r}")
+    return metric
+
+
+def unit_rows(X: np.ndarray) -> np.ndarray:
+    """Rows of ``X`` scaled to unit L2 norm (zero rows stay zero)."""
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    return X / norms
+
+
+def squared_euclidean_distances(X: np.ndarray,
+                                Y: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``X`` and ``Y``.
+
+    ``Y=None`` computes the self-distance matrix of ``X``.  The classic
+    ``||x||^2 + ||y||^2 - 2 x.y`` expansion, clamped at zero so
+    floating-point cancellation never produces negative squared distances
+    (and never NaNs downstream of a square root).
+    """
+    x_sq = np.sum(X ** 2, axis=1)
+    if Y is None:
+        Y = X
+        y_sq = x_sq
+    else:
+        y_sq = np.sum(Y ** 2, axis=1)
+    d2 = x_sq[:, None] + y_sq[None, :] - 2.0 * (X @ Y.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def pairwise_distances(X: np.ndarray, Y: np.ndarray | None = None, *,
+                       metric: str = "euclidean") -> np.ndarray:
+    """Dense ``(len(X), len(Y))`` distance matrix under ``metric``.
+
+    ``euclidean`` returns true Euclidean distances; ``cosine`` returns the
+    cosine *distance* ``1 - cos(x, y)`` (zero rows behave as orthogonal to
+    everything).  Both are proper dissimilarities: zero for identical rows,
+    larger is farther.
+    """
+    validate_metric(metric)
+    if metric == "euclidean":
+        return np.sqrt(squared_euclidean_distances(X, Y))
+    ux = unit_rows(X)
+    uy = ux if Y is None else unit_rows(Y)
+    distances = 1.0 - ux @ uy.T
+    # Rounding can push identical rows to ~-1e-16; clamp like the euclidean
+    # branch so exact matches report a distance of exactly zero.
+    np.maximum(distances, 0.0, out=distances)
+    return distances

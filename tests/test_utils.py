@@ -162,3 +162,52 @@ class TestCsvRoundTrip:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(DatasetError):
             read_csv_table(tmp_path / "missing.csv")
+
+
+class TestMetricsDispatch:
+    """The shared pairwise-distance kernel behind KNN, DBSCAN and repro.index."""
+
+    def test_validate_metric(self):
+        from repro.utils.metrics_dispatch import validate_metric
+
+        assert validate_metric("cosine") == "cosine"
+        assert validate_metric("euclidean") == "euclidean"
+        with pytest.raises(ValueError, match="unsupported metric"):
+            validate_metric("manhattan")
+
+    def test_squared_euclidean_matches_naive(self):
+        from repro.utils.metrics_dispatch import squared_euclidean_distances
+
+        rng = np.random.default_rng(0)
+        X, Y = rng.normal(size=(20, 6)), rng.normal(size=(15, 6))
+        d2 = squared_euclidean_distances(X, Y)
+        naive = ((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, naive, atol=1e-9)
+        assert (d2 >= 0).all()
+
+    def test_self_distances_zero_diagonal(self):
+        from repro.utils.metrics_dispatch import pairwise_distances
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(12, 5))
+        for metric in ("cosine", "euclidean"):
+            D = pairwise_distances(X, metric=metric)
+            # sqrt of the clamped expansion can leave ~sqrt(eps) residue.
+            assert np.allclose(np.diag(D), 0.0, atol=1e-6), metric
+            assert np.allclose(D, D.T, atol=1e-12), metric
+            assert (D >= 0).all(), metric
+
+    def test_cosine_zero_rows_behave_as_orthogonal(self):
+        from repro.utils.metrics_dispatch import pairwise_distances
+
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        D = pairwise_distances(X, metric="cosine")
+        assert D[0, 1] == pytest.approx(1.0)
+
+    def test_unit_rows_preserves_zero_rows(self):
+        from repro.utils.metrics_dispatch import unit_rows
+
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        U = unit_rows(X)
+        assert np.allclose(U[0], 0.0)
+        assert np.linalg.norm(U[1]) == pytest.approx(1.0)
