@@ -11,7 +11,11 @@ both into ``BENCH_stream.json`` (uploaded as a CI artifact and gated by
   the concatenated data, without losing assignment parity;
 * **hot reload never drops a request** — a serving process whose checkpoint
   is rotated mid-traffic must answer every in-flight and subsequent predict
-  with HTTP 200 (the registry swaps generations off the request path).
+  with HTTP 200 (the registry swaps generations off the request path);
+* **durability is affordable** — journaling every batch to the fsync'd
+  write-ahead log (``repro stream --wal-dir``) must cost **< 10%** over
+  the identical WAL-off ingest loop (the size-thresholded segment policy
+  keeps it at one fsync per append in steady state).
 
 The gated metrics are *same-machine ratios* (speedups, failure counts), so
 the committed baselines transfer across hardware generations.
@@ -205,3 +209,42 @@ def test_hot_reload_keeps_predicts_available(benchmark, tmp_path):
     assert results["requests"] >= 100, results
     # The server really did serve several generations, not one.
     assert results["final_generation"] >= 1, results
+
+
+def test_wal_ingest_overhead(benchmark, tmp_path):
+    """Durable (WAL-on) ingest must stay within 10% of WAL-off ingest."""
+    from repro.experiments.streaming import run_stream_scenario
+
+    n_batches, trials = 6, 5
+
+    def ingest(label: str, trial: int, use_wal: bool) -> float:
+        workdir = tmp_path / f"{label}-{trial}"
+        workdir.mkdir()
+        kwargs = {"wal_dir": workdir / "wal"} if use_wal else {}
+        started = time.perf_counter()
+        run_stream_scenario("domain_discovery", dataset="camera",
+                            embedding="sbert", algorithm="kmeans",
+                            n_batches=n_batches, seed=0,
+                            save_path=workdir / "m.npz", **kwargs)
+        return time.perf_counter() - started
+
+    def run() -> dict:
+        ingest("warm", 0, use_wal=False)  # warm the embedding caches
+        off = [ingest("off", trial, use_wal=False) for trial in range(trials)]
+        on = [ingest("on", trial, use_wal=True) for trial in range(trials)]
+        off_s = float(np.median(off))
+        on_s = float(np.median(on))
+        return {
+            "n_batches": n_batches,
+            "trials": trials,
+            "wal_off_seconds": round(off_s, 4),
+            "wal_on_seconds": round(on_s, 4),
+            "wal_ingest_overhead": round(on_s / off_s, 4),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\nWAL-on vs WAL-off ingest overhead")
+    print(json.dumps(results, indent=2))
+    _merge_into_bench_json("wal", results)
+
+    assert results["wal_ingest_overhead"] < 1.10, results

@@ -63,6 +63,10 @@ def _metrics_stream(doc: dict) -> dict[str, tuple[float, str]]:
     if hot_reload is not None:
         metrics["hot_reload_failed_predicts"] = (
             float(hot_reload["failed_predicts"]), "zero")
+    wal = doc.get("wal")
+    if wal is not None:
+        metrics["wal_ingest_overhead"] = (
+            float(wal["wal_ingest_overhead"]), "lower")
     return metrics
 
 

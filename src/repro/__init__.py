@@ -39,6 +39,11 @@ stream`` replays a dataset as arrival batches with drift-aware incremental
 updates, ``repro update`` absorbs new data into a checkpoint and rotates it
 to its next generation (:func:`repro.serialize.rotate_checkpoint`), and a
 serving process hot-reloads the new generation with zero failed predicts.
+With ``--wal-dir``, ingestion is *durable* (:mod:`repro.wal`): every batch
+is journaled to a CRC-checksummed, fsync'd write-ahead log before it
+touches the model, crash recovery replays exactly the un-applied suffix
+(``repro serve --wal-dir``), and ``repro repair`` salvages damaged
+directories.
 """
 
 from ._version import __version__
@@ -106,6 +111,13 @@ from .stream import (
     DriftMonitor,
     StreamSource,
     incremental_update,
+)
+from .wal import (
+    WriteAheadLog,
+    recover_checkpoint,
+    recover_model_dir,
+    repair_directory,
+    replay_wal,
 )
 from .metrics import (
     adjusted_rand_index,
@@ -207,4 +219,9 @@ __all__ = [
     "DriftMonitor",
     "StreamSource",
     "incremental_update",
+    "WriteAheadLog",
+    "recover_checkpoint",
+    "recover_model_dir",
+    "repair_directory",
+    "replay_wal",
 ]

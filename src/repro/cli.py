@@ -37,6 +37,12 @@ evaluation matrix without writing any Python:
     Absorb a batch of new data into a saved checkpoint in place
     (``partial_fit`` / warm-start fine-tuning) and rotate the file to its
     next generation — a running ``repro serve`` picks it up live.
+``repro repair <dir>``
+    Salvage a damaged model directory: delete orphaned temp files,
+    restore corrupt or missing live checkpoints from their newest valid
+    archived generation, truncate torn WAL segments at the last good
+    record, and (``--recheckpoint``) replay pending journal suffixes into
+    fresh generations.  ``--dry-run`` reports without touching anything.
 ``repro search <task>``
     Query a saved :mod:`repro.index` vector index (from ``repro train
     --with-index`` or ``repro stream --with-index``) with a raw JSON item:
@@ -267,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-hot-reload", action="store_true",
                            help="serve each loaded checkpoint as-is, "
                                 "ignoring newer generations on disk")
+    serve_cmd.add_argument("--wal-dir", type=Path, default=None,
+                           metavar="DIR",
+                           help="write-ahead-log root: replay any journal "
+                                "suffix newer than each checkpoint's "
+                                "watermark before serving (crash recovery)")
 
     stream_cmd = sub.add_parser(
         "stream", help="replay a dataset as arrival batches with "
@@ -321,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the initial fit, extended incrementally "
                                  "per batch) and rotate it alongside the "
                                  "model as <stem>.index.npz")
+    stream_cmd.add_argument("--wal-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="with --save: journal every batch to a "
+                                 "write-ahead log before applying it, so a "
+                                 "crash loses nothing ('repro serve "
+                                 "--wal-dir' replays the suffix)")
+    stream_cmd.add_argument("--stream-name", default="stream",
+                            metavar="NAME",
+                            help="WAL namespace for this ingestion stream "
+                                 "(default: stream)")
 
     update_cmd = sub.add_parser(
         "update", help="absorb new data into a saved checkpoint in place")
@@ -345,6 +366,36 @@ def build_parser() -> argparse.ArgumentParser:
                             help="archived checkpoint generations to retain "
                                  "(default: 3)")
     update_cmd.add_argument("--format", choices=RESULT_FORMATS,
+                            default="table", help="output format")
+    update_cmd.add_argument("--wal-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="journal the batch to the checkpoint's "
+                                 "write-ahead log before applying it and "
+                                 "stamp the applied watermark into the "
+                                 "rotated generation")
+    update_cmd.add_argument("--stream", default="updates", metavar="NAME",
+                            help="WAL namespace for CLI-applied batches "
+                                 "(default: updates)")
+
+    repair_cmd = sub.add_parser(
+        "repair", help="salvage a damaged model directory and its WAL")
+    repair_cmd.add_argument("model_dir", type=Path,
+                            help="directory of NPZ checkpoints to scan")
+    repair_cmd.add_argument("--wal-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="write-ahead-log root (default: "
+                                 "<model_dir>/wal when it exists)")
+    repair_cmd.add_argument("--dry-run", action="store_true",
+                            help="report findings without changing anything "
+                                 "(exit code 1 when there are findings)")
+    repair_cmd.add_argument("--recheckpoint", action="store_true",
+                            help="after the structural fixes, replay any "
+                                 "pending journal suffix into fresh "
+                                 "checkpoint generations")
+    repair_cmd.add_argument("--keep-generations", type=int, default=3,
+                            help="archived generations to retain when "
+                                 "re-checkpointing (default: 3)")
+    repair_cmd.add_argument("--format", choices=RESULT_FORMATS,
                             default="table", help="output format")
 
     search_cmd = sub.add_parser(
@@ -584,7 +635,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
         max_delay=args.batch_delay_ms / 1000.0,
         micro_batching=not args.no_batching,
-        reload_interval=reload_interval)
+        reload_interval=reload_interval,
+        wal_dir=args.wal_dir)
     host, port = server.server_address[:2]
     names = server.service.registry.names()
     print(f"serving {len(names)} model(s) {names} from {args.model_dir} "
@@ -620,7 +672,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         scale=_SCALES[args.scale], config=_run_config(args),
         seed=args.seed, save_path=args.save,
         keep_generations=args.keep_generations,
-        with_index=args.with_index)
+        with_index=args.with_index,
+        wal_dir=args.wal_dir, stream_name=args.stream_name)
     print(render_rows([step.as_row() for step in steps], args.format,
                       title=f"streamed {dataset_name}/{args.embedding}/"
                             f"{args.algorithm} over {args.batches} batches"))
@@ -663,11 +716,32 @@ def _cmd_update(args: argparse.Namespace) -> int:
         (train_seed if isinstance(train_seed, int) else 0) + 1
     dataset = build_dataset(args.data, _SCALES[args.scale], seed=seed)
     X = _EMBED_FNS[task](dataset, embedding, seed=seed)
-    report = incremental_update(model, X, epochs=args.epochs, seed=seed)
-    metadata.update({"n_items": int(X.shape[0]),
-                     "updated_from": args.data, "update_seed": seed})
-    rotate_checkpoint(args.checkpoint, model, metadata=metadata,
-                      keep=args.keep_generations)
+    wal = None
+    batch_id = None
+    if args.wal_dir is not None:
+        from .wal import WriteAheadLog, stamp_wal_metadata, wal_namespace
+
+        wal = WriteAheadLog(wal_namespace(args.wal_dir, args.checkpoint.stem,
+                                          args.stream))
+        # Journal-first: the batch is durable before the model changes.
+        batch_id = wal.append({"X": X},
+                              meta={"epochs": args.epochs, "seed": seed,
+                                    "dataset": args.data})
+    try:
+        report = incremental_update(model, X, epochs=args.epochs, seed=seed)
+        metadata.update({"n_items": int(X.shape[0]),
+                         "updated_from": args.data, "update_seed": seed})
+        if batch_id is not None:
+            stamp_wal_metadata(metadata, stream=args.stream,
+                               batch_id=batch_id)
+        rotate_checkpoint(args.checkpoint, model, metadata=metadata,
+                          keep=args.keep_generations)
+        if wal is not None:
+            wal.rotate_segment()
+            wal.prune(batch_id)
+    finally:
+        if wal is not None:
+            wal.close()
     print(render_rows([report.as_row()], args.format,
                       title=f"updated {args.checkpoint}"))
     from .serialize import read_checkpoint_header
@@ -678,6 +752,32 @@ def _cmd_update(args: argparse.Namespace) -> int:
           + (" (refit recommended)" if report.refit_recommended else ""),
           file=sys.stderr)
     return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .wal import repair_directory
+
+    if not args.model_dir.is_dir():
+        raise ReproError(f"{args.model_dir} is not a directory")
+    report = repair_directory(args.model_dir, wal_dir=args.wal_dir,
+                              apply=not args.dry_run,
+                              recheckpoint=args.recheckpoint,
+                              keep=args.keep_generations)
+    rows = report["findings"]
+    mode = "dry-run" if args.dry_run else "repair"
+    if rows:
+        print(render_rows(rows, args.format,
+                          title=f"{mode}: {len(rows)} finding(s) in "
+                                f"{args.model_dir}"))
+    else:
+        print(f"{mode}: {args.model_dir} is clean", file=sys.stderr)
+    for recovered in report["recovered"]:
+        print(f"recovered {recovered['checkpoint']}: "
+              f"{recovered['replayed_batches']} batch(es) replayed "
+              f"(watermark {recovered['watermark']})", file=sys.stderr)
+    # Dry runs signal outstanding damage through the exit code so scripts
+    # can gate on "directory needs repair".
+    return 1 if (args.dry_run and rows) else 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -764,6 +864,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "stream": _cmd_stream,
     "update": _cmd_update,
+    "repair": _cmd_repair,
     "search": _cmd_search,
     "bench": _cmd_bench,
 }

@@ -54,3 +54,7 @@ class StreamingError(ReproError):
 
 class VectorIndexError(ReproError):
     """Raised when a vector index is queried or mutated invalidly."""
+
+
+class WALError(ReproError):
+    """Raised when a write-ahead-log record or journal is invalid."""

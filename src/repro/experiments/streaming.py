@@ -25,6 +25,7 @@ from ..exceptions import StreamingError
 from ..metrics import adjusted_rand_index, clustering_accuracy
 from ..serialize import rotate_checkpoint
 from ..stream import DriftMonitor, StreamSource, incremental_update
+from ..wal import WriteAheadLog, stamp_wal_metadata, wal_namespace
 from ..tasks import embed_columns, embed_records, embed_tables
 from ..tasks.base import make_clusterer
 from ..utils.timing import Timer
@@ -102,6 +103,8 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
                         keep_generations: int = 3,
                         monitor: DriftMonitor | None = None,
                         with_index: str | None = None,
+                        wal_dir: str | Path | None = None,
+                        stream_name: str = "stream",
                         ) -> list[StreamStepResult]:
     """Run the continuous-learning loop over one dataset; return step rows.
 
@@ -113,9 +116,18 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
     similarity-search index over everything streamed so far — built on the
     initial fit, extended with incremental ``add`` per batch — and rotates
     it as ``<save stem>.index.npz`` in lockstep with the model
-    generations, so a serving process hot-reloads both together.  The
-    returned list has one entry for the initial fit (step ``-1``)
-    followed by one per arrival batch.
+    generations, so a serving process hot-reloads both together.
+
+    ``wal_dir`` (requires ``save_path``) makes ingestion *durable*: every
+    arrival batch's embeddings are journaled to the
+    ``<checkpoint stem>/<stream_name>.wal`` namespace (fsync'd, CRC'd —
+    see :mod:`repro.wal`) **before** any update or refit touches the
+    model, and the rotated checkpoint stamps the applied watermark so a
+    crash at any point is recovered by
+    :func:`repro.wal.recover_checkpoint` with exactly-once semantics.
+    WAL segments rotate with the checkpoint generations and are pruned at
+    the watermark.  The returned list has one entry for the initial fit
+    (step ``-1``) followed by one per arrival batch.
     """
     supported = STREAMABLE_EMBEDDINGS.get(task)
     if supported is None:
@@ -159,6 +171,19 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
     metadata = {"task": task, "dataset": dataset.name, "embedding": embedding,
                 "algorithm": algorithm, "seed": seed,
                 "n_features": int(X0.shape[1])}
+    wal = None
+    if wal_dir is not None:
+        if save_path is None:
+            raise StreamingError(
+                "wal_dir requires a checkpoint save path (the journal's "
+                "applied watermark lives in checkpoint metadata)")
+        wal = WriteAheadLog(
+            wal_namespace(wal_dir, Path(save_path).stem, stream_name))
+        # The fresh fit supersedes anything already journaled: stamp the
+        # watermark at the journal's current tail so a recovery never
+        # replays pre-fit batches over the new model.
+        metadata["wal_applied"] = {stream_name: wal.last_batch_id}
+        metadata["wal_updates_applied"] = 0
     if save_path is not None:
         rotate_checkpoint(save_path, model, metadata=metadata,
                           keep=keep_generations)
@@ -183,47 +208,69 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
 
     seen = [X0]
     seen_labels = [np.asarray(initial.labels, dtype=np.int64)]
-    for batch in source.batches():
-        Xb = embed(batch.dataset, embedding, seed=seed)
-        predicted = relabel_noise_as_singletons(model.predict(Xb))
-        decision = monitor.assess(
-            Xb, predicted,
-            model_refit_flag=bool(getattr(model, "refit_recommended_", False)))
-        details: dict = {}
-        timer = Timer()
-        with timer:
-            if decision.action == "refit":
-                X_all = np.vstack(seen + [Xb])
-                y_all = np.concatenate(seen_labels + [batch.labels])
-                model = make_clusterer(
-                    algorithm, int(np.unique(y_all).size), config=config,
-                    seed=seed)
-                model.fit(X_all)
-                monitor.observe_reference(
-                    X_all, relabel_noise_as_singletons(
-                        np.asarray(model.labels_)))
-            else:
-                report = incremental_update(model, Xb, seed=seed)
-                details = dict(report.details)
-        seen.append(Xb)
-        seen_labels.append(np.asarray(batch.labels, dtype=np.int64))
-        ari, acc = _score(model, Xb, batch.labels)
-        results.append(StreamStepResult(
-            step=batch.index, action=decision.action,
-            n_items=int(Xb.shape[0]),
-            n_seen=int(sum(x.shape[0] for x in seen)),
-            seconds=timer.elapsed, ari=ari, acc=acc,
-            mean_shift=decision.mean_shift,
-            silhouette=decision.silhouette,
-            drifted=batch.drifted, reasons=decision.reasons,
-            details=details))
-        if save_path is not None:
-            rotate_checkpoint(save_path, model, metadata=metadata,
-                              keep=keep_generations)
-        if index is not None:
-            # The streaming write path: absorb the arrivals incrementally
-            # and rotate the index generation in lockstep with the model.
-            index.add(Xb)
-            rotate_checkpoint(index_path, index, metadata=index_metadata,
-                              keep=keep_generations)
+    try:
+        for batch in source.batches():
+            Xb = embed(batch.dataset, embedding, seed=seed)
+            predicted = relabel_noise_as_singletons(model.predict(Xb))
+            decision = monitor.assess(
+                Xb, predicted,
+                model_refit_flag=bool(
+                    getattr(model, "refit_recommended_", False)))
+            batch_id = None
+            if wal is not None:
+                # Journal-first: the batch is on stable storage before any
+                # model state changes, so a crash below is recoverable.
+                batch_id = wal.append(
+                    {"X": Xb,
+                     "labels": np.asarray(batch.labels, dtype=np.int64)},
+                    meta={"seed": seed, "action": decision.action})
+            details: dict = {}
+            timer = Timer()
+            with timer:
+                if decision.action == "refit":
+                    X_all = np.vstack(seen + [Xb])
+                    y_all = np.concatenate(seen_labels + [batch.labels])
+                    model = make_clusterer(
+                        algorithm, int(np.unique(y_all).size), config=config,
+                        seed=seed)
+                    model.fit(X_all)
+                    monitor.observe_reference(
+                        X_all, relabel_noise_as_singletons(
+                            np.asarray(model.labels_)))
+                else:
+                    report = incremental_update(model, Xb, seed=seed)
+                    details = dict(report.details)
+            seen.append(Xb)
+            seen_labels.append(np.asarray(batch.labels, dtype=np.int64))
+            ari, acc = _score(model, Xb, batch.labels)
+            results.append(StreamStepResult(
+                step=batch.index, action=decision.action,
+                n_items=int(Xb.shape[0]),
+                n_seen=int(sum(x.shape[0] for x in seen)),
+                seconds=timer.elapsed, ari=ari, acc=acc,
+                mean_shift=decision.mean_shift,
+                silhouette=decision.silhouette,
+                drifted=batch.drifted, reasons=decision.reasons,
+                details=details))
+            if batch_id is not None:
+                stamp_wal_metadata(metadata, stream=stream_name,
+                                   batch_id=batch_id)
+            if save_path is not None:
+                rotate_checkpoint(save_path, model, metadata=metadata,
+                                  keep=keep_generations)
+            if wal is not None:
+                # Seal the segment only once it is large enough (one fsync
+                # per append in steady state); everything at or below the
+                # stamped watermark in sealed segments is prunable.
+                wal.maybe_rotate()
+                wal.prune(batch_id)
+            if index is not None:
+                # The streaming write path: absorb the arrivals incrementally
+                # and rotate the index generation in lockstep with the model.
+                index.add(Xb)
+                rotate_checkpoint(index_path, index, metadata=index_metadata,
+                                  keep=keep_generations)
+    finally:
+        if wal is not None:
+            wal.close()
     return results

@@ -12,8 +12,11 @@ A checkpoint is a single ``.npz`` file with two kinds of entries:
 
 Arrays round-trip bit-identically (NPZ stores the raw little-endian buffer),
 so a model reloaded in a fresh process reproduces ``predict`` exactly.
-Writes are atomic (temp file + ``os.replace``) so a serving process scanning
-a model directory never observes a partial checkpoint.
+Writes are atomic *and durable*: the temp file is fsync'd before the
+``os.replace`` and the containing directory is fsync'd after it, so a
+serving process scanning a model directory never observes a partial
+checkpoint — and a completed ``save_checkpoint`` survives power loss, not
+just process death (the discipline the :mod:`repro.wal` journal builds on).
 
 Models participate through three hooks — ``checkpoint_params()`` (JSON-able
 dict), ``checkpoint_arrays()`` (name -> ndarray) and the classmethod
@@ -40,6 +43,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "checkpoint_generations",
     "checkpointable_classes",
+    "fsync_directory",
     "load_checkpoint",
     "read_checkpoint_header",
     "rotate_checkpoint",
@@ -71,6 +75,27 @@ def checkpointable_classes() -> dict[str, type]:
             for cls in (KMeans, Birch, DBSCAN, Autoencoder,
                         AutoencoderClustering, SDCN, EDESC, SHGP,
                         FlatIndex, IVFFlatIndex, HNSWIndex)}
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    ``os.replace`` makes a rename atomic but not durable: after a power
+    loss the directory may still hold the old entry unless the directory
+    itself is fsync'd.  Filesystems that refuse ``fsync`` on a directory
+    handle (some network/overlay mounts) are tolerated silently — they
+    offer no stronger primitive to fall back to.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def _json_default(value):
@@ -131,13 +156,17 @@ def save_checkpoint(path: str | Path, model, *,
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
     # Atomic write so concurrent readers (the model registry) never see a
-    # partially written checkpoint.
+    # partially written checkpoint; fsync file-then-directory so a completed
+    # save is durable across power loss, not merely process death.
     handle, tmp_name = tempfile.mkstemp(dir=destination.parent, suffix=".tmp")
     try:
         with os.fdopen(handle, "wb") as tmp:
             np.savez_compressed(tmp, __header__=np.asarray(header_json),
                                 **payload)
+            tmp.flush()
+            os.fsync(tmp.fileno())
         os.replace(tmp_name, destination)
+        fsync_directory(destination.parent)
     except BaseException:
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)

@@ -187,7 +187,8 @@ def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
                   port: int = 8000, max_loaded: int = 4,
                   max_batch_rows: int = 256, max_delay: float = 0.002,
                   micro_batching: bool = True,
-                  reload_interval: float | None = None) -> ReproHTTPServer:
+                  reload_interval: float | None = None,
+                  wal_dir: str | Path | None = None) -> ReproHTTPServer:
     """Build (but do not start) the serving HTTP server.
 
     ``port=0`` binds an ephemeral port (``server.server_address[1]`` tells
@@ -200,7 +201,17 @@ def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
     are picked up within one interval with zero failed predicts — requests
     racing the swap are answered by whichever complete generation they
     resolved.  ``None`` serves each loaded checkpoint as-is.
+
+    ``wal_dir`` runs crash recovery before anything is served: every
+    checkpoint with a pending write-ahead-log suffix (journaled batches
+    newer than its ``wal_applied`` watermark) is replayed and rotated via
+    :func:`repro.wal.recover_model_dir`, so the served state reflects all
+    durably-journaled ingestion even after a SIGKILL mid-update.
     """
+    if wal_dir is not None:
+        from ..wal import recover_model_dir
+
+        recover_model_dir(model_dir, wal_dir)
     registry = ModelRegistry(model_dir, max_loaded=max_loaded)
     service = PredictService(registry, max_batch_rows=max_batch_rows,
                              max_delay=max_delay,

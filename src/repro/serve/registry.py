@@ -67,6 +67,17 @@ class LoadedModel:
         """Checkpoint generation stamped by ``rotate_checkpoint`` (0 if never)."""
         return int(self.metadata.get("generation", 0))
 
+    @property
+    def wal_applied(self) -> dict[str, int]:
+        """Per-stream WAL watermark stamped by the durable ingestion path.
+
+        Empty for checkpoints that never streamed through a write-ahead
+        log; otherwise maps stream name to the last applied batch id.
+        """
+        stamped = self.metadata.get("wal_applied") or {}
+        return {str(stream): int(batch_id)
+                for stream, batch_id in stamped.items()}
+
 
 class ModelRegistry:
     """Named checkpoints in a directory, loaded lazily, LRU-bounded.

@@ -1,0 +1,243 @@
+"""Wire format of one write-ahead-log record: length-prefixed, CRC-checked.
+
+A record is one ingestion batch, encoded as::
+
+    +--------+------------+-------------+-------+-------------+---------+
+    | magic  | header_len | payload_len | crc32 | header JSON | payload |
+    | 4 B    | u32        | u64         | u32   | variable    | arrays  |
+    +--------+------------+-------------+-------+-------------+---------+
+
+All preamble integers are little-endian (``<4sIQI``, 20 bytes).  The
+header JSON carries the monotonic ``batch_id``, the record ``kind``,
+free-form ``meta`` (replay parameters: seed, epochs, ...) and one entry
+per payload array — name, dtype string, shape and byte extent — so the
+payload is the plain concatenation of the arrays' raw buffers and
+round-trips **bit-identically** (same guarantee as the NPZ checkpoints).
+The CRC32 covers header JSON + payload; any torn write or byte flip is
+detected before a single array byte is handed to a model.
+
+Decoding is defensive: a bad magic, an implausible length, a body that
+runs past the file, a CRC mismatch or malformed JSON all raise
+:class:`WALCorruption` carrying the byte offset of the *last good record
+boundary* — the truncation point recovery and ``repro repair`` use.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+import numpy as np
+
+from ..exceptions import WALError
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "WAL_MAGIC",
+    "WALCorruption",
+    "WALRecord",
+    "decode_record",
+    "encode_record",
+    "iter_records",
+    "scan_records",
+]
+
+#: Identifies the start of a WAL record (vs arbitrary bytes).
+WAL_MAGIC = b"RWA1"
+#: Preamble layout: magic, header length, payload length, CRC32 of the body.
+_PREAMBLE = struct.Struct("<4sIQI")
+#: Sanity ceiling on the header JSON; anything larger is corruption.
+MAX_HEADER_BYTES = 16 * 2**20
+#: Sanity ceiling on one record's payload; anything larger is corruption.
+MAX_PAYLOAD_BYTES = 4 * 2**30
+
+
+class WALCorruption(WALError):
+    """A journal byte stream stopped being a valid record sequence.
+
+    ``offset`` is the position of the last *good* record boundary — every
+    byte before it decoded cleanly, everything from it on is suspect.
+    Truncating the file at ``offset`` restores a valid (prefix) journal.
+    """
+
+    def __init__(self, message: str, *, offset: int) -> None:
+        super().__init__(f"{message} (last good record boundary: "
+                         f"byte {offset})")
+        self.offset = int(offset)
+
+
+@dataclass
+class WALRecord:
+    """One journaled ingestion batch: id, payload arrays, replay context."""
+
+    batch_id: int
+    arrays: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+    kind: str = "batch"
+
+
+def encode_record(record: WALRecord) -> bytes:
+    """Serialise ``record`` to its on-disk bytes (see the module format)."""
+    if record.batch_id < 1:
+        raise WALError(f"batch_id must be >= 1, got {record.batch_id}")
+    entries = []
+    chunks = []
+    offset = 0
+    for name, value in record.arrays.items():
+        # np.ascontiguousarray promotes 0-d to 1-d; only call it when the
+        # layout actually needs fixing so scalar arrays round-trip 0-d.
+        array = np.asarray(value)
+        if not array.flags["C_CONTIGUOUS"]:
+            array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise WALError(
+                f"WAL array {name!r} has dtype=object; records store "
+                "numeric/bytes arrays only")
+        raw = array.tobytes()
+        entries.append({"name": str(name), "dtype": array.dtype.str,
+                        "shape": list(array.shape),
+                        "offset": offset, "nbytes": len(raw)})
+        chunks.append(raw)
+        offset += len(raw)
+    header = {"batch_id": int(record.batch_id), "kind": str(record.kind),
+              "meta": record.meta, "arrays": entries}
+    try:
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    except TypeError as exc:
+        raise WALError(f"WAL record meta must be JSON-able: {exc}") from exc
+    payload = b"".join(chunks)
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise WALError("WAL record header exceeds the format ceiling")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WALError("WAL record payload exceeds the format ceiling")
+    crc = zlib.crc32(header_bytes + payload) & 0xFFFFFFFF
+    return (_PREAMBLE.pack(WAL_MAGIC, len(header_bytes), len(payload), crc)
+            + header_bytes + payload)
+
+
+def _parse_body(header_bytes: bytes, payload: bytes,
+                offset: int) -> WALRecord:
+    """Decode a CRC-validated body; malformed content is still corruption."""
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WALCorruption(f"record header is not valid JSON: {exc}",
+                            offset=offset) from exc
+    if not isinstance(header, dict) or "batch_id" not in header \
+            or not isinstance(header.get("arrays"), list):
+        raise WALCorruption("record header is incomplete", offset=offset)
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            start = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WALCorruption(f"record array entry is malformed: {exc}",
+                                offset=offset) from exc
+        expected = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        if nbytes != expected or start < 0 or start + nbytes > len(payload):
+            raise WALCorruption(
+                f"record array {name!r} extent is inconsistent",
+                offset=offset)
+        count = expected // dtype.itemsize if dtype.itemsize else 0
+        array = np.frombuffer(payload, dtype=dtype, count=count,
+                              offset=start).reshape(shape)
+        arrays[name] = array.copy()  # writable, detached from the buffer
+    return WALRecord(batch_id=int(header["batch_id"]), arrays=arrays,
+                     meta=header.get("meta") or {},
+                     kind=str(header.get("kind", "batch")))
+
+
+def _read_one(handle: BinaryIO, offset: int,
+              file_size: int | None) -> WALRecord | None:
+    """Read the record starting at ``offset``; ``None`` at clean EOF."""
+    preamble = handle.read(_PREAMBLE.size)
+    if not preamble:
+        return None
+    if len(preamble) < _PREAMBLE.size:
+        raise WALCorruption("truncated record preamble", offset=offset)
+    magic, header_len, payload_len, crc = _PREAMBLE.unpack(preamble)
+    if magic != WAL_MAGIC:
+        raise WALCorruption(f"bad record magic {magic!r}", offset=offset)
+    if header_len > MAX_HEADER_BYTES or payload_len > MAX_PAYLOAD_BYTES:
+        raise WALCorruption("implausible record length", offset=offset)
+    body_len = header_len + payload_len
+    if file_size is not None and offset + _PREAMBLE.size + body_len > file_size:
+        raise WALCorruption("record body runs past end of file",
+                            offset=offset)
+    body = handle.read(body_len)
+    if len(body) < body_len:
+        raise WALCorruption("truncated record body", offset=offset)
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise WALCorruption("record CRC mismatch", offset=offset)
+    return _parse_body(body[:header_len], body[header_len:], offset)
+
+
+def scan_records(source: str | Path | bytes) -> Iterator[tuple[int, WALRecord]]:
+    """Yield ``(offset, record)`` for every valid record, front to back.
+
+    Raises :class:`WALCorruption` at the first byte that is not part of a
+    valid record; the exception's ``offset`` is where a truncation would
+    restore validity.  A clean EOF ends the iteration normally.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        file_size = path.stat().st_size
+        handle: BinaryIO = path.open("rb")
+        close = True
+    else:
+        handle = io.BytesIO(source)
+        file_size = len(source)
+        close = False
+    try:
+        offset = 0
+        while True:
+            record = _read_one(handle, offset, file_size)
+            if record is None:
+                return
+            yield offset, record
+            offset = handle.tell()
+    finally:
+        if close:
+            handle.close()
+
+
+def decode_record(data: bytes) -> WALRecord:
+    """Decode exactly one record from ``data`` (must contain no extra bytes)."""
+    records = list(scan_records(data))
+    if len(records) != 1:
+        raise WALError(f"expected exactly one record, found {len(records)}")
+    return records[0][1]
+
+
+def iter_records(source: str | Path | bytes, *,
+                 on_corruption: str = "raise"
+                 ) -> Iterator[tuple[int, WALRecord]]:
+    """Like :func:`scan_records`, with a policy for corrupt tails.
+
+    ``on_corruption="raise"`` propagates :class:`WALCorruption` (strict
+    readers); ``"stop"`` ends the iteration at the last good record —
+    replay-after-crash semantics: a torn tail yields a strict prefix,
+    never a wrong array.
+    """
+    if on_corruption not in ("raise", "stop"):
+        raise WALError(f"unknown on_corruption policy {on_corruption!r}")
+    iterator = scan_records(source)
+    while True:
+        try:
+            yield next(iterator)
+        except StopIteration:
+            return
+        except WALCorruption:
+            if on_corruption == "raise":
+                raise
+            return

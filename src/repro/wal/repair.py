@@ -1,0 +1,205 @@
+"""Salvage damaged checkpoint directories and journals: ``repro repair``.
+
+A crash, a filled disk or bit rot can leave a serving directory in states
+the happy path never produces: orphaned ``*.tmp`` files from an
+interrupted atomic write, a live checkpoint that no longer deserialises,
+archived generations whose live file vanished, journals with torn tails
+or corrupt records.  :func:`repair_directory` walks a model directory
+(and its WAL root) and fixes what can be fixed:
+
+=======================  =============================================
+problem                  action
+=======================  =============================================
+``orphan-tmp``           delete the leftover temp file
+``corrupt-checkpoint``   restore the newest *valid* archived
+                         generation over the broken live file, else
+                         quarantine it as ``<name>.npz.corrupt``
+``missing-live``         promote the newest valid archived generation
+                         back to the live ``<name>.npz``
+``torn-journal``         truncate the segment at the last good record
+                         boundary (the prefix keeps replaying)
+=======================  =============================================
+
+Every finding is reported whether or not it was applied (``--dry-run``
+reports only), and ``--recheckpoint`` finishes by replaying any pending
+journal suffix into fresh checkpoint generations
+(:func:`repro.wal.recovery.recover_model_dir`) so the repaired directory
+serves the most recent durable state.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import SerializationError
+from ..serialize import fsync_directory, load_checkpoint
+from .record import WALCorruption, scan_records
+from .recovery import recover_model_dir
+
+__all__ = ["RepairFinding", "repair_directory"]
+
+
+@dataclass
+class RepairFinding:
+    """One problem ``repro repair`` found, and what it did about it."""
+
+    path: str
+    problem: str
+    action: str
+    detail: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table/JSON rendering."""
+        return {"path": self.path, "problem": self.problem,
+                "action": self.action,
+                **{key: value for key, value in self.detail.items()}}
+
+
+def _valid_checkpoint(path: Path) -> bool:
+    try:
+        load_checkpoint(path)
+        return True
+    except SerializationError:
+        return False
+
+
+def _newest_valid_generation(live: Path) -> Path | None:
+    """Newest archived generation of ``live`` that still deserialises."""
+    archives = sorted(live.parent.glob(f".{live.stem}.gen*{live.suffix}"),
+                      reverse=True)
+    for archive in archives:
+        if _valid_checkpoint(archive):
+            return archive
+    return None
+
+
+def _restore(live: Path, archive: Path) -> None:
+    """Atomically promote ``archive``'s bytes to the live checkpoint path."""
+    tmp = live.with_name(live.name + ".restore.tmp")
+    shutil.copy2(archive, tmp)
+    with tmp.open("rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, live)
+    fsync_directory(live.parent)
+
+
+def _act(findings: list[RepairFinding], apply: bool, path: Path,
+         problem: str, action: str, detail: dict, fix) -> None:
+    """Record a finding and, when applying, run its fix."""
+    if apply:
+        fix()
+    else:
+        action = f"would-{action}"
+    findings.append(RepairFinding(path=str(path), problem=problem,
+                                  action=action, detail=detail))
+
+
+def _repair_checkpoints(root: Path, findings: list[RepairFinding],
+                        apply: bool) -> None:
+    for tmp in sorted(root.glob("*.tmp")):
+        _act(findings, apply, tmp, "orphan-tmp", "delete",
+             {"bytes": tmp.stat().st_size},
+             lambda tmp=tmp: tmp.unlink())
+
+    # Live checkpoints that no longer deserialise.
+    for live in sorted(root.glob("*.npz")):
+        if live.stem.startswith(".") or _valid_checkpoint(live):
+            continue
+        archive = _newest_valid_generation(live)
+        if archive is not None:
+            _act(findings, apply, live, "corrupt-checkpoint",
+                 "restore-generation", {"restored_from": archive.name},
+                 lambda live=live, archive=archive: _restore(live, archive))
+        else:
+            quarantine = live.with_name(live.name + ".corrupt")
+            _act(findings, apply, live, "corrupt-checkpoint", "quarantine",
+                 {"quarantined_as": quarantine.name},
+                 lambda live=live, quarantine=quarantine:
+                     os.replace(live, quarantine))
+
+    # Archived generations whose live checkpoint vanished entirely.
+    seen: set[str] = set()
+    for archive in sorted(root.glob(".*.gen*.npz"), reverse=True):
+        stem = archive.name[1:].rsplit(".gen", 1)[0]
+        live = root / f"{stem}.npz"
+        if stem in seen or live.exists():
+            continue
+        seen.add(stem)
+        candidate = _newest_valid_generation(live)
+        if candidate is None:
+            findings.append(RepairFinding(
+                path=str(live), problem="missing-live",
+                action="unrecoverable",
+                detail={"reason": "no archived generation deserialises"}))
+            continue
+        _act(findings, apply, live, "missing-live", "restore-generation",
+             {"restored_from": candidate.name},
+             lambda live=live, candidate=candidate:
+                 _restore(live, candidate))
+
+
+def _truncate_segment(segment: Path, offset: int) -> None:
+    with segment.open("r+b") as handle:
+        handle.truncate(offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+    fsync_directory(segment.parent)
+
+
+def _repair_journals(wal_root: Path, findings: list[RepairFinding],
+                     apply: bool) -> None:
+    if not wal_root.is_dir():
+        return
+    namespaces = sorted(path for path in wal_root.glob("*/*.wal")
+                        if path.is_dir())
+    for namespace in namespaces:
+        for segment in sorted(namespace.glob("segment-*.wal")):
+            records = 0
+            try:
+                for _ in scan_records(segment):
+                    records += 1
+            except WALCorruption as exc:
+                dropped = segment.stat().st_size - exc.offset
+                _act(findings, apply, segment, "torn-journal", "truncate",
+                     {"records_kept": records, "bytes_dropped": dropped,
+                      "reason": str(exc)},
+                     lambda segment=segment, offset=exc.offset:
+                         _truncate_segment(segment, offset))
+
+
+def repair_directory(root: str | Path, *, wal_dir: str | Path | None = None,
+                     apply: bool = True, recheckpoint: bool = False,
+                     keep: int = 3) -> dict:
+    """Scan (and, unless ``apply=False``, fix) one model directory.
+
+    ``wal_dir`` defaults to ``<root>/wal`` when that exists.  With
+    ``recheckpoint`` (and ``apply``), pending journal suffixes are
+    replayed into fresh checkpoint generations after the structural fixes.
+    Returns a report dict: ``root``, ``wal_dir``, ``applied``, one entry
+    per finding under ``findings``, replayed batch counts under
+    ``recovered``, and ``clean`` (no findings at all).
+    """
+    root = Path(root)
+    if wal_dir is None and (root / "wal").is_dir():
+        wal_dir = root / "wal"
+    findings: list[RepairFinding] = []
+    _repair_checkpoints(root, findings, apply)
+    if wal_dir is not None:
+        _repair_journals(Path(wal_dir), findings, apply)
+
+    recovered = []
+    if recheckpoint and apply and wal_dir is not None:
+        recovered = [report.as_row()
+                     for report in recover_model_dir(root, wal_dir, keep=keep)]
+
+    return {
+        "root": str(root),
+        "wal_dir": str(wal_dir) if wal_dir is not None else None,
+        "applied": bool(apply),
+        "findings": [finding.as_row() for finding in findings],
+        "recovered": recovered,
+        "clean": not findings,
+    }

@@ -1,0 +1,119 @@
+"""Crash/fault-injection matrix: SIGKILL ingestion, recover, prove parity.
+
+The full matrix (every kill point x every partial_fit algorithm) runs in
+the CI ``durability`` job (``REPRO_DURABILITY=1``); the default tier-1
+lane runs one smoke scenario so the harness never rots.  On failure, the
+crash directory is copied to ``$REPRO_FAULT_ARTIFACTS`` (when set) so CI
+can upload the exact WAL/checkpoint bytes that reproduce the bug.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from faultinject import (
+    ALGORITHMS,
+    KILL_POINTS,
+    MODEL_NAME,
+    checkpoint_state,
+    make_batches,
+    run_crash_scenario,
+    run_worker,
+)
+from repro.serialize import load_checkpoint
+
+FULL_MATRIX = os.environ.get("REPRO_DURABILITY") == "1"
+
+
+def _export_artifacts(tmp_path: Path, label: str) -> None:
+    root = os.environ.get("REPRO_FAULT_ARTIFACTS")
+    if not root:
+        return
+    destination = Path(root) / label
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copytree(tmp_path, destination, dirs_exist_ok=True)
+
+
+def _assert_crash_parity(result: dict) -> None:
+    """The post-recovery invariants every scenario must satisfy."""
+    baseline, recovered = result["baseline_state"], result["recovered_state"]
+    assert baseline.keys() == recovered.keys()
+    for key in baseline:
+        assert baseline[key].dtype == recovered[key].dtype, key
+        assert baseline[key].tobytes() == recovered[key].tobytes(), (
+            f"persisted array {key!r} diverged after crash at "
+            f"{result['kill_point']} ({result['algorithm']})")
+
+    base_meta = result["baseline_header"]["metadata"]
+    rec_meta = result["recovered_header"]["metadata"]
+    # Exactly-once: same watermark, and the application counter equals the
+    # number of distinct batches — nothing lost, nothing applied twice.
+    assert rec_meta["wal_applied"] == base_meta["wal_applied"]
+    assert rec_meta["wal_updates_applied"] == \
+        base_meta["wal_updates_applied"]
+
+    # Predict parity on fresh queries through the public model API.
+    base_model = load_checkpoint(result["baseline_checkpoint"])
+    rec_model = load_checkpoint(result["recovered_checkpoint"])
+    rng = np.random.default_rng(99)
+    queries = rng.normal(size=(32, 12)) * 4.0
+    assert np.array_equal(base_model.predict(queries),
+                          rec_model.predict(queries))
+
+
+@pytest.mark.skipif(not FULL_MATRIX,
+                    reason="full crash matrix runs with REPRO_DURABILITY=1 "
+                           "(the CI durability job)")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kill_point", KILL_POINTS)
+def test_crash_matrix(tmp_path, algorithm, kill_point):
+    try:
+        result = run_crash_scenario(tmp_path, algorithm, kill_point)
+        _assert_crash_parity(result)
+    except BaseException:
+        _export_artifacts(tmp_path, f"{algorithm}-{kill_point}")
+        raise
+
+
+def test_crash_smoke(tmp_path):
+    """Tier-1 sentinel: one real SIGKILL scenario always runs."""
+    try:
+        result = run_crash_scenario(tmp_path, "kmeans", "after-wal-append",
+                                    n_batches=3, kill_batch=2)
+        _assert_crash_parity(result)
+        assert result["recovered_header"]["metadata"]["wal_applied"] == \
+            {"stream": 3}
+    except BaseException:
+        _export_artifacts(tmp_path, "smoke-kmeans-after-wal-append")
+        raise
+
+
+def test_worker_is_deterministic(tmp_path):
+    """Two uninterrupted runs over the same batches agree bit-for-bit.
+
+    This is the control arm: without it, a 'crash parity' pass could just
+    mean the workload itself is nondeterministic noise.
+    """
+    for name in ("a", "b"):
+        outcome = run_worker(tmp_path / name, "kmeans", n_batches=3)
+        assert outcome.returncode == 0, outcome.stderr
+    left = checkpoint_state(tmp_path / "a" / f"{MODEL_NAME}.npz")
+    right = checkpoint_state(tmp_path / "b" / f"{MODEL_NAME}.npz")
+    assert left.keys() == right.keys()
+    for key in left:
+        assert left[key].tobytes() == right[key].tobytes(), key
+
+
+def test_make_batches_is_stable():
+    """The workload generator is pure in its seed (cross-process contract)."""
+    X0_a, batches_a = make_batches(3)
+    X0_b, batches_b = make_batches(3)
+    assert X0_a.tobytes() == X0_b.tobytes()
+    assert len(batches_a) == 3
+    for left, right in zip(batches_a, batches_b):
+        assert left.tobytes() == right.tobytes()
