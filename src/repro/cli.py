@@ -43,6 +43,8 @@ evaluation matrix without writing any Python:
     archived generation, truncate torn WAL segments at the last good
     record, and (``--recheckpoint``) replay pending journal suffixes into
     fresh generations.  ``--dry-run`` reports without touching anything.
+    Offline tool: stop ingestion/serving writers first (recent ``*.tmp``
+    files are spared as a guard, ``--tmp-grace 0`` forces).
 ``repro search <task>``
     Query a saved :mod:`repro.index` vector index (from ``repro train
     --with-index`` or ``repro stream --with-index``) with a raw JSON item:
@@ -378,9 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: updates)")
 
     repair_cmd = sub.add_parser(
-        "repair", help="salvage a damaged model directory and its WAL")
+        "repair", help="salvage a damaged model directory and its WAL "
+                       "(offline: stop ingestion/serving writers first)")
     repair_cmd.add_argument("model_dir", type=Path,
                             help="directory of NPZ checkpoints to scan")
+    repair_cmd.add_argument("--tmp-grace", type=float, default=60.0,
+                            metavar="SECONDS",
+                            help="leave *.tmp files younger than this alone "
+                                 "in case a writer is still running; repair "
+                                 "is meant to run offline, use 0 to force "
+                                 "(default: 60)")
     repair_cmd.add_argument("--wal-dir", type=Path, default=None,
                             metavar="DIR",
                             help="write-ahead-log root (default: "
@@ -762,7 +771,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     report = repair_directory(args.model_dir, wal_dir=args.wal_dir,
                               apply=not args.dry_run,
                               recheckpoint=args.recheckpoint,
-                              keep=args.keep_generations)
+                              keep=args.keep_generations,
+                              tmp_grace_seconds=args.tmp_grace)
     rows = report["findings"]
     mode = "dry-run" if args.dry_run else "repair"
     if rows:

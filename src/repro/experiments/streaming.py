@@ -125,9 +125,13 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
     model, and the rotated checkpoint stamps the applied watermark so a
     crash at any point is recovered by
     :func:`repro.wal.recover_checkpoint` with exactly-once semantics.
-    WAL segments rotate with the checkpoint generations and are pruned at
-    the watermark.  The returned list has one entry for the initial fit
-    (step ``-1``) followed by one per arrival batch.
+    Refit decisions journal the full seen history alongside the batch so
+    recovery reproduces the exact fresh fit; with ``with_index`` the
+    rotated index carries its own stamped watermark and recovery replays
+    pending batches into it too.  WAL segments rotate with the checkpoint
+    generations and are pruned at the watermark.  The returned list has
+    one entry for the initial fit (step ``-1``) followed by one per
+    arrival batch.
     """
     supported = STREAMABLE_EMBEDDINGS.get(task)
     if supported is None:
@@ -220,10 +224,23 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
             if wal is not None:
                 # Journal-first: the batch is on stable storage before any
                 # model state changes, so a crash below is recoverable.
-                batch_id = wal.append(
-                    {"X": Xb,
-                     "labels": np.asarray(batch.labels, dtype=np.int64)},
-                    meta={"seed": seed, "action": decision.action})
+                arrays = {"X": Xb,
+                          "labels": np.asarray(batch.labels, dtype=np.int64)}
+                meta = {"seed": seed, "action": decision.action,
+                        "algorithm": algorithm}
+                if decision.action == "refit":
+                    # A refit cannot be replayed from the batch alone:
+                    # journal the full pre-batch history and the clusterer
+                    # context so recover_checkpoint reproduces the exact
+                    # fresh fit (see repro.wal.recovery._replay_refit).
+                    arrays["X_seen"] = np.vstack(seen)
+                    meta["n_clusters"] = int(np.unique(np.concatenate(
+                        seen_labels + [np.asarray(batch.labels,
+                                                  dtype=np.int64)])).size)
+                    if config is not None:
+                        from dataclasses import asdict
+                        meta["config"] = asdict(config)
+                batch_id = wal.append(arrays, meta=meta)
             details: dict = {}
             timer = Timer()
             with timer:
@@ -258,18 +275,25 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
             if save_path is not None:
                 rotate_checkpoint(save_path, model, metadata=metadata,
                                   keep=keep_generations)
-            if wal is not None:
-                # Seal the segment only once it is large enough (one fsync
-                # per append in steady state); everything at or below the
-                # stamped watermark in sealed segments is prunable.
-                wal.maybe_rotate()
-                wal.prune(batch_id)
             if index is not None:
                 # The streaming write path: absorb the arrivals incrementally
-                # and rotate the index generation in lockstep with the model.
+                # and rotate the index generation in lockstep with the model,
+                # stamping the same watermark so recovery knows which batches
+                # the index already contains.
+                if batch_id is not None:
+                    stamp_wal_metadata(index_metadata, stream=stream_name,
+                                       batch_id=batch_id)
                 index.add(Xb)
                 rotate_checkpoint(index_path, index, metadata=index_metadata,
                                   keep=keep_generations)
+            if wal is not None:
+                # Seal the segment only once it is large enough (one fsync
+                # per append in steady state); everything at or below the
+                # stamped watermark in sealed segments is prunable.  Pruning
+                # runs after the index rotation so a record is only dropped
+                # once both artifacts durably contain it.
+                wal.maybe_rotate()
+                wal.prune(batch_id)
     finally:
         if wal is not None:
             wal.close()

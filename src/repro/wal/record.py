@@ -143,14 +143,25 @@ def _parse_body(header_bytes: bytes, payload: bytes,
         except (KeyError, TypeError, ValueError) as exc:
             raise WALCorruption(f"record array entry is malformed: {exc}",
                                 offset=offset) from exc
+        if any(dim < 0 for dim in shape) or nbytes < 0 or start < 0:
+            raise WALCorruption(
+                f"record array {name!r} has a negative extent",
+                offset=offset)
         expected = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
-        if nbytes != expected or start < 0 or start + nbytes > len(payload):
+        if nbytes != expected or start + nbytes > len(payload):
             raise WALCorruption(
                 f"record array {name!r} extent is inconsistent",
                 offset=offset)
         count = expected // dtype.itemsize if dtype.itemsize else 0
-        array = np.frombuffer(payload, dtype=dtype, count=count,
-                              offset=start).reshape(shape)
+        try:
+            array = np.frombuffer(payload, dtype=dtype, count=count,
+                                  offset=start).reshape(shape)
+        except ValueError as exc:
+            # A CRC-valid record from a buggy writer must still fail the
+            # decode contract cleanly, never escape as a bare ValueError.
+            raise WALCorruption(
+                f"record array {name!r} does not decode: {exc}",
+                offset=offset) from exc
         arrays[name] = array.copy()  # writable, detached from the buffer
     return WALRecord(batch_id=int(header["batch_id"]), arrays=arrays,
                      meta=header.get("meta") or {},

@@ -22,6 +22,21 @@ checkpoints (and therefore round-trips) after every batch — which is what
 lets the fault-injection harness assert *bit-for-bit* state parity with
 an uninterrupted run.
 
+Records carry the *action* the live loop decided for them
+(``meta["action"]``, stamped by the ingestion path).  ``"update"``
+records replay through :func:`repro.stream.incremental_update`;
+``"refit"`` records — drift made the live loop refit from scratch —
+carry the full pre-batch history (``arrays["X_seen"]``) plus the
+clusterer context (``algorithm``, ``n_clusters``, optional ``config``)
+and replay as the same fresh fit.  An action recovery does not recognise
+raises :class:`WALError` rather than applying the wrong update.
+
+When the checkpoint has a sibling similarity index
+(``<stem>.index.npz``, rotated in lockstep by ``repro stream
+--with-index``), recovery also replays each batch's vectors into the
+index and rotates it with its own stamped watermark, so served search
+stays consistent with the recovered model.
+
 :func:`recover_model_dir` sweeps a serving model directory before the
 registry starts (the ``repro serve --wal-dir`` startup path): every
 checkpoint with a pending journal suffix is recovered and rotated, and a
@@ -33,6 +48,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from ..exceptions import WALError
 from ..serialize import load_checkpoint, rotate_checkpoint
@@ -77,6 +94,7 @@ class RecoveryReport:
 
     checkpoint: str
     replayed: dict[str, list[int]] = field(default_factory=dict)
+    index_replayed: dict[str, list[int]] = field(default_factory=dict)
     wal_applied: dict[str, int] = field(default_factory=dict)
     truncated_bytes: int = 0
     pruned_segments: int = 0
@@ -86,11 +104,17 @@ class RecoveryReport:
         """Total batches replayed across every stream."""
         return sum(len(ids) for ids in self.replayed.values())
 
+    @property
+    def n_index_replayed(self) -> int:
+        """Total batches replayed into the sibling similarity index."""
+        return sum(len(ids) for ids in self.index_replayed.values())
+
     def as_row(self) -> dict[str, object]:
         """Flat dict for table/JSON rendering."""
         return {
             "checkpoint": self.checkpoint,
             "replayed_batches": self.n_replayed,
+            "index_batches": self.n_index_replayed,
             "streams": ";".join(sorted(self.replayed)) or "-",
             "watermark": ";".join(f"{stream}={batch_id}" for stream, batch_id
                                   in sorted(self.wal_applied.items())) or "-",
@@ -106,18 +130,73 @@ def _namespaces(wal_dir: str | Path, model_name: str) -> list[Path]:
     return sorted(path for path in root.glob("*.wal") if path.is_dir())
 
 
+def _replay_refit(record, metadata: dict):
+    """Reproduce a journaled ``"refit"`` decision: a fresh fit on history.
+
+    The live loop journals the full pre-batch history (``X_seen``) and the
+    clusterer context alongside the batch, so recovery re-runs the exact
+    fit the uninterrupted run performed.
+    """
+    from ..tasks.base import make_clusterer  # heavy import, deferred
+
+    if "X_seen" not in record.arrays:
+        raise WALError(
+            f"refit record {record.batch_id} carries no X_seen history; "
+            "cannot reproduce the refit — run repro repair and refit "
+            "manually")
+    algorithm = record.meta.get("algorithm") or metadata.get("algorithm")
+    n_clusters = record.meta.get("n_clusters")
+    if not algorithm or n_clusters is None:
+        raise WALError(
+            f"refit record {record.batch_id} is missing clusterer context "
+            "(algorithm / n_clusters)")
+    config = None
+    if record.meta.get("config") is not None:
+        from ..config import DeepClusteringConfig
+        config = DeepClusteringConfig(**record.meta["config"])
+    X_all = np.vstack([record.arrays["X_seen"], record.arrays["X"]])
+    model = make_clusterer(str(algorithm), int(n_clusters), config=config,
+                           seed=record.meta.get("seed"))
+    model.fit(X_all)
+    return model
+
+
+def _sibling_index(path: Path, applied: dict[str, int]):
+    """Load ``<stem>.index.npz`` beside ``path`` if the ingestion loop
+    rotates one; returns ``(index, metadata, watermarks)`` or ``None``.
+
+    Index checkpoints written before watermark stamping existed carry no
+    ``wal_applied`` of their own; they rotated in lockstep with the model,
+    so the model's watermark is the best available estimate of their
+    content (exact except for a crash between the two rotations).
+    """
+    index_path = path.with_name(path.stem + ".index.npz")
+    if not index_path.exists():
+        return None
+    index = load_checkpoint(index_path)
+    metadata = dict(index.checkpoint_header_.get("metadata", {}))
+    if "wal_applied" in metadata:
+        watermarks = wal_applied(metadata)
+    else:
+        watermarks = dict(applied)
+    return index_path, index, metadata, watermarks
+
+
 def recover_checkpoint(checkpoint_path: str | Path, wal_dir: str | Path, *,
                        keep: int = 3) -> RecoveryReport:
     """Replay the journal suffix newer than ``checkpoint_path``'s watermark.
 
     Opens every ``<wal_dir>/<model>/<stream>.wal`` namespace (healing torn
-    tails), applies each pending record through
-    :func:`repro.stream.incremental_update` with the replay parameters the
-    record was journaled with, and rotates a checkpoint generation per
-    replayed batch.  Exactly-once: records at or below the watermark are
-    never re-applied, and re-running recovery after it completed (or
-    crashed) is a no-op for everything already applied.  Streams replay in
-    name order (ids are only ordered *within* a stream).
+    tails), applies each pending record the way the live loop did —
+    :func:`repro.stream.incremental_update` for ``"update"`` records, a
+    reproduced fresh fit for ``"refit"`` records (see module docstring) —
+    and rotates a checkpoint generation per replayed batch.  A sibling
+    ``<stem>.index.npz`` similarity index is caught up the same way, each
+    record's vectors added past the index's own watermark.  Exactly-once:
+    records at or below a watermark are never re-applied, and re-running
+    recovery after it completed (or crashed) is a no-op for everything
+    already applied.  Streams replay in name order (ids are only ordered
+    *within* a stream).
 
     Returns a :class:`RecoveryReport`; ``n_replayed == 0`` means the
     checkpoint was already current.
@@ -134,29 +213,62 @@ def recover_checkpoint(checkpoint_path: str | Path, wal_dir: str | Path, *,
     metadata = dict(model.checkpoint_header_.get("metadata", {}))
     applied = wal_applied(metadata)
     report.wal_applied = dict(applied)
+    sibling = _sibling_index(path, applied)
     for namespace in namespaces:
         stream = namespace.stem
         wal = WriteAheadLog(namespace)
         try:
             report.truncated_bytes += wal.truncated_bytes_
             watermark = applied.get(stream, 0)
-            for record in wal.replay(after=watermark, on_corruption="stop"):
-                kwargs = {key: record.meta[key] for key in _REPLAY_KWARGS
-                          if record.meta.get(key) is not None}
-                incremental_update(model, record.arrays["X"], **kwargs)
-                watermark = record.batch_id
-                stamp_wal_metadata(metadata, stream=stream,
-                                   batch_id=watermark)
-                rotate_checkpoint(path, model, metadata=metadata, keep=keep)
-                # Reload so the replay trajectory equals an ingestion loop
-                # that round-trips after every batch (bit-for-bit parity).
-                model = load_checkpoint(path)
-                metadata = dict(model.checkpoint_header_.get("metadata", {}))
-                report.replayed.setdefault(stream, []).append(watermark)
+            index_mark = watermark
+            if sibling is not None:
+                index_mark = sibling[3].get(stream, 0)
+            replay_from = min(watermark, index_mark)
+            for record in wal.replay(after=replay_from,
+                                     on_corruption="stop"):
+                if record.batch_id > watermark:
+                    action = str(record.meta.get("action", "update"))
+                    if action == "refit":
+                        model = _replay_refit(record, metadata)
+                    elif action in ("update", "fit"):
+                        kwargs = {key: record.meta[key]
+                                  for key in _REPLAY_KWARGS
+                                  if record.meta.get(key) is not None}
+                        incremental_update(model, record.arrays["X"],
+                                           **kwargs)
+                    else:
+                        raise WALError(
+                            f"record {record.batch_id} in {namespace} has "
+                            f"unknown action {action!r}; refusing to guess "
+                            "how to replay it")
+                    watermark = record.batch_id
+                    stamp_wal_metadata(metadata, stream=stream,
+                                       batch_id=watermark)
+                    rotate_checkpoint(path, model, metadata=metadata,
+                                      keep=keep)
+                    # Reload so the replay trajectory equals an ingestion
+                    # loop that round-trips after every batch (bit-for-bit
+                    # parity).
+                    model = load_checkpoint(path)
+                    metadata = dict(
+                        model.checkpoint_header_.get("metadata", {}))
+                    report.replayed.setdefault(stream, []).append(watermark)
+                if sibling is not None and record.batch_id > index_mark:
+                    index_path, index, index_meta, index_marks = sibling
+                    index.add(record.arrays["X"])
+                    index_mark = record.batch_id
+                    stamp_wal_metadata(index_meta, stream=stream,
+                                       batch_id=index_mark)
+                    rotate_checkpoint(index_path, index,
+                                      metadata=index_meta, keep=keep)
+                    index_marks[stream] = index_mark
+                    report.index_replayed.setdefault(stream, []).append(
+                        index_mark)
             applied[stream] = watermark
             report.wal_applied[stream] = watermark
             wal.rotate_segment()
-            report.pruned_segments += len(wal.prune(watermark))
+            report.pruned_segments += len(wal.prune(min(watermark,
+                                                        index_mark)))
         finally:
             wal.close()
     return report

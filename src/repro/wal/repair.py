@@ -25,12 +25,19 @@ reports only), and ``--recheckpoint`` finishes by replaying any pending
 journal suffix into fresh checkpoint generations
 (:func:`repro.wal.recovery.recover_model_dir`) so the repaired directory
 serves the most recent durable state.
+
+Repair is an **offline** tool: run it with the ingestion and serving
+writers stopped.  A live ``save_checkpoint`` keeps an in-flight ``*.tmp``
+file that looks exactly like an orphan; as a safety net against an
+accidental concurrent run, tmp files younger than ``tmp_grace_seconds``
+(default 60) are reported but left alone — pass ``0`` to force.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -98,8 +105,18 @@ def _act(findings: list[RepairFinding], apply: bool, path: Path,
 
 
 def _repair_checkpoints(root: Path, findings: list[RepairFinding],
-                        apply: bool) -> None:
+                        apply: bool, tmp_grace_seconds: float) -> None:
     for tmp in sorted(root.glob("*.tmp")):
+        age = time.time() - tmp.stat().st_mtime
+        if age < tmp_grace_seconds:
+            # Could be a live writer's in-flight atomic write (repair is
+            # meant to run offline); deleting it would break the writer's
+            # os.replace.  Report it and move on.
+            findings.append(RepairFinding(
+                path=str(tmp), problem="orphan-tmp", action="skipped-recent",
+                detail={"bytes": tmp.stat().st_size,
+                        "age_seconds": round(age, 1)}))
+            continue
         _act(findings, apply, tmp, "orphan-tmp", "delete",
              {"bytes": tmp.stat().st_size},
              lambda tmp=tmp: tmp.unlink())
@@ -172,11 +189,15 @@ def _repair_journals(wal_root: Path, findings: list[RepairFinding],
 
 def repair_directory(root: str | Path, *, wal_dir: str | Path | None = None,
                      apply: bool = True, recheckpoint: bool = False,
-                     keep: int = 3) -> dict:
+                     keep: int = 3, tmp_grace_seconds: float = 60.0) -> dict:
     """Scan (and, unless ``apply=False``, fix) one model directory.
 
-    ``wal_dir`` defaults to ``<root>/wal`` when that exists.  With
-    ``recheckpoint`` (and ``apply``), pending journal suffixes are
+    Run **offline** — with the ingestion and serving writers stopped —
+    since a live atomic write is indistinguishable from an orphan;
+    ``tmp_grace_seconds`` spares tmp files modified more recently than
+    that as a guard against accidental concurrent runs (``0`` disables
+    the guard).  ``wal_dir`` defaults to ``<root>/wal`` when that exists.
+    With ``recheckpoint`` (and ``apply``), pending journal suffixes are
     replayed into fresh checkpoint generations after the structural fixes.
     Returns a report dict: ``root``, ``wal_dir``, ``applied``, one entry
     per finding under ``findings``, replayed batch counts under
@@ -186,7 +207,7 @@ def repair_directory(root: str | Path, *, wal_dir: str | Path | None = None,
     if wal_dir is None and (root / "wal").is_dir():
         wal_dir = root / "wal"
     findings: list[RepairFinding] = []
-    _repair_checkpoints(root, findings, apply)
+    _repair_checkpoints(root, findings, apply, float(tmp_grace_seconds))
     if wal_dir is not None:
         _repair_journals(Path(wal_dir), findings, apply)
 

@@ -131,7 +131,8 @@ def _die() -> None:
 
 
 def _worker(workdir: Path, algorithm: str, n_batches: int,
-            kill_point: str | None, kill_batch: int) -> int:
+            kill_point: str | None, kill_batch: int,
+            refit_batch: int = 0) -> int:
     checkpoint, wal_dir, namespace = _paths(workdir)
     X0, batches = make_batches(n_batches)
 
@@ -160,12 +161,22 @@ def _worker(workdir: Path, algorithm: str, n_batches: int,
             batch_id = applied + 1
             Xb = batches[batch_id - 1]
             killing = kill_point is not None and batch_id == kill_batch
+            refitting = batch_id == refit_batch
+            # Refit records must be reproducible from the journal alone:
+            # full pre-batch history plus the clusterer context (the same
+            # discipline run_stream_scenario uses).
+            arrays = {"X": Xb}
+            meta = {"seed": SEED, "action": "refit" if refitting else
+                    "update", "algorithm": algorithm,
+                    "n_clusters": N_CLUSTERS}
+            if refitting:
+                arrays["X_seen"] = np.vstack([X0] + batches[:batch_id - 1])
 
             if killing and kill_point == "mid-wal-append":
                 # Write only half of the encoded record, then die: the
                 # classic torn write at the journal tail.
-                record = WALRecord(batch_id=batch_id, arrays={"X": Xb},
-                                   meta={"seed": SEED})
+                record = WALRecord(batch_id=batch_id, arrays=arrays,
+                                   meta=meta)
                 data = encode_record(record)
                 handle = wal._writable_handle(batch_id)
                 handle.write(data[:len(data) // 2])
@@ -173,11 +184,15 @@ def _worker(workdir: Path, algorithm: str, n_batches: int,
                 os.fsync(handle.fileno())
                 _die()
 
-            wal.append({"X": Xb}, meta={"seed": SEED})
+            wal.append(arrays, meta=meta)
             if killing and kill_point == "after-wal-append":
                 _die()
 
-            incremental_update(model, Xb, seed=SEED)
+            if refitting:
+                model = make_clusterer(algorithm, N_CLUSTERS, seed=SEED)
+                model.fit(np.vstack([X0] + batches[:batch_id]))
+            else:
+                incremental_update(model, Xb, seed=SEED)
             if killing and kill_point == "between-update-and-rotate":
                 _die()
 
@@ -202,11 +217,12 @@ def _worker(workdir: Path, algorithm: str, n_batches: int,
 # Parent-side drivers used by the tests.
 
 def run_worker(workdir: str | Path, algorithm: str, *, n_batches: int = 4,
-               kill_point: str | None = None, kill_batch: int = 0
-               ) -> subprocess.CompletedProcess:
+               kill_point: str | None = None, kill_batch: int = 0,
+               refit_batch: int = 0) -> subprocess.CompletedProcess:
     """Run the ingestion worker in a genuine subprocess."""
     cmd = [sys.executable, str(FAULTINJECT_PATH), "--dir", str(workdir),
-           "--algorithm", algorithm, "--n-batches", str(n_batches)]
+           "--algorithm", algorithm, "--n-batches", str(n_batches),
+           "--refit-batch", str(refit_batch)]
     if kill_point is not None:
         cmd += ["--kill-point", kill_point, "--kill-batch", str(kill_batch)]
     env = dict(os.environ)
@@ -225,31 +241,41 @@ def checkpoint_state(checkpoint: str | Path) -> dict[str, np.ndarray]:
 
 
 def run_crash_scenario(tmp_path: Path, algorithm: str, kill_point: str, *,
-                       n_batches: int = 4, kill_batch: int = 2) -> dict:
+                       n_batches: int = 4, kill_batch: int = 2,
+                       refit_batch: int = 0) -> dict:
     """Crash at ``kill_point``, repair, restart; return both end states.
 
-    Returns a dict with the baseline (uninterrupted) and recovered
-    checkpoint paths, their raw array states, headers, and the repair
-    report — everything the matrix assertions need.
+    ``refit_batch`` makes the worker journal and apply that batch as a
+    full refit instead of an incremental update, exercising the refit
+    replay path in recovery.  Returns a dict with the baseline
+    (uninterrupted) and recovered checkpoint paths, their raw array
+    states, headers, and the repair report — everything the matrix
+    assertions need.
     """
     baseline_dir = Path(tmp_path) / "baseline"
     crash_dir = Path(tmp_path) / "crash"
     baseline_dir.mkdir()
     crash_dir.mkdir()
 
-    clean = run_worker(baseline_dir, algorithm, n_batches=n_batches)
+    clean = run_worker(baseline_dir, algorithm, n_batches=n_batches,
+                       refit_batch=refit_batch)
     assert clean.returncode == 0, clean.stderr
 
     crashed = run_worker(crash_dir, algorithm, n_batches=n_batches,
-                         kill_point=kill_point, kill_batch=kill_batch)
+                         kill_point=kill_point, kill_batch=kill_batch,
+                         refit_batch=refit_batch)
     assert crashed.returncode == -signal.SIGKILL, (
         f"worker should have been SIGKILLed at {kill_point}, got "
         f"rc={crashed.returncode}\n{crashed.stderr}")
 
     checkpoint, wal_dir, _ = _paths(crash_dir)
-    repair_report = repair_directory(crash_dir, wal_dir=wal_dir)
+    # The crashed worker is provably dead, so the offline guard on fresh
+    # tmp files can be disabled.
+    repair_report = repair_directory(crash_dir, wal_dir=wal_dir,
+                                     tmp_grace_seconds=0.0)
 
-    resumed = run_worker(crash_dir, algorithm, n_batches=n_batches)
+    resumed = run_worker(crash_dir, algorithm, n_batches=n_batches,
+                         refit_batch=refit_batch)
     assert resumed.returncode == 0, resumed.stderr
 
     baseline_ckpt = baseline_dir / f"{MODEL_NAME}.npz"
@@ -275,10 +301,11 @@ def _main(argv: list[str]) -> int:
     parser.add_argument("--n-batches", type=int, default=4)
     parser.add_argument("--kill-point", choices=KILL_POINTS, default=None)
     parser.add_argument("--kill-batch", type=int, default=0)
+    parser.add_argument("--refit-batch", type=int, default=0)
     args = parser.parse_args(argv)
     args.dir.mkdir(parents=True, exist_ok=True)
     rc = _worker(args.dir, args.algorithm, args.n_batches,
-                 args.kill_point, args.kill_batch)
+                 args.kill_point, args.kill_batch, args.refit_batch)
     header = read_checkpoint_header(args.dir / f"{MODEL_NAME}.npz")
     print(json.dumps({"wal_applied": header["metadata"].get("wal_applied"),
                       "wal_updates_applied":

@@ -80,6 +80,38 @@ def test_crash_matrix(tmp_path, algorithm, kill_point):
         raise
 
 
+@pytest.mark.skipif(not FULL_MATRIX,
+                    reason="full crash matrix runs with REPRO_DURABILITY=1 "
+                           "(the CI durability job)")
+@pytest.mark.parametrize("kill_point", KILL_POINTS)
+def test_crash_matrix_refit(tmp_path, kill_point):
+    """Crash while the killed batch is a journaled *refit* decision.
+
+    Recovery must reproduce the fresh fit from the journaled history, not
+    apply an incremental update to the pre-refit model.
+    """
+    try:
+        result = run_crash_scenario(tmp_path, "kmeans", kill_point,
+                                    kill_batch=2, refit_batch=2)
+        _assert_crash_parity(result)
+    except BaseException:
+        _export_artifacts(tmp_path, f"refit-kmeans-{kill_point}")
+        raise
+
+
+def test_crash_refit_smoke(tmp_path):
+    """Tier-1 sentinel for the refit replay path: crash after the refit
+    record hit the journal but before any model state changed."""
+    try:
+        result = run_crash_scenario(tmp_path, "kmeans", "after-wal-append",
+                                    n_batches=3, kill_batch=2,
+                                    refit_batch=2)
+        _assert_crash_parity(result)
+    except BaseException:
+        _export_artifacts(tmp_path, "smoke-refit-after-wal-append")
+        raise
+
+
 def test_crash_smoke(tmp_path):
     """Tier-1 sentinel: one real SIGKILL scenario always runs."""
     try:

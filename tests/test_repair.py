@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -56,6 +59,12 @@ def _problems(report):
     return sorted(finding["problem"] for finding in report["findings"])
 
 
+def _age(path, seconds=120.0):
+    """Backdate ``path`` past the in-flight-write grace window."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
 class TestRepairDirectory:
     def test_clean_directory_reports_clean(self, model_dir):
         report = repair_directory(model_dir)
@@ -65,9 +74,24 @@ class TestRepairDirectory:
     def test_orphan_tmp_deleted(self, model_dir):
         orphan = model_dir / "m.npz.tmp"
         orphan.write_bytes(b"\x00" * 32)
+        _age(orphan)
         report = repair_directory(model_dir)
         assert _problems(report) == ["orphan-tmp"]
         assert report["findings"][0]["action"] == "delete"
+        assert not orphan.exists()
+
+    def test_recent_tmp_spared(self, model_dir):
+        # A tmp file younger than the grace window could be a live
+        # writer's in-flight atomic write: report it, never delete it.
+        orphan = model_dir / "m.npz.tmp"
+        orphan.write_bytes(b"\x00" * 32)
+        report = repair_directory(model_dir)
+        assert _problems(report) == ["orphan-tmp"]
+        assert report["findings"][0]["action"] == "skipped-recent"
+        assert orphan.exists()
+        # Grace 0 forces the offline behaviour.
+        forced = repair_directory(model_dir, tmp_grace_seconds=0.0)
+        assert forced["findings"][0]["action"] == "delete"
         assert not orphan.exists()
 
     def test_torn_journal_truncated(self, model_dir):
@@ -142,6 +166,7 @@ class TestRepairDirectory:
     def test_dry_run_changes_nothing(self, model_dir):
         orphan = model_dir / "m.npz.tmp"
         orphan.write_bytes(b"\x00")
+        _age(orphan)
         namespace = model_dir / "wal" / "m" / "s.wal"
         segment = sorted(namespace.glob("segment-*.wal"))[-1]
         size_before = segment.stat().st_size
@@ -167,6 +192,7 @@ class TestRepairDirectory:
 
     def test_repaired_directory_serves(self, model_dir):
         (model_dir / "m.npz.tmp").write_bytes(b"\x00")
+        _age(model_dir / "m.npz.tmp")
         (model_dir / "m.npz").write_bytes(b"rotten")
         # Restore the previous generation, then let the journal replay
         # bring it back to the exact pre-damage watermark.
@@ -186,6 +212,7 @@ class TestRepairCLI:
 
     def test_dry_run_with_findings_exits_one(self, model_dir, capsys):
         (model_dir / "m.npz.tmp").write_bytes(b"\x00")
+        _age(model_dir / "m.npz.tmp")
         assert main(["repair", str(model_dir), "--dry-run"]) == 1
         out = capsys.readouterr().out
         assert "orphan-tmp" in out and "would-delete" in out
@@ -193,7 +220,7 @@ class TestRepairCLI:
 
     def test_apply_then_rescan_is_clean(self, model_dir):
         (model_dir / "m.npz.tmp").write_bytes(b"\x00")
-        assert main(["repair", str(model_dir)]) == 0
+        assert main(["repair", str(model_dir), "--tmp-grace", "0"]) == 0
         assert main(["repair", str(model_dir), "--dry-run"]) == 0
 
     def test_recheckpoint_flag(self, model_dir, capsys):

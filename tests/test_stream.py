@@ -487,6 +487,51 @@ class TestStreamScenario:
         assert header["metadata"]["generation"] == len(steps) - 1
         assert header["metadata"]["task"] == "domain_discovery"
 
+    def test_scenario_wal_and_index_recover_after_lost_rotation(
+            self, tmp_path):
+        """Roll both artifacts back a generation (a crash that lost the
+        last rotation) and prove recovery catches model AND index up —
+        including a refit batch, which replays as the same fresh fit."""
+        import shutil
+
+        from repro.serialize import read_checkpoint_header
+        from repro.wal import recover_checkpoint
+
+        path = tmp_path / "live.npz"
+        # A hair-trigger monitor forces refit decisions so the journal
+        # holds refit records, not just incremental updates.
+        steps = run_stream_scenario(
+            "schema_inference", dataset=generate_webtables(40, 8, seed=7),
+            algorithm="kmeans", n_batches=3, seed=7, save_path=path,
+            wal_dir=tmp_path / "wal", with_index="flat",
+            monitor=DriftMonitor(shift_threshold=1e-6,
+                                 silhouette_drop=1e-6))
+        assert any(step.action == "refit" for step in steps[1:])
+
+        index_path = tmp_path / "live.index.npz"
+        tail = read_checkpoint_header(path)["metadata"]["wal_applied"]
+        baseline = load_checkpoint(path)
+        n_total = steps[-1].n_seen
+        for artifact in (path, index_path):
+            previous = checkpoint_generations(artifact)[-1]
+            shutil.copy2(previous, artifact)
+        rolled = read_checkpoint_header(path)["metadata"]["wal_applied"]
+        assert rolled["stream"] < tail["stream"]
+
+        report = recover_checkpoint(path, tmp_path / "wal")
+        assert report.n_replayed >= 1
+        assert report.n_index_replayed >= 1
+        assert read_checkpoint_header(path)["metadata"]["wal_applied"] == tail
+        index_meta = read_checkpoint_header(index_path)["metadata"]
+        assert index_meta["wal_applied"] == tail
+        assert load_checkpoint(index_path).size == n_total
+
+        recovered = load_checkpoint(path)
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(8, baseline.cluster_centers_.shape[1]))
+        assert np.array_equal(baseline.predict(queries),
+                              recovered.predict(queries))
+
     def test_scenario_rejects_corpus_dependent_embeddings(self):
         with pytest.raises(StreamingError):
             run_stream_scenario(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import struct
+import zlib
 
 import numpy as np
 import pytest
@@ -40,6 +42,15 @@ def _record(batch_id=1, value=0.0, n=6, **meta):
     return WALRecord(batch_id=batch_id,
                      arrays={"X": np.full((n, 3), value, dtype=np.float64)},
                      meta=meta)
+
+
+def _raw_record(header: dict, payload: bytes = b"") -> bytes:
+    """A CRC-valid record with an arbitrary (possibly hostile) header —
+    what a buggy writer could produce; random corruption fails the CRC."""
+    header_bytes = json.dumps(header).encode("utf-8")
+    crc = zlib.crc32(header_bytes + payload) & 0xFFFFFFFF
+    return struct.pack("<4sIQI", b"RWA1", len(header_bytes), len(payload),
+                       crc) + header_bytes + payload
 
 
 def _assert_arrays_equal(left: dict, right: dict) -> None:
@@ -111,6 +122,26 @@ class TestRecordCodec:
         data[-1] ^= 0xFF  # flip a payload byte
         with pytest.raises(WALCorruption, match="CRC"):
             list(scan_records(bytes(data)))
+
+    def test_negative_shape_dims_are_corruption(self):
+        # A CRC-valid header from a buggy writer: nbytes matches the
+        # (negative) product, so only an explicit sign check catches it.
+        data = _raw_record({"batch_id": 1, "kind": "batch", "meta": {},
+                            "arrays": [{"name": "X", "dtype": "<f8",
+                                        "shape": [-1, 8], "offset": 0,
+                                        "nbytes": -64}]})
+        with pytest.raises(WALCorruption, match="negative extent"):
+            list(scan_records(data))
+
+    def test_undecodable_array_is_corruption_not_valueerror(self):
+        # Zero-itemsize dtype passes the extent arithmetic but makes
+        # np.frombuffer raise; the decode contract must stay WALCorruption.
+        data = _raw_record({"batch_id": 1, "kind": "batch", "meta": {},
+                            "arrays": [{"name": "X", "dtype": "|V0",
+                                        "shape": [1], "offset": 0,
+                                        "nbytes": 0}]})
+        with pytest.raises(WALCorruption):
+            list(scan_records(data))
 
     def test_iter_records_stop_policy_yields_prefix(self):
         first = encode_record(_record(batch_id=1))
@@ -296,6 +327,111 @@ class TestRecovery:
         save_checkpoint(tmp_path / "plain.npz", model)
         reports = recover_model_dir(tmp_path, tmp_path / "wal")
         assert reports == []
+
+    def test_replays_refit_record_as_fresh_fit(self, tmp_path):
+        from repro.tasks.base import make_clusterer
+
+        model, rng = _fitted_kmeans()
+        X_seen = rng.normal(size=(30, 6))
+        Xb = rng.normal(size=(12, 6))
+        checkpoint = tmp_path / "m.npz"
+        rotate_checkpoint(checkpoint, model, metadata={
+            "algorithm": "kmeans", "wal_applied": {"s": 0},
+            "wal_updates_applied": 0})
+        with WriteAheadLog(wal_namespace(tmp_path / "wal", "m", "s")) as wal:
+            wal.append({"X": Xb, "X_seen": X_seen},
+                       meta={"seed": 0, "action": "refit",
+                             "algorithm": "kmeans", "n_clusters": 3})
+
+        report = recover_checkpoint(checkpoint, tmp_path / "wal")
+        assert report.replayed == {"s": [1]}
+        expected = make_clusterer("kmeans", 3, seed=0)
+        expected.fit(np.vstack([X_seen, Xb]))
+        recovered = load_checkpoint(checkpoint)
+        assert recovered.cluster_centers_.tobytes() == \
+            expected.cluster_centers_.tobytes()
+
+    def test_refit_record_without_history_is_an_error(self, tmp_path):
+        model, rng = _fitted_kmeans()
+        checkpoint = tmp_path / "m.npz"
+        rotate_checkpoint(checkpoint, model, metadata={
+            "algorithm": "kmeans", "wal_applied": {"s": 0}})
+        with WriteAheadLog(wal_namespace(tmp_path / "wal", "m", "s")) as wal:
+            wal.append({"X": rng.normal(size=(8, 6))},
+                       meta={"action": "refit", "algorithm": "kmeans",
+                             "n_clusters": 3})
+        with pytest.raises(WALError, match="X_seen"):
+            recover_checkpoint(checkpoint, tmp_path / "wal")
+
+    def test_unknown_action_refuses_to_replay(self, tmp_path):
+        model, rng = _fitted_kmeans()
+        checkpoint = tmp_path / "m.npz"
+        rotate_checkpoint(checkpoint, model, metadata={
+            "algorithm": "kmeans", "wal_applied": {"s": 0}})
+        with WriteAheadLog(wal_namespace(tmp_path / "wal", "m", "s")) as wal:
+            wal.append({"X": rng.normal(size=(8, 6))},
+                       meta={"action": "frobnicate"})
+        with pytest.raises(WALError, match="unknown action"):
+            recover_checkpoint(checkpoint, tmp_path / "wal")
+
+    def test_replays_into_sibling_index(self, tmp_path):
+        from repro.index import create_index
+
+        model, rng = _fitted_kmeans()
+        checkpoint = tmp_path / "m.npz"
+        index_path = tmp_path / "m.index.npz"
+        X0 = rng.normal(size=(20, 6))
+        index = create_index("flat", metric="cosine")
+        index.build(X0)
+        rotate_checkpoint(checkpoint, model, metadata={
+            "algorithm": "kmeans", "wal_applied": {"s": 0},
+            "wal_updates_applied": 0})
+        rotate_checkpoint(index_path, index, metadata={
+            "kind": "vector-index", "wal_applied": {"s": 0}})
+        with WriteAheadLog(wal_namespace(tmp_path / "wal", "m", "s")) as wal:
+            for _ in range(2):
+                wal.append({"X": rng.normal(size=(10, 6))},
+                           meta={"seed": 0, "action": "update"})
+
+        report = recover_checkpoint(checkpoint, tmp_path / "wal")
+        assert report.replayed == {"s": [1, 2]}
+        assert report.index_replayed == {"s": [1, 2]}
+        recovered = load_checkpoint(index_path)
+        assert recovered.size == 20 + 20
+        index_meta = read_checkpoint_header(index_path)["metadata"]
+        assert index_meta["wal_applied"] == {"s": 2}
+
+    def test_index_behind_model_catches_up(self, tmp_path):
+        # Crash window between the model rotation and the index rotation:
+        # the model watermark is ahead of the index's by one batch, and
+        # recovery must backfill the index without re-touching the model.
+        from repro.index import create_index
+        from repro.stream import incremental_update
+
+        model, rng = _fitted_kmeans()
+        checkpoint = tmp_path / "m.npz"
+        index_path = tmp_path / "m.index.npz"
+        index = create_index("flat", metric="cosine")
+        index.build(rng.normal(size=(20, 6)))
+        rotate_checkpoint(index_path, index, metadata={
+            "kind": "vector-index", "wal_applied": {"s": 0}})
+
+        applied = rng.normal(size=(10, 6))
+        with WriteAheadLog(wal_namespace(tmp_path / "wal", "m", "s")) as wal:
+            wal.append({"X": applied}, meta={"seed": 0, "action": "update"})
+            incremental_update(model, applied, seed=0)
+            rotate_checkpoint(checkpoint, model, metadata=stamp_wal_metadata(
+                {"algorithm": "kmeans"}, stream="s", batch_id=1))
+            wal.append({"X": rng.normal(size=(10, 6))},
+                       meta={"seed": 0, "action": "update"})
+
+        report = recover_checkpoint(checkpoint, tmp_path / "wal")
+        assert report.replayed == {"s": [2]}
+        assert report.index_replayed == {"s": [1, 2]}
+        assert load_checkpoint(index_path).size == 40
+        metadata = read_checkpoint_header(checkpoint)["metadata"]
+        assert metadata["wal_applied"] == {"s": 2}
+        assert metadata["wal_updates_applied"] == 2
 
 
 class TestAtomicWriteDurability:
