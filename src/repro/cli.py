@@ -280,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write-ahead-log root: replay any journal "
                                 "suffix newer than each checkpoint's "
                                 "watermark before serving (crash recovery)")
+    serve_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="worker processes; N > 1 starts the "
+                                "sharded pre-fork pool behind a router "
+                                "(checkpoints shared zero-copy, requests "
+                                "sharded by model name, 429+Retry-After "
+                                "on overload) (default: 1)")
+    serve_cmd.add_argument("--max-inflight", type=int, default=64,
+                           metavar="N",
+                           help="pool mode: per-worker admission bound — "
+                                "requests beyond N concurrently in flight "
+                                "on a worker are answered 429 "
+                                "(default: 64)")
 
     stream_cmd = sub.add_parser(
         "stream", help="replay a dataset as arrival batches with "
@@ -635,29 +647,50 @@ def _item_ids(dataset) -> list[str] | None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import create_server
+    from .serve import create_pool_server, create_server, servable_names
 
     reload_interval = (None if args.no_hot_reload
                        else args.reload_ms / 1000.0)
-    server = create_server(
-        args.model_dir, host=args.host, port=args.port,
-        max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
-        max_delay=args.batch_delay_ms / 1000.0,
-        micro_batching=not args.no_batching,
-        reload_interval=reload_interval,
-        wal_dir=args.wal_dir)
+    if args.workers > 1:
+        server = create_pool_server(
+            args.model_dir, host=args.host, port=args.port,
+            workers=args.workers, max_inflight=args.max_inflight,
+            max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
+            max_delay=args.batch_delay_ms / 1000.0,
+            micro_batching=not args.no_batching,
+            reload_interval=reload_interval,
+            wal_dir=args.wal_dir)
+        names = servable_names(args.model_dir)
+    else:
+        server = create_server(
+            args.model_dir, host=args.host, port=args.port,
+            max_loaded=args.max_loaded, max_batch_rows=args.batch_rows,
+            max_delay=args.batch_delay_ms / 1000.0,
+            micro_batching=not args.no_batching,
+            reload_interval=reload_interval,
+            wal_dir=args.wal_dir)
+        names = server.service.registry.names()
     host, port = server.server_address[:2]
-    names = server.service.registry.names()
     print(f"serving {len(names)} model(s) {names} from {args.model_dir} "
           f"on http://{host}:{port} "
-          f"(micro-batching {'off' if args.no_batching else 'on'}, "
+          f"({args.workers} worker(s), "
+          f"micro-batching {'off' if args.no_batching else 'on'}, "
           f"hot-reload {'off' if args.no_hot_reload else 'on'})",
           file=sys.stderr)
+    # SIGTERM must run the same cleanup as Ctrl-C: the pool path owns
+    # worker processes and /dev/shm segments that server_close releases.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
     return 0
 

@@ -41,6 +41,8 @@ from .exceptions import SerializationError
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "SharedCheckpointStore",
+    "attach_shared_checkpoint",
     "checkpoint_generations",
     "checkpointable_classes",
     "fsync_directory",
@@ -319,5 +321,229 @@ def load_checkpoint(path: str | Path):
         raise SerializationError(
             f"checkpoint {source} is inconsistent for class "
             f"{header['class']}: {exc}") from exc
+    model.checkpoint_header_ = header
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory-backed checkpoint loading (the pre-fork serving pool).
+#
+# A pool of N worker processes serving one model directory would otherwise
+# hold N private copies of every checkpoint's arrays.  The parent instead
+# loads each checkpoint's arrays once into ``multiprocessing.shared_memory``
+# segments *before* forking and hands the workers a JSON-able manifest
+# (path -> mtime + per-array segment name/dtype/shape); a worker's registry
+# attaches the segments and rebuilds the model on zero-copy, read-only
+# views.  A checkpoint rotated after boot no longer matches its manifest
+# mtime and silently falls back to an ordinary disk load, so hot reload
+# keeps working — shared memory is a boot-time dedup, not a cache layer.
+
+
+class _MappedSegment:
+    """Read-only ``mmap`` of a POSIX shared-memory segment.
+
+    Duck-types the one attribute attachment needs (``buf``) without going
+    through :class:`multiprocessing.shared_memory.SharedMemory`, whose
+    attach path registers the segment with the *shared* resource-tracker
+    process — N workers attaching the same name dedupe in the tracker's
+    set, so their balanced unregisters race into KeyError noise (and on
+    Python < 3.13 a worker exit could even unlink the parent's segment).
+    A plain mapping of ``/dev/shm/<name>`` has no lifetime side effects
+    at all: the parent alone owns creation and unlinking.
+    """
+
+    def __init__(self, path) -> None:
+        import mmap
+
+        with open(path, "rb") as handle:
+            self._map = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        self.buf = memoryview(self._map)
+
+
+def _attach_segment(name: str):
+    """Attach an existing shared-memory segment without owning its lifetime."""
+    shm_path = Path("/dev/shm") / name
+    if shm_path.exists():
+        return _MappedSegment(shm_path)
+    # Non-Linux fallback: the stdlib attach.  3.13+ has track=False for
+    # exactly this use; older versions need the unregister dance (which
+    # can still produce harmless tracker noise across many workers).
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13, non-Linux
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+class SharedCheckpointStore:
+    """Parent-side owner of shared-memory copies of checkpoint arrays.
+
+    ``share(path)`` loads one checkpoint's arrays into fresh segments;
+    ``share_directory(model_dir)`` sweeps every servable checkpoint.  The
+    resulting :attr:`manifest` is picklable and travels to the workers
+    (fork, forkserver or spawn — workers attach by segment name either
+    way).  The store must outlive the workers; ``close()`` unlinks every
+    segment.  Checkpoints that cannot be shared (unreadable, empty) are
+    skipped rather than failing the boot — sharing is an optimisation,
+    never a correctness requirement.
+    """
+
+    def __init__(self, prefix: str = "repro-ckpt") -> None:
+        self.prefix = prefix
+        self.manifest: dict[str, dict] = {}
+        self._segments: list = []
+        self._counter = 0
+
+    def share(self, path: str | Path) -> bool:
+        """Load ``path``'s arrays into shared memory; was it shared?"""
+        from multiprocessing import shared_memory
+
+        source = Path(path).resolve()
+        try:
+            with np.load(source, allow_pickle=False) as payload:
+                header = _load_header(payload, source)
+                arrays = {name[len(_ARRAY_PREFIX):]: payload[name]
+                          for name in payload.files
+                          if name.startswith(_ARRAY_PREFIX)}
+            mtime_ns = source.stat().st_mtime_ns
+        except Exception:  # corrupt/foreign/unreadable: worker loads privately
+            return False
+        entries: dict[str, dict] = {}
+        created: list = []
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                spec = {"dtype": array.dtype.str,
+                        "shape": [int(dim) for dim in array.shape]}
+                if array.nbytes == 0:
+                    # A zero-byte segment is invalid; the shape+dtype alone
+                    # reconstruct an empty array exactly.
+                    spec["empty"] = True
+                else:
+                    self._counter += 1
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=array.nbytes,
+                        name=f"{self.prefix}-{os.getpid()}-{self._counter}")
+                    created.append(segment)
+                    view = np.ndarray(array.shape, dtype=array.dtype,
+                                      buffer=segment.buf)
+                    view[...] = array
+                    spec["segment"] = segment.name
+                entries[name] = spec
+        except OSError:
+            # /dev/shm full or unavailable: roll back this checkpoint's
+            # segments and serve it from per-worker private copies instead.
+            for segment in created:
+                segment.close()
+                try:
+                    segment.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            return False
+        self._segments.extend(created)
+        self.manifest[str(source)] = {"mtime_ns": mtime_ns,
+                                      "header": header, "arrays": entries}
+        return True
+
+    def share_directory(self, model_dir: str | Path) -> list[str]:
+        """Share every servable ``*.npz`` checkpoint in ``model_dir``."""
+        shared = []
+        for path in sorted(Path(model_dir).glob("*.npz")):
+            if path.stem.startswith("."):
+                continue
+            if self.share(path):
+                shared.append(path.stem)
+        return shared
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes resident in shared segments."""
+        return sum(segment.size for segment in self._segments)
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Detach (and by default destroy) every owned segment."""
+        segments, self._segments = self._segments, []
+        self.manifest.clear()
+        for segment in segments:
+            try:
+                segment.close()
+                if unlink:
+                    segment.unlink()
+            except OSError:  # pragma: no cover - concurrent shutdown
+                pass
+
+    def __enter__(self) -> "SharedCheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Worker-side attachments, keyed by segment name.  The arrays handed to
+#: ``from_checkpoint`` are views into these buffers, so the SharedMemory
+#: objects must stay referenced for as long as any model might.
+_ATTACHED_SEGMENTS: dict[str, object] = {}
+
+
+def attach_shared_checkpoint(path: str | Path, manifest: dict):
+    """Rebuild the model at ``path`` from a shared-memory manifest.
+
+    Returns the model (its arrays zero-copy, read-only views into the
+    parent's segments) or ``None`` when the checkpoint is not in the
+    manifest, was rotated since the manifest was built (mtime mismatch),
+    or cannot be attached — callers fall back to :func:`load_checkpoint`.
+    A model whose ``from_checkpoint`` insists on writable arrays gets
+    private copies of just those arrays rather than failing.
+    """
+    source = Path(path).resolve()
+    entry = manifest.get(str(source))
+    if entry is None:
+        return None
+    try:
+        if source.stat().st_mtime_ns != entry["mtime_ns"]:
+            return None
+    except OSError:
+        return None
+    header = entry["header"]
+    cls = checkpointable_classes().get(header.get("class"))
+    if cls is None:
+        return None
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        for name, spec in entry["arrays"].items():
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(spec["shape"])
+            if spec.get("empty"):
+                arrays[name] = np.empty(shape, dtype=dtype)
+                continue
+            segment = _ATTACHED_SEGMENTS.get(spec["segment"])
+            if segment is None:
+                segment = _attach_segment(spec["segment"])
+                _ATTACHED_SEGMENTS[spec["segment"]] = segment
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            view.flags.writeable = False
+            arrays[name] = view
+    except (OSError, ValueError, FileNotFoundError):
+        return None
+    try:
+        model = cls.from_checkpoint(header["params"], arrays)
+    except ValueError:
+        # from_checkpoint mutates its arrays (read-only views reject the
+        # write): hand it private copies — correctness over sharing.
+        try:
+            model = cls.from_checkpoint(
+                header["params"],
+                {name: np.array(array) for name, array in arrays.items()})
+        except Exception:
+            return None
+    except Exception:
+        return None
     model.checkpoint_header_ = header
     return model

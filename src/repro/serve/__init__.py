@@ -15,14 +15,23 @@ which schema cluster does it belong to?):
   and similarity search over :mod:`repro.index` checkpoints via
   ``POST /models/{name}/neighbors`` and ``POST /search`` — with raw items
   embedded through the cached single-item embedding path
-  (:func:`repro.embeddings.embed_items`).
+  (:func:`repro.embeddings.embed_items`);
+* :func:`create_pool_server` scales that single-process server past one
+  GIL: a :class:`WorkerPool` of pre-forked worker processes (checkpoints
+  shared zero-copy via ``multiprocessing.shared_memory``, WAL recovery run
+  once before fork) behind a :class:`PoolRouter` that shards requests by
+  model name, sheds overload as ``429 Retry-After``, and fails idempotent
+  reads over to sibling workers when a worker dies.
 
-``repro serve --model-dir ...`` is the CLI entry point.
+``repro serve --model-dir ...`` is the CLI entry point
+(``--workers N`` with ``N > 1`` selects the pool).
 """
 
 from .batching import BatchStats, MicroBatcher
 from .http import ReproHTTPServer, create_server
-from .registry import LoadedModel, ModelRegistry
+from .pool import WorkerConfig, WorkerPool, shard_for
+from .registry import LoadedModel, ModelRegistry, servable_names
+from .router import PoolRouter, create_pool_server
 from .service import PredictService
 
 __all__ = [
@@ -30,7 +39,13 @@ __all__ = [
     "MicroBatcher",
     "LoadedModel",
     "ModelRegistry",
+    "PoolRouter",
     "PredictService",
     "ReproHTTPServer",
+    "WorkerConfig",
+    "WorkerPool",
+    "create_pool_server",
     "create_server",
+    "servable_names",
+    "shard_for",
 ]

@@ -44,7 +44,7 @@ from ..exceptions import (
 from .registry import ModelRegistry
 from .service import PredictService
 
-__all__ = ["ReproHTTPServer", "create_server"]
+__all__ = ["ReproHTTPServer", "create_server", "read_request_body"]
 
 _PREDICT_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/predict/?$")
 _NEIGHBORS_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/neighbors/?$")
@@ -80,6 +80,44 @@ class ReproHTTPServer(ThreadingHTTPServer):
         if service is not None:
             service.registry.stop_hot_reload()
             service.close()
+
+
+def read_request_body(handler: BaseHTTPRequestHandler) -> bytes | None:
+    """Drain and return the request body, enforcing the size limit.
+
+    Returns ``None`` after answering the client itself (bad or hostile
+    Content-Length, unreadable socket) — callers just return.  Shared by
+    the single-process handler and the pool router, which must apply the
+    same draining discipline before proxying: answering before consuming
+    Content-Length bytes desyncs HTTP/1.1 keep-alive connections (the next
+    request would be parsed starting at the leftover body).
+
+    The handler must provide ``_send_error_json(status, message)``.
+    """
+    try:
+        length = int(handler.headers.get("Content-Length", 0))
+    except ValueError as exc:
+        handler._send_error_json(400, f"bad Content-Length: {exc}")
+        return None
+    if length < 0:
+        # rfile.read(-1) would block reading until EOF, pinning the
+        # handler thread for as long as the client holds the socket.
+        handler.close_connection = True
+        handler._send_error_json(400, f"bad Content-Length: {length}")
+        return None
+    if length > _MAX_BODY_BYTES:
+        # Answer without reading; the connection cannot be reused after
+        # an undrained body, so close it explicitly.
+        handler.close_connection = True
+        handler._send_error_json(
+            413, f"request body of {length} bytes exceeds the "
+                 f"{_MAX_BODY_BYTES} byte limit")
+        return None
+    try:
+        return handler.rfile.read(length) if length else b""
+    except OSError as exc:
+        handler._send_error_json(400, f"unreadable request body: {exc}")
+        return None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -124,32 +162,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        # Always drain the request body first: answering before consuming
-        # Content-Length bytes desyncs HTTP/1.1 keep-alive connections (the
-        # next request would be parsed starting at the leftover body).
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError as exc:
-            self._send_error_json(400, f"bad Content-Length: {exc}")
-            return
-        if length < 0:
-            # rfile.read(-1) would block reading until EOF, pinning the
-            # handler thread for as long as the client holds the socket.
-            self.close_connection = True
-            self._send_error_json(400, f"bad Content-Length: {length}")
-            return
-        if length > _MAX_BODY_BYTES:
-            # Answer without reading; the connection cannot be reused after
-            # an undrained body, so close it explicitly.
-            self.close_connection = True
-            self._send_error_json(
-                413, f"request body of {length} bytes exceeds the "
-                     f"{_MAX_BODY_BYTES} byte limit")
-            return
-        try:
-            raw = self.rfile.read(length) if length else b""
-        except OSError as exc:
-            self._send_error_json(400, f"unreadable request body: {exc}")
+        raw = read_request_body(self)
+        if raw is None:
             return
         path = self.path.split("?", 1)[0]
         predict = _PREDICT_ROUTE.match(path)
@@ -188,7 +202,9 @@ def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
                   max_batch_rows: int = 256, max_delay: float = 0.002,
                   micro_batching: bool = True,
                   reload_interval: float | None = None,
-                  wal_dir: str | Path | None = None) -> ReproHTTPServer:
+                  wal_dir: str | Path | None = None,
+                  shared_manifest: dict | None = None,
+                  identity: dict | None = None) -> ReproHTTPServer:
     """Build (but do not start) the serving HTTP server.
 
     ``port=0`` binds an ephemeral port (``server.server_address[1]`` tells
@@ -207,15 +223,23 @@ def create_server(model_dir: str | Path, *, host: str = "127.0.0.1",
     newer than its ``wal_applied`` watermark) is replayed and rotated via
     :func:`repro.wal.recover_model_dir`, so the served state reflects all
     durably-journaled ingestion even after a SIGKILL mid-update.
+
+    ``shared_manifest`` is the zero-copy checkpoint map published by the
+    worker pool parent (:class:`repro.serialize.SharedCheckpointStore`);
+    the registry loads covered checkpoints as shared-memory views instead
+    of private copies.  ``identity`` is merged into the health payload so
+    pool workers are distinguishable through the router.
     """
     if wal_dir is not None:
         from ..wal import recover_model_dir
 
         recover_model_dir(model_dir, wal_dir)
-    registry = ModelRegistry(model_dir, max_loaded=max_loaded)
+    registry = ModelRegistry(model_dir, max_loaded=max_loaded,
+                             shared_manifest=shared_manifest)
     service = PredictService(registry, max_batch_rows=max_batch_rows,
                              max_delay=max_delay,
-                             micro_batching=micro_batching)
+                             micro_batching=micro_batching,
+                             identity=identity)
     try:
         server = ReproHTTPServer((host, port), _Handler, service)
     except BaseException:

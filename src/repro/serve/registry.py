@@ -31,13 +31,29 @@ from typing import Callable
 
 from ..cache import get_cache
 from ..exceptions import SerializationError, ServingError
-from ..serialize import load_checkpoint, read_checkpoint_header
+from ..serialize import (
+    attach_shared_checkpoint,
+    load_checkpoint,
+    read_checkpoint_header,
+)
 
-__all__ = ["LoadedModel", "ModelRegistry"]
+__all__ = ["LoadedModel", "ModelRegistry", "servable_names"]
 
 #: Model names the registry (and the HTTP predict route) accept: the stem
 #: of the checkpoint file, no path separators, no leading dot.
 _VALID_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def servable_names(model_dir: str | Path) -> list[str]:
+    """Sorted servable checkpoint names in ``model_dir``.
+
+    The one definition of "what counts as a served model" — shared by the
+    registry and by the worker-pool router, which must agree on the name
+    set to shard it consistently.  Dot-prefixed sidecars (archived
+    generations, AppleDouble files) are skipped.
+    """
+    return sorted(path.stem for path in Path(model_dir).glob("*.npz")
+                  if _VALID_NAME.match(path.stem))
 
 
 @dataclass(eq=False)
@@ -92,8 +108,8 @@ class ModelRegistry:
     """
 
     def __init__(self, model_dir: str | Path, *, max_loaded: int = 4,
-                 on_evict: Callable[[LoadedModel], None] | None = None
-                 ) -> None:
+                 on_evict: Callable[[LoadedModel], None] | None = None,
+                 shared_manifest: dict | None = None) -> None:
         if max_loaded < 1:
             raise ServingError("max_loaded must be >= 1")
         self.model_dir = Path(model_dir)
@@ -101,6 +117,10 @@ class ModelRegistry:
             raise ServingError(f"model directory not found: {self.model_dir}")
         self.max_loaded = int(max_loaded)
         self.on_evict = on_evict
+        #: Shared-memory manifest from the pool parent's
+        #: :class:`repro.serialize.SharedCheckpointStore` — checkpoints it
+        #: covers load as zero-copy views instead of private array copies.
+        self.shared_manifest = shared_manifest or {}
         self._loaded: OrderedDict[str, LoadedModel] = OrderedDict()
         self._lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
@@ -114,8 +134,7 @@ class ModelRegistry:
         Files whose stem is not a valid model name (dot-prefixed sidecar
         files, for example) are skipped rather than breaking the listing.
         """
-        return sorted(path.stem for path in self.model_dir.glob("*.npz")
-                      if _VALID_NAME.match(path.stem))
+        return servable_names(self.model_dir)
 
     def __contains__(self, name: str) -> bool:
         return self._path_for(name).exists()
@@ -180,7 +199,7 @@ class ModelRegistry:
                 # recorded mtime is older than the winner and the watcher
                 # simply reloads once more.
                 mtime_ns = path.stat().st_mtime_ns
-                model = load_checkpoint(path)
+                model = self._load_model(path)
                 entry = LoadedModel(name=name, model=model,
                                     header=model.checkpoint_header_,
                                     path=path, mtime_ns=mtime_ns)
@@ -299,6 +318,19 @@ class ModelRegistry:
                 pass
 
     # ------------------------------------------------------------------
+    def _load_model(self, path: Path):
+        """Deserialise ``path``, preferring zero-copy shared-memory arrays.
+
+        A manifest miss — checkpoint not shared at boot, or rotated since
+        (mtime mismatch) — falls back to an ordinary private disk load, so
+        sharing never blocks hot reload or correctness.
+        """
+        if self.shared_manifest:
+            model = attach_shared_checkpoint(path, self.shared_manifest)
+            if model is not None:
+                return model
+        return load_checkpoint(path)
+
     def _notify_evicted(self, entries: list[LoadedModel]) -> None:
         """Run the eviction hook outside the registry lock."""
         if self.on_evict is None:

@@ -1,0 +1,362 @@
+"""Front router for the pre-fork worker pool: shard, admit, fail over.
+
+The router is a thin :class:`~http.server.ThreadingHTTPServer` that owns no
+model state at all — it maps each request to a worker
+(:func:`repro.serve.pool.shard_for` on the model/index name), applies
+admission control, and proxies the bytes.  Because every request thread
+only ever blocks on one upstream socket, the router's GIL share per
+request is tiny and the pool's throughput scales with worker cores.
+
+Admission control and failure semantics (the failure matrix ARCHITECTURE.md
+documents):
+
+* **Primary alive, under capacity** — proxy to it.
+* **Primary alive, at capacity** (``max_inflight`` requests already in
+  flight on that worker) — answer ``429`` with a ``Retry-After`` hint
+  immediately.  Overload deliberately does *not* spill onto siblings:
+  spilling would melt the whole pool one worker at a time instead of
+  shedding load at the edge.
+* **Primary dead or unreachable** — retry the (idempotent, read-only)
+  request on the next workers in ring order while the supervisor respawns
+  the primary; the client never sees the outage.
+* **Every worker dead/at capacity with none alive** — ``503`` with
+  ``Retry-After``.
+
+All predict/neighbors/search requests are pure reads (models only change
+via checkpoint rotation on disk), which is what makes transparent retry
+safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .http import _NEIGHBORS_ROUTE, _PREDICT_ROUTE, read_request_body
+from .pool import WorkerPool, shard_for
+from .registry import servable_names
+
+__all__ = ["PoolRouter", "create_pool_server"]
+
+#: Seconds a proxied upstream call may take before the router treats the
+#: worker as unreachable and fails over.  Generous: micro-batched forwards
+#: under heavy load can linger, and a false timeout turns one slow request
+#: into two.
+_UPSTREAM_TIMEOUT = 60.0
+#: Retry-After hint (seconds) on 429/503 — small, because overload on a
+#: micro-batching worker drains in milliseconds once clients pause.
+_RETRY_AFTER = 1
+
+
+class _ConnectionPool:
+    """Keep-alive upstream connections, keyed by worker address.
+
+    A fresh TCP connect per proxied request roughly doubles loopback
+    latency; pooling by ``(host, port)`` means a respawned worker (new
+    port) naturally gets a fresh pool while the dead port's sockets are
+    dropped on first error.
+    """
+
+    def __init__(self) -> None:
+        self._idle: dict[tuple[str, int], list] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, address: tuple[str, int]):
+        with self._lock:
+            idle = self._idle.get(address)
+            if idle:
+                return idle.pop()
+        return http.client.HTTPConnection(*address,
+                                          timeout=_UPSTREAM_TIMEOUT)
+
+    def release(self, address: tuple[str, int], conn) -> None:
+        with self._lock:
+            self._idle.setdefault(address, []).append(conn)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, {}
+        for conns in idle.values():
+            for conn in conns:
+                conn.close()
+
+
+class PoolRouter(ThreadingHTTPServer):
+    """The pool's public HTTP endpoint; owns the pool it routes for."""
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(self, address, pool: WorkerPool, *,
+                 max_inflight: int = 64) -> None:
+        super().__init__(address, _RouterHandler)
+        self.pool = pool
+        #: Per-worker admission bound: requests concurrently proxied to
+        #: one worker beyond this are answered 429 instead of queued.
+        self.max_inflight = int(max_inflight)
+        self._inflight = [0] * pool.n_workers
+        self._inflight_lock = threading.Lock()
+        self.connections = _ConnectionPool()
+        #: Router-level counters, surfaced under ``/stats``.
+        self.counters = {"routed": 0, "retries": 0, "rejected_overload": 0,
+                         "failover": 0, "unavailable": 0}
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, index: int) -> bool:
+        """Reserve an in-flight slot on worker ``index`` (False = full)."""
+        with self._inflight_lock:
+            if self._inflight[index] >= self.max_inflight:
+                return False
+            self._inflight[index] += 1
+            return True
+
+    def release_slot(self, index: int) -> None:
+        with self._inflight_lock:
+            self._inflight[index] -= 1
+
+    def count(self, key: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self.counters[key] += n
+
+    def stats_snapshot(self) -> dict:
+        with self._counter_lock:
+            counters = dict(self.counters)
+        with self._inflight_lock:
+            counters["inflight"] = list(self._inflight)
+        counters["max_inflight"] = self.max_inflight
+        return counters
+
+    def server_close(self) -> None:
+        """Stop the router socket, then the workers and their segments."""
+        super().server_close()
+        pool = getattr(self, "pool", None)
+        if pool is not None:
+            pool.stop()
+        connections = getattr(self, "connections", None)
+        if connections is not None:
+            connections.close()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Shard-route one request; never touch model state locally."""
+
+    server: PoolRouter
+    protocol_version = "HTTP/1.1"
+    verbose = False
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, body: dict | list,
+                   retry_after: int | None = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str,
+                         retry_after: int | None = None) -> None:
+        self._send_json(status, {"error": message}, retry_after=retry_after)
+
+    def _send_raw(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/healthz", "/health"):
+            self._handle_health()
+        elif path == "/stats":
+            self._handle_stats()
+        elif path == "/models":
+            # Any worker answers identically (headers read from the shared
+            # model directory); use the ring so a dead worker is skipped.
+            self._route(0, "GET", "/models", b"")
+        else:
+            self._send_error_json(404, f"no such route: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        raw = read_request_body(self)
+        if raw is None:
+            return
+        path = self.path.split("?", 1)[0]
+        predict = _PREDICT_ROUTE.match(path)
+        neighbors = _NEIGHBORS_ROUTE.match(path)
+        if predict is not None or neighbors is not None:
+            name = (predict or neighbors).group(1)
+            primary = shard_for(name, self.server.pool.n_workers)
+            self._route(primary, "POST", path, raw)
+            return
+        if (path.rstrip("/") or "/") == "/search":
+            self._route(self._search_shard(raw), "POST", path, raw)
+            return
+        self._send_error_json(404, f"no such route: {self.path}")
+
+    def _search_shard(self, raw: bytes) -> int:
+        """Primary worker for a ``/search`` body.
+
+        The index name may be in the body, or omitted when the directory
+        serves exactly one index — resolve the same way the worker will,
+        so the request lands on the shard that has it resident.  Any
+        parse problem routes to worker 0, whose error answer is as good
+        as any sibling's.
+        """
+        pool = self.server.pool
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            name = payload.get("index")
+        except (ValueError, AttributeError):
+            return 0
+        if not isinstance(name, str):
+            names = servable_names(pool.model_dir)
+            if len(names) != 1:
+                return 0
+            name = names[0]
+        return shard_for(name, pool.n_workers)
+
+    # ------------------------------------------------------------------
+    def _handle_health(self) -> None:
+        workers = self.server.pool.describe()
+        alive = sum(1 for row in workers if row["alive"])
+        self._send_json(200 if alive else 503, {
+            "status": "ok" if alive else "unavailable",
+            "model_dir": str(self.server.pool.model_dir),
+            "workers": workers,
+            "alive": alive,
+        })
+
+    def _handle_stats(self) -> None:
+        pool = self.server.pool
+        per_worker: dict[str, dict] = {}
+        for index in range(pool.n_workers):
+            address = pool.address_of(index)
+            if address is None:
+                continue
+            result = self._proxy_once(index, address, "GET", "/stats", b"")
+            if result is not None:
+                try:
+                    per_worker[str(index)] = json.loads(result[1])
+                except ValueError:  # pragma: no cover - worker sent junk
+                    pass
+        self._send_json(200, {"router": self.server.stats_snapshot(),
+                              "workers": per_worker})
+
+    # ------------------------------------------------------------------
+    def _route(self, primary: int, method: str, path: str,
+               body: bytes) -> None:
+        """Admission control + ring failover around the proxy call."""
+        server = self.server
+        pool = server.pool
+        attempted_failover = False
+        for offset in range(pool.n_workers):
+            index = (primary + offset) % pool.n_workers
+            address = pool.address_of(index)
+            if address is None:
+                # Dead primary (or dead sibling): ring on.  This is the
+                # failover path, not overload shedding.
+                attempted_failover = True
+                continue
+            if not server.try_acquire(index):
+                if offset == 0:
+                    # The owner is alive but saturated: shed load at the
+                    # edge rather than melting siblings too.
+                    server.count("rejected_overload")
+                    self._send_error_json(
+                        429, f"worker {index} at capacity "
+                             f"({server.max_inflight} requests in flight); "
+                             f"retry shortly",
+                        retry_after=_RETRY_AFTER)
+                    return
+                attempted_failover = True
+                continue
+            try:
+                result = self._proxy_once(index, address, method, path, body)
+            finally:
+                server.release_slot(index)
+            if result is None:
+                # Transport failure mid-request: the worker died (or was
+                # killed).  Tell the pool, then retry the idempotent read
+                # on the next shard while the supervisor respawns it.
+                pool.note_dead(index)
+                server.count("retries")
+                attempted_failover = True
+                continue
+            if attempted_failover:
+                server.count("failover")
+            server.count("routed")
+            status, data, content_type = result
+            self._send_raw(status, data, content_type)
+            return
+        server.count("unavailable")
+        self._send_error_json(
+            503, "no worker available for this request; retry shortly",
+            retry_after=_RETRY_AFTER)
+
+    def _proxy_once(self, index: int, address: tuple[str, int], method: str,
+                    path: str, body: bytes):
+        """One upstream attempt; ``None`` means transport-level failure."""
+        connections = self.server.connections
+        conn = connections.acquire(address)
+        try:
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json",
+                                  "Content-Length": str(len(body))})
+            response = conn.getresponse()
+            data = response.read()
+            content_type = response.getheader("Content-Type",
+                                              "application/json")
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            conn.close()
+            return None
+        connections.release(address, conn)
+        return (status, data, content_type)
+
+
+def create_pool_server(model_dir: str | Path, *, host: str = "127.0.0.1",
+                       port: int = 8000, workers: int = 2,
+                       max_inflight: int = 64, max_loaded: int = 4,
+                       max_batch_rows: int = 256, max_delay: float = 0.002,
+                       micro_batching: bool = True,
+                       reload_interval: float | None = None,
+                       wal_dir: str | Path | None = None,
+                       shared_memory: bool = True,
+                       start_method: str | None = None) -> PoolRouter:
+    """Build and start the sharded serving pool behind one router socket.
+
+    The mirror of :func:`repro.serve.create_server` for ``--workers N``:
+    WAL recovery runs once in this process, checkpoints are published to
+    shared memory, ``workers`` serving processes are forked and
+    supervised, and the returned router (bound to ``host:port``; ``port=0``
+    for ephemeral) shards requests across them.  ``serve_forever()`` to
+    run; ``shutdown()`` + ``server_close()`` stops the router *and* the
+    workers.
+
+    Unlike ``create_server`` the workers are already running when this
+    returns — construction is the pool's boot.
+    """
+    pool = WorkerPool(model_dir, n_workers=workers, host=host,
+                      max_loaded=max_loaded, max_batch_rows=max_batch_rows,
+                      max_delay=max_delay, micro_batching=micro_batching,
+                      reload_interval=reload_interval, wal_dir=wal_dir,
+                      shared_memory=shared_memory, start_method=start_method)
+    pool.start()
+    try:
+        return PoolRouter((host, port), pool, max_inflight=max_inflight)
+    except BaseException:
+        pool.stop()
+        raise

@@ -57,11 +57,16 @@ class PredictService:
 
     def __init__(self, registry: ModelRegistry, *,
                  max_batch_rows: int = 256, max_delay: float = 0.002,
-                 micro_batching: bool = True) -> None:
+                 micro_batching: bool = True,
+                 identity: dict | None = None) -> None:
         self.registry = registry
         self.max_batch_rows = max_batch_rows
         self.max_delay = max_delay
         self.micro_batching = micro_batching
+        #: Free-form keys merged into the health payload; the worker pool
+        #: stamps ``{"worker": index, "pid": ...}`` so /healthz identifies
+        #: which process answered.
+        self.identity = dict(identity or {})
         # One batcher per *load* of a model (and, for vector indexes, per
         # requested k — rows in one coalesced query must share their k).
         # Keyed by the LoadedModel entry itself (identity-hashed, strong
@@ -95,6 +100,7 @@ class PredictService:
             "models": len(self.registry),
             "loaded": self.registry.loaded_names,
             "micro_batching": self.micro_batching,
+            **self.identity,
         }
 
     def models(self) -> list[dict]:

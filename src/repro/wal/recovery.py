@@ -46,6 +46,7 @@ like any other rotation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -282,12 +283,45 @@ def recover_model_dir(model_dir: str | Path, wal_dir: str | Path, *,
     served model reflects all durably-journaled batches.  Checkpoints
     without a WAL namespace are untouched; reports are returned for the
     checkpoints that had one (replayed or not).
+
+    Concurrent callers serialise on an advisory ``.recovery.lock`` inside
+    ``wal_dir``: the worker-pool boot runs recovery exactly once in the
+    parent *before* forking, and the lock makes a second process booting
+    against the same directory wait for (and then observe) the finished
+    recovery instead of replaying the same journal concurrently.  Because
+    replay is idempotent the second pass then finds nothing to do.
     """
-    reports = []
-    for path in sorted(Path(model_dir).glob("*.npz")):
-        if path.stem.startswith("."):
-            continue
-        if not _namespaces(wal_dir, path.stem):
-            continue
-        reports.append(recover_checkpoint(path, wal_dir, keep=keep))
-    return reports
+    with _recovery_lock(wal_dir):
+        reports = []
+        for path in sorted(Path(model_dir).glob("*.npz")):
+            if path.stem.startswith("."):
+                continue
+            if not _namespaces(wal_dir, path.stem):
+                continue
+            reports.append(recover_checkpoint(path, wal_dir, keep=keep))
+        return reports
+
+
+@contextmanager
+def _recovery_lock(wal_dir: str | Path):
+    """Advisory inter-process lock for directory-wide recovery.
+
+    ``fcntl.flock`` where available (released automatically even on
+    SIGKILL, so a crashed recovery never wedges the next boot); a no-op on
+    platforms without it — recovery stays correct either way, the lock
+    only removes duplicated replay work.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    root = Path(wal_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    lock_path = root / ".recovery.lock"
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)

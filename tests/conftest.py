@@ -1,6 +1,8 @@
-"""Shared fixtures: small synthetic datasets and fast DC configurations."""
+"""Shared fixtures: small synthetic datasets, fast DC configs, servers."""
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 import pytest
@@ -13,6 +15,58 @@ from repro.data import (
     generate_tus,
     generate_webtables,
 )
+
+
+@pytest.fixture()
+def http_server():
+    """Factory for e2e serving tests: ephemeral-port server, auto-teardown.
+
+    ``server, port = http_server(model_dir, **create_server_kwargs)``
+    binds port 0 (no fixed-port flakiness, parallel-safe), runs
+    ``serve_forever`` on a daemon thread, and guarantees shutdown +
+    close at test teardown — replacing the per-test try/finally
+    boilerplate the serving tests used to copy around.
+    """
+    started = []
+
+    def start(model_dir, **kwargs):
+        from repro.serve import create_server
+
+        server = create_server(model_dir, port=0, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append(server)
+        return server, server.server_address[1]
+
+    yield start
+    for server in started:
+        server.shutdown()
+        server.server_close()
+
+
+@pytest.fixture()
+def pool_server():
+    """Factory like ``http_server`` but for the sharded worker pool.
+
+    ``router, port = pool_server(model_dir, workers=2, **kwargs)`` boots
+    the pre-fork pool behind its router on an ephemeral port; teardown
+    stops the router, the workers and their shared-memory segments.
+    """
+    started = []
+
+    def start(model_dir, **kwargs):
+        from repro.serve import create_pool_server
+
+        router = create_pool_server(model_dir, port=0, **kwargs)
+        thread = threading.Thread(target=router.serve_forever, daemon=True)
+        thread.start()
+        started.append(router)
+        return router, router.server_address[1]
+
+    yield start
+    for router in started:
+        router.shutdown()
+        router.server_close()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,267 @@
+"""Reusable multi-client HTTP load/chaos harness for the serving tests.
+
+The load-side mirror of ``tests/faultinject.py``: where faultinject proves
+the *durability* story by SIGKILLing an ingestion worker at named points,
+this module proves the *serving* story by driving a server (single-process
+or worker pool) with many concurrent keep-alive clients while chaos
+callbacks fire at named points in the run — kill a worker, rotate a
+checkpoint — and reporting exactly what the clients observed: per-request
+status codes, transport errors, a latency histogram.
+
+Used by ``tests/test_pool.py`` (zero failed predicts across pool
+hot-reload, graceful 429s at 2x capacity, worker-death respawn) and by
+``benchmarks/bench_serve.py`` for the workers=1 vs workers=N comparison.
+No pytest imports — usable from benchmarks and scripts too.
+
+A *failure* is what a client would page on: a 5xx answer or a broken
+connection.  429s are counted separately — backpressure answered
+gracefully is the design working, not a failure — as are 4xxs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosEvent", "LoadReport", "json_request", "run_load"]
+
+#: Log-spaced latency histogram bucket upper bounds, in milliseconds.
+_HISTOGRAM_EDGES_MS = tuple(0.1 * (10 ** (i / 4)) for i in range(21))
+
+
+@dataclass
+class ChaosEvent:
+    """One named disruption injected during a load run.
+
+    ``at`` seconds after the run starts, ``action`` is called (in its own
+    thread, so a slow action never stalls the clients).  The report
+    records when it actually fired and what it returned.
+    """
+
+    name: str
+    at: float
+    action: object  # callable() -> object
+    fired_at: float | None = None
+    result: object = None
+
+
+@dataclass
+class LoadReport:
+    """Everything the harness observed, from the clients' point of view."""
+
+    duration_s: float = 0.0
+    latencies_ms: list = field(default_factory=list)
+    status_counts: dict = field(default_factory=dict)
+    transport_errors: int = 0
+    #: Latencies of 2xx answers only (the histogram clients care about).
+    ok_latencies_ms: list = field(default_factory=list)
+    chaos: list = field(default_factory=list)
+    clients: int = 0
+
+    # ------------------------------------------------------------------
+    def record(self, status: int, latency_ms: float) -> None:
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        self.latencies_ms.append(latency_ms)
+        if 200 <= status < 300:
+            self.ok_latencies_ms.append(latency_ms)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Requests that got *any* HTTP answer, plus broken connections."""
+        return len(self.latencies_ms) + self.transport_errors
+
+    @property
+    def n_ok(self) -> int:
+        return sum(count for status, count in self.status_counts.items()
+                   if 200 <= status < 300)
+
+    @property
+    def n_rejected(self) -> int:
+        """Graceful backpressure answers (429)."""
+        return self.status_counts.get(429, 0)
+
+    @property
+    def n_failed(self) -> int:
+        """What a client would page on: 5xx answers + broken connections."""
+        server_errors = sum(count for status, count
+                            in self.status_counts.items() if status >= 500)
+        return server_errors + self.transport_errors
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.n_ok / self.duration_s
+
+    def percentile(self, p: float, *, ok_only: bool = True) -> float:
+        """Latency percentile in milliseconds (0 when nothing completed)."""
+        values = sorted(self.ok_latencies_ms if ok_only
+                        else self.latencies_ms)
+        if not values:
+            return 0.0
+        rank = max(0, min(len(values) - 1,
+                          math.ceil(p / 100.0 * len(values)) - 1))
+        return values[rank]
+
+    def histogram(self) -> list[dict]:
+        """Log-spaced latency buckets over the 2xx answers."""
+        counts = [0] * (len(_HISTOGRAM_EDGES_MS) + 1)
+        for latency in self.ok_latencies_ms:
+            for i, edge in enumerate(_HISTOGRAM_EDGES_MS):
+                if latency <= edge:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        buckets = []
+        lower = 0.0
+        for edge, count in zip(_HISTOGRAM_EDGES_MS, counts):
+            if count:
+                buckets.append({"le_ms": round(edge, 3),
+                                "gt_ms": round(lower, 3), "count": count})
+            lower = edge
+        if counts[-1]:
+            buckets.append({"le_ms": None,
+                            "gt_ms": round(_HISTOGRAM_EDGES_MS[-1], 3),
+                            "count": counts[-1]})
+        return buckets
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the CI latency-report artifact)."""
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.n_requests,
+            "ok": self.n_ok,
+            "rejected_429": self.n_rejected,
+            "failed": self.n_failed,
+            "transport_errors": self.transport_errors,
+            "status_counts": {str(status): count for status, count
+                              in sorted(self.status_counts.items())},
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_ms": {
+                "p50": round(self.percentile(50), 3),
+                "p90": round(self.percentile(90), 3),
+                "p99": round(self.percentile(99), 3),
+            },
+            "histogram": self.histogram(),
+            "chaos": [{"name": event.name, "at": event.at,
+                       "fired_at": (None if event.fired_at is None
+                                    else round(event.fired_at, 3))}
+                      for event in self.chaos],
+        }
+
+
+def json_request(method: str, path: str, payload: dict | None = None):
+    """Build the ``(method, path, body_bytes)`` triple ``run_load`` sends."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    return (method, path, body)
+
+
+def run_load(host: str, port: int, *, clients: int = 8,
+             duration: float | None = None, n_requests: int | None = None,
+             make_request=None, chaos: list[ChaosEvent] | None = None,
+             timeout: float = 30.0) -> LoadReport:
+    """Drive ``host:port`` with ``clients`` concurrent keep-alive clients.
+
+    Exactly one of ``duration`` (seconds, fixed-duration run) or
+    ``n_requests`` (total, fixed-request run) bounds the run.
+    ``make_request(i)`` returns the ``(method, path, body)`` for the i-th
+    request overall (defaults to ``GET /healthz``) — vary it by index for
+    mixed workloads.  ``chaos`` events fire on their own timers while the
+    clients hammer away; each event's ``fired_at``/``result`` are filled
+    in on the returned report.
+
+    Every client holds one HTTP/1.1 connection and reconnects after a
+    transport error (which is counted as a failure — a mid-request worker
+    death that the router absorbs must *not* surface here).
+    """
+    if (duration is None) == (n_requests is None):
+        raise ValueError("pass exactly one of duration= or n_requests=")
+    if make_request is None:
+        def make_request(i):
+            return ("GET", "/healthz", b"")
+
+    report = LoadReport(clients=clients)
+    report.chaos = list(chaos or [])
+    lock = threading.Lock()
+    counter = [0]
+    stop = threading.Event()
+    start_barrier = threading.Barrier(clients + 1)
+    started_at: list[float] = []
+
+    def next_index() -> int | None:
+        with lock:
+            if n_requests is not None and counter[0] >= n_requests:
+                return None
+            index = counter[0]
+            counter[0] += 1
+            return index
+
+    def client_loop() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            start_barrier.wait()
+            while not stop.is_set():
+                index = next_index()
+                if index is None:
+                    return
+                method, path, body = make_request(index)
+                headers = {"Content-Type": "application/json"}
+                begin = time.perf_counter()
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    response.read()
+                    status = response.status
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection(host, port,
+                                                      timeout=timeout)
+                    with lock:
+                        report.transport_errors += 1
+                    continue
+                latency_ms = (time.perf_counter() - begin) * 1e3
+                with lock:
+                    report.record(status, latency_ms)
+        finally:
+            conn.close()
+
+    def chaos_loop() -> None:
+        for event in sorted(report.chaos, key=lambda e: e.at):
+            delay = (started_at[0] + event.at) - time.monotonic()
+            if delay > 0 and stop.wait(delay):
+                return
+            event.fired_at = time.monotonic() - started_at[0]
+            try:
+                event.result = event.action()
+            except Exception as exc:  # surfaced via the report, not a crash
+                event.result = exc
+
+    threads = [threading.Thread(target=client_loop, daemon=True)
+               for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started_at.append(time.monotonic())
+    chaos_thread = None
+    if report.chaos:
+        chaos_thread = threading.Thread(target=chaos_loop, daemon=True)
+        chaos_thread.start()
+    try:
+        if duration is not None:
+            time.sleep(duration)
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=max(timeout, duration or 0) + 30)
+    finally:
+        stop.set()
+    if chaos_thread is not None:
+        chaos_thread.join(timeout=10)
+    report.duration_s = time.monotonic() - started_at[0]
+    return report

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 from pathlib import Path
 
 import numpy as np
@@ -149,3 +150,86 @@ def test_make_batches_is_stable():
     assert len(batches_a) == 3
     for left, right in zip(batches_a, batches_b):
         assert left.tobytes() == right.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# The pool cell: the crash matrix meets the sharded serving tier.
+
+def test_pool_boot_recovers_crash_and_worker_death_loses_no_shard(
+        tmp_path, pool_server):
+    """SIGKILL ingestion between WAL append and rotate, then serve the
+    directory through the worker pool.
+
+    Two things must hold: (1) the pool's *parent* recovers the journal
+    once before forking, so the served checkpoint is bit-for-bit identical
+    to an uninterrupted ingestion run; (2) SIGKILLing the pool worker that
+    owns the recovered model's shard, under live load on every shard,
+    produces zero 5xx anywhere — the healthy shard never notices, the dead
+    shard fails over to a sibling until the supervisor respawns.
+    """
+    from loadharness import ChaosEvent, json_request, run_load
+    from repro.clustering import KMeans
+    from repro.serialize import save_checkpoint
+    from repro.serve import shard_for
+    from repro.wal import repair_directory
+
+    baseline_dir = tmp_path / "baseline"
+    crash_dir = tmp_path / "crash"
+    baseline_dir.mkdir()
+    crash_dir.mkdir()
+
+    # Baseline: the same two batches, never interrupted.
+    clean = run_worker(baseline_dir, "kmeans", n_batches=2)
+    assert clean.returncode == 0, clean.stderr
+    # Crash arm: batch 2 is journaled and applied in memory, but the
+    # process dies before the rotate — durable state lacks the batch.
+    crashed = run_worker(crash_dir, "kmeans", n_batches=2,
+                         kill_point="between-update-and-rotate",
+                         kill_batch=2)
+    assert crashed.returncode == -signal.SIGKILL, crashed.stderr
+    repair_directory(crash_dir, wal_dir=crash_dir / "wal",
+                     tmp_grace_seconds=0.0)
+
+    # A healthy second model shares the directory: its shard must never
+    # feel the other shard's problems.
+    X0, _batches = make_batches(2)
+    save_checkpoint(crash_dir / "other.npz", KMeans(4, seed=1).fit(X0))
+
+    # Pool boot runs recovery once, pre-fork, in the parent.
+    router, port = pool_server(crash_dir, workers=2,
+                               wal_dir=crash_dir / "wal")
+
+    # (1) Bit-parity: the served checkpoint equals the uninterrupted run.
+    baseline_state = checkpoint_state(baseline_dir / f"{MODEL_NAME}.npz")
+    recovered_state = checkpoint_state(crash_dir / f"{MODEL_NAME}.npz")
+    assert baseline_state.keys() == recovered_state.keys()
+    for key in baseline_state:
+        assert baseline_state[key].tobytes() == \
+            recovered_state[key].tobytes(), key
+
+    # (2) SIGKILL the recovered model's shard owner under load on both
+    # shards: zero 5xx / resets anywhere, then a clean respawn.
+    victim = shard_for(MODEL_NAME, 2)
+    rows = X0[:2].tolist()
+    names = (MODEL_NAME, "other")
+
+    def make_request(i):
+        return json_request("POST", f"/models/{names[i % 2]}/predict",
+                            {"vectors": rows})
+
+    report = run_load(
+        "127.0.0.1", port, clients=6, duration=1.5,
+        make_request=make_request,
+        chaos=[ChaosEvent(name="sigkill-shard-owner", at=0.4,
+                          action=lambda: router.pool.kill_worker(victim))])
+    assert isinstance(report.chaos[0].result, int), "no worker was killed"
+    assert report.n_failed == 0, report.as_dict()
+    assert not any(status >= 500 for status in report.status_counts)
+    assert report.n_ok > 20
+    assert router.pool.wait_all_ready(30.0)
+    assert router.pool.restarts[victim] >= 1
+
+    # Serving never mutates checkpoints: parity still holds after chaos.
+    after = checkpoint_state(crash_dir / f"{MODEL_NAME}.npz")
+    for key in baseline_state:
+        assert baseline_state[key].tobytes() == after[key].tobytes(), key

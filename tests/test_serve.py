@@ -20,7 +20,6 @@ from repro.serve import (
     MicroBatcher,
     ModelRegistry,
     PredictService,
-    create_server,
 )
 from repro.tasks import embed_columns, embed_tables
 
@@ -220,6 +219,79 @@ class TestModelRegistry:
             body = service.predict("alpha", {"vectors": vec})
             assert body["n_items"] == 1
 
+    def test_reload_stale_racing_evict_never_serves_half_swapped(
+            self, tmp_path):
+        """Regression: reload_stale vs concurrent evict on the same name.
+
+        Whatever order the swap and the eviction interleave, a reader must
+        only ever see a *complete* LoadedModel (header belonging to its
+        model, predict working), and every load that lost the race must be
+        retired through on_evict exactly once — the on_evict/batcher
+        ordering pinned in the eviction-hook-chaining tests, now under a
+        barrier-synchronised race.
+        """
+        import time
+
+        from repro.serialize import rotate_checkpoint
+
+        model, X = _fitted_kmeans(dim=8)
+        path = tmp_path / "m.npz"
+        save_checkpoint(path, model, metadata={"n_features": 8})
+        evicted: list[object] = []
+        registry = ModelRegistry(tmp_path,
+                                 on_evict=lambda entry: evicted.append(entry))
+        with PredictService(registry, max_delay=0.0) as service:
+            reader_failures: list[Exception] = []
+
+            for round_no in range(12):
+                service.predict("m", {"vectors": X[:1].tolist()})
+                # Checkpoint files need distinct mtimes for the watcher to
+                # notice; rotate_checkpoint bumps the file atomically.
+                rotate_checkpoint(path, KMeans(4, seed=round_no).fit(X),
+                                  metadata={"n_features": 8})
+                barrier = threading.Barrier(3)
+
+                def reload_worker():
+                    barrier.wait()
+                    registry.reload_stale()
+
+                def evict_worker():
+                    barrier.wait()
+                    registry.evict("m")
+
+                def reader_worker():
+                    barrier.wait()
+                    try:
+                        for _ in range(5):
+                            entry = registry.get("m")
+                            # A half-swapped entry would break one of these.
+                            assert entry.header is \
+                                entry.model.checkpoint_header_
+                            assert entry.model.predict(X[:1]).shape == (1,)
+                            body = service.predict(
+                                "m", {"vectors": X[:1].tolist()})
+                            assert body["n_items"] == 1
+                            time.sleep(0)
+                    except Exception as exc:
+                        reader_failures.append(exc)
+
+                threads = [threading.Thread(target=worker)
+                           for worker in (reload_worker, evict_worker,
+                                          reader_worker)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+                assert not any(thread.is_alive() for thread in threads)
+
+            assert reader_failures == []
+            # Every retired load was retired exactly once, and the resident
+            # entry (if any) was never simultaneously reported evicted.
+            assert len({id(entry) for entry in evicted}) == len(evicted)
+            with registry._lock:
+                resident = registry._loaded.get("m")
+            assert all(entry is not resident for entry in evicted)
+
 
 # ----------------------------------------------------------------------
 class TestEmbedItems:
@@ -286,11 +358,9 @@ class TestEmbedItems:
 
 
 # ----------------------------------------------------------------------
-def _start_server(model_dir, **kwargs):
-    server = create_server(model_dir, port=0, **kwargs)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return server, server.server_address[1]
+# E2e servers come from the shared ``http_server`` conftest fixture:
+# ephemeral port (no bind races), daemon serve thread, guaranteed
+# shutdown+close at teardown.
 
 
 def _get(port, path):
@@ -319,152 +389,130 @@ class TestHTTPServer:
                                   "embedding": "sbert"})
         return tmp_path
 
-    def test_full_round_trip(self, model_dir):
+    def test_full_round_trip(self, model_dir, http_server):
         dataset = generate_webtables(24, 6, seed=3)
         X = embed_tables(dataset, "sbert")
-        server, port = _start_server(model_dir)
-        try:
-            health = _get(port, "/healthz")
-            assert health["status"] == "ok"
-            assert health["models"] == 1
+        server, port = http_server(model_dir)
+        health = _get(port, "/healthz")
+        assert health["status"] == "ok"
+        assert health["models"] == 1
 
-            models = _get(port, "/models")
-            assert models[0]["name"] == "webtables"
-            assert models[0]["task"] == "schema_inference"
+        models = _get(port, "/models")
+        assert models[0]["name"] == "webtables"
+        assert models[0]["task"] == "schema_inference"
 
-            # Pre-embedded vectors: must match in-process predict exactly.
-            response = _post(port, "/models/webtables/predict",
-                             {"vectors": X[:5].tolist()})
-            expected = server.service.registry.get("webtables") \
-                .model.predict(X[:5])
-            assert response["labels"] == [int(v) for v in expected]
+        # Pre-embedded vectors: must match in-process predict exactly.
+        response = _post(port, "/models/webtables/predict",
+                         {"vectors": X[:5].tolist()})
+        expected = server.service.registry.get("webtables") \
+            .model.predict(X[:5])
+        assert response["labels"] == [int(v) for v in expected]
 
-            # Raw items: embedded server-side via the task pipeline.
-            table = dataset.tables[0]
-            item = {"name": table.name,
-                    "columns": {h: list(v) for h, v in table.columns.items()}}
-            response = _post(port, "/models/webtables/predict",
-                             {"items": [item]})
-            assert response["labels"] == [int(expected[0])]
+        # Raw items: embedded server-side via the task pipeline.
+        table = dataset.tables[0]
+        item = {"name": table.name,
+                "columns": {h: list(v) for h, v in table.columns.items()}}
+        response = _post(port, "/models/webtables/predict",
+                         {"items": [item]})
+        assert response["labels"] == [int(expected[0])]
 
-            stats = _get(port, "/stats")
-            assert stats["webtables"]["requests"] >= 2
-        finally:
-            server.shutdown()
-            server.server_close()
+        stats = _get(port, "/stats")
+        assert stats["webtables"]["requests"] >= 2
 
-    def test_concurrent_clients_get_correct_answers(self, model_dir):
+    def test_concurrent_clients_get_correct_answers(self, model_dir,
+                                                    http_server):
         dataset = generate_webtables(24, 6, seed=3)
         X = embed_tables(dataset, "sbert")
-        server, port = _start_server(model_dir, max_delay=0.02)
-        try:
-            expected = server.service.registry.get("webtables").model.predict(X)
-            results: dict[int, list] = {}
+        server, port = http_server(model_dir, max_delay=0.02)
+        expected = server.service.registry.get("webtables").model.predict(X)
+        results: dict[int, list] = {}
 
-            def client(i):
-                body = _post(port, "/models/webtables/predict",
-                             {"vectors": [X[i].tolist()]})
-                results[i] = body["labels"]
+        def client(i):
+            body = _post(port, "/models/webtables/predict",
+                         {"vectors": [X[i].tolist()]})
+            results[i] = body["labels"]
 
-            threads = [threading.Thread(target=client, args=(i,))
-                       for i in range(10)]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-            for i in range(10):
-                assert results[i] == [int(expected[i])]
-        finally:
-            server.shutdown()
-            server.server_close()
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(10):
+            assert results[i] == [int(expected[i])]
 
-    def test_error_statuses(self, model_dir):
-        server, port = _start_server(model_dir)
-        try:
-            with pytest.raises(urllib.error.HTTPError) as err:
-                _get(port, "/nope")
-            assert err.value.code == 404
+    def test_error_statuses(self, model_dir, http_server):
+        _server, port = http_server(model_dir)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(port, "/nope")
+        assert err.value.code == 404
 
-            with pytest.raises(urllib.error.HTTPError) as err:
-                _post(port, "/models/missing/predict", {"vectors": [[0.0]]})
-            assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(port, "/models/missing/predict", {"vectors": [[0.0]]})
+        assert err.value.code == 404
 
-            with pytest.raises(urllib.error.HTTPError) as err:
-                _post(port, "/models/webtables/predict", {"wrong": True})
-            assert err.value.code == 400
-            assert "error" in json.loads(err.value.read())
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(port, "/models/webtables/predict", {"wrong": True})
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
 
-            request = urllib.request.Request(
-                f"http://127.0.0.1:{port}/models/webtables/predict",
-                data=b"{not json", headers={"Content-Type": "application/json"})
-            with pytest.raises(urllib.error.HTTPError) as err:
-                urllib.request.urlopen(request, timeout=10)
-            assert err.value.code == 400
-        finally:
-            server.shutdown()
-            server.server_close()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/models/webtables/predict",
+            data=b"{not json", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
 
-    def test_oversized_body_rejected_with_413(self, model_dir, monkeypatch):
+    def test_oversized_body_rejected_with_413(self, model_dir, http_server,
+                                              monkeypatch):
         import http.client
 
         from repro.serve import http as serve_http
 
         monkeypatch.setattr(serve_http, "_MAX_BODY_BYTES", 1024)
-        server, port = _start_server(model_dir)
-        try:
-            connection = http.client.HTTPConnection("127.0.0.1", port,
-                                                    timeout=10)
-            connection.request(
-                "POST", "/models/webtables/predict", body=b"x" * 4096,
-                headers={"Content-Type": "application/json"})
-            response = connection.getresponse()
-            assert response.status == 413
-            assert b"limit" in response.read()
-            connection.close()
-        finally:
-            server.shutdown()
-            server.server_close()
+        _server, port = http_server(model_dir)
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=10)
+        connection.request(
+            "POST", "/models/webtables/predict", body=b"x" * 4096,
+            headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        assert response.status == 413
+        assert b"limit" in response.read()
+        connection.close()
 
-    def test_negative_content_length_rejected(self, model_dir):
+    def test_negative_content_length_rejected(self, model_dir, http_server):
         import socket
 
-        server, port = _start_server(model_dir)
-        try:
-            with socket.create_connection(("127.0.0.1", port),
-                                          timeout=10) as sock:
-                sock.sendall(b"POST /models/webtables/predict HTTP/1.1\r\n"
-                             b"Host: localhost\r\n"
-                             b"Content-Length: -1\r\n\r\n")
-                sock.settimeout(10)
-                response = sock.recv(4096)
-            assert b"400" in response.split(b"\r\n", 1)[0]
-        finally:
-            server.shutdown()
-            server.server_close()
+        _server, port = http_server(model_dir)
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /models/webtables/predict HTTP/1.1\r\n"
+                         b"Host: localhost\r\n"
+                         b"Content-Length: -1\r\n\r\n")
+            sock.settimeout(10)
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
 
-    def test_keep_alive_survives_a_404_post(self, model_dir):
+    def test_keep_alive_survives_a_404_post(self, model_dir, http_server):
         """The 404 branch must drain the body or break keep-alive clients."""
         import http.client
 
-        server, port = _start_server(model_dir)
-        try:
-            connection = http.client.HTTPConnection("127.0.0.1", port,
-                                                    timeout=10)
-            body = json.dumps({"items": [{"headers": ["a", "b"]}]})
-            connection.request("POST", "/no/such/route", body=body,
-                               headers={"Content-Type": "application/json"})
-            response = connection.getresponse()
-            assert response.status == 404
-            response.read()
-            # Same connection: the next request must parse cleanly.
-            connection.request("GET", "/healthz")
-            response = connection.getresponse()
-            assert response.status == 200
-            assert json.loads(response.read())["status"] == "ok"
-            connection.close()
-        finally:
-            server.shutdown()
-            server.server_close()
+        _server, port = http_server(model_dir)
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=10)
+        body = json.dumps({"items": [{"headers": ["a", "b"]}]})
+        connection.request("POST", "/no/such/route", body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        assert response.status == 404
+        response.read()
+        # Same connection: the next request must parse cleanly.
+        connection.request("GET", "/healthz")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["status"] == "ok"
+        connection.close()
 
 
 class TestPredictService:
@@ -528,7 +576,8 @@ class TestPredictService:
 class TestHotReloadOverHTTP:
     """The satellite guarantee: zero failed predicts across a hot swap."""
 
-    def test_100_concurrent_requests_across_checkpoint_swap(self, tmp_path):
+    def test_100_concurrent_requests_across_checkpoint_swap(self, tmp_path,
+                                                            http_server):
         import time
 
         from repro.serialize import rotate_checkpoint
@@ -536,60 +585,56 @@ class TestHotReloadOverHTTP:
         model, X = _fitted_kmeans(n_clusters=4, dim=8, n=80, seed=0)
         path = tmp_path / "live.npz"
         save_checkpoint(path, model, metadata={"n_features": 8})
-        server, port = _start_server(tmp_path, reload_interval=0.01)
-        try:
-            n_requests = 100
-            barrier = threading.Barrier(n_requests + 1)
-            failures: list[object] = []
-            statuses: list[int] = []
+        server, port = http_server(tmp_path, reload_interval=0.01)
+        n_requests = 100
+        barrier = threading.Barrier(n_requests + 1)
+        failures: list[object] = []
+        statuses: list[int] = []
 
-            def client(index: int) -> None:
-                barrier.wait()
-                # Spread arrivals across the swap window.
-                time.sleep((index % 10) * 0.01)
-                try:
-                    body = _post(port, "/models/live/predict",
-                                 {"vectors": X[index % X.shape[0]][None, :]
-                                  .tolist()})
-                    statuses.append(200)
-                    assert body["n_items"] == 1
-                except Exception as exc:  # any non-200 counts as a failure
-                    failures.append(exc)
-
-            threads = [threading.Thread(target=client, args=(i,))
-                       for i in range(n_requests)]
-            for thread in threads:
-                thread.start()
+        def client(index: int) -> None:
             barrier.wait()
-            # Rotate a new generation right into the middle of the traffic.
-            time.sleep(0.03)
-            rotate_checkpoint(path, KMeans(4, seed=9).fit(X),
-                              metadata={"n_features": 8})
-            for thread in threads:
-                thread.join(timeout=30)
-            assert not any(thread.is_alive() for thread in threads)
+            # Spread arrivals across the swap window.
+            time.sleep((index % 10) * 0.01)
+            try:
+                body = _post(port, "/models/live/predict",
+                             {"vectors": X[index % X.shape[0]][None, :]
+                              .tolist()})
+                statuses.append(200)
+                assert body["n_items"] == 1
+            except Exception as exc:  # any non-200 counts as a failure
+                failures.append(exc)
 
-            assert failures == []
-            assert len(statuses) == n_requests
-            # The swap really happened while requests were in flight.
-            deadline = time.monotonic() + 5.0
-            while time.monotonic() < deadline:
-                if server.service.registry.get("live").generation == 1:
-                    break
-                time.sleep(0.02)
-            assert server.service.registry.get("live").generation == 1
-            # And the new generation serves subsequent traffic.
-            body = _post(port, "/models/live/predict",
-                         {"vectors": X[:2].tolist()})
-            assert body["n_items"] == 2
-        finally:
-            server.shutdown()
-            server.server_close()
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_requests)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        # Rotate a new generation right into the middle of the traffic.
+        time.sleep(0.03)
+        rotate_checkpoint(path, KMeans(4, seed=9).fit(X),
+                          metadata={"n_features": 8})
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
 
-    def test_server_close_stops_the_watcher(self, tmp_path):
+        assert failures == []
+        assert len(statuses) == n_requests
+        # The swap really happened while requests were in flight.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.service.registry.get("live").generation == 1:
+                break
+            time.sleep(0.02)
+        assert server.service.registry.get("live").generation == 1
+        # And the new generation serves subsequent traffic.
+        body = _post(port, "/models/live/predict",
+                     {"vectors": X[:2].tolist()})
+        assert body["n_items"] == 2
+
+    def test_server_close_stops_the_watcher(self, tmp_path, http_server):
         model, _ = _fitted_kmeans()
         save_checkpoint(tmp_path / "m.npz", model)
-        server, _port = _start_server(tmp_path, reload_interval=0.01)
+        server, _port = http_server(tmp_path, reload_interval=0.01)
         registry = server.service.registry
         server.shutdown()
         server.server_close()
