@@ -245,3 +245,70 @@ def test_pool_scales_past_one_gil(benchmark, tmp_path):
     # The scaling claim needs cores to scale onto; CI runners have >= 4.
     if (os.cpu_count() or 1) >= _POOL_WORKERS:
         assert results["throughput_scaling"] >= 2.5, results
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead: instrumented vs set_enabled(False), same batcher.
+
+_OBS_TRIALS = 5
+
+
+def _drive_obs(model, X: np.ndarray, instrumented: bool) -> dict:
+    """One _run_clients pass with observability on or off.
+
+    The instrumented side exercises the full per-request cost: an active
+    request trace (so the batcher records queue.wait/batch.forward spans)
+    plus every counter/histogram update on the predict path.
+    """
+    from repro.obs import request_trace, reset_registry, set_enabled
+
+    set_enabled(instrumented)
+    reset_registry()
+    try:
+        with MicroBatcher(model.predict, max_batch_rows=64,
+                          max_delay=0.0) as batcher:
+            def request(rows: np.ndarray):
+                with request_trace("predict"):
+                    return batcher.submit(rows)
+            return _run_clients(request, X)
+    finally:
+        set_enabled(True)
+        reset_registry()
+
+
+def test_obs_overhead(benchmark):
+    """Metrics + tracing must cost < 5% predict throughput."""
+    model, X = _fitted_model()
+
+    def run() -> dict:
+        # Warm both paths once (thread pools, lazy metric registration),
+        # then alternate instrumented/plain trials so drift (frequency
+        # scaling, page cache) hits both sides equally.
+        _drive_obs(model, X, instrumented=True)
+        _drive_obs(model, X, instrumented=False)
+        instrumented, plain = [], []
+        for _ in range(_OBS_TRIALS):
+            instrumented.append(
+                _drive_obs(model, X, instrumented=True)["throughput_rps"])
+            plain.append(
+                _drive_obs(model, X, instrumented=False)["throughput_rps"])
+        instrumented_rps = float(np.median(instrumented))
+        plain_rps = float(np.median(plain))
+        return {"trials": _OBS_TRIALS,
+                "requests_per_trial": _N_REQUESTS,
+                "instrumented_rps": round(instrumented_rps, 2),
+                "uninstrumented_rps": round(plain_rps, 2),
+                # > 1.0 means instrumentation slowed serving down.
+                "overhead_ratio": round(plain_rps / instrumented_rps, 4)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\nObservability overhead, instrumented vs set_enabled(False)")
+    print(json.dumps(results, indent=2))
+
+    doc = {}
+    if _BENCH_JSON.exists():
+        doc = json.loads(_BENCH_JSON.read_text(encoding="utf-8"))
+    doc["obs"] = results
+    _BENCH_JSON.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+
+    assert results["overhead_ratio"] < 1.05, results

@@ -59,6 +59,12 @@ def _metrics_serve(doc: dict) -> dict[str, tuple[float, str]]:
             float(pool["throughput_scaling"]), "higher")
         metrics["pool_failed_requests"] = (
             float(pool["failed_requests"]), "zero")
+    obs = doc.get("obs")
+    if obs is not None:
+        # Same-machine ratio (uninstrumented vs instrumented predict
+        # throughput through one batcher); 1.0 means metrics + tracing
+        # are free, the bench itself asserts < 1.05.
+        metrics["obs_overhead"] = (float(obs["overhead_ratio"]), "lower")
     return metrics
 
 

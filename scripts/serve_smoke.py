@@ -8,6 +8,12 @@ asserts the shape of a real predict response, and **always** terminates
 the server — including on assertion failure or timeout, so CI never leaks
 an orphaned process holding the job open.
 
+Both serving shapes are exercised: the single-process server (predict,
+search, ``/metrics``) and the ``--workers 2`` sharded pool behind its
+router (predict, aggregated ``/metrics``).  In each, the Prometheus text
+is validated line by line and the predict counter is asserted to have
+actually incremented.
+
 Usage::
 
     PYTHONPATH=src python scripts/serve_smoke.py [--timeout 60]
@@ -81,6 +87,30 @@ def _wait_for_address(server: subprocess.Popen,
         match = _ADDRESS.search(line)
         if match:
             return match.group(1), int(match.group(2))
+
+
+def _get_text(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _check_metrics(base: str, label: str) -> None:
+    """Scrape ``/metrics``: valid Prometheus text + an incremented counter."""
+    from repro.obs.metrics import validate_prometheus_text
+
+    status, text = _get_text(f"{base}/metrics")
+    assert status == 200, f"{label}: /metrics answered {status}"
+    samples = validate_prometheus_text(text)
+    assert samples > 0, f"{label}: /metrics exposed no samples"
+
+    status, snapshot = _get_json(f"{base}/metrics?format=json")
+    assert status == 200, snapshot
+    family = snapshot.get("repro_predict_requests_total", {})
+    total = sum(series.get("value", 0) for series in family.get("series", []))
+    assert total >= 1, \
+        f"{label}: predict counter never incremented: {family}"
+    print(f"metrics ok ({label}): {samples} samples, "
+          f"predict_requests_total={int(total)}")
 
 
 def _wait_healthy(base: str, deadline: float) -> dict:
@@ -158,8 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         distances = body["distances"][0]
         assert distances == sorted(distances), body
         print(f"search ok: {body}")
-        print("serve smoke test passed")
-        return 0
+        _check_metrics(base, "single server")
     except Exception as exc:
         print(f"FAIL: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
@@ -170,6 +199,37 @@ def main(argv: list[str] | None = None) -> int:
         except subprocess.TimeoutExpired:
             server.kill()
             server.wait()
+
+    # Same checkpoint through the sharded pool: router /metrics must be
+    # the workers' registries merged with the router's own.
+    pool = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--model-dir", str(model_dir), "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        host, port = _wait_for_address(pool, deadline)
+        base = f"http://{host}:{port}"
+        _wait_healthy(base, deadline)
+
+        status, body = _post_json(
+            f"{base}/models/webtables/predict",
+            {"items": [{"headers": ["name", "population", "country"]}]})
+        assert status == 200, body
+        assert body["n_items"] == 1 and len(body["labels"]) == 1, body
+        print(f"pool predict ok: {body}")
+        _check_metrics(base, "2-worker pool")
+        print("serve smoke test passed")
+        return 0
+    except Exception as exc:
+        print(f"FAIL: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        pool.terminate()
+        try:
+            pool.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pool.kill()
+            pool.wait()
 
 
 if __name__ == "__main__":

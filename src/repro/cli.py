@@ -54,6 +54,12 @@ evaluation matrix without writing any Python:
     Run one benchmark script and diff its fresh ``BENCH_*.json`` against
     the committed baseline via ``benchmarks/compare_bench.py`` — the CI
     perf-regression gate, reproducible locally in one command.
+``repro top``
+    Live terminal dashboard over a running ``repro serve`` endpoint
+    (single server or pool router): per-endpoint rps and p50/p99, per-
+    stage latency (queue wait, batch forward, embed, WAL append/fsync),
+    inflight requests, 429s, failovers, respawns and reload generations,
+    refreshed every ``--interval`` seconds (``--once`` for one frame).
 
 Embedding matrices are cached in-process by :mod:`repro.cache`; pass
 ``--cache-dir`` to also persist them as NPZ files shared across runs and
@@ -451,6 +457,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--compare-only", action="store_true",
                            help="skip the run; only diff an existing "
                                 "BENCH json against the baseline")
+
+    top_cmd = sub.add_parser(
+        "top", help="live metrics dashboard over a running serve endpoint")
+    top_cmd.add_argument("--url", default="http://127.0.0.1:8000",
+                         help="base URL of the server or pool router "
+                              "(default: http://127.0.0.1:8000)")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="refresh interval in seconds (default: 2)")
+    top_cmd.add_argument("--iterations", type=int, default=None,
+                         metavar="N", help="stop after N frames "
+                                           "(default: run until Ctrl-C)")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="print a single frame and exit (scriptable)")
     return parser
 
 
@@ -898,6 +917,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return compare.returncode
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    return run_top(args.url, interval=args.interval,
+                   iterations=args.iterations, once=args.once)
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -910,6 +936,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "search": _cmd_search,
     "bench": _cmd_bench,
+    "top": _cmd_top,
 }
 
 

@@ -23,6 +23,7 @@ from ..clustering import relabel_noise_as_singletons
 from ..config import BENCHMARK_SCALE, DeepClusteringConfig, ExperimentScale
 from ..exceptions import StreamingError
 from ..metrics import adjusted_rand_index, clustering_accuracy
+from ..obs.logging import get_logger
 from ..serialize import rotate_checkpoint
 from ..stream import DriftMonitor, StreamSource, incremental_update
 from ..wal import WriteAheadLog, stamp_wal_metadata, wal_namespace
@@ -31,6 +32,8 @@ from ..tasks.base import make_clusterer
 from ..utils.timing import Timer
 
 __all__ = ["StreamStepResult", "run_stream_scenario", "STREAMABLE_EMBEDDINGS"]
+
+_LOG = get_logger("stream")
 
 #: Embeddings whose vectors depend on the item alone — the only ones where
 #: a batch embedded today lands in the space the model was fitted in
@@ -259,6 +262,10 @@ def run_stream_scenario(task: str, *, dataset, embedding: str = "sbert",
                     details = dict(report.details)
             seen.append(Xb)
             seen_labels.append(np.asarray(batch.labels, dtype=np.int64))
+            _LOG.info("stream_batch_applied", step=batch.index,
+                      action=decision.action, n_items=int(Xb.shape[0]),
+                      batch_id=batch_id, drifted=bool(batch.drifted),
+                      seconds=round(timer.elapsed, 4))
             ari, acc = _score(model, Xb, batch.labels)
             results.append(StreamStepResult(
                 step=batch.index, action=decision.action,

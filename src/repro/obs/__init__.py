@@ -1,0 +1,53 @@
+"""Zero-dependency observability: metrics, tracing, structured logs.
+
+The serving, WAL and streaming layers instrument themselves through this
+package; workers expose ``GET /metrics`` (Prometheus text), the pool
+router aggregates worker registries, ``/stats?verbose=1`` carries the
+slowest-request span breakdowns, and ``repro top`` renders a live view.
+
+Metric naming convention: ``repro_<component>_<what>_<unit>`` with
+counters suffixed ``_total`` and latency histograms suffixed
+``_seconds`` (e.g. ``repro_http_requests_total``,
+``repro_batch_queue_wait_seconds``).
+"""
+
+from .logging import (StructuredLogger, configure_logging, get_logger,
+                      set_log_context)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      default_buckets, get_registry, histogram_quantile,
+                      merge_snapshots, obs_enabled, render_prometheus,
+                      reset_registry, set_enabled,
+                      validate_prometheus_text)
+from .trace import (TRACE_HEADER, Span, Trace, TraceStore, current_trace,
+                    get_trace_store, new_trace_id, record_span,
+                    request_trace, span, valid_trace_id)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "TRACE_HEADER",
+    "Trace",
+    "TraceStore",
+    "configure_logging",
+    "current_trace",
+    "default_buckets",
+    "get_logger",
+    "get_registry",
+    "get_trace_store",
+    "histogram_quantile",
+    "merge_snapshots",
+    "new_trace_id",
+    "obs_enabled",
+    "record_span",
+    "render_prometheus",
+    "request_trace",
+    "reset_registry",
+    "set_enabled",
+    "set_log_context",
+    "span",
+    "valid_trace_id",
+]

@@ -1,0 +1,139 @@
+"""Structured JSON-lines logging with trace and worker context.
+
+Replaces the serving stack's bare prints and silent code paths (pool
+respawns, hot reloads, WAL recovery, repair) with one-line JSON records
+on stderr::
+
+    {"ts": "2026-08-07T12:00:00.123Z", "level": "info", "component":
+     "pool", "event": "worker_respawned", "pid": 4242, "worker": 1, ...}
+
+Every record carries the active trace id (when a request trace is open,
+see :mod:`repro.obs.trace`), the process pid, and any process-global
+fields registered via :func:`set_log_context` — worker processes set
+their worker index there so their log lines are attributable without
+grepping pids.  ``REPRO_LOG_LEVEL`` (debug/info/warning/error/off)
+controls verbosity; :func:`configure_logging` redirects the stream for
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = [
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "set_log_context",
+]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+_lock = threading.Lock()
+_stream = None  # None -> sys.stderr at call time (survives capture swaps)
+_threshold = _LEVELS.get(
+    os.environ.get("REPRO_LOG_LEVEL", "info").lower(), 20)
+_context: dict[str, object] = {}
+_loggers: dict[str, "StructuredLogger"] = {}
+
+
+def configure_logging(stream=None, level: str | None = None) -> None:
+    """Redirect log output and/or change the level threshold.
+
+    ``stream=None`` restores the default (current ``sys.stderr``).
+    """
+    global _stream, _threshold
+    with _lock:
+        _stream = stream
+        if level is not None:
+            if level.lower() not in _LEVELS:
+                raise ValueError(f"unknown log level {level!r}")
+            _threshold = _LEVELS[level.lower()]
+
+
+def set_log_context(**fields: object) -> None:
+    """Merge process-global fields into every future log record.
+
+    Pass ``field=None`` to remove a field.
+    """
+    with _lock:
+        for name, value in fields.items():
+            if value is None:
+                _context.pop(name, None)
+            else:
+                _context[name] = value
+
+
+def _timestamp() -> str:
+    now = time.time()
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now))
+    return f"{base}.{int((now % 1) * 1000):03d}Z"
+
+
+class StructuredLogger:
+    """Component-scoped emitter of JSON-lines log records."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        """Emit one record when ``level`` clears the threshold."""
+        severity = _LEVELS.get(level, 20)
+        if severity < _threshold:
+            return
+        record: dict[str, object] = {
+            "ts": _timestamp(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        with _lock:
+            record.update(_context)
+            stream = _stream
+        # Imported here to avoid a cycle (trace imports metrics only,
+        # but keeps this module importable standalone).
+        from .trace import current_trace
+        trace = current_trace()
+        if trace is not None:
+            record["trace_id"] = trace.trace_id
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        out = stream if stream is not None else sys.stderr
+        try:
+            out.write(line + "\n")
+            out.flush()
+        except (OSError, ValueError):
+            pass  # a closed stderr must never take down the server
+
+    def debug(self, event: str, **fields: object) -> None:
+        """Emit a debug-level record."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        """Emit an info-level record."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        """Emit a warning-level record."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        """Emit an error-level record."""
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """Return the (memoised) logger for one component name."""
+    with _lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = StructuredLogger(component)
+            _loggers[component] = logger
+        return logger

@@ -1,0 +1,524 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+Zero-dependency instrumentation primitives for the serving stack:
+
+* :class:`Counter` — monotonically increasing totals (requests, respawns);
+* :class:`Gauge` — point-in-time values (inflight requests, generations);
+* :class:`Histogram` — log-bucketed latency distributions with cumulative
+  bucket counts, a running sum and a total count, from which p50/p99 are
+  estimated via :func:`histogram_quantile`.
+
+All three support a fixed set of label names declared at registration
+time; each distinct label-value combination materialises one time series.
+A process-wide default registry (:func:`get_registry`) backs the serving
+layer; worker processes expose their registry as JSON (``/metrics?format=
+json``) so the pool router can :func:`merge_snapshots` and re-render the
+fleet-wide view as Prometheus text with :func:`render_prometheus`.
+
+Instrumentation can be globally disabled (:func:`set_enabled`) which turns
+every ``inc``/``set``/``observe`` into an early return — the property the
+``test_obs_overhead`` bench gate measures.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_buckets",
+    "get_registry",
+    "reset_registry",
+    "set_enabled",
+    "obs_enabled",
+    "merge_snapshots",
+    "render_prometheus",
+    "validate_prometheus_text",
+    "histogram_quantile",
+]
+
+_ENABLED = True
+
+#: Valid Prometheus metric / label name.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One exposition sample line: ``name{labels} value``.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable or disable metric recording (and span capture)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def obs_enabled() -> bool:
+    """Return True when instrumentation is globally enabled."""
+    return _ENABLED
+
+
+def default_buckets() -> tuple[float, ...]:
+    """Geometric latency buckets: 100µs doubling up to ~52s."""
+    return tuple(0.0001 * (2.0 ** i) for i in range(20))
+
+
+class _Metric:
+    """Shared label-handling plumbing for the three metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _series_snapshot(self) -> list[dict]:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """Return this metric family as a JSON-able dict."""
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": self._series_snapshot(),
+        }
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter; one value per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Increase the counter by ``amount`` (default 1)."""
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 when never incremented)."""
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def _series_snapshot(self) -> list[dict]:
+        with self._lock:
+            return [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in sorted(self._series.items())
+            ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the gauge to ``value``."""
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` to the gauge (default +1)."""
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` from the gauge (default -1)."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 when never set)."""
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def _series_snapshot(self) -> list[dict]:
+        with self._lock:
+            return [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in sorted(self._series.items())
+            ]
+
+
+class Histogram(_Metric):
+    """Cumulative histogram over geometric buckets plus sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] | None = None) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else default_buckets()))
+        if not bounds:
+            raise ValueError(f"{name}: at least one bucket bound required")
+        self.bounds = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        if not _ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = {"counts": [0] * (len(self.bounds) + 1),
+                          "sum": 0.0, "count": 0}
+                self._series[key] = series
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            series["counts"][index] += 1
+            series["sum"] += value
+            series["count"] += 1
+
+    def _series_snapshot(self) -> list[dict]:
+        with self._lock:
+            return [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "counts": list(series["counts"]),
+                    "sum": series["sum"],
+                    "count": series["count"],
+                }
+                for key, series in sorted(self._series.items())
+            ]
+
+    def snapshot(self) -> dict:
+        """Return the histogram family including its bucket bounds."""
+        doc = super().snapshot()
+        doc["bounds"] = list(self.bounds)
+        return doc
+
+
+class MetricsRegistry:
+    """Named registry of metric families; get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help_text: str,
+                       labelnames: tuple[str, ...],
+                       **kwargs: object) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if not isinstance(metric, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{metric.kind}, not {cls.kind}")
+                return metric
+            metric = cls(name, help_text, tuple(labelnames), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        """Get or create a :class:`Counter` family."""
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        """Get or create a :class:`Gauge` family."""
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        """Get or create a :class:`Histogram` family."""
+        return self._get_or_create(Histogram, name, help_text, labelnames,
+                                   buckets=buckets)
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot ``{name: family}`` of every metric family."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-wide default registry."""
+    return _default_registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the default registry with a fresh one (tests only)."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = MetricsRegistry()
+        return _default_registry
+
+
+def _series_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge registry snapshots by summing matching series.
+
+    Counters and histograms sum; gauges also sum (the fleet-level reading
+    of inflight-style gauges is the sum over workers).  Histogram series
+    only merge when bucket bounds match; a mismatched family keeps the
+    first snapshot's bounds and drops the incompatible series.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "type": family["type"],
+                    "help": family.get("help", ""),
+                    "labelnames": list(family.get("labelnames", [])),
+                    "series": {},
+                }
+                if family["type"] == "histogram":
+                    target["bounds"] = list(family.get("bounds", []))
+                merged[name] = target
+            if target["type"] != family["type"]:
+                continue
+            if (family["type"] == "histogram"
+                    and list(family.get("bounds", [])) != target["bounds"]):
+                continue
+            for series in family.get("series", []):
+                key = _series_key(series["labels"])
+                existing = target["series"].get(key)
+                if family["type"] == "histogram":
+                    if existing is None:
+                        target["series"][key] = {
+                            "labels": dict(series["labels"]),
+                            "counts": list(series["counts"]),
+                            "sum": float(series["sum"]),
+                            "count": int(series["count"]),
+                        }
+                    else:
+                        existing["counts"] = [
+                            a + b for a, b in zip(existing["counts"],
+                                                  series["counts"])]
+                        existing["sum"] += float(series["sum"])
+                        existing["count"] += int(series["count"])
+                else:
+                    if existing is None:
+                        target["series"][key] = {
+                            "labels": dict(series["labels"]),
+                            "value": float(series["value"]),
+                        }
+                    else:
+                        existing["value"] += float(series["value"])
+    return {
+        name: {**family, "series": [family["series"][key]
+                                    for key in sorted(family["series"])]}
+        for name, family in sorted(merged.items())
+    }
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_labels(labels: dict, extra: dict | None = None) -> str:
+    pairs = dict(labels)
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(pairs.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def render_prometheus(snapshot: dict | MetricsRegistry) -> str:
+    """Render a registry (or snapshot dict) in Prometheus text format."""
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    lines: list[str] = []
+    for name, family in sorted(snapshot.items()):
+        kind = family["type"]
+        lines.append(f"# HELP {name} {_escape_help(family.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family.get("series", []):
+            labels = series["labels"]
+            if kind == "histogram":
+                bounds = list(family.get("bounds", []))
+                cumulative = 0
+                for bound, count in zip(bounds + [math.inf],
+                                        series["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(labels, {'le': _format_bound(bound)})}"
+                        f" {cumulative}")
+                lines.append(f"{name}_sum{_format_labels(labels)} "
+                             f"{_format_value(series['sum'])}")
+                lines.append(f"{name}_count{_format_labels(labels)} "
+                             f"{int(series['count'])}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} "
+                             f"{_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate Prometheus exposition text; return the sample count.
+
+    Raises :class:`ValueError` naming the first malformed line.  Checks
+    line syntax, metric/label name validity, numeric sample values,
+    ``# TYPE`` declarations, and that histogram ``_bucket`` series are
+    cumulative (non-decreasing in ``le`` order, ending at ``+Inf``).
+    """
+    types: dict[str, str] = {}
+    samples = 0
+    bucket_state: dict[str, tuple[float, float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: malformed TYPE line {line!r}")
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        label_blob = match.group("labels")
+        label_pairs: dict[str, str] = {}
+        if label_blob:
+            for pair in re.split(r',(?=[a-zA-Z_])', label_blob):
+                if not _LABEL_PAIR_RE.match(pair):
+                    raise ValueError(
+                        f"line {lineno}: malformed label pair {pair!r}")
+                label_name, raw = pair.split("=", 1)
+                label_pairs[label_name] = raw[1:-1]
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "-Inf", "NaN"):
+            value = math.inf if raw_value == "+Inf" else (
+                -math.inf if raw_value == "-Inf" else math.nan)
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-numeric value {raw_value!r}") \
+                    from None
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types and name not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no # TYPE declaration")
+        if name.endswith("_bucket") and types.get(base) == "histogram":
+            le = label_pairs.get("le")
+            if le is None:
+                raise ValueError(
+                    f"line {lineno}: histogram bucket without le label")
+            bound = math.inf if le == "+Inf" else float(le)
+            series = name + _format_labels(
+                {k: v for k, v in label_pairs.items() if k != "le"})
+            prev_bound, prev_count = bucket_state.get(
+                series, (-math.inf, -1.0))
+            if bound <= prev_bound:
+                bucket_state[series] = (bound, value)
+            elif value < prev_count:
+                raise ValueError(
+                    f"line {lineno}: non-cumulative histogram bucket "
+                    f"{line!r}")
+            else:
+                bucket_state[series] = (bound, value)
+        samples += 1
+    return samples
+
+
+def histogram_quantile(q: float, counts: list[int],
+                       bounds: list[float]) -> float:
+    """Estimate the ``q`` quantile from cumulative histogram buckets.
+
+    ``counts`` holds per-bucket (non-cumulative) counts, one per bound
+    plus a final overflow bucket.  Linearly interpolates within the
+    containing bucket; returns 0.0 for an empty histogram.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        if cumulative + count >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else bounds[-1] * 2
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += count
+    return bounds[-1] * 2

@@ -1,0 +1,270 @@
+"""Live terminal dashboard over a serving endpoint: ``repro top``.
+
+Polls ``GET /metrics?format=json`` (the registry snapshot — a single
+server's own, or the router's fleet-wide merge) plus ``GET /stats`` and
+renders a compact table view:
+
+* per-endpoint requests-per-second (delta between polls), p50/p99 request
+  latency estimated from the histogram buckets, and error counts;
+* per-stage latency (queue wait, batch forward, embed, WAL append/fsync)
+  with observation rates;
+* a summary line with inflight requests, 429 rejections, failovers,
+  worker respawns and hot-reload generations.
+
+Zero dependencies: stdlib ``urllib`` + ANSI clear codes when stdout is a
+terminal.  ``--once`` prints a single frame (scriptable); ``--iterations``
+bounds the loop (tests use both).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from .metrics import histogram_quantile
+
+__all__ = ["render_dashboard", "run_top"]
+
+#: Stage histograms shown in the stage table, display order.
+_STAGE_HISTOGRAMS = (
+    ("queue wait", "repro_batch_queue_wait_seconds"),
+    ("batch forward", "repro_batch_forward_seconds"),
+    ("embed", "repro_embed_seconds"),
+    ("wal append", "repro_wal_append_seconds"),
+    ("wal fsync", "repro_wal_fsync_seconds"),
+    ("checkpoint load", "repro_checkpoint_load_seconds"),
+    ("stream update", "repro_stream_update_seconds"),
+)
+
+
+def _fetch_json(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _counter_total(snapshot: dict, name: str, **match: str) -> float:
+    """Sum a counter/gauge family's series, optionally filtered by labels."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    total = 0.0
+    for series in family.get("series", []):
+        labels = series.get("labels", {})
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += float(series.get("value", 0.0))
+    return total
+
+
+def _histogram_series(snapshot: dict, name: str):
+    """Yield ``(labels, counts, sum, count, bounds)`` for one histogram."""
+    family = snapshot.get(name)
+    if not family or family.get("type") != "histogram":
+        return
+    bounds = list(family.get("bounds", []))
+    for series in family.get("series", []):
+        yield (series.get("labels", {}), list(series.get("counts", [])),
+               float(series.get("sum", 0.0)), int(series.get("count", 0)),
+               bounds)
+
+
+def _merged_histogram(snapshot: dict, name: str):
+    """Collapse a histogram family's series into one (counts, sum, count)."""
+    counts: list[int] = []
+    total_sum, total_count = 0.0, 0
+    bounds: list[float] = []
+    for _, series_counts, series_sum, series_count, series_bounds in \
+            _histogram_series(snapshot, name):
+        if not counts:
+            counts = list(series_counts)
+            bounds = series_bounds
+        elif len(series_counts) == len(counts):
+            counts = [a + b for a, b in zip(counts, series_counts)]
+        total_sum += series_sum
+        total_count += series_count
+    return counts, total_sum, total_count, bounds
+
+
+def _fmt_ms(seconds: float) -> str:
+    if seconds <= 0:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _fmt_rate(value: float) -> str:
+    if value <= 0:
+        return "-"
+    return f"{value:.1f}/s" if value >= 0.95 else f"{value:.2f}/s"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _endpoint_rows(snapshot: dict, previous: dict | None,
+                   elapsed: float) -> list[list[str]]:
+    """One row per endpoint: rps, p50/p99, errors — router or worker view."""
+    rows = []
+    for counter_name, histogram_name in (
+            ("repro_router_requests_total", "repro_router_request_seconds"),
+            ("repro_http_requests_total", "repro_http_request_seconds")):
+        family = snapshot.get(counter_name)
+        if not family:
+            continue
+        endpoints: dict[str, dict[str, float]] = {}
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            endpoint = labels.get("endpoint", "?")
+            bucket = endpoints.setdefault(endpoint,
+                                          {"total": 0.0, "errors": 0.0})
+            value = float(series.get("value", 0.0))
+            bucket["total"] += value
+            status = str(labels.get("status", ""))
+            if status and not status.startswith("2"):
+                bucket["errors"] += value
+        for endpoint in sorted(endpoints):
+            bucket = endpoints[endpoint]
+            delta = bucket["total"]
+            if previous is not None:
+                delta -= sum(
+                    float(series.get("value", 0.0))
+                    for series in previous.get(counter_name, {})
+                    .get("series", [])
+                    if series.get("labels", {}).get("endpoint") == endpoint)
+            rate = delta / elapsed if elapsed > 0 else 0.0
+            p50 = p99 = 0.0
+            for labels, counts, _, count, bounds in _histogram_series(
+                    snapshot, histogram_name):
+                if labels.get("endpoint") == endpoint and count:
+                    p50 = histogram_quantile(0.50, counts, bounds)
+                    p99 = histogram_quantile(0.99, counts, bounds)
+            rows.append([endpoint, f"{int(bucket['total'])}",
+                         _fmt_rate(rate), _fmt_ms(p50), _fmt_ms(p99),
+                         f"{int(bucket['errors'])}"])
+        if rows:
+            break  # Prefer the router's view when both families exist.
+    return rows
+
+
+def _stage_rows(snapshot: dict, previous: dict | None,
+                elapsed: float) -> list[list[str]]:
+    rows = []
+    for label, name in _STAGE_HISTOGRAMS:
+        counts, _, count, bounds = _merged_histogram(snapshot, name)
+        if not count:
+            continue
+        delta = float(count)
+        if previous is not None:
+            _, _, previous_count, _ = _merged_histogram(previous, name)
+            delta -= previous_count
+        rate = delta / elapsed if elapsed > 0 else 0.0
+        p50 = histogram_quantile(0.50, counts, bounds) if counts else 0.0
+        p99 = histogram_quantile(0.99, counts, bounds) if counts else 0.0
+        rows.append([label, f"{count}", _fmt_rate(rate),
+                     _fmt_ms(p50), _fmt_ms(p99)])
+    return rows
+
+
+def _summary_line(snapshot: dict, stats: dict | None) -> str:
+    parts = []
+    inflight = _counter_total(snapshot, "repro_router_inflight")
+    parts.append(f"inflight={int(inflight)}")
+    rejected = _counter_total(snapshot, "repro_router_events_total",
+                              event="rejected_overload")
+    parts.append(f"429s={int(rejected)}")
+    failovers = _counter_total(snapshot, "repro_router_events_total",
+                               event="failover")
+    parts.append(f"failovers={int(failovers)}")
+    respawns = _counter_total(snapshot, "repro_pool_respawns_total")
+    parts.append(f"respawns={int(respawns)}")
+    generations = snapshot.get("repro_reload_generation", {})
+    gens = {series["labels"].get("model", "?"): int(series["value"])
+            for series in generations.get("series", [])}
+    if gens:
+        rendered = ",".join(f"{model}:g{gen}"
+                            for model, gen in sorted(gens.items()))
+        parts.append(f"reload={rendered}")
+    if stats and "pool" in stats:
+        pool = stats["pool"]
+        alive = sum(1 for worker in pool.get("workers", [])
+                    if worker.get("alive"))
+        parts.append(f"workers={alive}/{len(pool.get('workers', []))}")
+    return "  ".join(parts)
+
+
+def render_dashboard(snapshot: dict, stats: dict | None = None, *,
+                     previous: dict | None = None,
+                     elapsed: float = 0.0, base_url: str = "") -> str:
+    """Render one dashboard frame from a metrics snapshot (+ stats)."""
+    lines = [f"repro top — {base_url}".rstrip(" —"), ""]
+    endpoint_rows = _endpoint_rows(snapshot, previous, elapsed)
+    if endpoint_rows:
+        lines.extend(_table(
+            ["endpoint", "requests", "rps", "p50", "p99", "errors"],
+            endpoint_rows))
+    else:
+        lines.append("no request traffic yet")
+    stage_rows = _stage_rows(snapshot, previous, elapsed)
+    if stage_rows:
+        lines.append("")
+        lines.extend(_table(["stage", "obs", "rate", "p50", "p99"],
+                            stage_rows))
+    lines.append("")
+    lines.append(_summary_line(snapshot, stats))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(base_url: str, *, interval: float = 2.0,
+            iterations: int | None = None, once: bool = False,
+            out=None, fetch=None) -> int:
+    """Poll ``base_url`` and render the dashboard until interrupted.
+
+    ``once`` prints a single frame; ``iterations`` bounds the loop.
+    ``fetch`` overrides the JSON getter (tests).  Returns an exit code.
+    """
+    out = out if out is not None else sys.stdout
+    fetch = fetch if fetch is not None else _fetch_json
+    base = base_url.rstrip("/")
+    previous: dict | None = None
+    previous_at = 0.0
+    frame = 0
+    clear = getattr(out, "isatty", lambda: False)() and not once
+    while True:
+        try:
+            snapshot = fetch(f"{base}/metrics?format=json")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: cannot reach {base}/metrics: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            stats = fetch(f"{base}/stats")
+        except (urllib.error.URLError, OSError, ValueError):
+            stats = None
+        now = time.monotonic()
+        elapsed = (now - previous_at) if previous is not None else 0.0
+        if clear:
+            out.write("\x1b[2J\x1b[H")
+        out.write(render_dashboard(snapshot, stats, previous=previous,
+                                   elapsed=elapsed, base_url=base))
+        out.flush()
+        previous, previous_at = snapshot, now
+        frame += 1
+        if once or (iterations is not None and frame >= iterations):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -1,0 +1,229 @@
+"""Per-request tracing: trace ids, spans, and a slowest-N trace store.
+
+A trace is minted at the HTTP edge (router or single-process server) and
+propagated two ways: across processes via the ``X-Repro-Trace`` header,
+and within a process via a :mod:`contextvars` variable so deeper layers
+(micro-batcher, model forward, embed path, WAL append) can attach spans
+without any plumbing through function signatures.
+
+Each span records a name, an offset from trace start, a duration and
+free-form attributes.  Completed traces land in a :class:`TraceStore`
+which retains the slowest N; the serving layer exposes them under
+``/stats?verbose=1`` so one slow predict decomposes into queue-wait /
+batch-forward / embed time.
+
+When no trace is active (or instrumentation is globally disabled via
+:func:`repro.obs.metrics.set_enabled`), :func:`span` degrades to a no-op
+context manager — the cost on untraced paths is one ContextVar read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import itertools
+import re
+import threading
+import time
+import uuid
+from contextvars import ContextVar
+
+from .metrics import obs_enabled
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "current_trace",
+    "get_trace_store",
+    "new_trace_id",
+    "record_span",
+    "request_trace",
+    "span",
+    "valid_trace_id",
+]
+
+#: HTTP header carrying the trace id across the router -> worker hop.
+TRACE_HEADER = "X-Repro-Trace"
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_current: ContextVar["Trace | None"] = ContextVar("repro_trace",
+                                                  default=None)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(value: str | None) -> bool:
+    """True when ``value`` is a well-formed incoming trace id."""
+    return bool(value) and _TRACE_ID_RE.match(value) is not None
+
+
+class Span:
+    """One recorded stage: name, offset from trace start, duration."""
+
+    __slots__ = ("name", "offset_s", "duration_s", "attrs")
+
+    def __init__(self, name: str, offset_s: float, duration_s: float,
+                 attrs: dict | None = None) -> None:
+        self.name = name
+        self.offset_s = offset_s
+        self.duration_s = duration_s
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> dict:
+        """JSON-able representation with millisecond timings."""
+        doc = {
+            "name": self.name,
+            "offset_ms": round(self.offset_s * 1000.0, 3),
+            "duration_ms": round(self.duration_s * 1000.0, 3),
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+class Trace:
+    """A single request's spans, keyed by a propagated trace id."""
+
+    __slots__ = ("trace_id", "endpoint", "attrs", "started_wall",
+                 "_t0", "duration_s", "_spans", "_lock")
+
+    def __init__(self, endpoint: str, trace_id: str | None = None,
+                 **attrs: object) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.endpoint = endpoint
+        self.attrs = dict(attrs)
+        self.started_wall = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_s = 0.0
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def record_span(self, name: str, start_perf: float, end_perf: float,
+                    **attrs: object) -> None:
+        """Attach a span from raw ``perf_counter`` timestamps."""
+        span_obj = Span(name, max(start_perf - self._t0, 0.0),
+                        max(end_perf - start_perf, 0.0), dict(attrs))
+        with self._lock:
+            self._spans.append(span_obj)
+
+    def finish(self) -> None:
+        """Mark the trace complete; fixes the total duration."""
+        self.duration_s = max(time.perf_counter() - self._t0,
+                              self.duration_s)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Spans recorded so far, in recording order."""
+        with self._lock:
+            return list(self._spans)
+
+    def as_dict(self) -> dict:
+        """JSON-able representation sorted by span offset."""
+        with self._lock:
+            spans = sorted(self._spans, key=lambda s: s.offset_s)
+        doc = {
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "started": self.started_wall,
+            "duration_ms": round(self.duration_s * 1000.0, 3),
+            "spans": [span_obj.as_dict() for span_obj in spans],
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+class TraceStore:
+    """Bounded store keeping the slowest N completed traces."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._heap: list[tuple[float, int, Trace]] = []
+        self._seq = itertools.count()
+
+    def add(self, trace: Trace) -> None:
+        """Record a completed trace, evicting the fastest when full."""
+        entry = (trace.duration_s, next(self._seq), trace)
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+            elif entry[0] > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+
+    def snapshot(self) -> list[dict]:
+        """Stored traces as dicts, slowest first."""
+        with self._lock:
+            entries = sorted(self._heap, reverse=True)
+        return [trace.as_dict() for _, _, trace in entries]
+
+    def clear(self) -> None:
+        """Drop every stored trace."""
+        with self._lock:
+            self._heap.clear()
+
+
+_default_store = TraceStore()
+
+
+def get_trace_store() -> TraceStore:
+    """Return the process-wide slowest-traces store."""
+    return _default_store
+
+
+def current_trace() -> Trace | None:
+    """The trace active in this context, or None."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def request_trace(endpoint: str, trace_id: str | None = None,
+                  store: TraceStore | None = None, **attrs: object):
+    """Open a trace for one request and publish it on completion.
+
+    Sets the context variable for the duration of the block so nested
+    :func:`span` calls attach to this trace; on exit the trace is
+    finished and added to ``store`` (default: the process store).
+    """
+    if not obs_enabled():
+        yield None
+        return
+    trace = Trace(endpoint, trace_id=trace_id, **attrs)
+    token = _current.set(trace)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+        trace.finish()
+        (store if store is not None else _default_store).add(trace)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: object):
+    """Record a span on the active trace; no-op without one."""
+    trace = _current.get()
+    if trace is None or not obs_enabled():
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        trace.record_span(name, start, time.perf_counter(), **attrs)
+
+
+def record_span(name: str, start_perf: float, end_perf: float,
+                **attrs: object) -> None:
+    """Attach an after-the-fact span (timestamps taken elsewhere)."""
+    trace = _current.get()
+    if trace is None or not obs_enabled():
+        return
+    trace.record_span(name, start_perf, end_perf, **attrs)

@@ -24,6 +24,8 @@ from typing import Callable
 import numpy as np
 
 from ..exceptions import ServingError
+from ..obs.metrics import get_registry, obs_enabled
+from ..obs.trace import current_trace
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
@@ -51,13 +53,20 @@ class BatchStats:
 class _Pending:
     """One caller's rows plus the rendezvous for its slice of the result."""
 
-    __slots__ = ("rows", "event", "result", "error")
+    __slots__ = ("rows", "event", "result", "error", "enqueued",
+                 "batch_started", "batch_done")
 
     def __init__(self, rows: np.ndarray) -> None:
         self.rows = rows
         self.event = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        # Observability stamps (perf_counter): set at enqueue / by the
+        # collector thread, read back in the submitting thread so spans
+        # land on the request's contextvar trace.
+        self.enqueued = time.perf_counter()
+        self.batch_started: float | None = None
+        self.batch_done: float | None = None
 
 
 class MicroBatcher:
@@ -91,6 +100,22 @@ class MicroBatcher:
         self.max_delay = float(max_delay)
         self.name = name
         self.stats = BatchStats()
+        # Metric family handles are resolved once; label values per call.
+        registry = get_registry()
+        self._obs_label = name or "default"
+        self._m_queue_wait = registry.histogram(
+            "repro_batch_queue_wait_seconds",
+            "Time a request spent queued before its batch started",
+            ("batcher",))
+        self._m_forward = registry.histogram(
+            "repro_batch_forward_seconds",
+            "Model forward time per coalesced batch", ("batcher",))
+        self._m_batches = registry.counter(
+            "repro_batch_batches_total", "Coalesced batches executed",
+            ("batcher",))
+        self._m_rows = registry.counter(
+            "repro_batch_rows_total", "Rows predicted through the batcher",
+            ("batcher",))
         self._cond = threading.Condition()
         self._pending: deque[_Pending] = deque()
         self._closed = False
@@ -114,6 +139,22 @@ class MicroBatcher:
             self._pending.append(item)
             self._cond.notify_all()
         item.event.wait()
+        if obs_enabled() and item.batch_started is not None:
+            # Spans are recorded here, in the submitting thread, because
+            # the contextvar trace is request-scoped: the collector thread
+            # only stamps timestamps onto the _Pending.
+            self._m_queue_wait.observe(item.batch_started - item.enqueued,
+                                       batcher=self._obs_label)
+            trace = current_trace()
+            if trace is not None:
+                trace.record_span("queue.wait", item.enqueued,
+                                  item.batch_started,
+                                  batcher=self._obs_label)
+                if item.batch_done is not None:
+                    trace.record_span("batch.forward", item.batch_started,
+                                      item.batch_done,
+                                      batcher=self._obs_label,
+                                      rows=int(item.rows.shape[0]))
         if item.error is not None:
             raise item.error
         return item.result
@@ -162,6 +203,7 @@ class MicroBatcher:
             self._run_batch(batch)
 
     def _run_batch(self, batch: list[_Pending]) -> None:
+        started = time.perf_counter()
         try:
             # The stack itself can fail (e.g. mismatched row widths that
             # upstream validation could not catch); it must propagate to the
@@ -177,8 +219,14 @@ class MicroBatcher:
         except BaseException as exc:  # propagate to every waiting caller
             for item in batch:
                 item.error = exc
+                item.batch_started = started
                 item.event.set()
             return
+        done = time.perf_counter()
+        if obs_enabled():
+            self._m_forward.observe(done - started, batcher=self._obs_label)
+            self._m_batches.inc(batcher=self._obs_label)
+            self._m_rows.inc(stacked.shape[0], batcher=self._obs_label)
         with self._cond:
             self.stats.requests += len(batch)
             self.stats.rows += stacked.shape[0]
@@ -189,5 +237,7 @@ class MicroBatcher:
         for item in batch:
             size = item.rows.shape[0]
             item.result = output[offset:offset + size]
+            item.batch_started = started
+            item.batch_done = done
             offset += size
             item.event.set()

@@ -21,6 +21,19 @@ Endpoints (all responses ``application/json``):
     Like ``neighbors`` with the index named in the body (``"index"``) —
     or omitted entirely when exactly one index is served.  The
     embed-raw-item -> top-k-corpus-items route for end users.
+``GET /stats``
+    Micro-batching counters per model (``{"batchers": ...}``);
+    ``?verbose=1`` adds the slowest-request span breakdowns from the
+    process trace store.
+``GET /metrics``
+    Prometheus text exposition of the process metrics registry;
+    ``?format=json`` returns the raw registry snapshot (what the pool
+    router aggregates).
+
+Every POST opens a request trace: an incoming ``X-Repro-Trace`` header
+(from the pool router) is adopted, otherwise a trace id is minted here,
+and the id is echoed on the response so clients can correlate their
+request with the span breakdowns under ``/stats?verbose=1``.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per request,
 with the :class:`~repro.serve.service.PredictService` micro-batcher
@@ -32,8 +45,10 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs
 
 from ..exceptions import (
     EmbeddingError,
@@ -41,10 +56,13 @@ from ..exceptions import (
     ServingError,
     VectorIndexError,
 )
+from ..obs.metrics import get_registry, obs_enabled, render_prometheus
+from ..obs.trace import TRACE_HEADER, request_trace, valid_trace_id
 from .registry import ModelRegistry
 from .service import PredictService
 
-__all__ = ["ReproHTTPServer", "create_server", "read_request_body"]
+__all__ = ["ReproHTTPServer", "create_server", "query_flag",
+           "query_value", "read_request_body"]
 
 _PREDICT_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/predict/?$")
 _NEIGHBORS_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/neighbors/?$")
@@ -53,6 +71,23 @@ _NEIGHBORS_ROUTE = re.compile(r"^/models/([A-Za-z0-9._-]+)/neighbors/?$")
 #: embedded rows, small enough that a hostile Content-Length cannot exhaust
 #: memory (one buffered body per request thread).
 _MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Prometheus exposition content type.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def query_flag(query: str, name: str) -> bool:
+    """True when ``name`` appears truthy in a raw query string."""
+    values = parse_qs(query).get(name)
+    if not values:
+        return False
+    return values[-1].lower() not in ("0", "false", "no", "")
+
+
+def query_value(query: str, name: str) -> str | None:
+    """Last value of ``name`` in a raw query string, or None."""
+    values = parse_qs(query).get(name)
+    return values[-1] if values else None
 
 
 class ReproHTTPServer(ThreadingHTTPServer):
@@ -138,28 +173,69 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(data)
+        self._status = status
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = _PROMETHEUS_CONTENT_TYPE) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self._status = status
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _observe_request(self, endpoint: str, started: float) -> None:
+        if not obs_enabled():
+            return
+        registry = get_registry()
+        registry.counter(
+            "repro_http_requests_total", "HTTP requests handled",
+            ("endpoint", "status")).inc(
+                endpoint=endpoint, status=getattr(self, "_status", 0))
+        registry.histogram(
+            "repro_http_request_seconds", "HTTP request handling time",
+            ("endpoint",)).observe(time.perf_counter() - started,
+                                   endpoint=endpoint)
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        endpoint = {"/healthz": "healthz", "/health": "healthz",
+                    "/models": "models", "/stats": "stats",
+                    "/metrics": "metrics"}.get(path, "other")
+        started = time.perf_counter()
         try:
             if path in ("/healthz", "/health"):
                 self._send_json(200, self.server.service.health())
             elif path == "/models":
                 self._send_json(200, self.server.service.models())
             elif path == "/stats":
-                self._send_json(200, self.server.service.stats())
+                self._send_json(200, self.server.service.stats_payload(
+                    verbose=query_flag(query, "verbose")))
+            elif path == "/metrics":
+                if query_value(query, "format") == "json":
+                    self._send_json(200, get_registry().snapshot())
+                else:
+                    self._send_text(200,
+                                    render_prometheus(get_registry()))
             else:
                 self._send_error_json(404, f"no such route: {path}")
         except ServingError as exc:
             self._send_error_json(400, str(exc))
         except SerializationError as exc:
             self._send_error_json(500, str(exc))
+        finally:
+            self._observe_request(endpoint, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         raw = read_request_body(self)
@@ -172,6 +248,24 @@ class _Handler(BaseHTTPRequestHandler):
                 (path.rstrip("/") or "/") != "/search":
             self._send_error_json(404, f"no such route: {self.path}")
             return
+        endpoint = ("predict" if predict is not None
+                    else "neighbors" if neighbors is not None else "search")
+        started = time.perf_counter()
+        # Propagate the router's trace id (or mint one at this edge) so
+        # the batcher/embed spans land on the request's trace and the
+        # client can correlate via the response header.
+        incoming = self.headers.get(TRACE_HEADER)
+        trace_id = incoming if valid_trace_id(incoming) else None
+        try:
+            with request_trace(endpoint, trace_id=trace_id) as trace:
+                if trace is not None:
+                    self._trace_id = trace.trace_id
+                self._dispatch_post(endpoint, predict, neighbors, raw)
+        finally:
+            self._observe_request(endpoint, started)
+
+    def _dispatch_post(self, endpoint: str, predict, neighbors,
+                       raw: bytes) -> None:
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:

@@ -46,6 +46,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import ServingError
+from ..obs.logging import get_logger, set_log_context
+from ..obs.metrics import get_registry
 
 __all__ = ["WorkerConfig", "WorkerPool", "shard_for"]
 
@@ -53,6 +55,8 @@ __all__ = ["WorkerConfig", "WorkerPool", "shard_for"]
 _READY_TIMEOUT = 30.0
 #: Supervisor poll cadence for dead-worker detection.
 _SUPERVISE_INTERVAL = 0.1
+
+_LOG = get_logger("pool")
 
 
 def shard_for(name: str, n_workers: int) -> int:
@@ -98,6 +102,9 @@ def _worker_main(config: WorkerConfig, conn) -> None:
     from .http import create_server
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Stamp worker identity onto every structured log record this
+    # process emits, so pool-wide stderr is attributable per worker.
+    set_log_context(worker=config.index)
     try:
         server = create_server(
             config.model_dir, host=config.host, port=0,
@@ -243,13 +250,20 @@ class WorkerPool:
             parent_conn.close()
         if status != "ready":
             process.join(timeout=5.0)
+            _LOG.error("worker_start_failed", worker=slot.index,
+                       reason=str(value))
             raise ServingError(f"worker {slot.index} failed to start: {value}")
         with self._lock:
             slot.process = process
             slot.port = int(value)
+        _LOG.info("worker_started", worker=slot.index, pid=process.pid,
+                  port=int(value), restarts=slot.restarts)
 
     def _supervise(self) -> None:
         """Respawn any worker whose process died, until the pool stops."""
+        respawns = get_registry().counter(
+            "repro_pool_respawns_total",
+            "Worker processes respawned by the supervisor", ("worker",))
         while not self._stopping.wait(_SUPERVISE_INTERVAL):
             for slot in self._slots:
                 with self._lock:
@@ -261,9 +275,15 @@ class WorkerPool:
                 with self._lock:
                     slot.port = None
                     slot.restarts += 1
+                _LOG.warning("worker_died", worker=slot.index,
+                             pid=process.pid, exitcode=process.exitcode,
+                             restarts=slot.restarts)
+                respawns.inc(worker=slot.index)
                 try:
                     self._spawn(slot)
-                except ServingError:  # pragma: no cover - retried next tick
+                except ServingError as exc:  # pragma: no cover - next tick
+                    _LOG.error("worker_respawn_failed", worker=slot.index,
+                               reason=str(exc))
                     continue
 
     # ------------------------------------------------------------------

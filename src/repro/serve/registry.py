@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +32,8 @@ from typing import Callable
 
 from ..cache import get_cache
 from ..exceptions import SerializationError, ServingError
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
 from ..serialize import (
     attach_shared_checkpoint,
     load_checkpoint,
@@ -38,6 +41,8 @@ from ..serialize import (
 )
 
 __all__ = ["LoadedModel", "ModelRegistry", "servable_names"]
+
+_LOG = get_logger("registry")
 
 #: Model names the registry (and the HTTP predict route) accept: the stem
 #: of the checkpoint file, no path separators, no leading dot.
@@ -126,6 +131,15 @@ class ModelRegistry:
         self._load_locks: dict[str, threading.Lock] = {}
         self._watcher: threading.Thread | None = None
         self._watcher_stop = threading.Event()
+        registry_obs = get_registry()
+        self._m_load = registry_obs.histogram(
+            "repro_checkpoint_load_seconds",
+            "Checkpoint deserialisation time", ("model",))
+        self._m_reloads = registry_obs.counter(
+            "repro_reload_total", "Hot-reload generation swaps", ("model",))
+        self._m_generation = registry_obs.gauge(
+            "repro_reload_generation",
+            "Generation of the resident checkpoint", ("model",))
 
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -199,10 +213,14 @@ class ModelRegistry:
                 # recorded mtime is older than the winner and the watcher
                 # simply reloads once more.
                 mtime_ns = path.stat().st_mtime_ns
+                load_started = time.perf_counter()
                 model = self._load_model(path)
                 entry = LoadedModel(name=name, model=model,
                                     header=model.checkpoint_header_,
                                     path=path, mtime_ns=mtime_ns)
+                self._m_load.observe(time.perf_counter() - load_started,
+                                     model=name)
+                self._m_generation.set(entry.generation, model=name)
                 evicted: list[LoadedModel] = []
                 with self._lock:
                     # Under eviction churn two loads of one name can race
@@ -258,15 +276,18 @@ class ModelRegistry:
                 mtime_ns = entry.path.stat().st_mtime_ns
             except OSError:
                 # Checkpoint removed: stop serving it from memory.
+                _LOG.info("checkpoint_removed", model=entry.name)
                 self.evict(entry.name)
                 continue
             if mtime_ns == entry.mtime_ns:
                 continue
             try:
                 model = load_checkpoint(entry.path)
-            except SerializationError:
+            except SerializationError as exc:
                 # Never replace valid weights with a broken file; leave the
                 # stale mtime unrecorded so the next poll retries.
+                _LOG.warning("reload_skipped_corrupt", model=entry.name,
+                             reason=str(exc))
                 continue
             fresh = LoadedModel(name=entry.name, model=model,
                                 header=model.checkpoint_header_,
@@ -281,6 +302,11 @@ class ModelRegistry:
                 self._notify_evicted([entry])
                 get_cache().invalidate_prefix(f"model/{entry.name}/")
                 reloaded.append(entry.name)
+                self._m_reloads.inc(model=entry.name)
+                self._m_generation.set(fresh.generation, model=entry.name)
+                _LOG.info("checkpoint_reloaded", model=entry.name,
+                          generation=fresh.generation,
+                          previous_generation=entry.generation)
         return reloaded
 
     def start_hot_reload(self, interval: float = 1.0) -> None:

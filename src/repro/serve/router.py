@@ -32,10 +32,18 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from .http import _NEIGHBORS_ROUTE, _PREDICT_ROUTE, read_request_body
+from ..obs.logging import get_logger
+from ..obs.metrics import (get_registry, merge_snapshots, obs_enabled,
+                           render_prometheus)
+from ..obs.trace import (TRACE_HEADER, get_trace_store, record_span,
+                         request_trace, valid_trace_id)
+from .http import (_NEIGHBORS_ROUTE, _PREDICT_ROUTE,
+                   _PROMETHEUS_CONTENT_TYPE, query_flag, query_value,
+                   read_request_body)
 from .pool import WorkerPool, shard_for
 from .registry import servable_names
 
@@ -49,6 +57,8 @@ _UPSTREAM_TIMEOUT = 60.0
 #: Retry-After hint (seconds) on 429/503 — small, because overload on a
 #: micro-batching worker drains in milliseconds once clients pause.
 _RETRY_AFTER = 1
+
+_LOG = get_logger("router")
 
 
 class _ConnectionPool:
@@ -104,6 +114,21 @@ class PoolRouter(ThreadingHTTPServer):
         self.counters = {"routed": 0, "retries": 0, "rejected_overload": 0,
                          "failover": 0, "unavailable": 0}
         self._counter_lock = threading.Lock()
+        registry = get_registry()
+        self._m_events = registry.counter(
+            "repro_router_events_total",
+            "Routing decisions: routed/retries/rejected_overload/"
+            "failover/unavailable", ("event",))
+        self._m_inflight = registry.gauge(
+            "repro_router_inflight",
+            "Requests currently proxied per worker", ("worker",))
+        self._m_requests = registry.counter(
+            "repro_router_requests_total",
+            "Requests answered by the router", ("endpoint", "status"))
+        self._m_latency = registry.histogram(
+            "repro_router_request_seconds",
+            "End-to-end router handling time (admission + proxy + "
+            "failover)", ("endpoint",))
 
     # ------------------------------------------------------------------
     def try_acquire(self, index: int) -> bool:
@@ -112,15 +137,18 @@ class PoolRouter(ThreadingHTTPServer):
             if self._inflight[index] >= self.max_inflight:
                 return False
             self._inflight[index] += 1
-            return True
+        self._m_inflight.inc(worker=index)
+        return True
 
     def release_slot(self, index: int) -> None:
         with self._inflight_lock:
             self._inflight[index] -= 1
+        self._m_inflight.dec(worker=index)
 
     def count(self, key: str, n: int = 1) -> None:
         with self._counter_lock:
             self.counters[key] += n
+        self._m_events.inc(n, event=key)
 
     def stats_snapshot(self) -> dict:
         with self._counter_lock:
@@ -161,8 +189,12 @@ class _RouterHandler(BaseHTTPRequestHandler):
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         self.send_header("Content-Length", str(len(data)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(data)
+        self._status = status
 
     def _send_error_json(self, status: int, message: str,
                          retry_after: int | None = None) -> None:
@@ -172,22 +204,46 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(data)
+        self._status = status
+
+    def _observe_request(self, endpoint: str, started: float) -> None:
+        if not obs_enabled():
+            return
+        server = self.server
+        server._m_requests.inc(endpoint=endpoint,
+                               status=getattr(self, "_status", 0))
+        server._m_latency.observe(time.perf_counter() - started,
+                                  endpoint=endpoint)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path in ("/healthz", "/health"):
-            self._handle_health()
-        elif path == "/stats":
-            self._handle_stats()
-        elif path == "/models":
-            # Any worker answers identically (headers read from the shared
-            # model directory); use the ring so a dead worker is skipped.
-            self._route(0, "GET", "/models", b"")
-        else:
-            self._send_error_json(404, f"no such route: {path}")
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        endpoint = {"/healthz": "healthz", "/health": "healthz",
+                    "/stats": "stats", "/metrics": "metrics",
+                    "/models": "models"}.get(path, "other")
+        started = time.perf_counter()
+        try:
+            if path in ("/healthz", "/health"):
+                self._handle_health()
+            elif path == "/stats":
+                self._handle_stats(verbose=query_flag(query, "verbose"))
+            elif path == "/metrics":
+                self._handle_metrics(query)
+            elif path == "/models":
+                # Any worker answers identically (headers read from the
+                # shared model directory); use the ring so a dead worker
+                # is skipped.
+                self._route(0, "GET", "/models", b"")
+            else:
+                self._send_error_json(404, f"no such route: {path}")
+        finally:
+            self._observe_request(endpoint, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         raw = read_request_body(self)
@@ -197,14 +253,27 @@ class _RouterHandler(BaseHTTPRequestHandler):
         predict = _PREDICT_ROUTE.match(path)
         neighbors = _NEIGHBORS_ROUTE.match(path)
         if predict is not None or neighbors is not None:
+            endpoint = "predict" if predict is not None else "neighbors"
             name = (predict or neighbors).group(1)
             primary = shard_for(name, self.server.pool.n_workers)
-            self._route(primary, "POST", path, raw)
+        elif (path.rstrip("/") or "/") == "/search":
+            endpoint = "search"
+            primary = self._search_shard(raw)
+        else:
+            self._send_error_json(404, f"no such route: {self.path}")
             return
-        if (path.rstrip("/") or "/") == "/search":
-            self._route(self._search_shard(raw), "POST", path, raw)
-            return
-        self._send_error_json(404, f"no such route: {self.path}")
+        # Mint (or adopt) the trace id here, at the pool's public edge;
+        # _proxy_once forwards it so the worker's spans share the id.
+        incoming = self.headers.get(TRACE_HEADER)
+        trace_id = incoming if valid_trace_id(incoming) else None
+        started = time.perf_counter()
+        try:
+            with request_trace(endpoint, trace_id=trace_id) as trace:
+                if trace is not None:
+                    self._trace_id = trace.trace_id
+                self._route(primary, "POST", path, raw)
+        finally:
+            self._observe_request(endpoint, started)
 
     def _search_shard(self, raw: bytes) -> int:
         """Primary worker for a ``/search`` body.
@@ -239,21 +308,83 @@ class _RouterHandler(BaseHTTPRequestHandler):
             "alive": alive,
         })
 
-    def _handle_stats(self) -> None:
+    def _handle_stats(self, verbose: bool = False) -> None:
         pool = self.server.pool
         per_worker: dict[str, dict] = {}
+        worker_path = "/stats?verbose=1" if verbose else "/stats"
         for index in range(pool.n_workers):
             address = pool.address_of(index)
             if address is None:
                 continue
-            result = self._proxy_once(index, address, "GET", "/stats", b"")
+            result = self._proxy_once(index, address, "GET", worker_path,
+                                      b"")
             if result is not None:
                 try:
                     per_worker[str(index)] = json.loads(result[1])
                 except ValueError:  # pragma: no cover - worker sent junk
                     pass
-        self._send_json(200, {"router": self.server.stats_snapshot(),
-                              "workers": per_worker})
+        router = self.server.stats_snapshot()
+        # Fleet totals: worker batcher counters summed, plus the
+        # router-local routing counters.  A respawned worker reports
+        # fresh (reset) counters; the sum reflects that honestly and the
+        # per-worker 'restarts' field says why.
+        totals = {"batcher_requests": 0, "batcher_rows": 0,
+                  "batcher_batches": 0}
+        for stats in per_worker.values():
+            for batcher in stats.get("batchers", {}).values():
+                totals["batcher_requests"] += int(batcher.get("requests", 0))
+                totals["batcher_rows"] += int(batcher.get("rows", 0))
+                totals["batcher_batches"] += int(batcher.get("batches", 0))
+        totals["routed"] = router["routed"]
+        totals["rejected_overload"] = router["rejected_overload"]
+        payload = {"router": router, "workers": per_worker,
+                   "pool": pool.describe(), "totals": totals}
+        if verbose:
+            payload["traces"] = self._merged_traces(per_worker)
+        self._send_json(200, payload)
+
+    def _merged_traces(self, per_worker: dict[str, dict]) -> list[dict]:
+        """Router-side slowest traces, enriched with worker spans.
+
+        Worker span offsets stay relative to the worker's own trace
+        start; each span is tagged with the worker index that recorded
+        it so the decomposition stays attributable.
+        """
+        worker_spans: dict[str, list[dict]] = {}
+        for index, stats in per_worker.items():
+            for trace in stats.get("traces", []):
+                spans = [{**span_doc, "attrs": {
+                    **span_doc.get("attrs", {}), "worker": int(index)}}
+                    for span_doc in trace.get("spans", [])]
+                worker_spans.setdefault(trace["trace_id"], []).extend(spans)
+        merged = []
+        for trace in get_trace_store().snapshot():
+            spans = list(trace.get("spans", []))
+            spans.extend(worker_spans.get(trace["trace_id"], []))
+            merged.append({**trace, "spans": spans})
+        return merged
+
+    def _handle_metrics(self, query: str) -> None:
+        """Aggregate worker registries with the router's own and render."""
+        pool = self.server.pool
+        snapshots = [get_registry().snapshot()]
+        for index in range(pool.n_workers):
+            address = pool.address_of(index)
+            if address is None:
+                continue
+            result = self._proxy_once(index, address, "GET",
+                                      "/metrics?format=json", b"")
+            if result is not None and result[0] == 200:
+                try:
+                    snapshots.append(json.loads(result[1]))
+                except ValueError:  # pragma: no cover - worker sent junk
+                    pass
+        merged = merge_snapshots(snapshots)
+        if query_value(query, "format") == "json":
+            self._send_json(200, merged)
+        else:
+            self._send_raw(200, render_prometheus(merged).encode("utf-8"),
+                           _PROMETHEUS_CONTENT_TYPE)
 
     # ------------------------------------------------------------------
     def _route(self, primary: int, method: str, path: str,
@@ -283,16 +414,23 @@ class _RouterHandler(BaseHTTPRequestHandler):
                     return
                 attempted_failover = True
                 continue
+            attempt_started = time.perf_counter()
+            result = None
             try:
                 result = self._proxy_once(index, address, method, path, body)
             finally:
                 server.release_slot(index)
+                record_span("router.proxy", attempt_started,
+                            time.perf_counter(), worker=index,
+                            ok=result is not None)
             if result is None:
                 # Transport failure mid-request: the worker died (or was
                 # killed).  Tell the pool, then retry the idempotent read
                 # on the next shard while the supervisor respawns it.
                 pool.note_dead(index)
                 server.count("retries")
+                _LOG.warning("worker_unreachable", worker=index,
+                             path=path)
                 attempted_failover = True
                 continue
             if attempted_failover:
@@ -302,6 +440,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._send_raw(status, data, content_type)
             return
         server.count("unavailable")
+        _LOG.error("no_worker_available", path=path,
+                   workers=pool.n_workers)
         self._send_error_json(
             503, "no worker available for this request; retry shortly",
             retry_after=_RETRY_AFTER)
@@ -311,10 +451,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
         """One upstream attempt; ``None`` means transport-level failure."""
         connections = self.server.connections
         conn = connections.acquire(address)
+        headers = {"Content-Type": "application/json",
+                   "Content-Length": str(len(body))}
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         try:
-            conn.request(method, path, body=body,
-                         headers={"Content-Type": "application/json",
-                                  "Content-Length": str(len(body))})
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             data = response.read()
             content_type = response.getheader("Content-Type",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 
 import numpy as np
 
@@ -29,6 +30,8 @@ from ..cache import get_cache
 from ..embeddings import embed_items
 from ..exceptions import ServingError
 from ..index import VectorIndex
+from ..obs.metrics import get_registry, obs_enabled
+from ..obs.trace import get_trace_store, span
 from .batching import MicroBatcher
 from .registry import LoadedModel, ModelRegistry
 
@@ -81,6 +84,17 @@ class PredictService:
         self._index_names_cache: tuple[tuple[str, ...], list[str]] | None = \
             None
         self._lock = threading.Lock()
+        registry_obs = get_registry()
+        self._m_requests = registry_obs.counter(
+            "repro_predict_requests_total",
+            "Service-level requests by kind and model", ("kind", "model"))
+        self._m_cache_hits = registry_obs.counter(
+            "repro_predict_cache_hits_total",
+            "Raw-item predict requests answered from the memo cache",
+            ("model",))
+        self._m_embed = registry_obs.histogram(
+            "repro_embed_seconds",
+            "Raw-item embedding time per request", ("model",))
         # Chain rather than replace any caller-installed eviction hook.
         previous_hook = registry.on_evict
 
@@ -120,8 +134,11 @@ class PredictService:
             raise ServingError(
                 f"model {name!r} is a vector index; use POST "
                 f"/models/{name}/neighbors or POST /search")
+        self._m_requests.inc(kind="predict", model=name)
         cache_key = self._items_cache_key(loaded, payload)
         labels = get_cache().get(cache_key) if cache_key is not None else None
+        if labels is not None:
+            self._m_cache_hits.inc(model=name)
         if labels is None:
             matrix = self._matrix_from_payload(loaded, payload)
             if self.micro_batching:
@@ -153,6 +170,7 @@ class PredictService:
             raise ServingError(
                 f"model {name!r} is a {type(index).__name__}, not a vector "
                 f"index; use POST /models/{name}/predict")
+        self._m_requests.inc(kind="neighbors", model=name)
         k = payload.get("k", 10) if isinstance(payload, dict) else 10
         if not isinstance(k, int) or isinstance(k, bool) or \
                 not 1 <= k <= _MAX_NEIGHBORS:
@@ -235,6 +253,19 @@ class PredictService:
         with self._lock:
             batchers = list(self._batchers.values())
         return {batcher.name: batcher.stats.as_dict() for batcher in batchers}
+
+    def stats_payload(self, verbose: bool = False) -> dict:
+        """The ``GET /stats`` body: batcher counters plus identity.
+
+        ``verbose`` additionally attaches the slowest-request span
+        breakdowns from the process trace store (``/stats?verbose=1``).
+        """
+        payload: dict = {"batchers": self.stats()}
+        if self.identity:
+            payload["identity"] = dict(self.identity)
+        if verbose:
+            payload["traces"] = get_trace_store().snapshot()
+        return payload
 
     def close(self) -> None:
         """Shut down every batcher's collector thread."""
@@ -388,5 +419,12 @@ class PredictService:
                 raise ServingError(
                     f"model {loaded.name!r} was saved without task/embedding "
                     "metadata; send pre-embedded 'vectors' instead")
-            return embed_items(task, embedding, items)
+            if not obs_enabled():
+                return embed_items(task, embedding, items)
+            started = time.perf_counter()
+            with span("embed.items", model=loaded.name, n_items=len(items)):
+                matrix = embed_items(task, embedding, items)
+            self._m_embed.observe(time.perf_counter() - started,
+                                  model=loaded.name)
+            return matrix
         raise ServingError("request body must contain 'vectors' or 'items'")

@@ -31,6 +31,8 @@ import numpy as np
 from ..clustering import DBSCAN, Birch, KMeans
 from ..dc import EDESC, SDCN, AutoencoderClustering
 from ..exceptions import StreamingError
+from ..obs.metrics import get_registry, obs_enabled
+from ..obs.trace import record_span
 from ..utils.validation import check_matrix
 
 __all__ = ["UpdateReport", "incremental_update", "supports_incremental_update"]
@@ -135,11 +137,23 @@ def incremental_update(model, X, *, epochs: int = _FINE_TUNE_EPOCHS,
         model.history_.setdefault("fine_tune_loss", []).extend(
             float(value) for value in losses)
 
+    ended = time.perf_counter()
+    if obs_enabled():
+        registry = get_registry()
+        registry.counter(
+            "repro_stream_updates_total", "Incremental model updates",
+            ("strategy",)).inc(strategy=strategy)
+        registry.histogram(
+            "repro_stream_update_seconds",
+            "Incremental update wall time", ("strategy",)).observe(
+                ended - started, strategy=strategy)
+        record_span("stream.update", started, ended, strategy=strategy,
+                    n_new=int(X.shape[0]))
     return UpdateReport(
         strategy=strategy,
         model_class=type(model).__name__,
         n_new=int(X.shape[0]),
-        seconds=time.perf_counter() - started,
+        seconds=ended - started,
         refit_recommended=refit_recommended,
         details=details,
     )

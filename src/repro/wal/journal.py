@@ -37,12 +37,16 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from ..exceptions import WALError
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry, obs_enabled
+from ..obs.trace import record_span
 from ..serialize import fsync_directory
 from .record import WALCorruption, WALRecord, encode_record, scan_records
 
@@ -61,6 +65,8 @@ _SEGMENT_RE = re.compile(r"^segment-(\d{16})\.wal$")
 #: Namespace components (model and stream names) the journal accepts: the
 #: same shape the serving registry accepts for model names.
 _VALID_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_LOG = get_logger("wal")
 
 
 def wal_namespace(wal_dir: str | Path, model: str,
@@ -132,6 +138,11 @@ class WriteAheadLog:
                     handle.flush()
                     os.fsync(handle.fileno())
                 fsync_directory(self.directory)
+                _LOG.warning("torn_tail_healed", segment=path.name,
+                             truncated_bytes=size - exc.offset)
+                get_registry().counter(
+                    "repro_wal_torn_tails_total",
+                    "Torn WAL segment tails healed at open").inc()
             if last_id:
                 return last_id
             # Segment empty (or emptied by healing): its name still records
@@ -144,6 +155,8 @@ class WriteAheadLog:
     def append(self, arrays: dict[str, np.ndarray], *, meta: dict | None = None,
                kind: str = "batch") -> int:
         """Journal one batch; returns its id once it is on stable storage."""
+        instrumented = obs_enabled()
+        started = time.perf_counter() if instrumented else 0.0
         batch_id = self.last_batch_id + 1
         data = encode_record(WALRecord(batch_id=batch_id, arrays=dict(arrays),
                                        meta=dict(meta or {}), kind=kind))
@@ -151,9 +164,40 @@ class WriteAheadLog:
         handle.write(data)
         handle.flush()
         if self.fsync:
+            fsync_started = time.perf_counter() if instrumented else 0.0
             os.fsync(handle.fileno())
+            if instrumented:
+                self._metrics()[1].observe(
+                    time.perf_counter() - fsync_started)
         self.last_batch_id = batch_id
+        if instrumented:
+            append_seconds, _, appends, append_bytes = self._metrics()
+            append_seconds.observe(time.perf_counter() - started)
+            appends.inc()
+            append_bytes.inc(len(data))
+            record_span("wal.append", started, time.perf_counter(),
+                        batch_id=batch_id, bytes=len(data))
         return batch_id
+
+    def _metrics(self):
+        """(append histogram, fsync histogram, appends, bytes) handles."""
+        handles = getattr(self, "_m_handles", None)
+        if handles is None:
+            registry = get_registry()
+            handles = (
+                registry.histogram(
+                    "repro_wal_append_seconds",
+                    "WAL append latency (encode + write + fsync)"),
+                registry.histogram(
+                    "repro_wal_fsync_seconds",
+                    "fsync portion of WAL append latency"),
+                registry.counter("repro_wal_appends_total",
+                                 "Batches journaled"),
+                registry.counter("repro_wal_append_bytes_total",
+                                 "Encoded bytes journaled"),
+            )
+            self._m_handles = handles
+        return handles
 
     def _writable_handle(self, next_id: int):
         if self._handle is not None and not self._handle.closed:

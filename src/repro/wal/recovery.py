@@ -53,8 +53,12 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import WALError
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
 from ..serialize import load_checkpoint, rotate_checkpoint
 from .journal import WriteAheadLog
+
+_LOG = get_logger("recovery")
 
 __all__ = ["RecoveryReport", "recover_checkpoint", "recover_model_dir",
            "stamp_wal_metadata", "wal_applied"]
@@ -272,6 +276,16 @@ def recover_checkpoint(checkpoint_path: str | Path, wal_dir: str | Path, *,
                                                         index_mark)))
         finally:
             wal.close()
+    if report.n_replayed or report.truncated_bytes:
+        get_registry().counter(
+            "repro_recovery_batches_total",
+            "WAL batches replayed at recovery", ("checkpoint",)).inc(
+                report.n_replayed, checkpoint=path.stem)
+        _LOG.info("recovery_replayed", checkpoint=path.stem,
+                  replayed_batches=report.n_replayed,
+                  index_batches=report.n_index_replayed,
+                  truncated_bytes=report.truncated_bytes,
+                  pruned_segments=report.pruned_segments)
     return report
 
 

@@ -42,11 +42,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import SerializationError
+from ..obs.logging import get_logger
 from ..serialize import fsync_directory, load_checkpoint
 from .record import WALCorruption, scan_records
 from .recovery import recover_model_dir
 
 __all__ = ["RepairFinding", "repair_directory"]
+
+_LOG = get_logger("repair")
 
 
 @dataclass
@@ -100,6 +103,8 @@ def _act(findings: list[RepairFinding], apply: bool, path: Path,
         fix()
     else:
         action = f"would-{action}"
+    _LOG.log("warning" if apply else "info", "repair_finding",
+             path=str(path), problem=problem, action=action, **detail)
     findings.append(RepairFinding(path=str(path), problem=problem,
                                   action=action, detail=detail))
 

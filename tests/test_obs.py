@@ -1,0 +1,623 @@
+"""Observability stack: metrics registry, tracing, structured logs, e2e.
+
+The acceptance criterion from the serving roadmap, proven end to end in
+:class:`TestPoolObservability`: one predict through a 2-worker pool yields
+a trace id on the response, at least three spans (router proxy, queue
+wait, batch forward) under ``/stats?verbose=1``, and matching counter and
+histogram increments in valid Prometheus text at both the worker and the
+router ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.data import generate_webtables
+from repro.obs import (
+    Counter,
+    MetricsRegistry,
+    Trace,
+    TraceStore,
+    configure_logging,
+    get_logger,
+    get_trace_store,
+    histogram_quantile,
+    merge_snapshots,
+    obs_enabled,
+    record_span,
+    render_prometheus,
+    request_trace,
+    set_enabled,
+    set_log_context,
+    span,
+    valid_trace_id,
+    validate_prometheus_text,
+)
+from repro.obs.top import render_dashboard, run_top
+from repro.serialize import save_checkpoint
+from repro.serve import shard_for
+from repro.tasks import embed_tables
+
+
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests",
+                                   ("endpoint",))
+        counter.inc(endpoint="predict")
+        counter.inc(2, endpoint="predict")
+        counter.inc(endpoint="search")
+        assert counter.value(endpoint="predict") == 3
+        assert counter.value(endpoint="search") == 1
+        assert counter.value(endpoint="never") == 0
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("endpoint",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc(worker=1)
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc()  # missing the declared label entirely
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help", ("a",))
+        second = registry.counter("x_total")
+        assert first is second
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", "", ("bad-label",))
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight", "", ("worker",))
+        gauge.set(5, worker=0)
+        gauge.inc(worker=0)
+        gauge.dec(2, worker=0)
+        assert gauge.value(worker=0) == 4
+
+    def test_histogram_observe_and_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.005, 0.5):
+            histogram.observe(value)
+        series = histogram.snapshot()["series"][0]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(0.515)
+        # 3 of 4 observations in (0.001, 0.01]; p50 lands inside it.
+        p50 = histogram_quantile(0.5, series["counts"],
+                                 [0.001, 0.01, 0.1, 1.0])
+        assert 0.001 <= p50 <= 0.01
+        p99 = histogram_quantile(0.99, series["counts"],
+                                 [0.001, 0.01, 0.1, 1.0])
+        assert 0.1 <= p99 <= 1.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert histogram_quantile(0.5, [0, 0, 0], [1.0, 2.0]) == 0.0
+
+    def test_disabled_flag_stops_recording(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        assert obs_enabled()
+        set_enabled(False)
+        try:
+            assert not obs_enabled()
+            counter.inc()
+            registry.gauge("g").set(3)
+            registry.histogram("h_seconds").observe(0.1)
+        finally:
+            set_enabled(True)
+        assert counter.value() == 0
+        assert registry.gauge("g").value() == 0
+        assert registry.histogram("h_seconds").snapshot()["series"] == []
+
+    def test_snapshot_merge_sums_matching_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, amount in ((a, 3), (b, 5)):
+            registry.counter("req_total", "Requests",
+                             ("endpoint",)).inc(amount, endpoint="predict")
+            registry.histogram("lat_seconds", "Latency", (),
+                               buckets=(0.01, 0.1)).observe(0.05)
+        b.counter("req_total", "Requests", ("endpoint",)).inc(
+            endpoint="search")
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        by_labels = {tuple(sorted(s["labels"].items())): s["value"]
+                     for s in merged["req_total"]["series"]}
+        assert by_labels[(("endpoint", "predict"),)] == 8
+        assert by_labels[(("endpoint", "search"),)] == 1
+        histogram = merged["lat_seconds"]["series"][0]
+        assert histogram["count"] == 2
+        assert histogram["counts"][1] == 2  # both in the (0.01, 0.1] bucket
+
+    def test_render_prometheus_validates_and_escapes(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests with \"quotes\"\nand lines",
+                         ("path",)).inc(path='a"b\\c\nd')
+        registry.gauge("temp").set(1.5)
+        registry.histogram("lat_seconds", "Latency").observe(0.003)
+        text = render_prometheus(registry)
+        samples = validate_prometheus_text(text)
+        # 1 counter + 1 gauge + (20 buckets + overflow + sum + count).
+        assert samples == 1 + 1 + 21 + 2
+        assert '# TYPE req_total counter' in text
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert "lat_seconds_count 1" in text
+        # Histogram buckets end at +Inf and are cumulative.
+        assert 'le="+Inf"' in text
+
+    def test_validate_rejects_malformed_text(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            validate_prometheus_text("orphan_metric 1\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_prometheus_text(
+                "# TYPE x counter\nx{unterminated 1\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_prometheus_text("# TYPE x counter\nx notanumber\n")
+        with pytest.raises(ValueError, match="non-cumulative"):
+            validate_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n')
+
+    def test_merge_skips_mismatched_bucket_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        b.histogram("h_seconds", buckets=(0.2, 2.0)).observe(0.05)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        # First snapshot wins; the incompatible series is dropped, not
+        # silently summed across different bucket layouts.
+        assert merged["h_seconds"]["bounds"] == [0.1, 1.0]
+        assert merged["h_seconds"]["series"][0]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestTracing:
+    def test_request_trace_records_spans(self):
+        store = TraceStore()
+        with request_trace("predict", trace_id="abc123",
+                           store=store) as trace:
+            assert trace.trace_id == "abc123"
+            with span("embed", rows=4):
+                time.sleep(0.001)
+            start = time.perf_counter()
+            time.sleep(0.001)
+            record_span("queue.wait", start, time.perf_counter(), batcher="m")
+        [doc] = store.snapshot()
+        assert doc["trace_id"] == "abc123"
+        assert doc["endpoint"] == "predict"
+        assert doc["duration_ms"] > 0
+        names = [span_doc["name"] for span_doc in doc["spans"]]
+        assert names == ["embed", "queue.wait"]
+        assert doc["spans"][0]["attrs"] == {"rows": 4}
+        assert all(span_doc["duration_ms"] > 0 for span_doc in doc["spans"])
+
+    def test_span_is_noop_without_active_trace(self):
+        with span("orphan"):
+            pass
+        record_span("orphan", 0.0, 1.0)  # must not raise
+
+    def test_trace_store_keeps_slowest(self):
+        store = TraceStore(capacity=3)
+        for i, duration in enumerate((0.5, 0.1, 0.9, 0.3, 0.7)):
+            trace = Trace("predict", trace_id=f"t{i}")
+            trace.duration_s = duration
+            store.add(trace)
+        ids = [doc["trace_id"] for doc in store.snapshot()]
+        assert ids == ["t2", "t4", "t0"]  # 0.9, 0.7, 0.5 — slowest first
+
+    def test_disabled_flag_suppresses_traces(self):
+        store = TraceStore()
+        set_enabled(False)
+        try:
+            with request_trace("predict", store=store) as trace:
+                assert trace is None
+        finally:
+            set_enabled(True)
+        assert store.snapshot() == []
+
+    def test_valid_trace_id(self):
+        assert valid_trace_id("abc-123.DEF_x")
+        assert not valid_trace_id(None)
+        assert not valid_trace_id("")
+        assert not valid_trace_id("-leading-dash")
+        assert not valid_trace_id("x" * 65)
+        assert not valid_trace_id("has space")
+
+
+# ----------------------------------------------------------------------
+class TestStructuredLogging:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        yield
+        configure_logging(None, level="info")
+        set_log_context(worker=None)
+
+    def test_json_line_shape(self):
+        stream = io.StringIO()
+        configure_logging(stream, level="debug")
+        set_log_context(worker=3)
+        get_logger("pool").info("worker_started", port=1234)
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "info"
+        assert record["component"] == "pool"
+        assert record["event"] == "worker_started"
+        assert record["worker"] == 3
+        assert record["port"] == 1234
+        assert isinstance(record["pid"], int)
+        assert record["ts"].endswith("Z")
+
+    def test_level_threshold_filters(self):
+        stream = io.StringIO()
+        configure_logging(stream, level="warning")
+        logger = get_logger("test")
+        logger.info("dropped")
+        logger.warning("kept")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "kept"
+
+    def test_trace_id_attached_inside_request(self):
+        stream = io.StringIO()
+        configure_logging(stream, level="debug")
+        with request_trace("predict", trace_id="trace-xyz",
+                           store=TraceStore()):
+            get_logger("wal").info("append")
+        assert json.loads(stream.getvalue())["trace_id"] == "trace-xyz"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(None, level="loud")
+
+
+# ----------------------------------------------------------------------
+def _get_raw(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=15) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _get(port, path):
+    _, _, body = _get_raw(port, path)
+    return json.loads(body)
+
+
+def _post_raw(port, path, payload, headers=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})})
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return response.status, dict(response.headers), \
+            json.loads(response.read())
+
+
+def _eventually(check, timeout=5.0):
+    """Poll ``check`` until it returns a truthy value (or times out).
+
+    The server's request bookkeeping (counter increments, trace-store
+    publication) runs after the response bytes are flushed to the client,
+    so an immediate scrape can race it by a few microseconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        result = check()
+        if result or time.monotonic() >= deadline:
+            return result
+        time.sleep(0.01)
+
+
+def _counter_sum(snapshot, name, **match):
+    total = 0.0
+    for series in snapshot.get(name, {}).get("series", []):
+        labels = series["labels"]
+        if all(str(labels.get(k)) == str(v) for k, v in match.items()):
+            total += series["value"]
+    return total
+
+
+@pytest.fixture()
+def model_dir(tmp_path):
+    dataset = generate_webtables(24, 6, seed=3)
+    X = embed_tables(dataset, "sbert")
+    model = KMeans(6, seed=0).fit(X)
+    save_checkpoint(tmp_path / "webtables.npz", model,
+                    metadata={"task": "schema_inference",
+                              "embedding": "sbert"})
+    return tmp_path
+
+
+class TestSingleServerObservability:
+    def test_trace_id_minted_and_adopted(self, model_dir, http_server):
+        X = embed_tables(generate_webtables(24, 6, seed=3), "sbert")
+        _, port = http_server(model_dir)
+        body = {"vectors": X[:2].tolist()}
+        _, headers, _ = _post_raw(port, "/models/webtables/predict", body)
+        assert valid_trace_id(headers.get("X-Repro-Trace"))
+        # A valid incoming id is adopted and echoed back verbatim.
+        _, headers, _ = _post_raw(port, "/models/webtables/predict", body,
+                                  headers={"X-Repro-Trace": "client-id-1"})
+        assert headers["X-Repro-Trace"] == "client-id-1"
+        # A malformed one is replaced with a freshly minted id.
+        _, headers, _ = _post_raw(port, "/models/webtables/predict", body,
+                                  headers={"X-Repro-Trace": "bad id!"})
+        assert headers["X-Repro-Trace"] != "bad id!"
+        assert valid_trace_id(headers["X-Repro-Trace"])
+
+    def test_metrics_increment_and_validate(self, model_dir, http_server):
+        X = embed_tables(generate_webtables(24, 6, seed=3), "sbert")
+        _, port = http_server(model_dir)
+        before = _get(port, "/metrics?format=json")
+        for _ in range(3):
+            _post_raw(port, "/models/webtables/predict",
+                      {"vectors": X[:2].tolist()})
+        # The registry is process-wide and shared across tests: assert on
+        # deltas, never on absolute values.
+        def deltas():
+            after = _get(port, "/metrics?format=json")
+            predict = (_counter_sum(after, "repro_predict_requests_total",
+                                    kind="predict", model="webtables")
+                       - _counter_sum(before,
+                                      "repro_predict_requests_total",
+                                      kind="predict", model="webtables"))
+            http = (_counter_sum(after, "repro_http_requests_total",
+                                 endpoint="predict", status=200)
+                    - _counter_sum(before, "repro_http_requests_total",
+                                   endpoint="predict", status=200))
+            return (predict, http) if http >= 3 else None
+
+        assert _eventually(deltas) == (3, 3)
+        status, headers, text = _get_raw(port, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert validate_prometheus_text(text.decode("utf-8")) > 0
+
+    def test_stats_verbose_decomposes_a_request(self, model_dir,
+                                                http_server):
+        X = embed_tables(generate_webtables(24, 6, seed=3), "sbert")
+        _, port = http_server(model_dir)
+        get_trace_store().clear()
+        _, headers, _ = _post_raw(port, "/models/webtables/predict",
+                                  {"vectors": X[:4].tolist()})
+        trace_id = headers["X-Repro-Trace"]
+
+        def find_trace():
+            stats = _get(port, "/stats?verbose=1")
+            assert stats["batchers"]["webtables"]["requests"] >= 1
+            return [t for t in stats["traces"]
+                    if t["trace_id"] == trace_id]
+
+        [trace] = _eventually(find_trace)
+        names = {span_doc["name"] for span_doc in trace["spans"]}
+        assert {"queue.wait", "batch.forward"} <= names
+        forward = next(s for s in trace["spans"]
+                       if s["name"] == "batch.forward")
+        assert forward["attrs"]["rows"] >= 4
+        # Non-verbose /stats omits the trace dump.
+        assert "traces" not in _get(port, "/stats")
+
+
+WORKERS = 2
+MODEL_NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+@pytest.fixture()
+def pool_model_dir(tmp_path):
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(4, 8)) * 6.0
+    X = np.vstack([c + rng.normal(size=(20, 8)) for c in centers])
+    for name in MODEL_NAMES:
+        save_checkpoint(tmp_path / f"{name}.npz", KMeans(4, seed=0).fit(X),
+                        metadata={"n_features": 8})
+    return tmp_path, X
+
+
+class TestPoolObservability:
+    def test_trace_and_metrics_end_to_end(self, pool_model_dir, pool_server):
+        """The acceptance path: one predict through a 2-worker pool."""
+        model_dir, X = pool_model_dir
+        router, port = pool_server(model_dir, workers=WORKERS)
+        get_trace_store().clear()
+        worker_before = self._worker_snapshots(router)
+        router_before = _get(port, "/metrics?format=json")
+
+        status, headers, body = _post_raw(
+            port, f"/models/{MODEL_NAMES[0]}/predict",
+            {"vectors": X[:3].tolist()})
+        assert status == 200 and len(body["labels"]) == 3
+        trace_id = headers.get("X-Repro-Trace")
+        assert valid_trace_id(trace_id)
+
+        # >= 3 spans under the router's verbose stats: the router's own
+        # proxy span plus the worker's queue-wait and batch-forward spans
+        # merged in by trace id.
+        def find_trace():
+            stats = _get(port, "/stats?verbose=1")
+            return [t for t in stats["traces"]
+                    if t["trace_id"] == trace_id
+                    and len(t["spans"]) >= 3]
+
+        [trace] = _eventually(find_trace)
+        assert len(trace["spans"]) >= 3
+        names = {span_doc["name"] for span_doc in trace["spans"]}
+        assert {"router.proxy", "queue.wait", "batch.forward"} <= names
+        worker_span = next(s for s in trace["spans"]
+                           if s["name"] == "queue.wait")
+        assert worker_span["attrs"]["worker"] in range(WORKERS)
+
+        # Matching increments at the worker that owns the shard...
+        owner = shard_for(MODEL_NAMES[0], WORKERS)
+
+        def worker_delta():
+            worker_after = self._worker_snapshots(router)
+            return (_counter_sum(worker_after[owner],
+                                 "repro_predict_requests_total",
+                                 kind="predict", model=MODEL_NAMES[0])
+                    - _counter_sum(worker_before[owner],
+                                   "repro_predict_requests_total",
+                                   kind="predict", model=MODEL_NAMES[0]))
+
+        assert _eventually(worker_delta) == 1
+
+        # ...and in the router's fleet-wide aggregation.
+        def router_deltas():
+            router_after = _get(port, "/metrics?format=json")
+            merged = (_counter_sum(router_after,
+                                   "repro_predict_requests_total",
+                                   kind="predict", model=MODEL_NAMES[0])
+                      - _counter_sum(router_before,
+                                     "repro_predict_requests_total",
+                                     kind="predict", model=MODEL_NAMES[0]))
+            routed = (_counter_sum(router_after,
+                                   "repro_router_requests_total",
+                                   endpoint="predict", status=200)
+                      - _counter_sum(router_before,
+                                     "repro_router_requests_total",
+                                     endpoint="predict", status=200))
+            return ((merged, routed), router_after) \
+                if merged and routed else None
+
+        (merged_delta, routed_delta), router_after = \
+            _eventually(router_deltas)
+        assert merged_delta == 1
+        assert routed_delta == 1
+
+        # Both exposition texts are well-formed Prometheus.
+        _, _, router_text = _get_raw(port, "/metrics")
+        assert validate_prometheus_text(router_text.decode("utf-8")) > 0
+        host, worker_port = router.pool.address_of(owner)
+        _, _, worker_text = _get_raw(worker_port, "/metrics")
+        assert validate_prometheus_text(worker_text.decode("utf-8")) > 0
+        histogram = router_after["repro_batch_forward_seconds"]
+        assert histogram["type"] == "histogram"
+        assert sum(s["count"] for s in histogram["series"]) >= 1
+
+    def _worker_snapshots(self, router):
+        snapshots = {}
+        for index in range(router.pool.n_workers):
+            address = router.pool.address_of(index)
+            snapshots[index] = _get(address[1], "/metrics?format=json")
+        return snapshots
+
+    def test_stats_totals_equal_worker_sums(self, pool_model_dir,
+                                            pool_server):
+        model_dir, X = pool_model_dir
+        router, port = pool_server(model_dir, workers=WORKERS)
+        for name in MODEL_NAMES:
+            _post_raw(port, f"/models/{name}/predict",
+                      {"vectors": X[:2].tolist()})
+        stats = _get(port, "/stats")
+        expected = {"requests": 0, "rows": 0, "batches": 0}
+        for worker_stats in stats["workers"].values():
+            for batcher in worker_stats["batchers"].values():
+                for key in expected:
+                    expected[key] += batcher[key]
+        assert stats["totals"]["batcher_requests"] == expected["requests"]
+        assert stats["totals"]["batcher_rows"] == expected["rows"]
+        assert stats["totals"]["batcher_batches"] == expected["batches"]
+        assert stats["totals"]["batcher_requests"] >= len(MODEL_NAMES)
+        assert stats["totals"]["routed"] == stats["router"]["routed"]
+        assert stats["totals"]["rejected_overload"] == \
+            stats["router"]["rejected_overload"]
+
+    def test_counters_survive_respawn_reported_not_mis_summed(
+            self, pool_model_dir, pool_server):
+        """A respawned worker resets its counters; /stats must report the
+        restart instead of silently summing stale numbers."""
+        model_dir, X = pool_model_dir
+        router, port = pool_server(model_dir, workers=WORKERS)
+        victim = shard_for(MODEL_NAMES[0], WORKERS)
+        for _ in range(3):
+            _post_raw(port, f"/models/{MODEL_NAMES[0]}/predict",
+                      {"vectors": X[:2].tolist()})
+        router.pool.kill_worker(victim)
+        deadline = time.monotonic() + 30.0
+        while (router.pool.restarts[victim] < 1
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert router.pool.restarts[victim] >= 1
+        assert router.pool.wait_all_ready(30.0)
+        _post_raw(port, f"/models/{MODEL_NAMES[0]}/predict",
+                  {"vectors": X[:2].tolist()})
+        stats = _get(port, "/stats")
+        # The totals honestly reflect the reset worker (freshly summed
+        # from live counters, no stale cache)...
+        fresh = sum(batcher["requests"]
+                    for worker_stats in stats["workers"].values()
+                    for batcher in worker_stats["batchers"].values())
+        assert stats["totals"]["batcher_requests"] == fresh
+        # ...and the restart that explains the reset is reported.
+        describe = {row["worker"]: row for row in stats["pool"]}
+        assert describe[victim]["restarts"] >= 1
+        victim_stats = stats["workers"][str(victim)]
+        victim_requests = sum(b["requests"]
+                              for b in victim_stats["batchers"].values())
+        assert victim_requests < 3 + 1  # reset happened, not carried over
+
+
+# ----------------------------------------------------------------------
+class TestTopDashboard:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("repro_http_requests_total", "",
+                                    ("endpoint", "status"))
+        requests.inc(10, endpoint="predict", status=200)
+        requests.inc(2, endpoint="predict", status=400)
+        latency = registry.histogram("repro_http_request_seconds", "",
+                                     ("endpoint",))
+        for _ in range(12):
+            latency.observe(0.004, endpoint="predict")
+        queue = registry.histogram("repro_batch_queue_wait_seconds", "",
+                                   ("batcher",))
+        queue.observe(0.002, batcher="alpha")
+        registry.gauge("repro_router_inflight", "", ("worker",)).set(
+            2, worker=0)
+        registry.counter("repro_router_events_total", "", ("event",)).inc(
+            5, event="rejected_overload")
+        return registry.snapshot()
+
+    def test_render_dashboard(self):
+        frame = render_dashboard(self._snapshot(),
+                                 {"pool": {"workers": [
+                                     {"worker": 0, "alive": True},
+                                     {"worker": 1, "alive": False}]}},
+                                 base_url="http://host:1")
+        assert "predict" in frame
+        assert "12" in frame          # total requests
+        assert "queue wait" in frame
+        assert "inflight=2" in frame
+        assert "429s=5" in frame
+        assert "workers=1/2" in frame
+
+    def test_run_top_with_stubbed_fetch(self):
+        out = io.StringIO()
+        snapshot = self._snapshot()
+
+        def fetch(url):
+            return snapshot if "metrics" in url else {"batchers": {}}
+
+        rc = run_top("http://stub", iterations=2, interval=0.0,
+                     out=out, fetch=fetch)
+        assert rc == 0
+        frames = out.getvalue()
+        assert frames.count("repro top") == 2
+        assert "errors" in frames  # endpoint table rendered
+
+    def test_run_top_unreachable_server(self, capsys):
+        rc = run_top("http://127.0.0.1:1", once=True, out=io.StringIO())
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -417,7 +417,7 @@ class TestHTTPServer:
         assert response["labels"] == [int(expected[0])]
 
         stats = _get(port, "/stats")
-        assert stats["webtables"]["requests"] >= 2
+        assert stats["batchers"]["webtables"]["requests"] >= 2
 
     def test_concurrent_clients_get_correct_answers(self, model_dir,
                                                     http_server):
