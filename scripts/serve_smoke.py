@@ -12,7 +12,10 @@ Both serving shapes are exercised: the single-process server (predict,
 search, ``/metrics``) and the ``--workers 2`` sharded pool behind its
 router (predict, aggregated ``/metrics``).  In each, the Prometheus text
 is validated line by line and the predict counter is asserted to have
-actually incremented.
+actually incremented.  Each shape also runs an async job end to end
+(``POST /v1/jobs`` -> poll -> ``result?format=csv`` -> dedup resubmit)
+and asserts that legacy unversioned paths still answer — stamped with
+the ``Deprecation``/``Link`` successor headers.
 
 Usage::
 
@@ -113,6 +116,63 @@ def _check_metrics(base: str, label: str) -> None:
           f"predict_requests_total={int(total)}")
 
 
+def _get_with_headers(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _check_deprecation(base: str, label: str) -> None:
+    """Legacy unprefixed paths still answer, stamped as deprecated."""
+    status, headers, _ = _get_with_headers(f"{base}/healthz")
+    assert status == 200, f"{label}: legacy /healthz answered {status}"
+    assert headers.get("Deprecation") == "true", headers
+    assert headers.get("Link") == \
+        '</v1/healthz>; rel="successor-version"', headers
+    print(f"deprecation headers ok ({label}): legacy /healthz points "
+          f"at /v1/healthz")
+
+
+#: One cell of table2 at test scale: real experiment, seconds of work.
+_JOB_SPEC = {"experiment_id": "table2", "scale": "test",
+             "datasets": ["webtables"], "embeddings": ["sbert"],
+             "algorithms": ["kmeans"], "epochs": 2, "seed": 0}
+
+
+def _check_jobs(base: str, label: str, deadline: float,
+                seed: int = 0) -> None:
+    """Submit a job, poll to completion, export CSV, assert dedup.
+
+    ``seed`` varies the content-addressed job id between serving shapes —
+    both share the model directory (and therefore the persisted job
+    store), so reusing one spec would dedup against the earlier shape's
+    completed job instead of executing.
+    """
+    spec = {**_JOB_SPEC, "seed": seed}
+    status, job = _post_json(f"{base}/v1/jobs", spec)
+    assert status in (200, 201), job
+    job_id = job["id"]
+    while True:
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"{label}: job {job_id} never completed")
+        status, body = _get_json(f"{base}/v1/jobs/{job_id}")
+        assert status == 200, body
+        if body["status"] == "completed":
+            break
+        assert body["status"] in ("queued", "running"), body
+        time.sleep(0.2)
+    status, again = _post_json(f"{base}/v1/jobs", spec)
+    assert status == 200 and again["id"] == job_id, \
+        f"{label}: resubmission did not dedup: {again}"
+    status, headers, payload = _get_with_headers(
+        f"{base}/v1/jobs/{job_id}/result?format=csv")
+    assert status == 200, f"{label}: result export answered {status}"
+    assert headers.get("Content-Type", "").startswith("text/csv"), headers
+    header_line = payload.decode("utf-8").splitlines()[0]
+    assert header_line.startswith("Dataset,"), header_line
+    print(f"jobs ok ({label}): {job_id} completed, deduped, "
+          f"csv columns {header_line!r}")
+
+
 def _wait_healthy(base: str, deadline: float) -> dict:
     last_error: Exception | None = None
     while time.monotonic() < deadline:
@@ -189,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         assert distances == sorted(distances), body
         print(f"search ok: {body}")
         _check_metrics(base, "single server")
+        _check_deprecation(base, "single server")
+        _check_jobs(base, "single server", deadline)
     except Exception as exc:
         print(f"FAIL: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
@@ -218,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
         assert body["n_items"] == 1 and len(body["labels"]) == 1, body
         print(f"pool predict ok: {body}")
         _check_metrics(base, "2-worker pool")
+        _check_deprecation(base, "2-worker pool")
+        _check_jobs(base, "2-worker pool", deadline, seed=1)
         print("serve smoke test passed")
         return 0
     except Exception as exc:

@@ -13,6 +13,11 @@ evaluation matrix without writing any Python:
     ``--format {table,json,csv}``.  ``--graph {dense,sparse}`` selects the
     KNN-graph representation for the graph-based models and
     ``--batch-size`` enables mini-batch deep clustering training.
+``repro export <experiment_id>``
+    Run one experiment through the same harness as ``repro run`` and
+    serialise its result rows with a pluggable :mod:`repro.export`
+    exporter (``--export-format {csv,jsonl,npz}``) to ``--output`` or
+    stdout — the offline twin of ``GET /v1/jobs/{id}/result?format=...``.
 ``repro profile``
     Reproduce the Table 1 dataset-property rows for any dataset subset.
 ``repro docs``
@@ -23,11 +28,12 @@ evaluation matrix without writing any Python:
     Fit one (dataset, embedding, algorithm) cell and persist the fitted
     model as an NPZ checkpoint (``--save``), ready for serving.
 ``repro serve``
-    Serve a directory of checkpoints over a stdlib JSON HTTP API with
-    micro-batched out-of-sample prediction (``GET /models``,
-    ``GET /healthz``, ``POST /models/{name}/predict``) and, by default,
-    hot reload: checkpoints rotated in place are swapped in off the
-    request path with zero failed predicts.
+    Serve a directory of checkpoints over a stdlib JSON HTTP API,
+    versioned under ``/v1`` (``GET /v1/models``, ``GET /v1/healthz``,
+    ``POST /v1/models/{name}/predict``, async experiment jobs via
+    ``POST /v1/jobs``), with micro-batched out-of-sample prediction and,
+    by default, hot reload: checkpoints rotated in place are swapped in
+    off the request path with zero failed predicts.
 ``repro stream <task>``
     Replay a dataset as arrival batches (optionally with injected drift)
     and keep the model current with incremental updates, refitting only
@@ -86,13 +92,14 @@ from .exceptions import ReproError
 from .index.base import INDEX_BACKENDS
 from .experiments import (
     EXPERIMENTS,
+    NON_MATRIX_RESULTS,
     RESULT_FORMATS,
+    experiment_result_rows,
     format_results_table,
     get_experiment,
     render_api_md,
     render_experiments_md,
     render_rows,
-    results_to_rows,
     run_experiment,
     write_api_md,
     write_experiments_md,
@@ -298,6 +305,51 @@ def build_parser() -> argparse.ArgumentParser:
                                 "requests beyond N concurrently in flight "
                                 "on a worker are answered 429 "
                                 "(default: 64)")
+    serve_cmd.add_argument("--no-jobs", action="store_true",
+                           help="disable the async jobs API "
+                                "(POST /v1/jobs)")
+    serve_cmd.add_argument("--jobs-dir", type=Path, default=None,
+                           metavar="DIR",
+                           help="directory for crash-safe job state files "
+                                "(default: <model-dir>/jobs)")
+    serve_cmd.add_argument("--job-workers", type=int, default=1,
+                           metavar="N",
+                           help="concurrent job executions (default: 1)")
+
+    export_cmd = sub.add_parser(
+        "export", help="run an experiment and write its result rows in an "
+                       "exporter format (csv, jsonl, npz)")
+    export_cmd.add_argument("experiment_id",
+                            help="registry id, e.g. table2 (see "
+                                 "'repro list'); same harness as "
+                                 "'repro run'")
+    export_cmd.add_argument("--export-format", default="csv",
+                            choices=("csv", "jsonl", "npz"),
+                            help="exporter to serialise the result rows "
+                                 "with (default: csv)")
+    export_cmd.add_argument("--output", type=Path, default=None,
+                            metavar="FILE",
+                            help="output file (default: stdout; npz "
+                                 "requires --output or a redirect)")
+    export_cmd.add_argument("--scale", choices=("test", "benchmark"),
+                            default="benchmark",
+                            help="experiment scale (default: benchmark)")
+    export_cmd.add_argument("--datasets", nargs="+", default=None,
+                            metavar="NAME")
+    export_cmd.add_argument("--embeddings", nargs="+", default=None,
+                            metavar="NAME")
+    export_cmd.add_argument("--algorithms", nargs="+", default=None,
+                            metavar="NAME")
+    export_cmd.add_argument("--seed", type=int, default=None)
+    export_cmd.add_argument("--epochs", type=int, default=None,
+                            help="cap pre-train/train epochs (smoke runs)")
+    export_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="cell parallelism, as in 'repro run' "
+                                 "(default: 1)")
+    export_cmd.add_argument("--cache-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="persist embeddings as NPZ files shared "
+                                 "across runs")
 
     stream_cmd = sub.add_parser(
         "stream", help="replay a dataset as arrival batches with "
@@ -528,33 +580,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed, workers=workers, executor=args.executor,
         save_dir=args.save_dir, **overrides)
 
-    if spec.experiment_id == "table1":
-        rows = [profile.as_row() for profile in result]
-        print(render_rows(rows, args.format, title=spec.title))
-    elif spec.experiment_id == "ks_density":
-        row = {
-            "mean_KS_statistic": round(result.mean_statistic, 4),
-            "mean_p_value": round(result.mean_p_value, 4),
-            "n_features": result.n_features,
-            "n_pairs": result.n_pairs,
-            "same_distribution": result.same_distribution,
-        }
-        print(render_rows([row], args.format, title=spec.title))
-    elif spec.experiment_id == "figure4_scalability":
-        print(render_rows([point.as_row() for point in result],
-                          args.format, title=spec.title))
-    elif spec.experiment_id == "stream_ingestion":
-        print(render_rows(result, args.format, title=spec.title))
-    elif args.pivot and args.format == "table":
+    if (spec.experiment_id not in NON_MATRIX_RESULTS and args.pivot
+            and args.format == "table"):
         print(format_results_table(result, title=spec.title))
     else:
-        print(render_rows(results_to_rows(result), args.format,
-                          title=spec.title))
+        print(render_rows(experiment_result_rows(spec.experiment_id, result),
+                          args.format, title=spec.title))
 
     stats = get_cache().stats
     if args.format == "table" and (stats.hits or stats.computes):
         print(f"\n[cache] computes={stats.computes} hits={stats.hits} "
               f"disk_hits={stats.disk_hits}", file=sys.stderr)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .export import export_rows
+
+    if args.cache_dir is not None:
+        configure_cache(cache_dir=args.cache_dir)
+    spec = get_experiment(args.experiment_id)
+    if spec.kind == "figure":
+        raise ReproError(
+            f"{args.experiment_id!r} is a figure experiment; use the "
+            "benchmarks harness (pytest benchmarks/ --benchmark-only) or "
+            "the repro.experiments figure helpers")
+    overrides = {name: tuple(value) if value else None
+                 for name, value in (("datasets", args.datasets),
+                                     ("embeddings", args.embeddings),
+                                     ("algorithms", args.algorithms))}
+    workers = None if args.workers == 0 else args.workers
+    result = run_experiment(
+        args.experiment_id, scale=_SCALES[args.scale],
+        config=_run_config(args), seed=args.seed, workers=workers,
+        **overrides)
+    rows = experiment_result_rows(spec.experiment_id, result)
+    payload = export_rows(rows, args.export_format)
+    if args.output is not None:
+        args.output.write_bytes(payload)
+        print(f"wrote {len(rows)} row(s) as {args.export_format} to "
+              f"{args.output}", file=sys.stderr)
+    else:
+        sys.stdout.buffer.write(payload)
+        sys.stdout.buffer.flush()
     return 0
 
 
@@ -670,6 +738,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     reload_interval = (None if args.no_hot_reload
                        else args.reload_ms / 1000.0)
+    job_options = {"jobs": not args.no_jobs, "jobs_dir": args.jobs_dir,
+                   "job_workers": args.job_workers}
     if args.workers > 1:
         server = create_pool_server(
             args.model_dir, host=args.host, port=args.port,
@@ -678,7 +748,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay=args.batch_delay_ms / 1000.0,
             micro_batching=not args.no_batching,
             reload_interval=reload_interval,
-            wal_dir=args.wal_dir)
+            wal_dir=args.wal_dir, **job_options)
         names = servable_names(args.model_dir)
     else:
         server = create_server(
@@ -687,14 +757,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay=args.batch_delay_ms / 1000.0,
             micro_batching=not args.no_batching,
             reload_interval=reload_interval,
-            wal_dir=args.wal_dir)
+            wal_dir=args.wal_dir, **job_options)
         names = server.service.registry.names()
     host, port = server.server_address[:2]
     print(f"serving {len(names)} model(s) {names} from {args.model_dir} "
           f"on http://{host}:{port} "
           f"({args.workers} worker(s), "
           f"micro-batching {'off' if args.no_batching else 'on'}, "
-          f"hot-reload {'off' if args.no_hot_reload else 'on'})",
+          f"hot-reload {'off' if args.no_hot_reload else 'on'}, "
+          f"jobs {'off' if args.no_jobs else 'on'})",
           file=sys.stderr)
     # SIGTERM must run the same cleanup as Ctrl-C: the pool path owns
     # worker processes and /dev/shm segments that server_close releases.
@@ -927,6 +998,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "export": _cmd_export,
     "profile": _cmd_profile,
     "docs": _cmd_docs,
     "train": _cmd_train,

@@ -48,6 +48,14 @@ class ServingError(ReproError):
     """Raised when the online inference layer receives an unservable request."""
 
 
+class JobError(ReproError):
+    """Raised when an async job submission or transition is invalid."""
+
+
+class ExportError(ReproError):
+    """Raised when a result export is invalid or an exporter is unknown."""
+
+
 class StreamingError(ReproError):
     """Raised when a streaming-ingestion or incremental-update step is invalid."""
 

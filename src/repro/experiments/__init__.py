@@ -17,7 +17,9 @@ from .plan import Cell, ExperimentPlan, plan_experiment
 from .parallel import ParallelRunner
 from .runner import run_experiment, run_plan, build_dataset
 from .reporting import (
+    NON_MATRIX_RESULTS,
     RESULT_FORMATS,
+    experiment_result_rows,
     format_results_table,
     render_rows,
     results_to_rows,
@@ -43,7 +45,9 @@ __all__ = [
     "run_experiment",
     "run_plan",
     "build_dataset",
+    "NON_MATRIX_RESULTS",
     "RESULT_FORMATS",
+    "experiment_result_rows",
     "format_results_table",
     "render_rows",
     "results_to_rows",

@@ -103,8 +103,16 @@ def _module_section(name: str, module) -> str:
 
 
 def render_api_md() -> str:
-    """Render the full API.md content (deterministic)."""
-    sections = [_HEADER]
+    """Render the full API.md content (deterministic).
+
+    The "HTTP API" section comes straight from the serving route table
+    (:func:`repro.serve.routes.render_http_api_md`), so this document,
+    ``GET /v1/openapi.json`` and the dispatching servers can never
+    disagree about the wire surface.
+    """
+    from ..serve.routes import render_http_api_md
+
+    sections = [_HEADER, render_http_api_md()]
     for name, module in iter_public_modules():
         sections.append(_module_section(name, module))
     return "\n".join(sections)

@@ -18,7 +18,9 @@ from ..exceptions import ExperimentError
 from ..tasks.base import TaskResult
 
 __all__ = [
+    "NON_MATRIX_RESULTS",
     "results_to_rows",
+    "experiment_result_rows",
     "pivot_results",
     "format_results_table",
     "rows_to_json",
@@ -34,6 +36,42 @@ RESULT_FORMATS = ("table", "json", "csv")
 def results_to_rows(results: list[TaskResult]) -> list[dict[str, object]]:
     """Flat row dictionaries (one per dataset x embedding x algorithm)."""
     return [result.as_row() for result in results]
+
+
+#: Experiments whose ``run_experiment`` return value is *not* a list of
+#: :class:`TaskResult` (so cannot feed ``pivot_results``).
+NON_MATRIX_RESULTS = frozenset(
+    {"table1", "ks_density", "figure4_scalability", "stream_ingestion"})
+
+
+def experiment_result_rows(experiment_id: str,
+                           result: object) -> list[dict[str, object]]:
+    """Flatten any ``run_experiment`` return value into result rows.
+
+    Each experiment family returns a different shape — dataset profiles
+    for ``table1``, a KS summary for ``ks_density``, scalability points
+    for ``figure4_scalability``, raw dictionaries for
+    ``stream_ingestion``, :class:`TaskResult` lists for the matrix
+    experiments.  This is the single mapping from those shapes to the flat
+    rows that every renderer and exporter consumes, shared by the CLI and
+    the async jobs API so a job's exported CSV is byte-identical to the
+    foreground ``repro run --format csv`` output.
+    """
+    if experiment_id == "table1":
+        return [profile.as_row() for profile in result]
+    if experiment_id == "ks_density":
+        return [{
+            "mean_KS_statistic": round(result.mean_statistic, 4),
+            "mean_p_value": round(result.mean_p_value, 4),
+            "n_features": result.n_features,
+            "n_pairs": result.n_pairs,
+            "same_distribution": result.same_distribution,
+        }]
+    if experiment_id == "figure4_scalability":
+        return [point.as_row() for point in result]
+    if experiment_id == "stream_ingestion":
+        return list(result)
+    return results_to_rows(result)
 
 
 def pivot_results(results: list[TaskResult]) -> dict[str, dict[str, dict[str, dict[str, float]]]]:

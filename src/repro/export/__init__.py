@@ -1,0 +1,48 @@
+"""Pluggable result exporters: one protocol, one registry, N formats.
+
+The offline half of the serving story: an experiment executed through the
+async jobs API (:mod:`repro.serve.jobs`) or the CLI produces a list of
+flat result rows, and this package serialises those rows into whatever a
+consumer wants to ingest:
+
+* ``csv`` — byte-identical to ``repro run --format csv`` (spreadsheets,
+  diffing against foreground runs);
+* ``jsonl`` — newline-delimited JSON objects (``jq``, log pipelines,
+  bulk-ingest endpoints);
+* ``npz`` — a columnar numpy bundle with numerics kept as numbers (the
+  analytics format; round-trips back to rows via ``load``).
+
+All formats implement the :class:`~repro.export.base.Exporter` protocol
+and register themselves here; resolve one with :func:`get_exporter` or
+serialise directly with :func:`export_rows`.  HTTP format negotiation
+(``GET /v1/jobs/{id}/result?format=...``) and ``repro export`` both
+dispatch through this registry, so a new format is one subclass away from
+being reachable everywhere.
+"""
+
+from __future__ import annotations
+
+from .base import Exporter, exporter_ids, get_exporter, register_exporter
+from .csv import CSVExporter
+from .jsonl import JSONLExporter
+from .npz import NPZBundleExporter
+
+__all__ = [
+    "Exporter",
+    "CSVExporter",
+    "JSONLExporter",
+    "NPZBundleExporter",
+    "export_rows",
+    "exporter_ids",
+    "get_exporter",
+    "register_exporter",
+]
+
+register_exporter(CSVExporter())
+register_exporter(JSONLExporter())
+register_exporter(NPZBundleExporter())
+
+
+def export_rows(rows: list[dict], format_id: str) -> bytes:
+    """Serialise result rows in the named format (see :func:`exporter_ids`)."""
+    return get_exporter(format_id).export(rows)

@@ -1,0 +1,75 @@
+"""The pluggable exporter protocol: result rows -> serialised bytes.
+
+Every exporter turns the same logical payload — a list of flat row
+dictionaries, exactly what :func:`repro.experiments.reporting` renders for
+the CLI — into one serialised byte string with a declared content type and
+file suffix.  The jobs API (``GET /v1/jobs/{id}/result?format=...``), the
+``repro export`` subcommand and any library caller all negotiate formats
+through the same registry, so adding a format is one subclass plus one
+:func:`register_exporter` call — no HTTP or CLI change.
+
+Exporters are stateless and thread-safe: ``export`` takes rows and returns
+bytes, nothing else.  Formats that need round-tripping back into rows
+(the NPZ bundle) also implement :meth:`Exporter.load`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..exceptions import ExportError
+
+__all__ = ["Exporter", "get_exporter", "exporter_ids", "register_exporter"]
+
+
+class Exporter(abc.ABC):
+    """One result serialisation format behind the jobs/result surface.
+
+    Subclasses declare their identity as class attributes and implement
+    :meth:`export`; :meth:`load` is optional (formats that cannot be read
+    back raise :class:`~repro.exceptions.ExportError`).
+    """
+
+    #: Registry key and the value of the ``?format=`` query parameter.
+    format_id: str = ""
+    #: ``Content-Type`` announced over HTTP.
+    content_type: str = "application/octet-stream"
+    #: Suffix for downloaded / ``repro export --output`` files.
+    file_suffix: str = ".bin"
+
+    @abc.abstractmethod
+    def export(self, rows: list[dict]) -> bytes:
+        """Serialise result rows; must not mutate ``rows``."""
+
+    def load(self, data: bytes) -> list[dict]:
+        """Parse previously exported bytes back into rows (optional)."""
+        raise ExportError(
+            f"format {self.format_id!r} does not support loading")
+
+
+#: The process-wide exporter registry, keyed by ``format_id``.
+_EXPORTERS: dict[str, Exporter] = {}
+
+
+def register_exporter(exporter: Exporter) -> Exporter:
+    """Register an exporter instance under its ``format_id``."""
+    if not exporter.format_id:
+        raise ExportError(
+            f"{type(exporter).__name__} declares no format_id")
+    _EXPORTERS[exporter.format_id] = exporter
+    return exporter
+
+
+def exporter_ids() -> tuple[str, ...]:
+    """Registered format ids, sorted (stable for docs and error text)."""
+    return tuple(sorted(_EXPORTERS))
+
+
+def get_exporter(format_id: str) -> Exporter:
+    """Resolve a format id to its exporter or raise :class:`ExportError`."""
+    exporter = _EXPORTERS.get(format_id)
+    if exporter is None:
+        raise ExportError(
+            f"unknown export format {format_id!r}; expected one of "
+            f"{exporter_ids()!r}")
+    return exporter

@@ -1,0 +1,33 @@
+"""CSV exporter: byte-identical to ``repro run --format csv``.
+
+Delegates to :func:`repro.experiments.reporting.rows_to_csv`, the exact
+renderer behind the CLI's ``--format csv`` flag — a job's exported CSV and
+the same experiment run foreground therefore compare equal, which the job
+lifecycle tests assert.
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+import io
+
+from ..experiments.reporting import rows_to_csv
+from .base import Exporter
+
+__all__ = ["CSVExporter"]
+
+
+class CSVExporter(Exporter):
+    """Comma-separated rows with a header (the union of row keys)."""
+
+    format_id = "csv"
+    content_type = "text/csv; charset=utf-8"
+    file_suffix = ".csv"
+
+    def export(self, rows: list[dict]) -> bytes:
+        return rows_to_csv(rows).encode("utf-8")
+
+    def load(self, data: bytes) -> list[dict]:
+        """Rows back as string-valued dicts (CSV is untyped)."""
+        reader = _csv.DictReader(io.StringIO(data.decode("utf-8")))
+        return [dict(row) for row in reader]

@@ -1,0 +1,33 @@
+"""JSON-lines exporter: one result row per line, stream-appendable.
+
+The format of choice for piping job results into ``jq``, log collectors
+or another service's bulk-ingest endpoint: each line is an independent
+JSON object, so consumers can process results without buffering the whole
+payload.  Values that JSON cannot represent are stringified exactly like
+the CLI's ``--format json`` renderer (``default=str``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .base import Exporter
+
+__all__ = ["JSONLExporter"]
+
+
+class JSONLExporter(Exporter):
+    """Newline-delimited JSON objects, one per result row."""
+
+    format_id = "jsonl"
+    content_type = "application/x-ndjson"
+    file_suffix = ".jsonl"
+
+    def export(self, rows: list[dict]) -> bytes:
+        lines = [json.dumps(row, sort_keys=True, default=str)
+                 for row in rows]
+        return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+    def load(self, data: bytes) -> list[dict]:
+        return [json.loads(line)
+                for line in data.decode("utf-8").splitlines() if line]

@@ -1,0 +1,75 @@
+"""NPZ-bundle exporter: columnar numpy arrays, numerics kept as numbers.
+
+The analytics-friendly format (the repo's stand-in for Parquet, without
+leaving the numpy toolchain): each result column becomes one named array
+in a compressed NPZ archive — numeric columns as ``float64``/``int64``,
+everything else as unicode strings — plus a ``__schema__`` JSON entry
+recording column order and dtypes.  ``numpy.load`` on the exported bytes
+gives per-column arrays directly; :meth:`NPZBundleExporter.load` restores
+the original row dictionaries, which the round-trip test asserts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from .base import Exporter
+
+__all__ = ["NPZBundleExporter"]
+
+#: NPZ entry holding the column schema (name/kind per column, row count).
+_SCHEMA_KEY = "__schema__"
+
+
+def _column_array(values: list) -> tuple[np.ndarray, str]:
+    """Pack one column as the narrowest lossless array: int, float or str."""
+    if all(isinstance(v, bool) or not isinstance(v, (int, float))
+           for v in values):
+        return np.asarray([str(v) for v in values]), "str"
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        return np.asarray(values, dtype=np.int64), "int"
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in values):
+        return np.asarray(values, dtype=np.float64), "float"
+    return np.asarray([str(v) for v in values]), "str"
+
+
+class NPZBundleExporter(Exporter):
+    """Compressed NPZ archive with one array per result column."""
+
+    format_id = "npz"
+    content_type = "application/x-npz"
+    file_suffix = ".npz"
+
+    def export(self, rows: list[dict]) -> bytes:
+        columns = list(dict.fromkeys(key for row in rows for key in row))
+        arrays: dict[str, np.ndarray] = {}
+        schema = {"n_rows": len(rows), "columns": []}
+        for name in columns:
+            array, kind = _column_array([row.get(name) for row in rows])
+            # Column names are free-form; "col_<i>" entry names keep the
+            # archive valid whatever characters the header used.
+            arrays[f"col_{len(schema['columns'])}"] = array
+            schema["columns"].append({"name": name, "kind": kind})
+        arrays[_SCHEMA_KEY] = np.asarray(json.dumps(schema))
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        return buffer.getvalue()
+
+    def load(self, data: bytes) -> list[dict]:
+        with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+            schema = json.loads(str(payload[_SCHEMA_KEY]))
+            rows = [dict() for _ in range(schema["n_rows"])]
+            for index, column in enumerate(schema["columns"]):
+                values = payload[f"col_{index}"]
+                for row, value in zip(rows, values):
+                    if column["kind"] == "int":
+                        row[column["name"]] = int(value)
+                    elif column["kind"] == "float":
+                        row[column["name"]] = float(value)
+                    else:
+                        row[column["name"]] = str(value)
+        return rows

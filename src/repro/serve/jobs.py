@@ -1,0 +1,472 @@
+"""Async jobs tier: run registry experiments behind ``POST /v1/jobs``.
+
+A :class:`JobManager` owns a bounded worker pool and a crash-safe job
+store.  Submissions are **content-addressed**: the job id is a hash of
+the canonical experiment spec (experiment, scale, overrides, seed,
+epochs), so resubmitting an identical spec returns the existing job —
+queued, running or completed — instead of re-executing it.  Inside one
+execution the embedding work additionally dedups through the
+process-wide :class:`~repro.cache.artifact.ArtifactCache`, exactly like
+foreground ``repro run``.
+
+Matrix experiments execute **cell by cell** (the same
+:func:`~repro.experiments.parallel.execute_cell` jobs a foreground run
+uses), which buys two things: live progress (``done/total`` cells) and
+cooperative cancellation — ``DELETE /v1/jobs/{id}`` sets a per-job event
+that is checked between cells.  Non-matrix experiments (``table1``,
+``ks_density``, ``figure4_scalability``, ``stream_ingestion``) run as a
+single cell and can only be cancelled while queued.
+
+Every state transition is persisted as one JSON file per job with the
+same atomic-write discipline as model checkpoints (tmp file + fsync +
+``os.replace`` + directory fsync, see :mod:`repro.serialize`), so a
+restarted server still reports completed jobs — and reports jobs that
+were queued or running at the crash as ``interrupted``.
+
+Results are stored as flat rows (the shared
+:func:`~repro.experiments.reporting.experiment_result_rows` mapping, so
+an exported CSV is byte-identical to ``repro run --format csv``) and
+serialised on demand by the pluggable exporters in :mod:`repro.export`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import BENCHMARK_SCALE, TEST_SCALE, DeepClusteringConfig
+from ..exceptions import JobError
+from ..export import export_rows, exporter_ids, get_exporter
+from ..experiments import (
+    NON_MATRIX_RESULTS,
+    build_dataset,
+    experiment_result_rows,
+    plan_experiment,
+    run_experiment,
+)
+from ..experiments.parallel import execute_cell
+from ..experiments.runner import _task_for
+from ..obs import get_logger, get_registry, new_trace_id
+from ..serialize import fsync_directory
+
+__all__ = ["JOB_STATUSES", "Job", "JobManager"]
+
+#: Every status a job can report.  ``interrupted`` only appears after a
+#: restart found the job mid-flight in the persisted store.
+JOB_STATUSES = ("queued", "running", "completed", "failed", "cancelled",
+                "interrupted")
+
+#: Statuses that no longer change (safe to serve results / refuse cancel).
+_TERMINAL = frozenset({"completed", "failed", "cancelled", "interrupted"})
+
+#: Submission fields that participate in the canonical (hashed) spec,
+#: with their defaults.  Anything else in the body is a client error.
+_SPEC_FIELDS: dict[str, object] = {
+    "experiment_id": None,
+    "scale": "test",
+    "datasets": None,
+    "embeddings": None,
+    "algorithms": None,
+    "seed": None,
+    "epochs": None,
+    "graph": None,
+    "graph_backend": None,
+    "batch_size": None,
+}
+
+_SCALES = {"test": TEST_SCALE, "benchmark": BENCHMARK_SCALE}
+
+
+def canonical_spec(body: dict) -> dict:
+    """Normalise a submission body into the canonical, hashable spec.
+
+    Unknown fields raise (silently dropping them would make two different
+    requests hash alike); list-valued overrides become tuples so the spec
+    is order-preserving but type-stable.
+    """
+    if not isinstance(body, dict):
+        raise JobError("job submission must be a JSON object")
+    unknown = sorted(set(body) - set(_SPEC_FIELDS))
+    if unknown:
+        raise JobError(f"unknown job fields {unknown!r}; expected a subset "
+                       f"of {sorted(_SPEC_FIELDS)!r}")
+    spec = dict(_SPEC_FIELDS)
+    spec.update(body)
+    if not spec["experiment_id"]:
+        raise JobError("job submission requires an 'experiment_id'")
+    if spec["scale"] not in _SCALES:
+        raise JobError(f"unknown scale {spec['scale']!r}; expected one of "
+                       f"{sorted(_SCALES)}")
+    for name in ("datasets", "embeddings", "algorithms"):
+        if spec[name] is not None:
+            if not isinstance(spec[name], (list, tuple)) or \
+                    not all(isinstance(v, str) for v in spec[name]):
+                raise JobError(f"{name!r} must be a list of strings")
+            spec[name] = list(spec[name])
+    for name in ("seed", "epochs", "batch_size"):
+        if spec[name] is not None and not isinstance(spec[name], int):
+            raise JobError(f"{name!r} must be an integer")
+    return spec
+
+
+def job_id_for(spec: dict) -> str:
+    """Content-addressed job id: hash of the canonical spec JSON."""
+    digest = hashlib.sha256(
+        json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"j-{digest[:16]}"
+
+
+def _config_for(spec: dict) -> DeepClusteringConfig | None:
+    """The ``epochs`` override as a config, mirroring the CLI's ``--epochs``."""
+    if spec["epochs"] is None:
+        return None
+    if spec["experiment_id"] == "figure4_scalability":
+        config = DeepClusteringConfig(pretrain_epochs=10, train_epochs=10)
+    else:
+        config = DeepClusteringConfig()
+    return config.with_updates(
+        pretrain_epochs=min(config.pretrain_epochs, spec["epochs"]),
+        train_epochs=min(config.train_epochs, spec["epochs"]))
+
+
+@dataclass
+class Job:
+    """One submitted experiment and everything known about it."""
+
+    job_id: str
+    spec: dict
+    status: str = "queued"
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    done_cells: int = 0
+    total_cells: int = 0
+    error: str | None = None
+    trace_id: str = ""
+    rows: list[dict] | None = None
+    cancel_event: threading.Event = field(default_factory=threading.Event,
+                                          repr=False, compare=False)
+
+    def describe(self) -> dict:
+        """The job as the API reports it (rows served separately)."""
+        payload = {
+            "id": self.job_id,
+            "experiment_id": self.spec["experiment_id"],
+            "spec": self.spec,
+            "status": self.status,
+            "progress": {"done": self.done_cells, "total": self.total_cells},
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "trace_id": self.trace_id,
+            "result_rows": len(self.rows) if self.rows is not None else None,
+            "result_formats": ["json", *exporter_ids()],
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+    def to_state(self) -> dict:
+        """The persisted representation (everything except the event)."""
+        state = self.describe()
+        state["rows"] = self.rows
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Job":
+        progress = state.get("progress") or {}
+        return cls(
+            job_id=state["id"], spec=state["spec"],
+            status=state.get("status", "queued"),
+            created_at=state.get("created_at", 0.0),
+            started_at=state.get("started_at"),
+            finished_at=state.get("finished_at"),
+            done_cells=int(progress.get("done", 0)),
+            total_cells=int(progress.get("total", 0)),
+            error=state.get("error"), trace_id=state.get("trace_id", ""),
+            rows=state.get("rows"))
+
+
+class JobManager:
+    """Bounded async executor for experiment jobs with a durable store.
+
+    ``state_dir`` holds one ``<job_id>.json`` per job; it is created on
+    demand and replayed on construction, so a manager pointed at an
+    existing directory resumes the view of a previous process (mid-flight
+    jobs come back as ``interrupted`` — their worker thread died with the
+    old process).
+    """
+
+    def __init__(self, state_dir: str | Path, *, max_workers: int = 1,
+                 identity: str = "server") -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.identity = identity
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._log = get_logger("jobs")
+        registry = get_registry()
+        self._submitted = registry.counter(
+            "repro_jobs_submitted_total",
+            "Job submissions by outcome (created vs deduplicated).",
+            ("result",))
+        self._finished = registry.counter(
+            "repro_jobs_finished_total", "Finished jobs by final status.",
+            ("status",))
+        self._running = registry.gauge(
+            "repro_jobs_running", "Jobs currently executing.")
+        self._duration = registry.histogram(
+            "repro_job_duration_seconds",
+            "Wall-clock job execution time by experiment.",
+            ("experiment",))
+        self._load_state()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, max_workers),
+            thread_name_prefix="repro-job")
+        self._closed = False
+
+    # -- persistence ---------------------------------------------------
+    def _state_path(self, job_id: str) -> Path:
+        return self.state_dir / f"{job_id}.json"
+
+    def _persist(self, job: Job) -> None:
+        """Atomically write a job's state file (checkpoint discipline)."""
+        path = self._state_path(job.job_id)
+        tmp = path.with_suffix(".json.tmp")
+        # No sort_keys: result-row column order is part of the result
+        # (exporters and the foreground CLI agree on it), and recursive
+        # sorting would scramble it across a restart.
+        payload = json.dumps(job.to_state(), default=str).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_directory(self.state_dir)
+
+    def _load_state(self) -> None:
+        for path in sorted(self.state_dir.glob("j-*.json")):
+            try:
+                job = Job.from_state(json.loads(path.read_text()))
+            except (ValueError, KeyError):
+                self._log.warning("job_state_unreadable", path=str(path))
+                continue
+            if job.status in ("queued", "running"):
+                # The process that owned this job is gone; its thread can
+                # never finish.  Report that honestly instead of "running"
+                # forever — a resubmission of the same spec re-enqueues it
+                # under the same id.
+                job.status = "interrupted"
+                job.finished_at = job.finished_at or time.time()
+                job.error = "server restarted while the job was in flight"
+                self._persist(job)
+                self._log.warning("job_interrupted", job_id=job.job_id)
+            self._jobs[job.job_id] = job
+
+    # -- public API ----------------------------------------------------
+    def submit(self, body: dict) -> tuple[dict, bool]:
+        """Submit a job; returns ``(description, created)``.
+
+        ``created`` is False when the content-addressed id matched an
+        existing queued/running/completed job (the dedup path).  Jobs that
+        ended without a result (failed / cancelled / interrupted) are
+        re-enqueued under the same id.
+        """
+        spec = canonical_spec(body)
+        # Plan now so an invalid spec is a synchronous 400 with the
+        # harness's own message, not a job that fails later.
+        plan = plan_experiment(
+            spec["experiment_id"], scale=_SCALES[spec["scale"]],
+            datasets=tuple(spec["datasets"]) if spec["datasets"] else None,
+            embeddings=tuple(spec["embeddings"]) if spec["embeddings"] else None,
+            algorithms=tuple(spec["algorithms"]) if spec["algorithms"] else None,
+            seed=spec["seed"])
+        job_id = job_id_for(spec)
+        with self._lock:
+            if self._closed:
+                raise JobError("job manager is shut down")
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status not in (
+                    "failed", "cancelled", "interrupted"):
+                self._submitted.inc(result="deduped")
+                return existing.describe(), False
+            total = (plan.n_cells
+                     if spec["experiment_id"] not in NON_MATRIX_RESULTS
+                     else 1)
+            job = Job(job_id=job_id, spec=spec, created_at=time.time(),
+                      total_cells=total, trace_id=new_trace_id())
+            self._jobs[job_id] = job
+            self._persist(job)
+            self._submitted.inc(result="created")
+            self._log.info("job_submitted", job_id=job_id,
+                           experiment=spec["experiment_id"],
+                           trace_id=job.trace_id, cells=total,
+                           identity=self.identity)
+            self._pool.submit(self._execute, job)
+            return job.describe(), True
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.created_at)
+            return [job.describe() for job in jobs]
+
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobError(f"no job with id {job_id!r}")
+        return job
+
+    def get(self, job_id: str) -> dict:
+        with self._lock:
+            return self._job(job_id).describe()
+
+    def cancel(self, job_id: str) -> dict:
+        """Cooperatively cancel a queued or running job."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.status == "cancelled":
+                return job.describe()
+            if job.status in _TERMINAL:
+                raise JobError(f"job {job_id!r} already finished with "
+                               f"status {job.status!r}; nothing to cancel")
+            job.cancel_event.set()
+            if job.status == "queued":
+                # The worker checks the event before starting, but flip the
+                # visible status now so a poll straight after the DELETE
+                # does not read "queued".
+                self._finish(job, "cancelled")
+            else:
+                self._log.info("job_cancel_requested", job_id=job_id)
+            return job.describe()
+
+    def result_rows(self, job_id: str) -> list[dict]:
+        with self._lock:
+            job = self._job(job_id)
+            if job.status != "completed" or job.rows is None:
+                raise JobError(f"job {job_id!r} has no result "
+                               f"(status {job.status!r})")
+            return list(job.rows)
+
+    def result_bytes(self, job_id: str,
+                     format_id: str = "json") -> tuple[bytes, str]:
+        """A completed job's rows serialised as ``(payload, content_type)``.
+
+        ``json`` (the default) is rendered inline; every other format
+        dispatches through the :mod:`repro.export` registry, so formats
+        registered by client code are immediately negotiable over HTTP.
+        """
+        rows = self.result_rows(job_id)
+        if format_id in ("", "json"):
+            return (json.dumps(rows, indent=2, default=str).encode("utf-8"),
+                    "application/json")
+        exporter = get_exporter(format_id)
+        return export_rows(rows, format_id), exporter.content_type
+
+    def close(self) -> None:
+        """Stop accepting work and ask running jobs to wind down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for job in self._jobs.values():
+                if job.status in ("queued", "running"):
+                    job.cancel_event.set()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- execution -----------------------------------------------------
+    def _finish(self, job: Job, status: str, *, error: str | None = None,
+                rows: list[dict] | None = None) -> None:
+        """Transition a job into a terminal status (lock held by caller)."""
+        job.status = status
+        job.error = error
+        job.rows = rows
+        job.finished_at = time.time()
+        self._persist(job)
+        self._finished.inc(status=status)
+        level = "info" if status == "completed" else "warning"
+        self._log.log(level, f"job_{status}", job_id=job.job_id,
+                      experiment=job.spec["experiment_id"],
+                      trace_id=job.trace_id, error=error or "")
+
+    def _execute(self, job: Job) -> None:
+        with self._lock:
+            if job.cancel_event.is_set() or job.status != "queued":
+                return
+            job.status = "running"
+            job.started_at = time.time()
+            self._persist(job)
+        self._running.inc()
+        self._log.info("job_started", job_id=job.job_id,
+                       experiment=job.spec["experiment_id"],
+                       trace_id=job.trace_id)
+        start = time.monotonic()
+        try:
+            rows = self._run_spec(job)
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            with self._lock:
+                self._finish(job, "failed", error=str(exc))
+        else:
+            with self._lock:
+                if rows is None:
+                    self._finish(job, "cancelled",
+                                 error="cancelled while running")
+                else:
+                    self._finish(job, "completed", rows=rows)
+        finally:
+            self._running.dec()
+            self._duration.observe(time.monotonic() - start,
+                                   experiment=job.spec["experiment_id"])
+
+    def _run_spec(self, job: Job) -> list[dict] | None:
+        """Execute a job's spec; ``None`` means it was cancelled mid-run."""
+        spec = job.spec
+        experiment_id = spec["experiment_id"]
+        scale = _SCALES[spec["scale"]]
+        config = _config_for(spec)
+        overrides = {name: tuple(spec[name]) if spec[name] else None
+                     for name in ("datasets", "embeddings", "algorithms")}
+
+        if experiment_id in NON_MATRIX_RESULTS:
+            # Single-shot experiments: no per-cell progress, whole-run
+            # execution through the same entry point as the CLI.
+            result = run_experiment(
+                experiment_id, scale=scale, config=config,
+                graph=spec["graph"], graph_backend=spec["graph_backend"],
+                batch_size=spec["batch_size"], seed=spec["seed"],
+                workers=1, **overrides)
+            with self._lock:
+                job.done_cells = 1
+            return experiment_result_rows(experiment_id, result)
+
+        plan = plan_experiment(experiment_id, scale=scale, seed=spec["seed"],
+                               **overrides)
+        updates = {name: spec[name]
+                   for name in ("graph", "graph_backend", "batch_size")
+                   if spec[name] is not None}
+        tasks: dict[str, object] = {}
+        results = []
+        for cell in plan.cells:
+            if job.cancel_event.is_set():
+                return None
+            task = tasks.get(cell.dataset)
+            if task is None:
+                task = _task_for(plan.spec,
+                                 build_dataset(cell.dataset, plan.scale,
+                                               seed=plan.seed),
+                                 config)
+                task.config_updates = updates or None
+                tasks[cell.dataset] = task
+            results.append(execute_cell(task, cell))
+            with self._lock:
+                job.done_cells += 1
+                self._persist(job)
+            self._log.debug("job_cell_done", job_id=job.job_id,
+                            cell=cell.label(),
+                            done=job.done_cells, total=job.total_cells)
+        return experiment_result_rows(experiment_id, results)

@@ -114,7 +114,10 @@ def _worker_main(config: WorkerConfig, conn) -> None:
             micro_batching=config.micro_batching,
             reload_interval=config.reload_interval,
             shared_manifest=config.shared_manifest or None,
-            identity={"worker": config.index, "pid": os.getpid()})
+            identity={"worker": config.index, "pid": os.getpid()},
+            # The router owns the pool's single JobManager: jobs handled
+            # per-shard would fragment the content-addressed dedup.
+            jobs=False)
     except Exception as exc:
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()

@@ -7,6 +7,13 @@ admission control, and proxies the bytes.  Because every request thread
 only ever blocks on one upstream socket, the router's GIL share per
 request is tiny and the pool's throughput scales with worker cores.
 
+The router serves the same versioned ``/v1`` surface as a single worker
+(legacy unprefixed paths answer with ``Deprecation``/``Link`` successor
+headers, errors use the shared envelope), and it is the pool's **job
+owner**: ``/v1/jobs`` routes are answered from a router-local
+:class:`~repro.serve.jobs.JobManager` rather than proxied, so the
+content-addressed submission dedup spans the whole pool.
+
 Admission control and failure semantics (the failure matrix ARCHITECTURE.md
 documents):
 
@@ -41,11 +48,14 @@ from ..obs.metrics import (get_registry, merge_snapshots, obs_enabled,
                            render_prometheus)
 from ..obs.trace import (TRACE_HEADER, get_trace_store, record_span,
                          request_trace, valid_trace_id)
-from .http import (_NEIGHBORS_ROUTE, _PREDICT_ROUTE,
-                   _PROMETHEUS_CONTENT_TYPE, query_flag, query_value,
-                   read_request_body)
+from .errors import classify_exception, default_code, error_envelope
+from .http import (_PROMETHEUS_CONTENT_TYPE, match_route, query_flag,
+                   query_value, read_request_body)
+from .jobs import JobManager
 from .pool import WorkerPool, shard_for
 from .registry import servable_names
+from .routes import API_PREFIX, deprecation_headers, openapi_spec, \
+    split_version
 
 __all__ = ["PoolRouter", "create_pool_server"]
 
@@ -101,9 +111,14 @@ class PoolRouter(ThreadingHTTPServer):
     request_queue_size = 128
 
     def __init__(self, address, pool: WorkerPool, *,
-                 max_inflight: int = 64) -> None:
+                 max_inflight: int = 64,
+                 jobs: JobManager | None = None) -> None:
         super().__init__(address, _RouterHandler)
         self.pool = pool
+        #: The pool's single job owner: jobs routes are handled here in
+        #: the parent process (never proxied to a shard), so the
+        #: content-addressed dedup is global across the pool.
+        self.jobs = jobs
         #: Per-worker admission bound: requests concurrently proxied to
         #: one worker beyond this are answered 429 instead of queued.
         self.max_inflight = int(max_inflight)
@@ -161,6 +176,9 @@ class PoolRouter(ThreadingHTTPServer):
     def server_close(self) -> None:
         """Stop the router socket, then the workers and their segments."""
         super().server_close()
+        jobs = getattr(self, "jobs", None)
+        if jobs is not None:
+            jobs.close()
         pool = getattr(self, "pool", None)
         if pool is not None:
             pool.stop()
@@ -181,35 +199,34 @@ class _RouterHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, body: dict | list,
-                   retry_after: int | None = None) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _send_raw(self, status: int, data: bytes, content_type: str,
+                  retry_after: int | None = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         self.send_header("Content-Length", str(len(data)))
         trace_id = getattr(self, "_trace_id", None)
         if trace_id:
             self.send_header(TRACE_HEADER, trace_id)
+        for name, value in getattr(self, "_extra_headers", ()):
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
         self._status = status
+
+    def _send_json(self, status: int, body: dict | list,
+                   retry_after: int | None = None) -> None:
+        self._send_raw(status, json.dumps(body).encode("utf-8"),
+                       "application/json", retry_after=retry_after)
 
     def _send_error_json(self, status: int, message: str,
-                         retry_after: int | None = None) -> None:
-        self._send_json(status, {"error": message}, retry_after=retry_after)
-
-    def _send_raw(self, status: int, data: bytes, content_type: str) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        trace_id = getattr(self, "_trace_id", None)
-        if trace_id:
-            self.send_header(TRACE_HEADER, trace_id)
-        self.end_headers()
-        self.wfile.write(data)
-        self._status = status
+                         retry_after: int | None = None,
+                         code: str | None = None) -> None:
+        self._send_json(status, error_envelope(
+            code or default_code(status), message,
+            trace_id=getattr(self, "_trace_id", None)),
+            retry_after=retry_after)
 
     def _observe_request(self, endpoint: str, started: float) -> None:
         if not obs_enabled():
@@ -222,58 +239,106 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("DELETE")
+
+    def _handle(self, method: str) -> None:
         raw_path, _, query = self.path.partition("?")
-        path = raw_path.rstrip("/") or "/"
-        endpoint = {"/healthz": "healthz", "/health": "healthz",
-                    "/stats": "stats", "/metrics": "metrics",
-                    "/models": "models"}.get(path, "other")
+        path, versioned = split_version(raw_path)
+        if not versioned:
+            self._extra_headers = deprecation_headers(path)
+        raw = b""
+        if method == "POST":
+            body = read_request_body(self)
+            if body is None:
+                return
+            raw = body
+        route, params = match_route(method, path)
+        endpoint = route.endpoint if route is not None else "other"
         started = time.perf_counter()
         try:
-            if path in ("/healthz", "/health"):
+            if route is None:
+                self._send_error_json(404, f"no such route: {self.path}",
+                                      code="not_found")
+            elif endpoint in ("predict", "neighbors", "search"):
+                self._handle_inference(endpoint, params, path, raw)
+            elif endpoint.startswith("jobs_"):
+                self._handle_jobs(endpoint, params, query, raw)
+            elif endpoint == "healthz":
                 self._handle_health()
-            elif path == "/stats":
+            elif endpoint == "stats":
                 self._handle_stats(verbose=query_flag(query, "verbose"))
-            elif path == "/metrics":
+            elif endpoint == "metrics":
                 self._handle_metrics(query)
-            elif path == "/models":
+            elif endpoint == "openapi":
+                self._send_json(200, openapi_spec())
+            elif endpoint == "models":
                 # Any worker answers identically (headers read from the
                 # shared model directory); use the ring so a dead worker
                 # is skipped.
-                self._route(0, "GET", "/models", b"")
-            else:
-                self._send_error_json(404, f"no such route: {path}")
+                self._route(0, "GET", f"{API_PREFIX}/models", b"")
+            else:  # pragma: no cover - table and dispatch kept in sync
+                self._send_error_json(404, f"no handler for {endpoint!r}",
+                                      code="not_found")
+        except Exception as exc:  # noqa: BLE001 - request boundary
+            status, code = classify_exception(exc)
+            message = (str(exc) if type(exc).__module__.startswith("repro")
+                       else f"{type(exc).__name__}: {exc}")
+            self._send_error_json(status, message, code=code)
         finally:
             self._observe_request(endpoint, started)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        raw = read_request_body(self)
-        if raw is None:
-            return
-        path = self.path.split("?", 1)[0]
-        predict = _PREDICT_ROUTE.match(path)
-        neighbors = _NEIGHBORS_ROUTE.match(path)
-        if predict is not None or neighbors is not None:
-            endpoint = "predict" if predict is not None else "neighbors"
-            name = (predict or neighbors).group(1)
-            primary = shard_for(name, self.server.pool.n_workers)
-        elif (path.rstrip("/") or "/") == "/search":
-            endpoint = "search"
+    def _handle_inference(self, endpoint: str, params: dict, path: str,
+                          raw: bytes) -> None:
+        """Shard-route predict/neighbors/search to a worker."""
+        if endpoint == "search":
             primary = self._search_shard(raw)
         else:
-            self._send_error_json(404, f"no such route: {self.path}")
-            return
+            primary = shard_for(params["name"], self.server.pool.n_workers)
         # Mint (or adopt) the trace id here, at the pool's public edge;
         # _proxy_once forwards it so the worker's spans share the id.
         incoming = self.headers.get(TRACE_HEADER)
         trace_id = incoming if valid_trace_id(incoming) else None
-        started = time.perf_counter()
-        try:
-            with request_trace(endpoint, trace_id=trace_id) as trace:
-                if trace is not None:
-                    self._trace_id = trace.trace_id
-                self._route(primary, "POST", path, raw)
-        finally:
-            self._observe_request(endpoint, started)
+        with request_trace(endpoint, trace_id=trace_id) as trace:
+            if trace is not None:
+                self._trace_id = trace.trace_id
+            # Proxy the canonical spelling whatever the client sent; the
+            # deprecation headers (when due) are stamped router-side.
+            self._route(primary, "POST", f"{API_PREFIX}{path}", raw)
+
+    def _handle_jobs(self, endpoint: str, params: dict, query: str,
+                     raw: bytes) -> None:
+        """Answer jobs routes from the router-owned :class:`JobManager`."""
+        jobs = self.server.jobs
+        if jobs is None:
+            self._send_error_json(
+                503, "the jobs API is not enabled on this pool",
+                code="jobs_disabled")
+            return
+        if endpoint == "jobs_submit":
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._send_error_json(400, f"invalid JSON body: {exc}")
+                return
+            description, created = jobs.submit(payload)
+            self._trace_id = description.get("trace_id") or None
+            self._send_json(201 if created else 200, description)
+        elif endpoint == "jobs_list":
+            self._send_json(200, {"jobs": jobs.list_jobs()})
+        elif endpoint == "jobs_get":
+            self._send_json(200, jobs.get(params["id"]))
+        elif endpoint == "jobs_cancel":
+            self._send_json(200, jobs.cancel(params["id"]))
+        else:  # jobs_result
+            fmt = query_value(query, "format") or "json"
+            data, content_type = jobs.result_bytes(params["id"], fmt)
+            self._send_raw(200, data, content_type)
 
     def _search_shard(self, raw: bytes) -> int:
         """Primary worker for a ``/search`` body.
@@ -311,7 +376,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _handle_stats(self, verbose: bool = False) -> None:
         pool = self.server.pool
         per_worker: dict[str, dict] = {}
-        worker_path = "/stats?verbose=1" if verbose else "/stats"
+        worker_path = (f"{API_PREFIX}/stats?verbose=1" if verbose
+                       else f"{API_PREFIX}/stats")
         for index in range(pool.n_workers):
             address = pool.address_of(index)
             if address is None:
@@ -373,7 +439,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             if address is None:
                 continue
             result = self._proxy_once(index, address, "GET",
-                                      "/metrics?format=json", b"")
+                                      f"{API_PREFIX}/metrics?format=json",
+                                      b"")
             if result is not None and result[0] == 200:
                 try:
                     snapshots.append(json.loads(result[1]))
@@ -478,7 +545,10 @@ def create_pool_server(model_dir: str | Path, *, host: str = "127.0.0.1",
                        reload_interval: float | None = None,
                        wal_dir: str | Path | None = None,
                        shared_memory: bool = True,
-                       start_method: str | None = None) -> PoolRouter:
+                       start_method: str | None = None,
+                       jobs: bool = True,
+                       jobs_dir: str | Path | None = None,
+                       job_workers: int = 1) -> PoolRouter:
     """Build and start the sharded serving pool behind one router socket.
 
     The mirror of :func:`repro.serve.create_server` for ``--workers N``:
@@ -491,15 +561,28 @@ def create_pool_server(model_dir: str | Path, *, host: str = "127.0.0.1",
 
     Unlike ``create_server`` the workers are already running when this
     returns — construction is the pool's boot.
+
+    The jobs tier (``jobs=True``) lives in *this* process: workers are
+    started with their jobs API disabled and the router answers
+    ``/v1/jobs`` routes from its own :class:`JobManager` (state under
+    ``jobs_dir``, default ``<model_dir>/jobs``), so identical submissions
+    dedup globally instead of per shard.
     """
     pool = WorkerPool(model_dir, n_workers=workers, host=host,
                       max_loaded=max_loaded, max_batch_rows=max_batch_rows,
                       max_delay=max_delay, micro_batching=micro_batching,
                       reload_interval=reload_interval, wal_dir=wal_dir,
                       shared_memory=shared_memory, start_method=start_method)
-    pool.start()
+    manager = None
+    if jobs:
+        manager = JobManager(jobs_dir or Path(model_dir) / "jobs",
+                             max_workers=job_workers, identity="router")
     try:
-        return PoolRouter((host, port), pool, max_inflight=max_inflight)
+        pool.start()
+        return PoolRouter((host, port), pool, max_inflight=max_inflight,
+                          jobs=manager)
     except BaseException:
+        if manager is not None:
+            manager.close()
         pool.stop()
         raise

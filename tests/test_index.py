@@ -424,10 +424,12 @@ class TestServingNeighbors:
         port = server.server_address[1]
         status, body = _post(port, "/models/model.index/predict",
                              {"vectors": X[:1].tolist()})
-        assert status == 400 and "vector index" in body["error"]
+        assert status == 400 and body["error"]["code"] == "bad_request"
+        assert "vector index" in body["error"]["message"]
         status, body = _post(port, "/models/model/neighbors",
                              {"vectors": X[:1].tolist()})
-        assert status == 400 and "not a vector index" in body["error"]
+        assert status == 400 and body["error"]["code"] == "bad_request"
+        assert "not a vector index" in body["error"]["message"]
 
     def test_bad_k_rejected(self, server, corpus):
         X, _ = corpus
