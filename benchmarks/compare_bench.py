@@ -11,7 +11,11 @@ regresses past the thresholds:
   drop of more than 30% against the baseline;
 * **latency-class** metrics (lower is better: p99 ratios, memory ratios)
   fail on growth of more than 2x;
-* **zero-class** metrics (failure counts) fail on any non-zero value.
+* **zero-class** metrics (failure counts) fail on any non-zero value;
+* **floor-class** metrics (quality guarantees: recalls the benches are
+  seeded to reproduce exactly) fail on *any* drop below the baseline —
+  zero tolerance, because a recall regression is a correctness bug, not
+  noise.
 
 Every gated metric is a *same-machine ratio* (micro-batched vs per-request
 p99, incremental-update vs refit wall time, sparse vs dense peak memory),
@@ -131,6 +135,16 @@ def _metrics_index(doc: dict) -> dict[str, tuple[float, str]]:
             float(graph["build_speedup"]), "higher")
         metrics["knn_graph_edge_recall@3200"] = (float(graph["edge_recall"]),
                                                  "higher")
+    ivfpq = doc.get("ivfpq")
+    if ivfpq is not None:
+        # The quantized tier's quality guarantee is zero-tolerance: the
+        # bench is fully seeded, so any recall drop is a real regression
+        # in the quantizers or the rerank pipeline, not machine noise.
+        metrics["ivfpq_recall_at_10@1M"] = (
+            float(ivfpq["ivfpq_recall_at_10"]), "floor")
+        metrics["ivfpq_p99_ms@1M"] = (float(ivfpq["ivfpq_p99_ms"]), "lower")
+        metrics["ivfpq_memory_reduction_vs_flat64@1M"] = (
+            float(ivfpq["memory_reduction_vs_flat64"]), "higher")
     return metrics
 
 
@@ -150,6 +164,12 @@ def _judge(name: str, kind: str, baseline: float,
         if current > 0:
             return "fail", f"{name}: {current:g} must be 0"
         return "ok", f"{name}: 0 as required"
+    if kind == "floor":
+        if current < baseline:
+            return ("fail",
+                    f"{name}: {current:g} fell below the zero-tolerance "
+                    f"floor {baseline:g}")
+        return "ok", f"{name}: {current:g} vs floor {baseline:g}"
     if kind == "higher":
         floor = baseline * (1.0 - THROUGHPUT_DROP)
         if current < floor:

@@ -256,8 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also build a similarity-search index over "
                                 "the training embeddings and save it next "
                                 "to the checkpoint as <stem>.index.npz "
-                                "(backend: flat, ivf or hnsw; bare flag "
-                                "means ivf)")
+                                "(backend: flat, ivf, hnsw or ivfpq; bare "
+                                "flag means ivf)")
 
     serve_cmd = sub.add_parser(
         "serve", help="serve a directory of checkpoints over HTTP")
@@ -493,6 +493,21 @@ def build_parser() -> argparse.ArgumentParser:
                                  "or a JSON list of items")
     search_cmd.add_argument("-k", type=int, default=5,
                             help="neighbours to return (default: 5)")
+    search_cmd.add_argument("--nprobe", type=int, default=None,
+                            metavar="N",
+                            help="IVF cells to probe for this query "
+                                 "(ivf/ivfpq indexes; default: the "
+                                 "index's build-time setting)")
+    search_cmd.add_argument("--ef-search", type=int, default=None,
+                            metavar="N",
+                            help="HNSW beam width for this query "
+                                 "(default: the index's build-time "
+                                 "setting)")
+    search_cmd.add_argument("--rerank", type=int, default=None,
+                            metavar="N",
+                            help="exact-distance rerank depth for this "
+                                 "query (ivfpq indexes; 0 disables the "
+                                 "rerank pass)")
     search_cmd.add_argument("--format", choices=RESULT_FORMATS,
                             default="table", help="output format")
 
@@ -942,7 +957,21 @@ def _cmd_search(args: argparse.Namespace) -> int:
         raise ReproError(f"--query is not valid JSON: {exc}") from exc
     items = query if isinstance(query, list) else [query]
     X = embed_items(args.task, embedding, items)
-    positions, distances = index.query(X, args.k)
+    supported = index.query_tunables
+    tunables = {}
+    for field, value in (("nprobe", args.nprobe),
+                         ("ef_search", args.ef_search),
+                         ("rerank", args.rerank)):
+        if value is None:
+            continue
+        if field not in supported:
+            accepted = ", ".join(f"--{name.replace('_', '-')}"
+                                 for name in sorted(supported)) or "none"
+            raise ReproError(
+                f"--{field.replace('_', '-')} does not apply to a "
+                f"{index.backend} index (it accepts: {accepted})")
+        tunables[field] = value
+    positions, distances = index.query(X, args.k, **tunables)
     ids = index.ids.tolist()  # JSON-able natives (int64 -> int, str_ -> str)
     rows = [{"query": q, "rank": rank + 1,
              "id": ids[positions[q, rank]],

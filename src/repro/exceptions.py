@@ -64,5 +64,15 @@ class VectorIndexError(ReproError):
     """Raised when a vector index is queried or mutated invalidly."""
 
 
+class IndexMismatchError(VectorIndexError):
+    """Raised when a query or checkpoint contradicts an index's contract.
+
+    The first slice of the versioned vector contracts: an index stamped
+    with one dimensionality/metric must reject queries (and corrupted
+    checkpoints) carrying another, instead of silently returning garbage
+    distances.
+    """
+
+
 class WALError(ReproError):
     """Raised when a write-ahead-log record or journal is invalid."""

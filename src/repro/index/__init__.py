@@ -10,28 +10,42 @@ behind one protocol:
 * :class:`IVFFlatIndex` — k-means coarse quantizer + inverted lists with
   ``nprobe``-tunable recall and a fully vectorised build;
 * :class:`HNSWIndex` — navigable small-world graph with ``ef``-tunable
-  recall and sub-linear queries.
+  recall and sub-linear queries;
+* :class:`IVFPQIndex` — inverted lists of quantized codes
+  (:class:`ProductQuantizer` / :class:`ScalarQuantizer` from
+  :mod:`repro.index.quant`) with exact top-``rerank`` re-scoring and
+  memory-mapped, lazily loaded cells — the million-vector,
+  larger-than-RAM backend.
 
-All three support cosine and Euclidean metrics, incremental :meth:`add`
-for streaming, and round-trip through the versioned
-:mod:`repro.serialize` checkpoint format — so indexes persist, hot-reload
-and rotate alongside model generations.  Integration points:
+All backends support cosine and Euclidean metrics, incremental
+:meth:`add` for streaming (IVF-PQ: in-memory instances only), and
+round-trip through the versioned :mod:`repro.serialize` checkpoint
+format — so indexes persist, hot-reload and rotate alongside model
+generations.  Integration points:
 ``repro.graphs.knn.sparse_knn_graph(..., backend=...)`` for graph
 construction, ``DBSCAN(index=...)`` for out-of-sample density queries,
 and the serving API's ``POST /models/{name}/neighbors`` / ``POST
 /search`` routes for similarity search over tables.
 """
 
-from .base import INDEX_BACKENDS, VectorIndex, create_index
+from .base import INDEX_BACKENDS, INDEX_DTYPE, VectorIndex, create_index
 from .flat import FlatIndex
 from .hnsw import HNSWIndex
 from .ivf import IVFFlatIndex
+from .ivfpq import IVFPQIndex
+from .quant import ProductQuantizer, ScalarQuantizer
+from .storage import MappedArrays
 
 __all__ = [
     "INDEX_BACKENDS",
+    "INDEX_DTYPE",
     "VectorIndex",
     "create_index",
     "FlatIndex",
     "IVFFlatIndex",
     "HNSWIndex",
+    "IVFPQIndex",
+    "ProductQuantizer",
+    "ScalarQuantizer",
+    "MappedArrays",
 ]

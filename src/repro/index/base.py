@@ -22,11 +22,21 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, VectorIndexError
+from ..exceptions import (
+    ConfigurationError,
+    IndexMismatchError,
+    VectorIndexError,
+)
 from ..utils.metrics_dispatch import unit_rows, validate_metric
 from ..utils.validation import check_matrix
 
-__all__ = ["VectorIndex", "create_index", "INDEX_BACKENDS"]
+__all__ = ["VectorIndex", "create_index", "INDEX_BACKENDS", "INDEX_DTYPE"]
+
+#: Storage/compute dtype of the index hot path.  Inputs arrive as float64
+#: (the training precision) and are narrowed once at the ``build``/``add``/
+#: ``query`` boundary: float32 halves the memory footprint and bandwidth of
+#: every scan without changing neighbour orderings at embedding scale.
+INDEX_DTYPE = np.float32
 
 
 class VectorIndex:
@@ -44,8 +54,15 @@ class VectorIndex:
     query batch with ``(positions, distances)``).
     """
 
-    #: Registry key of the backend (``"flat"``, ``"ivf"``, ``"hnsw"``).
+    #: Registry key of the backend (``"flat"``, ``"ivf"``, ``"hnsw"``,
+    #: ``"ivfpq"``).
     backend: str = ""
+
+    #: Query-time tunables the backend accepts (name -> minimum value).
+    #: These ride on :meth:`query` as keyword arguments — per-request
+    #: recall/latency trade-offs that never mutate the index (thread-safe
+    #: under the serving layer's concurrent queries).
+    _QUERY_TUNABLES: dict[str, int] = {}
 
     def __init__(self, *, metric: str = "cosine") -> None:
         validate_metric(metric)
@@ -101,7 +118,7 @@ class VectorIndex:
         strings); they default to the row positions and are what the
         serving API reports back to clients.
         """
-        X = check_matrix(X, name="X")
+        X = check_matrix(X, name="X", dtype=INDEX_DTYPE)
         self.vectors_ = X
         self.ids_ = (np.arange(X.shape[0], dtype=np.int64) if ids is None
                      else self._check_ids(ids, X.shape[0]))
@@ -117,9 +134,9 @@ class VectorIndex:
         """
         if self.vectors_ is None:
             return self.build(X, ids=ids)
-        X = check_matrix(X, name="X")
+        X = check_matrix(X, name="X", dtype=INDEX_DTYPE)
         if X.shape[1] != self.dim:
-            raise VectorIndexError(
+            raise IndexMismatchError(
                 f"add batch has {X.shape[1]} features; the index holds "
                 f"{self.dim}-dimensional vectors")
         start = self.size
@@ -142,24 +159,59 @@ class VectorIndex:
         self._append(start)
         return self
 
-    def query(self, Q, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    def query(self, Q, k: int = 10,
+              **tunables) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` nearest indexed vectors for every row of ``Q``.
 
         Returns ``(positions, distances)``, both ``(len(Q), k_eff)`` with
         ``k_eff = min(k, size)`` and each row ordered by increasing
         distance.  Positions index :attr:`ids` / the build order; map them
         through :attr:`ids` for external ids.
+
+        ``tunables`` are per-request recall/latency knobs — ``nprobe`` and
+        ``rerank`` for the IVF family, ``ef_search`` for HNSW (see
+        :attr:`query_tunables`).  They override the build-time defaults
+        for this call only and never mutate the index, so concurrent
+        queries with different settings are safe.
         """
         self._require_built()
         if k < 1:
             raise VectorIndexError("k must be >= 1")
-        Q = check_matrix(Q, name="Q")
+        params = self._check_tunables(tunables)
+        Q = check_matrix(Q, name="Q", dtype=INDEX_DTYPE)
         if Q.shape[1] != self.dim:
-            raise VectorIndexError(
+            raise IndexMismatchError(
                 f"query has {Q.shape[1]} features; the index holds "
                 f"{self.dim}-dimensional vectors")
         k = min(int(k), self.size)
-        return self._search(self._as_search(Q), k)
+        return self._search(self._as_search(Q), k, params)
+
+    @property
+    def query_tunables(self) -> dict[str, int]:
+        """Query-time tunables this backend accepts (name -> minimum)."""
+        return dict(self._QUERY_TUNABLES)
+
+    def _check_tunables(self, tunables: dict) -> dict:
+        """Validate per-request tunables against the backend's contract."""
+        params: dict[str, int] = {}
+        for name, value in tunables.items():
+            minimum = self._QUERY_TUNABLES.get(name)
+            if minimum is None:
+                supported = sorted(self._QUERY_TUNABLES) or "none"
+                raise VectorIndexError(
+                    f"{type(self).__name__} accepts no query tunable "
+                    f"{name!r}; supported: {supported}")
+            if value is None:
+                continue
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, np.integer)):
+                raise VectorIndexError(
+                    f"{name} must be an integer, got {value!r}")
+            if value < minimum:
+                raise VectorIndexError(
+                    f"{name} must be >= {minimum}, got {value}")
+            params[name] = int(value)
+        return params
 
     # ------------------------------------------------------------------
     # backend hooks
@@ -171,8 +223,13 @@ class VectorIndex:
         """Absorb rows ``start:`` of ``self._search_vectors`` incrementally."""
         raise NotImplementedError
 
-    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Answer a validated, metric-transformed query batch."""
+    def _search(self, Q: np.ndarray, k: int,
+                tunables: dict) -> tuple[np.ndarray, np.ndarray]:
+        """Answer a validated, metric-transformed query batch.
+
+        ``tunables`` holds the validated per-request overrides (possibly
+        empty); backends fall back to their build-time defaults.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -209,7 +266,7 @@ class VectorIndex:
     def from_checkpoint(cls, params: dict, arrays: dict) -> "VectorIndex":
         """Rebuild an index from :mod:`repro.serialize` state."""
         index = cls(metric=params["metric"], **cls._init_kwargs(params))
-        index.vectors_ = np.asarray(arrays["vectors"], dtype=np.float64)
+        index.vectors_ = np.asarray(arrays["vectors"], dtype=INDEX_DTYPE)
         ids = np.asarray(arrays["ids"])
         index.ids_ = ids if ids.dtype.kind in "US" else ids.astype(np.int64)
         index._search_vectors = index._as_search(index.vectors_)
@@ -235,24 +292,58 @@ class VectorIndex:
 
     # ------------------------------------------------------------------
     # save / load convenience over repro.serialize
+    def _quantizer_metadata(self) -> dict | None:
+        """Quantizer configuration stamped into saved headers (or None)."""
+        return None
+
     def save(self, path: str | Path, *, metadata: dict | None = None) -> Path:
-        """Persist as a versioned NPZ checkpoint (atomic write)."""
+        """Persist as a versioned NPZ checkpoint (atomic write).
+
+        The header metadata stamps the index contract — ``metric``,
+        ``dtype``, ``dim`` and (for quantized backends) the quantizer
+        configuration — alongside whatever the caller provides (the CLI
+        adds encoder name/seed via ``task``/``embedding``/``seed``), so a
+        loader can reject mismatched queries before computing garbage.
+        """
         from ..serialize import save_checkpoint
 
         stamped = {"kind": "vector-index", "backend": self.backend,
                    "n_vectors": self.size, "n_features": self.dim,
+                   "dim": self.dim, "metric": self.metric,
+                   "dtype": np.dtype(INDEX_DTYPE).name,
                    **(metadata or {})}
+        quantizer = self._quantizer_metadata()
+        if quantizer is not None:
+            stamped.setdefault("quantizer", quantizer)
         return save_checkpoint(path, self, metadata=stamped)
 
     @classmethod
     def load(cls, path: str | Path) -> "VectorIndex":
-        """Load any checkpointed index (class resolved from the header)."""
+        """Load any checkpointed index (class resolved from the header).
+
+        The stamped contract is verified against the reconstructed index:
+        a header claiming a different ``dim`` or ``metric`` than the
+        arrays produce (a corrupted or hand-edited checkpoint) raises
+        :class:`~repro.exceptions.IndexMismatchError` here, at load time,
+        instead of surfacing as wrong distances at query time.
+        """
         from ..serialize import load_checkpoint
 
         index = load_checkpoint(path)
         if not isinstance(index, VectorIndex):
             raise VectorIndexError(
                 f"{path} stores a {type(index).__name__}, not a vector index")
+        metadata = getattr(index, "checkpoint_header_", {}).get("metadata", {})
+        stamped_dim = metadata.get("dim", metadata.get("n_features"))
+        if stamped_dim is not None and int(stamped_dim) != index.dim:
+            raise IndexMismatchError(
+                f"{path} header stamps dim={stamped_dim} but its arrays "
+                f"are {index.dim}-dimensional")
+        stamped_metric = metadata.get("metric")
+        if stamped_metric is not None and stamped_metric != index.metric:
+            raise IndexMismatchError(
+                f"{path} header stamps metric={stamped_metric!r} but the "
+                f"index was built with metric={index.metric!r}")
         return index
 
 
@@ -261,23 +352,26 @@ def _backends() -> dict[str, type]:
     from .flat import FlatIndex
     from .hnsw import HNSWIndex
     from .ivf import IVFFlatIndex
+    from .ivfpq import IVFPQIndex
 
     return {FlatIndex.backend: FlatIndex,
             IVFFlatIndex.backend: IVFFlatIndex,
-            HNSWIndex.backend: HNSWIndex}
+            HNSWIndex.backend: HNSWIndex,
+            IVFPQIndex.backend: IVFPQIndex}
 
 
 #: Names accepted by :func:`create_index` (and the CLI/graph backends).
-INDEX_BACKENDS = ("flat", "ivf", "hnsw")
+INDEX_BACKENDS = ("flat", "ivf", "hnsw", "ivfpq")
 
 
 def create_index(backend: str, *, metric: str = "cosine",
                  **params) -> VectorIndex:
-    """Instantiate an index backend by name (``flat``, ``ivf``, ``hnsw``).
+    """Instantiate an index backend by name.
 
     Extra keyword arguments are passed to the backend constructor
     (``nlist``/``nprobe`` for IVF, ``m``/``ef_construction``/``ef_search``
-    for HNSW); unknown backends raise
+    for HNSW, ``nlist``/``nprobe``/``m``/``rerank``/``coding`` for
+    IVF-PQ); unknown backends raise
     :class:`~repro.exceptions.ConfigurationError`.
     """
     classes = _backends()

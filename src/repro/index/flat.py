@@ -44,9 +44,10 @@ class FlatIndex(VectorIndex):
         np.maximum(distances, 0.0, out=distances)
         return distances
 
-    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def _search(self, Q: np.ndarray, k: int,
+                tunables: dict) -> tuple[np.ndarray, np.ndarray]:
         n, q = self.size, Q.shape[0]
-        best_d = np.empty((q, 0))
+        best_d = np.empty((q, 0), dtype=Q.dtype)
         best_i = np.empty((q, 0), dtype=np.int64)
         for start in range(0, n, _SCAN_BLOCK):
             stop = min(start + _SCAN_BLOCK, n)

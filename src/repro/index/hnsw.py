@@ -46,6 +46,8 @@ class HNSWIndex(VectorIndex):
 
     backend = "hnsw"
 
+    _QUERY_TUNABLES = {"ef_search": 1}
+
     def __init__(self, *, metric: str = "cosine", m: int = 16,
                  ef_construction: int = 100, ef_search: int = 64,
                  seed: int | None = 0) -> None:
@@ -252,11 +254,12 @@ class HNSWIndex(VectorIndex):
                     worst = -results[0][0]
         return sorted((-d, node) for d, node in results)
 
-    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def _search(self, Q: np.ndarray, k: int,
+                tunables: dict) -> tuple[np.ndarray, np.ndarray]:
         q_rows = Q.shape[0]
         indices = np.empty((q_rows, k), dtype=np.int64)
         distances = np.empty((q_rows, k))
-        ef = max(self.ef_search, k)
+        ef = max(tunables.get("ef_search", self.ef_search), k)
         for row in range(q_rows):
             q = Q[row]
             ep = self.entry_point_

@@ -22,9 +22,36 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils.metrics_dispatch import squared_euclidean_distances
-from .base import VectorIndex
+from .base import INDEX_DTYPE, VectorIndex
 
 __all__ = ["IVFFlatIndex"]
+
+#: Row block for coarse-quantizer assignment: bounds the ``(rows, nlist)``
+#: distance temporary regardless of corpus size (the 1M-vector builds).
+_ASSIGN_BLOCK = 16384
+
+
+def nearest_cells(Q: np.ndarray, centroids: np.ndarray,
+                  k: int) -> np.ndarray:
+    """Indices of the ``k`` nearest centroids per query row (blocked).
+
+    Shared by the IVF family (flat and PQ): assignment at build time and
+    probe selection at query time are the same computation, blocked over
+    query rows so a million-row corpus never materialises an
+    ``(n, nlist)`` distance matrix at once.
+    """
+    out = np.empty((Q.shape[0], min(k, centroids.shape[0])), dtype=np.int64)
+    for start in range(0, Q.shape[0], _ASSIGN_BLOCK):
+        stop = min(start + _ASSIGN_BLOCK, Q.shape[0])
+        d2 = squared_euclidean_distances(Q[start:stop], centroids)
+        if k >= d2.shape[1]:
+            out[start:stop] = np.argsort(d2, axis=1, kind="stable")
+            continue
+        cells = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        order = np.argsort(np.take_along_axis(d2, cells, axis=1), axis=1,
+                           kind="stable")
+        out[start:stop] = np.take_along_axis(cells, order, axis=1)
+    return out
 
 #: Quantizer k-means training sample: ``max(_TRAIN_MIN, _TRAIN_PER_LIST *
 #: nlist)`` rows, capped at n — centroid quality needs O(points-per-list)
@@ -54,6 +81,8 @@ class IVFFlatIndex(VectorIndex):
 
     backend = "ivf"
 
+    _QUERY_TUNABLES = {"nprobe": 1}
+
     def __init__(self, *, metric: str = "cosine", nlist: int | None = None,
                  nprobe: int = 8, seed: int | None = 0) -> None:
         super().__init__(metric=metric)
@@ -82,13 +111,7 @@ class IVFFlatIndex(VectorIndex):
 
     def _nearest_cells(self, Q: np.ndarray, k: int) -> np.ndarray:
         """Indices of the ``k`` nearest centroids per query row."""
-        d2 = squared_euclidean_distances(Q, self.centroids_)
-        if k >= d2.shape[1]:
-            return np.argsort(d2, axis=1, kind="stable")
-        cells = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
-        order = np.argsort(np.take_along_axis(d2, cells, axis=1), axis=1,
-                           kind="stable")
-        return np.take_along_axis(cells, order, axis=1)
+        return nearest_cells(Q, self.centroids_, k)
 
     def _rebuild(self) -> None:
         from ..clustering import KMeans
@@ -105,7 +128,8 @@ class IVFFlatIndex(VectorIndex):
         quantizer = KMeans(nlist, n_init=1, max_iter=_TRAIN_ITER,
                            seed=self.seed, init="random")
         quantizer.fit(sample)
-        self.centroids_ = quantizer.cluster_centers_
+        self.centroids_ = np.asarray(quantizer.cluster_centers_,
+                                     dtype=INDEX_DTYPE)
         self.assignments_ = self._nearest_cells(X, 1)[:, 0].astype(np.int64)
         self._build_cells()
 
@@ -160,13 +184,14 @@ class IVFFlatIndex(VectorIndex):
         d2 = q_sq[:, None] + self._cell_sq[cell][None, :] - 2.0 * (Q @ block.T)
         return np.sqrt(np.maximum(d2, 0.0))
 
-    def _search(self, Q: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def _search(self, Q: np.ndarray, k: int,
+                tunables: dict) -> tuple[np.ndarray, np.ndarray]:
         nlist = self.centroids_.shape[0]
-        nprobe = min(self.nprobe, nlist)
+        nprobe = min(tunables.get("nprobe", self.nprobe), nlist)
         probes = self._nearest_cells(Q, nprobe)
         q = Q.shape[0]
         indices = np.empty((q, k), dtype=np.int64)
-        distances = np.empty((q, k))
+        distances = np.empty((q, k), dtype=Q.dtype)
         q_sq = None if self.metric == "cosine" else np.sum(Q ** 2, axis=1)
         if q < nlist:
             # Few queries: scan each probed cell's contiguous block, one
@@ -193,7 +218,7 @@ class IVFFlatIndex(VectorIndex):
         # itself): loop over *cells* instead — nlist well-shaped matmuls
         # regardless of query count, each scanning one cell against every
         # query that probes it (at whatever probe rank).
-        pool_d = np.full((q, nprobe * k), np.inf)
+        pool_d = np.full((q, nprobe * k), np.inf, dtype=Q.dtype)
         pool_i = np.zeros((q, nprobe * k), dtype=np.int64)
         for cell in range(nlist):
             members = self._lists[cell]
@@ -266,6 +291,6 @@ class IVFFlatIndex(VectorIndex):
         # The stored assignments rebuild the inverted lists exactly; the
         # quantizer is NOT retrained, so a reloaded index answers queries
         # bit-identically to the instance that was saved.
-        self.centroids_ = np.asarray(arrays["centroids"], dtype=np.float64)
+        self.centroids_ = np.asarray(arrays["centroids"], dtype=INDEX_DTYPE)
         self.assignments_ = np.asarray(arrays["assignments"], dtype=np.int64)
         self._build_cells()

@@ -71,12 +71,24 @@ def checkpointable_classes() -> dict[str, type]:
     """
     from .clustering import DBSCAN, Birch, KMeans
     from .dc import EDESC, SDCN, SHGP, Autoencoder, AutoencoderClustering
-    from .index import FlatIndex, HNSWIndex, IVFFlatIndex
+    from .index import FlatIndex, HNSWIndex, IVFFlatIndex, IVFPQIndex
 
     return {cls.__name__: cls
             for cls in (KMeans, Birch, DBSCAN, Autoencoder,
                         AutoencoderClustering, SDCN, EDESC, SHGP,
-                        FlatIndex, IVFFlatIndex, HNSWIndex)}
+                        FlatIndex, IVFFlatIndex, HNSWIndex, IVFPQIndex)}
+
+
+def _lazy_member_prefix(cls) -> str | None:
+    """NPZ member prefix of a class's lazily loaded arrays (or None).
+
+    Classes that store data meant to be memory-mapped in place (the
+    IVF-PQ inverted lists) declare ``lazy_array_prefix``; loaders skip
+    those ``array.<prefix>*`` members and call ``model.attach_store(path)``
+    after reconstruction instead of materialising them.
+    """
+    prefix = getattr(cls, "lazy_array_prefix", None) if cls else None
+    return f"{_ARRAY_PREFIX}{prefix}" if prefix else None
 
 
 def fsync_directory(path: str | Path) -> None:
@@ -160,11 +172,16 @@ def save_checkpoint(path: str | Path, model, *,
     # Atomic write so concurrent readers (the model registry) never see a
     # partially written checkpoint; fsync file-then-directory so a completed
     # save is durable across power loss, not merely process death.
+    # Models that want their members memory-mappable in place (see
+    # repro.index.storage) opt out of deflate: a stored zip member is a
+    # contiguous byte run the OS can page straight from the file.
+    writer = (np.savez
+              if not getattr(type(model), "checkpoint_compressed", True)
+              else np.savez_compressed)
     handle, tmp_name = tempfile.mkstemp(dir=destination.parent, suffix=".tmp")
     try:
         with os.fdopen(handle, "wb") as tmp:
-            np.savez_compressed(tmp, __header__=np.asarray(header_json),
-                                **payload)
+            writer(tmp, __header__=np.asarray(header_json), **payload)
             tmp.flush()
             os.fsync(tmp.fileno())
         os.replace(tmp_name, destination)
@@ -295,19 +312,23 @@ def load_checkpoint(path: str | Path):
     source = Path(path)
     if not source.exists():
         raise SerializationError(f"checkpoint not found: {source}")
+    classes = checkpointable_classes()
     try:
         with np.load(source, allow_pickle=False) as payload:
             header = _load_header(payload, source)
+            # Resolve the class *before* touching arrays so its lazy
+            # members (mmap-served inverted lists) are never materialised.
+            skip = _lazy_member_prefix(classes.get(header["class"]))
             arrays = {name[len(_ARRAY_PREFIX):]: payload[name]
                       for name in payload.files
-                      if name.startswith(_ARRAY_PREFIX)}
+                      if name.startswith(_ARRAY_PREFIX)
+                      and not (skip and name.startswith(skip))}
     except SerializationError:
         raise
     except Exception as exc:
         raise SerializationError(
             f"cannot read checkpoint {source}: {exc}") from exc
 
-    classes = checkpointable_classes()
     cls = classes.get(header["class"])
     if cls is None:
         raise SerializationError(
@@ -315,6 +336,8 @@ def load_checkpoint(path: str | Path):
             f"does not know how to load (expected one of {sorted(classes)})")
     try:
         model = cls.from_checkpoint(header["params"], arrays)
+        if skip is not None:
+            model.attach_store(source)
     except SerializationError:
         raise
     except Exception as exc:
@@ -409,9 +432,15 @@ class SharedCheckpointStore:
         try:
             with np.load(source, allow_pickle=False) as payload:
                 header = _load_header(payload, source)
+                # Lazy members stay on disk: every worker mmaps the same
+                # file, so the page cache already dedups them — copying
+                # them into /dev/shm would *add* a resident copy.
+                skip = _lazy_member_prefix(
+                    checkpointable_classes().get(header.get("class")))
                 arrays = {name[len(_ARRAY_PREFIX):]: payload[name]
                           for name in payload.files
-                          if name.startswith(_ARRAY_PREFIX)}
+                          if name.startswith(_ARRAY_PREFIX)
+                          and not (skip and name.startswith(skip))}
             mtime_ns = source.stat().st_mtime_ns
         except Exception:  # corrupt/foreign/unreadable: worker loads privately
             return False
@@ -545,5 +574,12 @@ def attach_shared_checkpoint(path: str | Path, manifest: dict):
             return None
     except Exception:
         return None
+    if _lazy_member_prefix(cls) is not None:
+        # The shared segments cover only the eager arrays; lazy members
+        # (mmap-served cells) attach from the checkpoint file itself.
+        try:
+            model.attach_store(source)
+        except Exception:
+            return None
     model.checkpoint_header_ = header
     return model

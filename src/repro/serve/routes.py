@@ -80,11 +80,13 @@ ROUTES: tuple[Route, ...] = (
           "Cluster raw items or pre-embedded vectors with a named model.",
           has_body=True),
     Route("POST", "/v1/models/{name}/neighbors", "neighbors",
-          "Top-k similarity search against a named vector index.",
+          "Top-k similarity search against a named vector index; the "
+          "body may carry per-request nprobe/ef_search/rerank tunables.",
           has_body=True),
     Route("POST", "/v1/search", "search",
           "Similarity search with the index named in the body (or the "
-          "only served index).", has_body=True),
+          "only served index); accepts the same per-request tunables as "
+          "neighbors.", has_body=True),
     Route("POST", "/v1/jobs", "jobs_submit",
           "Submit an experiment as an async job; identical submissions "
           "dedup to the same job id.", has_body=True),

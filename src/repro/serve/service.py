@@ -41,6 +41,17 @@ __all__ = ["PredictService"]
 #: request from forcing a near-full-corpus sort per query row.
 _MAX_NEIGHBORS = 1024
 
+#: Payload fields recognised as per-request index tunables.  Which of
+#: them a given request may use is decided by the *index* (its
+#: ``query_tunables`` contract): ``nprobe``/``rerank`` for the IVF
+#: family, ``ef_search`` for HNSW.
+_TUNABLE_FIELDS = ("ef_search", "nprobe", "rerank")
+
+#: Upper bound on any tunable value: the backends clamp internally, but
+#: rejecting absurd values here keeps one hostile request from forcing a
+#: full-corpus rerank per query row.
+_MAX_TUNABLE = 1_000_000
+
 
 class PredictService:
     """Resolve, embed and micro-batch predict requests for a model directory.
@@ -159,10 +170,13 @@ class PredictService:
 
         ``name`` must resolve to a checkpointed :class:`~repro.index`
         vector index.  The payload provides ``"vectors"`` or ``"items"``
-        exactly like predict, plus an optional ``"k"`` (default 10).
-        Concurrent requests with the same ``k`` are micro-batched into
-        shared index queries.  Returns ids, positions and distances per
-        query row, each row ordered nearest first.
+        exactly like predict, plus an optional ``"k"`` (default 10) and
+        any per-request tunables the index supports (``nprobe``,
+        ``ef_search``, ``rerank`` — validated against the backend's
+        contract, defaulting to its build-time settings).  Concurrent
+        requests with the same ``k`` *and* tunables are micro-batched
+        into shared index queries.  Returns ids, positions and distances
+        per query row, each row ordered nearest first.
         """
         loaded = self.registry.get(name)
         index = loaded.model
@@ -176,14 +190,15 @@ class PredictService:
                 not 1 <= k <= _MAX_NEIGHBORS:
             raise ServingError(
                 f"'k' must be an integer in [1, {_MAX_NEIGHBORS}], got {k!r}")
+        tunables = self._query_tunables(index, name, payload)
         matrix = self._matrix_from_payload(loaded, payload)
         if self.micro_batching:
-            packed = self._batched_neighbors(loaded, matrix, k)
+            packed = self._batched_neighbors(loaded, matrix, k, tunables)
             positions = packed[:, 0].astype(np.int64)
             distances = packed[:, 1]
         else:
-            positions, distances = index.query(matrix, k)
-        return {
+            positions, distances = index.query(matrix, k, **tunables)
+        response = {
             "model": name,
             "n_items": int(positions.shape[0]),
             "k": int(positions.shape[1]),
@@ -191,6 +206,41 @@ class PredictService:
             "positions": positions.tolist(),
             "distances": distances.tolist(),
         }
+        if tunables:
+            response["tunables"] = tunables
+        return response
+
+    @staticmethod
+    def _query_tunables(index: VectorIndex, name: str,
+                        payload) -> dict[str, int]:
+        """Validated per-request tunables from a neighbors/search payload.
+
+        Unsupported fields fail loudly (a typo'd ``nprobe`` on an HNSW
+        index should be a 400, not a silently ignored knob); values must
+        be integers within the backend's declared minimum and a global
+        sanity cap.
+        """
+        if not isinstance(payload, dict):
+            return {}
+        supported = index.query_tunables
+        tunables: dict[str, int] = {}
+        for field in _TUNABLE_FIELDS:
+            value = payload.get(field)
+            if value is None:
+                continue
+            minimum = supported.get(field)
+            if minimum is None:
+                accepted = ", ".join(sorted(supported)) or "none"
+                raise ServingError(
+                    f"index {name!r} ({index.backend}) does not support "
+                    f"the {field!r} tunable; it accepts: {accepted}")
+            if not isinstance(value, int) or isinstance(value, bool) or \
+                    not minimum <= value <= _MAX_TUNABLE:
+                raise ServingError(
+                    f"{field!r} must be an integer in "
+                    f"[{minimum}, {_MAX_TUNABLE}], got {value!r}")
+            tunables[field] = value
+        return tunables
 
     def search(self, payload: dict) -> dict:
         """Answer one ``POST /search`` payload (similarity search).
@@ -304,12 +354,13 @@ class PredictService:
         return loaded.model.predict(matrix)
 
     def _batched_neighbors(self, loaded: LoadedModel, matrix: np.ndarray,
-                           k: int) -> np.ndarray:
+                           k: int, tunables: dict[str, int]) -> np.ndarray:
         # Same eviction-race discipline as _batched_predict: a closed
         # batcher means the load was retired, so resolve afresh and retry.
         for _ in range(3):
             try:
-                result = self._neighbor_batcher_for(loaded, k).submit(matrix)
+                result = self._neighbor_batcher_for(
+                    loaded, k, tunables).submit(matrix)
             except ServingError as exc:
                 if "closed" not in str(exc):
                     raise
@@ -318,7 +369,7 @@ class PredictService:
             if not self.registry.is_current(loaded):
                 self._retire_batcher(loaded)
             return result
-        positions, distances = loaded.model.query(matrix, k)
+        positions, distances = loaded.model.query(matrix, k, **tunables)
         return np.stack([positions.astype(np.float64), distances], axis=1)
 
     def _batcher_for(self, loaded: LoadedModel) -> MicroBatcher:
@@ -332,25 +383,29 @@ class PredictService:
                 self._batchers[loaded, None] = batcher
             return batcher
 
-    def _neighbor_batcher_for(self, loaded: LoadedModel,
-                              k: int) -> MicroBatcher:
+    def _neighbor_batcher_for(self, loaded: LoadedModel, k: int,
+                              tunables: dict[str, int]) -> MicroBatcher:
         index = loaded.model
 
         def query_rows(X: np.ndarray) -> np.ndarray:
-            positions, distances = index.query(X, k)
+            positions, distances = index.query(X, k, **tunables)
             # Packed as one (rows, 2, k) array so the MicroBatcher can
             # hand each caller its row slice of a shared query.
             return np.stack([positions.astype(np.float64), distances],
                             axis=1)
 
+        # Tunables join the batcher key: rows coalesced into one index
+        # query must share their recall/latency settings, not just k.
+        knobs = tuple(sorted(tunables.items()))
+        suffix = "".join(f"&{field}={value}" for field, value in knobs)
         with self._lock:
-            batcher = self._batchers.get((loaded, k))
+            batcher = self._batchers.get((loaded, k, knobs))
             if batcher is None:
                 batcher = MicroBatcher(query_rows,
                                        max_batch_rows=self.max_batch_rows,
                                        max_delay=self.max_delay,
-                                       name=f"{loaded.name}#k={k}")
-                self._batchers[loaded, k] = batcher
+                                       name=f"{loaded.name}#k={k}{suffix}")
+                self._batchers[loaded, k, knobs] = batcher
             return batcher
 
     def _retire_batcher(self, loaded: LoadedModel) -> None:

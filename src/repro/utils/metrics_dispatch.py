@@ -7,6 +7,12 @@ subsystem all dispatch on the same two metrics (``cosine`` and
 validated and computed independently; the helpers here are the single
 implementation they share, so the numerics (operation order, zero-clamping
 before any square root) are bit-identical across every call site.
+
+The kernels are dtype-preserving: float64 input (the training paths)
+computes and returns float64, float32 input (the vector-index hot path)
+stays float32 end to end — no silent promotion doubling memory bandwidth,
+no silent narrowing losing precision.  Every scalar constant below is a
+python float so NEP-50 weak promotion keeps the array dtype authoritative.
 """
 
 from __future__ import annotations

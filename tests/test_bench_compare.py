@@ -110,6 +110,15 @@ class TestRunCompare:
         report = compare_bench.run_compare(baseline_dir, current)
         assert report["status"] == "fail"
 
+    def test_floor_kind_fails_on_any_drop(self):
+        # The seeded benches are deterministic, so a recall floor tolerates
+        # no regression at all — but does accept improvements.
+        status, why = compare_bench._judge("recall", "floor", 0.993, 0.9929)
+        assert status == "fail"
+        assert "floor" in why
+        assert compare_bench._judge("recall", "floor", 0.993, 0.993)[0] == "ok"
+        assert compare_bench._judge("recall", "floor", 0.993, 0.995)[0] == "ok"
+
     def test_missing_current_file_skips_unless_strict(self, baseline_dir,
                                                       tmp_path):
         current = _write(tmp_path / "current", serve=_serve_doc())
@@ -153,5 +162,5 @@ class TestMainCli:
             metrics = extractor(json.loads(path.read_text(encoding="utf-8")))
             assert metrics, f"baseline {name} produced no gated metrics"
             for value, kind in metrics.values():
-                assert kind in ("higher", "lower", "zero")
+                assert kind in ("higher", "lower", "zero", "floor")
                 assert value >= 0

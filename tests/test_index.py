@@ -24,9 +24,11 @@ from repro.graphs import (
 )
 from repro.index import (
     INDEX_BACKENDS,
+    INDEX_DTYPE,
     FlatIndex,
     HNSWIndex,
     IVFFlatIndex,
+    IVFPQIndex,
     VectorIndex,
     create_index,
 )
@@ -41,8 +43,9 @@ from repro.utils import pairwise_distances
 
 ALL_BACKENDS = [FlatIndex,
                 lambda **kw: IVFFlatIndex(nprobe=8, **kw),
-                lambda **kw: HNSWIndex(m=8, ef_construction=60, **kw)]
-BACKEND_IDS = ["flat", "ivf", "hnsw"]
+                lambda **kw: HNSWIndex(m=8, ef_construction=60, **kw),
+                lambda **kw: IVFPQIndex(nlist=16, nprobe=8, m=4, **kw)]
+BACKEND_IDS = ["flat", "ivf", "hnsw", "ivfpq"]
 
 
 def clustered(n, dim=16, n_clusters=8, seed=0, scale=4.0):
@@ -119,7 +122,8 @@ class TestVectorIndexProtocol:
         # Every appended vector finds itself at distance ~0.
         positions, distances = index.query(X[200:210], 1)
         assert np.array_equal(positions[:, 0], np.arange(200, 210))
-        assert (distances[:, 0] < 1e-9).all()
+        # Self-distance rounds to ~eps at the index's float32 precision.
+        assert (distances[:, 0] < 1e-5).all()
 
     def test_string_ids_survive_add(self):
         X, _ = clustered(60)
@@ -159,17 +163,24 @@ class TestExactness:
     @settings(max_examples=40, deadline=None)
     @given(matrices, st.sampled_from(["cosine", "euclidean"]))
     def test_flat_index_equals_brute_force(self, rows, metric):
-        """FlatIndex == brute force: same top-k distances, consistent rows."""
+        """FlatIndex == brute force: same top-k distances, consistent rows.
+
+        The reference runs the shared kernels at the index's own float32
+        precision — comparing against a float64 brute force would only
+        measure the dtype narrowing, not the index.
+        """
         X = np.asarray(rows, dtype=np.float64)
         k = min(3, X.shape[0])
         index = FlatIndex(metric=metric).build(X)
         positions, distances = index.query(X, k)
-        full = pairwise_distances(X, X, metric=metric)
+        full = pairwise_distances(np.asarray(X, dtype=INDEX_DTYPE),
+                                  np.asarray(X, dtype=INDEX_DTYPE),
+                                  metric=metric)
         expected = np.sort(full, axis=1)[:, :k]
-        assert np.allclose(np.sort(distances, axis=1), expected, atol=1e-9)
-        # The reported distances match the reported neighbours exactly.
+        assert np.allclose(np.sort(distances, axis=1), expected, atol=1e-3)
+        # The reported distances match the reported neighbours.
         recomputed = np.take_along_axis(full, positions, axis=1)
-        assert np.allclose(distances, recomputed, atol=1e-12)
+        assert np.allclose(distances, recomputed, atol=1e-3)
 
     @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
     @pytest.mark.parametrize("backend", ["ivf", "hnsw"])
@@ -340,7 +351,7 @@ class TestIndexCheckpoints:
         restored.add(X[100:])
         positions, distances = restored.query(X[100:105], 1)
         assert np.array_equal(positions[:, 0], np.arange(100, 105))
-        assert (distances[:, 0] < 1e-9).all()
+        assert (distances[:, 0] < 1e-5).all()
 
     def test_rotate_generations(self, tmp_path):
         X, _ = clustered(80, dim=12)
